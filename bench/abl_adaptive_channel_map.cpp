@@ -1,0 +1,68 @@
+// Ablation — adaptive channel hopping (the ADH the standard leaves to
+// controller implementers, section 2.2; shown by Spoerk et al. [39, 41] to
+// mitigate 2.4 GHz interference — section 7 suggests 6BLEMesh deployments
+// would benefit).
+//
+// Scenario: BLE channel 22 is jammed by an external signal (as observed in
+// the testbed, section 4.2), but the nodes are NOT statically configured to
+// avoid it. Three configurations:
+//   1. static channel-map exclusion (the paper's manual fix),
+//   2. no countermeasure (all 37 channels),
+//   3. adaptive channel map: per-channel PER estimation excludes the jammed
+//      channel at runtime via the LL channel-map update procedure.
+
+#include <cstdio>
+
+#include "testbed/experiment.hpp"
+#include "testbed/report.hpp"
+
+using namespace mgap;
+using namespace mgap::testbed;
+
+int main() {
+  std::printf("=== Ablation: adaptive channel hopping vs a jammed channel ===\n\n");
+  const sim::Duration duration =
+      scaled_duration(sim::Duration::minutes(30), sim::Duration::minutes(5));
+
+  print_summary_header();
+  for (int mode = 0; mode < 3; ++mode) {
+    ExperimentConfig cfg;
+    cfg.topology = Topology::tree15();
+    cfg.duration = duration;
+    cfg.jam_channel_22 = true;
+    cfg.exclude_channel_22 = mode == 0;
+    cfg.adaptive_channel_map = mode == 2;
+    cfg.seed = 1;
+    Experiment e{cfg};
+    e.run();
+    const char* label = mode == 0   ? "static exclusion (paper setup)"
+                        : mode == 1 ? "no countermeasure"
+                                    : "adaptive channel map (ADH)";
+    print_summary_row(label, e.summary());
+
+    // How much traffic still hits the jammed channel?
+    std::uint64_t ch22_tx = 0;
+    std::uint64_t total_retrans = 0;
+    for (const ble::LinkStats* ls : e.ble_world()->all_link_stats()) {
+      ch22_tx += ls->chan_tx[22];
+      total_retrans += ls->pdu_retrans;
+    }
+    std::printf("    data PDUs attempted on jammed ch22: %8llu   LL retransmissions: "
+                "%llu\n",
+                static_cast<unsigned long long>(ch22_tx),
+                static_cast<unsigned long long>(total_retrans));
+    if (mode == 2) {
+      unsigned still_using = 0;
+      for (ble::Connection* c : e.ble_world()->open_connections()) {
+        if (c->channel_map().is_used(22)) ++still_using;
+      }
+      std::printf("    connections still hopping over ch22 at the end: %u of %zu\n",
+                  still_using, e.ble_world()->open_connections().size());
+    }
+  }
+
+  std::printf("\nExpected shape: without a countermeasure, 1/36 of all PDUs burn a\n"
+              "retransmission on ch22. ADH converges to the static exclusion's LL PDR\n"
+              "within the first evaluation windows — no manual site survey needed.\n");
+  return 0;
+}

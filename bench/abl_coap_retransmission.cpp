@@ -1,0 +1,60 @@
+// Ablation — section 8: "Connection intervals in the order of seconds
+// usually conflict with default retransmission timeouts of [stateful]
+// protocols. Eventually, this can cause a significant increase in network
+// load due to network layer retransmissions, although the original requests
+// were never lost and are delivered successfully."
+//
+// We re-run the tree workload with CONFIRMABLE CoAP (RFC 7252 defaults:
+// ACK_TIMEOUT 2 s, factor 1.5, MAX_RETRANSMIT 4) instead of the paper's NON
+// requests, across connection intervals. At 75 ms the retransmission timers
+// never fire; at 2 s the multi-hop RTT routinely exceeds the first timeout,
+// so the network carries a large volume of spurious retransmissions.
+
+#include <cstdio>
+
+#include "testbed/experiment.hpp"
+#include "testbed/report.hpp"
+
+using namespace mgap;
+using namespace mgap::testbed;
+
+int main() {
+  std::printf("=== Ablation (section 8): CoAP CON retransmission vs BLE connection "
+              "interval ===\n\n");
+  const sim::Duration duration =
+      scaled_duration(sim::Duration::minutes(20), sim::Duration::minutes(5));
+
+  std::printf("%-14s %-6s %9s %9s %9s %9s %9s %10s\n", "connitvl", "mode", "sent",
+              "answered", "retrans", "timeouts", "p50[ms]", "amplif.");
+  for (const int ci_ms : {75, 500, 1000, 2000}) {
+    for (const bool con : {false, true}) {
+      ExperimentConfig cfg;
+      cfg.topology = Topology::tree15();
+      cfg.duration = duration;
+      cfg.policy = core::IntervalPolicy::fixed(sim::Duration::ms(ci_ms));
+      cfg.supervision_timeout =
+          sim::max(sim::Duration::sec(2), sim::Duration::ms(ci_ms) * 6);
+      cfg.confirmable_coap = con;
+      cfg.seed = 1;
+      Experiment e{cfg};
+      e.run();
+      const auto s = e.summary();
+      const double amplification =
+          s.sent == 0 ? 0.0
+                      : static_cast<double>(s.sent + s.coap_retransmissions) /
+                            static_cast<double>(s.sent);
+      std::printf("%-14d %-6s %9llu %9llu %9llu %9llu %9.1f %9.2fx\n", ci_ms,
+                  con ? "CON" : "NON", static_cast<unsigned long long>(s.sent),
+                  static_cast<unsigned long long>(s.acked),
+                  static_cast<unsigned long long>(s.coap_retransmissions),
+                  static_cast<unsigned long long>(s.coap_timeouts),
+                  s.rtt_p50.to_ms_f(), amplification);
+    }
+  }
+
+  std::printf("\nExpected shape: at 75 ms the CON and NON columns are identical (no\n"
+              "timer ever fires). As the connection interval approaches the 2 s\n"
+              "ACK_TIMEOUT, CON traffic retransmits requests that were never lost —\n"
+              "the section 8 warning — multiplying the offered load.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation — the section 6.3 design space: three answers to connection
+// shading, compared head to head on the static tree.
+//
+//   1. none            — standard BLE mesh behaviour: one fixed interval.
+//   2. param-update    — the alternative the paper discusses and rejects:
+//                        a subordinate repairs local collisions through the
+//                        LL connection-parameter-update procedure. It cannot
+//                        see the peer's other intervals, so repairs may
+//                        collide remotely and reconfiguration can recur.
+//   3. randomized      — the paper's proposal: unique randomized intervals
+//                        at connect time, with subordinate-side rejection.
+//
+// Reported: connection losses, parameter-update churn, reliability, RTT.
+
+#include <cstdio>
+
+#include "testbed/experiment.hpp"
+#include "testbed/report.hpp"
+
+using namespace mgap;
+using namespace mgap::testbed;
+
+int main() {
+  std::printf("=== Ablation: mitigation design space (tree, producer 1 s, target "
+              "75 ms) ===\n\n");
+  const sim::Duration duration =
+      scaled_duration(sim::Duration::hours(8), sim::Duration::minutes(10));
+
+  print_summary_header();
+  for (int mode = 0; mode < 3; ++mode) {
+    ExperimentConfig cfg;
+    cfg.topology = Topology::tree15();
+    cfg.duration = duration;
+    cfg.seed = 1;
+    switch (mode) {
+      case 0:
+        cfg.policy = core::IntervalPolicy::fixed(sim::Duration::ms(75));
+        break;
+      case 1:
+        cfg.policy = core::IntervalPolicy::fixed(sim::Duration::ms(75));
+        cfg.param_update_mitigation = true;
+        break;
+      default:
+        cfg.policy = core::IntervalPolicy::randomized(sim::Duration::ms(65),
+                                                      sim::Duration::ms(85));
+        break;
+    }
+    Experiment e{cfg};
+    e.run();
+    const char* label = mode == 0   ? "none (static 75 ms)"
+                        : mode == 1 ? "param-update repair"
+                                    : "randomized [65:85] ms (paper)";
+    print_summary_row(label, e.summary());
+
+    std::uint64_t updates = 0;
+    for (const NodeId n : cfg.topology.nodes) {
+      updates += e.statconn(n)->param_updates();
+    }
+    if (mode == 1) {
+      std::printf("    parameter updates issued: %llu (reconfiguration churn)\n",
+                  static_cast<unsigned long long>(updates));
+    }
+  }
+
+  std::printf("\nExpected shape: 'none' keeps losing connections; 'param-update'\n"
+              "suppresses most losses but pays ongoing reconfiguration churn and\n"
+              "still cannot rule out remote collisions; the paper's randomization\n"
+              "reaches zero losses with zero runtime signalling.\n");
+  return 0;
+}

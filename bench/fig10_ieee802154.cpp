@@ -1,0 +1,64 @@
+// Figure 10 — "Comparison of BLE and IEEE 802.15.4, using the same tree
+// topology and 1 s +-0.5 s sending interval."
+//
+// Paper: the IEEE 802.15.4 network runs at its capacity limit and averages a
+// PDR of 83.3 %, while BLE stays above 99 % (losses only at connection
+// drops). 802.15.4 wins on latency: backoff timers are much shorter than BLE
+// connection intervals, but frames die after a bounded number of retries.
+
+#include <cstdio>
+
+#include "testbed/experiment.hpp"
+#include "testbed/report.hpp"
+
+using namespace mgap;
+using namespace mgap::testbed;
+
+int main() {
+  std::printf("=== Figure 10: BLE vs IEEE 802.15.4 (tree, producer 1 s +-0.5 s) "
+              "===\n\n");
+  const sim::Duration duration = scaled_duration(sim::Duration::hours(1));
+
+  struct Row {
+    const char* label;
+    ExperimentConfig cfg;
+  };
+  std::vector<Row> rows;
+  {
+    ExperimentConfig cfg;
+    cfg.radio = ExperimentConfig::Radio::kIeee802154;
+    cfg.topology = Topology::tree15();
+    cfg.duration = duration;
+    cfg.seed = 1;
+    rows.push_back({"IEEE 802.15.4 CSMA/CA", cfg});
+  }
+  for (const int ci : {25, 75}) {
+    ExperimentConfig cfg;
+    cfg.topology = Topology::tree15();
+    cfg.duration = duration;
+    cfg.policy = core::IntervalPolicy::fixed(sim::Duration::ms(ci));
+    cfg.seed = 1;
+    rows.push_back({ci == 25 ? "BLE, connitvl 25 ms" : "BLE, connitvl 75 ms", cfg});
+  }
+
+  print_summary_header();
+  std::vector<std::pair<const char*, RttHistogram>> cdfs;
+  for (Row& row : rows) {
+    Experiment e{row.cfg};
+    e.run();
+    print_summary_row(row.label, e.summary());
+    cdfs.emplace_back(row.label, e.metrics().rtt());
+  }
+
+  std::printf("\n-- Figure 10(b): RTT CDFs --\n");
+  for (auto& [label, hist] : cdfs) {
+    print_rtt_cdf(label, hist,
+                  {sim::Duration::ms(50), sim::Duration::ms(100), sim::Duration::ms(200),
+                   sim::Duration::ms(300), sim::Duration::ms(400), sim::Duration::ms(600)});
+  }
+
+  std::printf("\nExpected shape (paper): 802.15.4 PDR ~83%% (capacity limit,\n"
+              "drop-after-retries) vs BLE >99%%; 802.15.4 RTT well below both BLE\n"
+              "configurations; BLE 25 ms below BLE 75 ms.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 13 — "Comparing the impact of fixed (standard BLE mesh) and
+// randomized (our proposal) BLE connection intervals in tree and line
+// topologies in 24 h experiments."
+//
+// Paper: static 75 ms intervals accumulate 95 connection losses over 24 h and
+// lose CoAP packets at every loss; the randomized [65:85] ms configuration
+// encounters NO connection losses and loses NOT A SINGLE CoAP packet out of
+// >1,200,000 requests. The price: the aggregate link-layer PDR drops slightly
+// (98 -> 96 % in the tree) because sweeping events occasionally collide, and
+// tails of the RTT distribution tighten.
+
+#include <cstdio>
+
+#include "testbed/experiment.hpp"
+#include "testbed/report.hpp"
+
+using namespace mgap;
+using namespace mgap::testbed;
+
+int main() {
+  std::printf("=== Figure 13: static vs randomized connection intervals, 24 h ===\n\n");
+  const sim::Duration duration =
+      scaled_duration(sim::Duration::hours(24), sim::Duration::minutes(10));
+
+  print_summary_header();
+  std::uint64_t total_requests = 0;
+  std::uint64_t total_lost_random = 0;
+  for (const bool line : {false, true}) {
+    for (const bool randomized : {false, true}) {
+      ExperimentConfig cfg;
+      cfg.topology = line ? Topology::line15() : Topology::tree15();
+      cfg.duration = duration;
+      cfg.policy = randomized
+                       ? core::IntervalPolicy::randomized(sim::Duration::ms(65),
+                                                          sim::Duration::ms(85))
+                       : core::IntervalPolicy::fixed(sim::Duration::ms(75));
+      cfg.metrics_bucket = sim::Duration::minutes(10);
+      cfg.seed = 1;
+      Experiment e{cfg};
+      e.run();
+      const auto s = e.summary();
+      char label[96];
+      std::snprintf(label, sizeof label, "%s, %s", cfg.topology.name.c_str(),
+                    randomized ? "random [65:85] ms" : "static 75 ms");
+      print_summary_row(label, s);
+      if (randomized) {
+        total_requests += s.sent;
+        total_lost_random += s.sent - s.acked;
+      }
+      print_rtt_quantiles("  (c) RTT", e.metrics().rtt());
+    }
+  }
+
+  std::printf("\nFigure 13(a) expectation: static configs suffer repeated connection\n"
+              "losses and drop packets; randomized configs lose zero connections.\n");
+  std::printf("Randomized runs combined: %llu requests, %llu lost (paper: 0 lost of "
+              ">1,200,000).\n",
+              static_cast<unsigned long long>(total_requests),
+              static_cast<unsigned long long>(total_lost_random));
+  std::printf("Figure 13(b) expectation: LL PDR slightly LOWER with randomization\n"
+              "(sweeping collisions) — the deliberate trade-off for stability.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 14 — "Distribution of BLE connection losses for 1 s producer
+// interval using different BLE connection intervals. Each configuration ran
+// for 5x1 h."
+//
+// Paper: static intervals {25, 50, 75, 100, 500} ms all accumulate connection
+// losses (more at shorter intervals, where anchors wrap faster); randomized
+// windows {[15:35], [40:60], [65:85], [90:110], [490:510]} ms stay at (or
+// very near) zero — residual losses there stem from external interference,
+// not shading.
+
+#include <cstdio>
+#include <vector>
+
+#include "testbed/experiment.hpp"
+#include "testbed/report.hpp"
+
+using namespace mgap;
+using namespace mgap::testbed;
+
+namespace {
+
+struct ConfigSpec {
+  const char* label;
+  core::IntervalPolicy policy;
+  sim::Duration supervision;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 14: connection losses per interval configuration "
+              "(5 x 1 h each, producer 1 s) ===\n\n");
+  const sim::Duration duration = scaled_duration(sim::Duration::hours(1));
+  const int runs = 5;
+
+  const std::vector<ConfigSpec> specs = {
+      {"static 25 ms", core::IntervalPolicy::fixed(sim::Duration::ms(25)),
+       sim::Duration::sec(2)},
+      {"static 50 ms", core::IntervalPolicy::fixed(sim::Duration::ms(50)),
+       sim::Duration::sec(2)},
+      {"static 75 ms", core::IntervalPolicy::fixed(sim::Duration::ms(75)),
+       sim::Duration::sec(2)},
+      {"static 100 ms", core::IntervalPolicy::fixed(sim::Duration::ms(100)),
+       sim::Duration::sec(2)},
+      {"static 500 ms", core::IntervalPolicy::fixed(sim::Duration::ms(500)),
+       sim::Duration::sec(4)},
+      {"random [15:35] ms",
+       core::IntervalPolicy::randomized(sim::Duration::ms(15), sim::Duration::ms(35)),
+       sim::Duration::sec(2)},
+      {"random [40:60] ms",
+       core::IntervalPolicy::randomized(sim::Duration::ms(40), sim::Duration::ms(60)),
+       sim::Duration::sec(2)},
+      {"random [65:85] ms",
+       core::IntervalPolicy::randomized(sim::Duration::ms(65), sim::Duration::ms(85)),
+       sim::Duration::sec(2)},
+      {"random [90:110] ms",
+       core::IntervalPolicy::randomized(sim::Duration::ms(90), sim::Duration::ms(110)),
+       sim::Duration::sec(2)},
+      {"random [490:510] ms",
+       core::IntervalPolicy::randomized(sim::Duration::ms(490), sim::Duration::ms(510)),
+       sim::Duration::sec(4)},
+  };
+
+  std::printf("%-22s %s\n", "configuration", "losses per 1 h run        total");
+  std::uint64_t static_total = 0;
+  std::uint64_t random_total = 0;
+  for (const ConfigSpec& spec : specs) {
+    std::printf("%-22s ", spec.label);
+    std::uint64_t total = 0;
+    for (int run = 0; run < runs; ++run) {
+      ExperimentConfig cfg;
+      cfg.topology = Topology::tree15();
+      cfg.duration = duration;
+      cfg.policy = spec.policy;
+      cfg.supervision_timeout = spec.supervision;
+      cfg.seed = static_cast<std::uint64_t>(run + 1);
+      Experiment e{cfg};
+      e.run();
+      const auto losses = e.summary().conn_losses;
+      total += losses;
+      std::printf("%4llu", static_cast<unsigned long long>(losses));
+    }
+    std::printf("    %6llu\n", static_cast<unsigned long long>(total));
+    (spec.policy.is_randomized() ? random_total : static_total) += total;
+  }
+
+  std::printf("\nStatic configurations total : %llu losses\n",
+              static_cast<unsigned long long>(static_total));
+  std::printf("Random configurations total : %llu losses\n",
+              static_cast<unsigned long long>(random_total));
+  std::printf("\nExpected shape (paper): every static interval loses connections\n"
+              "(shorter intervals lose more); randomized windows are at/near zero.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Figure 15 / Appendix B — "Aggregated results for 60 different experiment
+// configurations": the full cross product of 6 producer intervals
+// {100 ms, 500 ms, 1 s, 5 s, 10 s, 30 s} and 10 connection-interval
+// configurations (5 static, 5 randomized windows), reporting link-layer PDR,
+// CoAP PDR, CoAP RTT and connection losses for each cell.
+//
+// Paper shape: losses/PDR degradation concentrate in the high-load column
+// (100 ms) and at static intervals; randomized windows eliminate connection
+// losses everywhere; RTT grows with the connection interval.
+//
+// Runs 1x1h per cell by default (the paper ran 5x1h); set MGAP_RUNS=5 and/or
+// MGAP_TIME_SCALE to adjust.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "testbed/experiment.hpp"
+#include "testbed/report.hpp"
+
+using namespace mgap;
+using namespace mgap::testbed;
+
+namespace {
+
+struct CiSpec {
+  const char* label;
+  core::IntervalPolicy policy;
+  sim::Duration supervision;
+};
+
+}  // namespace
+
+int main() {
+  const sim::Duration duration = scaled_duration(sim::Duration::hours(1));
+  int runs = 1;
+  if (const char* env = std::getenv("MGAP_RUNS")) runs = std::max(1, std::atoi(env));
+
+  const std::vector<int> producer_ms = {100, 500, 1000, 5000, 10000, 30000};
+  const std::vector<CiSpec> cis = {
+      {"25", core::IntervalPolicy::fixed(sim::Duration::ms(25)), sim::Duration::sec(2)},
+      {"50", core::IntervalPolicy::fixed(sim::Duration::ms(50)), sim::Duration::sec(2)},
+      {"75", core::IntervalPolicy::fixed(sim::Duration::ms(75)), sim::Duration::sec(2)},
+      {"100", core::IntervalPolicy::fixed(sim::Duration::ms(100)), sim::Duration::sec(2)},
+      {"500", core::IntervalPolicy::fixed(sim::Duration::ms(500)), sim::Duration::sec(4)},
+      {"[15:35]",
+       core::IntervalPolicy::randomized(sim::Duration::ms(15), sim::Duration::ms(35)),
+       sim::Duration::sec(2)},
+      {"[40:60]",
+       core::IntervalPolicy::randomized(sim::Duration::ms(40), sim::Duration::ms(60)),
+       sim::Duration::sec(2)},
+      {"[65:85]",
+       core::IntervalPolicy::randomized(sim::Duration::ms(65), sim::Duration::ms(85)),
+       sim::Duration::sec(2)},
+      {"[90:110]",
+       core::IntervalPolicy::randomized(sim::Duration::ms(90), sim::Duration::ms(110)),
+       sim::Duration::sec(2)},
+      {"[490:510]",
+       core::IntervalPolicy::randomized(sim::Duration::ms(490), sim::Duration::ms(510)),
+       sim::Duration::sec(4)},
+  };
+
+  std::printf("=== Figure 15: 60-configuration aggregate sweep (tree, %d run(s) per "
+              "cell) ===\n\n",
+              runs);
+  std::printf("%-10s %-10s %8s %8s %9s %9s %7s\n", "connitvl", "producer", "llPDR",
+              "coapPDR", "p50[ms]", "p99[ms]", "losses");
+
+  for (const CiSpec& ci : cis) {
+    for (const int prod : producer_ms) {
+      double ll = 0;
+      double coap = 0;
+      double p50 = 0;
+      double p99 = 0;
+      std::uint64_t losses = 0;
+      for (int run = 0; run < runs; ++run) {
+        ExperimentConfig cfg;
+        cfg.topology = Topology::tree15();
+        cfg.duration = duration;
+        cfg.producer_interval = sim::Duration::ms(prod);
+        cfg.producer_jitter = sim::Duration::ms(prod / 2);
+        cfg.policy = ci.policy;
+        cfg.supervision_timeout = ci.supervision;
+        cfg.seed = static_cast<std::uint64_t>(run + 1);
+        Experiment e{cfg};
+        e.run();
+        const auto s = e.summary();
+        ll += s.ll_pdr;
+        coap += s.coap_pdr;
+        p50 += s.rtt_p50.to_ms_f();
+        p99 += s.rtt_p99.to_ms_f();
+        losses += s.conn_losses;
+      }
+      std::printf("%-10s %-10d %8.4f %8.4f %9.1f %9.1f %7llu\n", ci.label, prod,
+                  ll / runs, coap / runs, p50 / runs, p99 / runs,
+                  static_cast<unsigned long long>(losses));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Expected shape (paper Figure 15): CoAP PDR collapses only in the\n"
+              "100 ms producer column; connection losses appear for every static\n"
+              "interval and vanish for every randomized window; RTT scales with the\n"
+              "connection interval, not with the producer interval.\n");
+  return 0;
+}

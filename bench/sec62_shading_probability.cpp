@@ -1,0 +1,101 @@
+// Section 6.2 — "How likely is connection shading?"
+//
+// Paper analysis: two same-interval connections on one node wrap into overlap
+// every ConnItvl / ClkDrift seconds.
+//   * Worst case: 7.5 ms interval, 500 us/s relative drift -> a shading
+//     situation every 15 s (240 per hour).
+//   * Typical: 75 ms interval, 5 us/s drift -> every 4.17 h (0.24 per hour);
+//     across the tree's 14 links ~3.4 events/h, ~80.6 per 24 h — the paper
+//     observed 95 losses in its 24 h static run.
+//
+// This bench prints the analytic table and validates it against a controlled
+// simulation: one hub, two coordinators with a known relative drift.
+
+#include <cstdio>
+
+#include "ble/world.hpp"
+#include "core/nimble_netif.hpp"
+#include "core/statconn.hpp"
+#include "sim/simulator.hpp"
+#include "testbed/report.hpp"
+
+using namespace mgap;
+
+namespace {
+
+double simulate_losses_per_hour(sim::Duration interval, double rel_drift_ppm,
+                                sim::Duration sim_time, std::uint64_t seed) {
+  sim::Simulator simu{seed};
+  ble::BleWorld world{simu, phy::ChannelModel{0.0}};
+
+  ble::Controller& hub = world.add_node(1, 0.0);
+  ble::Controller& c1 = world.add_node(2, +rel_drift_ppm / 2.0);
+  ble::Controller& c2 = world.add_node(3, -rel_drift_ppm / 2.0);
+
+  core::NimbleNetif nh{hub};
+  core::NimbleNetif n1{c1};
+  core::NimbleNetif n2{c2};
+  core::StatconnConfig cfg;
+  cfg.policy = core::IntervalPolicy::fixed(interval);
+  cfg.supervision_timeout = sim::max(sim::Duration::sec(2), interval * 6);
+  core::Statconn sh{nh, cfg};
+  core::Statconn s1{n1, cfg};
+  core::Statconn s2{n2, cfg};
+  sh.add_subordinate_link(2);
+  sh.add_subordinate_link(3);
+  s1.add_coordinator_link(1);
+  s2.add_coordinator_link(1);
+  sh.start();
+  s1.start();
+  s2.start();
+
+  simu.run_until(sim::TimePoint::origin() + sim_time);
+  return static_cast<double>(world.total_conn_losses()) / sim_time.to_sec_f() * 3600.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section 6.2: shading probability — analytic model ===\n\n");
+  std::printf("%-16s %-18s %-16s %-14s\n", "conn interval", "rel clock drift",
+              "wrap period", "events / h");
+  struct Case {
+    double itvl_ms;
+    double drift_us_per_s;
+  };
+  for (const Case c : {Case{7.5, 500.0}, Case{75.0, 500.0}, Case{75.0, 5.0},
+                       Case{75.0, 10.0}, Case{500.0, 5.0}}) {
+    const double wrap_s = c.itvl_ms * 1000.0 / c.drift_us_per_s;
+    std::printf("%-16.1f %-18.1f %-16.1f %-14.2f\n", c.itvl_ms, c.drift_us_per_s,
+                wrap_s, 3600.0 / wrap_s);
+  }
+  std::printf("(paper: 7.5 ms & 500 us/s -> 240/h worst case; 75 ms & 5 us/s -> "
+              "0.24/h typical)\n");
+
+  std::printf("\n=== Validation: controlled two-connection hub simulations ===\n\n");
+  // The paper's ConnItvl/ClkDrift formula gives the anchor *wrap* period.
+  // Once statconn reconnects after each loss, the relative phase resets
+  // uniformly, so the mean time to the next overlap is only (I/2)/drift: the
+  // steady-state loss rate doubles to 2 x drift / interval.
+  std::printf("%-14s %-16s %12s %12s %12s\n", "interval", "drift [us/s]",
+              "wrap [/h]", "w/ reset [/h]", "meas. [/h]");
+  struct SimCase {
+    int itvl_ms;
+    double drift_ppm;  // relative, = us/s
+    double hours;
+  };
+  for (const SimCase c : {SimCase{75, 40.0, 24.0}, SimCase{75, 80.0, 12.0},
+                          SimCase{50, 40.0, 12.0}, SimCase{100, 40.0, 24.0}}) {
+    const double predicted = c.drift_ppm / static_cast<double>(c.itvl_ms) * 3.6;
+    const sim::Duration sim_time =
+        testbed::scaled_duration(sim::Duration::sec_f(c.hours * 3600.0));
+    const double measured =
+        simulate_losses_per_hour(sim::Duration::ms(c.itvl_ms), c.drift_ppm, sim_time, 1);
+    std::printf("%-14d %-16.1f %12.2f %12.2f %12.2f\n", c.itvl_ms, c.drift_ppm,
+                predicted, 2.0 * predicted, measured);
+  }
+  std::printf("\nExpected: measured rates track the phase-reset model (2x the wrap\n"
+              "rate); the paper's own 24 h observation ran above its wrap estimate\n"
+              "too (95 losses vs 80.6 predicted).\n");
+  return 0;
+}

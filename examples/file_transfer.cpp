@@ -1,0 +1,94 @@
+// Bulk-transfer scenario: stream a firmware image over one IPv6-over-BLE hop
+// with L2CAP segmentation and credit-based flow control doing the heavy
+// lifting. Shows the throughput/latency trade-off of the connection interval
+// (section 5.2's ~500 kbps raw L2CAP ceiling).
+//
+// Build & run:  ./build/examples/file_transfer
+
+#include <cstdio>
+#include <functional>
+
+#include "ble/world.hpp"
+#include "core/nimble_netif.hpp"
+#include "core/statconn.hpp"
+#include "net/ip_stack.hpp"
+#include "sim/simulator.hpp"
+
+using namespace mgap;
+
+namespace {
+
+struct TransferResult {
+  double seconds;
+  double kbps;
+};
+
+TransferResult transfer(std::size_t image_bytes, sim::Duration conn_itvl) {
+  sim::Simulator simu{99};
+  phy::ChannelModel cm{0.01};
+  ble::BleWorld world{simu, cm};
+  ble::Controller& sender = world.add_node(1, 3.0);
+  ble::Controller& receiver = world.add_node(2, -2.0);
+  core::NimbleNetif ns{sender};
+  core::NimbleNetif nr{receiver};
+  net::IpStack ss{simu, 1, ns};
+  net::IpStack sr{simu, 2, nr};
+  ss.routes().add_host_route(net::Ipv6Addr::site(2), net::Ipv6Addr::site(2));
+  sr.routes().add_host_route(net::Ipv6Addr::site(1), net::Ipv6Addr::site(1));
+
+  core::StatconnConfig scc;
+  scc.policy = core::IntervalPolicy::fixed(conn_itvl);
+  scc.supervision_timeout = sim::max(sim::Duration::sec(2), conn_itvl * 6);
+  core::Statconn sc_s{ns, scc};
+  core::Statconn sc_r{nr, scc};
+  sc_r.add_subordinate_link(1);
+  sc_s.add_coordinator_link(2);
+
+  // Wait: roles — sender coordinates, receiver advertises.
+  sc_s.start();
+  sc_r.start();
+
+  constexpr std::size_t kChunk = 1024;
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  sim::TimePoint done;
+
+  sr.udp_bind(9999, [&](const net::Ipv6Addr&, std::uint16_t, std::uint16_t,
+                        std::vector<std::uint8_t> p, sim::TimePoint at) {
+    received += p.size();
+    if (received >= image_bytes) done = at;
+  });
+
+  std::function<void()> pump = [&] {
+    while (sent < image_bytes) {
+      const std::size_t n = std::min(kChunk, image_bytes - sent);
+      if (!ss.udp_send(net::Ipv6Addr::site(2), 9999, 9999,
+                       std::vector<std::uint8_t>(n, 0xF7))) {
+        break;  // backpressure: retry on the next pump tick
+      }
+      sent += n;
+    }
+    if (received < image_bytes) simu.schedule_in(sim::Duration::ms(5), pump);
+  };
+  simu.schedule_in(sim::Duration::ms(200), pump);
+
+  simu.run_until(sim::TimePoint::origin() + sim::Duration::minutes(30));
+  const double secs = done.to_sec_f() - 0.2;
+  return TransferResult{secs, static_cast<double>(image_bytes) * 8.0 / secs / 1000.0};
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kImage = 256 * 1024;  // a 256 KiB firmware image
+  std::printf("file_transfer: 256 KiB image over one IPv6-over-BLE hop\n\n");
+  std::printf("%-18s %12s %12s\n", "conn interval", "time [s]", "kbps");
+  for (const int ci : {25, 50, 75, 100, 250}) {
+    const auto r = transfer(kImage, sim::Duration::ms(ci));
+    std::printf("%-18d %12.1f %12.1f\n", ci, r.seconds, r.kbps);
+  }
+  std::printf("\nReading: short connection intervals waste less turnaround time and\n"
+              "approach the ~500 kbps raw L2CAP ceiling the paper measured; long\n"
+              "intervals trade throughput for energy (see bench/sec54_energy).\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Line-relay scenario: the paper's extreme 14-hop line (Figure 6c) — e.g. a
+// string of BLE relays along a pipeline or corridor. Demonstrates how per-hop
+// queueing on connection events accumulates into end-to-end latency
+// (section 5.1: RTT scales with hop count x connection interval).
+//
+// Build & run:  ./build/examples/line_relay
+
+#include <cstdio>
+
+#include "testbed/experiment.hpp"
+#include "testbed/topology.hpp"
+
+int main() {
+  using namespace mgap;
+  using namespace mgap::testbed;
+
+  std::printf("line_relay: 15 nodes in a line, consumer at node 1; per-hop RTT "
+              "growth\nat two connection intervals\n\n");
+
+  for (const int ci : {25, 75}) {
+    ExperimentConfig cfg;
+    cfg.topology = Topology::line15();
+    cfg.duration = sim::Duration::minutes(20);
+    cfg.policy = core::IntervalPolicy::fixed(sim::Duration::ms(ci));
+    cfg.seed = 7;
+    Experiment exp{cfg};
+    exp.run();
+
+    std::printf("connection interval %d ms:\n", ci);
+    std::printf("  %-6s %-6s %-12s %-12s %-12s\n", "node", "hops", "RTT p50", "RTT p90",
+                "per-hop p50");
+    for (const NodeId n : cfg.topology.producers()) {
+      const auto* rtt = exp.metrics().rtt_of(n);
+      if (rtt == nullptr || rtt->count() == 0) continue;
+      const unsigned hops = cfg.topology.hops(n);
+      std::printf("  %-6u %-6u %9.1f ms %9.1f ms %9.1f ms\n", n, hops,
+                  rtt->quantile(0.5).to_ms_f(), rtt->quantile(0.9).to_ms_f(),
+                  rtt->quantile(0.5).to_ms_f() / (2.0 * hops));
+    }
+    std::printf("  network PDR %.4f, losses %llu\n\n", exp.summary().coap_pdr,
+                static_cast<unsigned long long>(exp.summary().conn_losses));
+  }
+
+  std::printf("Reading: RTT p50 grows ~linearly with hop count; the per-hop one-way\n"
+              "cost is about half a connection interval (uniform queueing delay), so\n"
+              "halving the interval halves end-to-end latency — at the energy cost\n"
+              "shown in bench/sec54_energy.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Quickstart: a 3-node multi-hop IPv6-over-BLE network in ~60 lines.
+//
+// Topology:  [3] --BLE--> [2] --BLE--> [1]
+// Node 3 sends CoAP requests to node 1 across the 2-hop path; node 1 answers.
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "testbed/experiment.hpp"
+#include "testbed/topology.hpp"
+
+int main() {
+  using namespace mgap;
+
+  // Describe the deployment: a 3-node line, node 1 is the consumer.
+  testbed::Topology topo = testbed::Topology::line15();
+  topo.name = "line3";
+  topo.nodes = {1, 2, 3};
+  topo.parent = {{2, 1}, {3, 2}};
+  topo.edges = {{2, 1}, {3, 2}};  // child coordinates the link to its parent
+
+  testbed::ExperimentConfig cfg;
+  cfg.topology = topo;
+  cfg.duration = sim::Duration::sec(60);
+  cfg.producer_interval = sim::Duration::sec(1);
+  cfg.policy = core::IntervalPolicy::fixed(sim::Duration::ms(75));
+  cfg.seed = 42;
+
+  // The Experiment assembles, per node: NimBLE-style controller, nimble_netif,
+  // 6LoWPAN/IPv6/UDP stack, statconn connection manager, CoAP endpoints.
+  testbed::Experiment exp{cfg};
+  exp.run();
+
+  const auto s = exp.summary();
+  std::printf("quickstart: 3-node IPv6-over-BLE line, 60 s, producer interval 1 s\n");
+  std::printf("  CoAP requests sent      : %llu\n", static_cast<unsigned long long>(s.sent));
+  std::printf("  CoAP responses received : %llu\n", static_cast<unsigned long long>(s.acked));
+  std::printf("  CoAP PDR                : %.4f\n", s.coap_pdr);
+  std::printf("  link-layer PDR          : %.4f\n", s.ll_pdr);
+  std::printf("  BLE connection losses   : %llu\n",
+              static_cast<unsigned long long>(s.conn_losses));
+  std::printf("  RTT p50 / p99 / max     : %.1f / %.1f / %.1f ms\n", s.rtt_p50.to_ms_f(),
+              s.rtt_p99.to_ms_f(), s.rtt_max.to_ms_f());
+  return 0;
+}

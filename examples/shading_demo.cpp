@@ -1,0 +1,86 @@
+// Connection-shading walkthrough: a minimal deterministic reproduction of the
+// paper's core finding (section 6). One hub node is subordinate of two
+// connections with identical 75 ms intervals whose coordinator clocks drift
+// apart; watch the anchors converge, the radio claims collide, the later
+// connection starve and die — then re-run with randomized intervals and watch
+// nothing bad happen.
+//
+// Build & run:  ./build/examples/shading_demo
+
+#include <cstdio>
+
+#include "ble/world.hpp"
+#include "core/nimble_netif.hpp"
+#include "core/statconn.hpp"
+#include "sim/simulator.hpp"
+
+using namespace mgap;
+
+namespace {
+
+void run_scenario(bool randomized) {
+  std::printf("--- %s connection intervals ---\n",
+              randomized ? "randomized [65:85] ms" : "static 75 ms");
+
+  sim::Simulator simu{7};
+  ble::BleWorld world{simu, phy::ChannelModel{0.0}};
+
+  // Hub clock is the reference; the two coordinators drift +-100 ppm
+  // (exaggerated vs the measured ~5 ppm so the demo fits in simulated
+  // minutes instead of hours — the physics is identical).
+  ble::Controller& hub = world.add_node(1, 0.0);
+  ble::Controller& ca = world.add_node(2, +100.0);
+  ble::Controller& cb = world.add_node(3, -100.0);
+
+  core::NimbleNetif nh{hub};
+  core::NimbleNetif na{ca};
+  core::NimbleNetif nb{cb};
+  core::StatconnConfig cfg;
+  cfg.policy = randomized ? core::IntervalPolicy::randomized(sim::Duration::ms(65),
+                                                             sim::Duration::ms(85))
+                          : core::IntervalPolicy::fixed(sim::Duration::ms(75));
+  core::Statconn sh{nh, cfg};
+  core::Statconn sa{na, cfg};
+  core::Statconn sb{nb, cfg};
+  sh.add_subordinate_link(2);
+  sh.add_subordinate_link(3);
+  sa.add_coordinator_link(1);
+  sb.add_coordinator_link(1);
+  sh.start();
+  sa.start();
+  sb.start();
+
+  // Narrate once per simulated minute.
+  for (int minute = 1; minute <= 20; ++minute) {
+    simu.run_until(sim::TimePoint::origin() + sim::Duration::minutes(minute));
+    ble::Connection* a = ca.connection_to(1);
+    ble::Connection* b = cb.connection_to(1);
+    if (a == nullptr || b == nullptr) continue;
+    const double gap_ms =
+        (b->next_anchor() - a->next_anchor()).to_ms_f();
+    const auto& lsa = world.link_stats(2, 1);
+    const auto& lsb = world.link_stats(3, 1);
+    std::printf("  t=%2d min  anchor gap %7.2f ms  missed events A/B = %4llu/%4llu  "
+                "losses A/B = %llu/%llu\n",
+                minute, gap_ms, static_cast<unsigned long long>(lsa.events_missed),
+                static_cast<unsigned long long>(lsb.events_missed),
+                static_cast<unsigned long long>(lsa.conn_losses),
+                static_cast<unsigned long long>(lsb.conn_losses));
+  }
+  std::printf("  => total connection losses: %llu\n\n",
+              static_cast<unsigned long long>(world.total_conn_losses()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("shading_demo: two same-interval connections on one subordinate hub,\n"
+              "coordinator clocks drifting 200 ppm relative to each other\n\n");
+  run_scenario(/*randomized=*/false);
+  run_scenario(/*randomized=*/true);
+  std::printf("Reading: with static intervals the anchors creep into overlap, one\n"
+              "connection starves behind the other's radio claims and hits its\n"
+              "supervision timeout (a 'shading' loss). Randomized intervals make the\n"
+              "anchors sweep past each other — transient misses, never starvation.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Smart-building scenario: the paper's motivating IoT deployment — battery
+// powered sensors report readings over multi-hop IPv6-over-BLE to a border
+// router. Uses the randomized connection-interval policy (section 6.3), shows
+// per-room delivery statistics and projected battery life per node.
+//
+// Build & run:  ./build/examples/smart_building
+
+#include <cstdio>
+
+#include "energy/energy_model.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/topology.hpp"
+
+int main() {
+  using namespace mgap;
+  using namespace mgap::testbed;
+
+  // 15 nodes: the border router (1) in the hallway, three floor routers,
+  // and sensor leaves — the Figure 6 tree.
+  ExperimentConfig cfg;
+  cfg.topology = Topology::tree15();
+  cfg.duration = sim::Duration::minutes(30);
+  cfg.producer_interval = sim::Duration::sec(10);  // one reading / 10 s
+  cfg.producer_jitter = sim::Duration::sec(5);
+  cfg.policy = core::IntervalPolicy::randomized(sim::Duration::ms(65),
+                                                sim::Duration::ms(85));
+  cfg.seed = 2026;
+
+  std::printf("smart_building: 15-node sensor tree, readings every 10 s, randomized\n"
+              "connection intervals [65:85] ms (the paper's mitigation)\n\n");
+
+  Experiment exp{cfg};
+  exp.run();
+
+  const energy::EnergyMeter meter;
+  std::printf("%-8s %-6s %-9s %-10s %-12s %-16s\n", "node", "hops", "sent", "PDR",
+              "RTT p50", "battery (230mAh)");
+  for (const NodeId n : cfg.topology.producers()) {
+    const auto* timeline = exp.metrics().timeline_of(n);
+    std::uint64_t sent = 0;
+    if (timeline != nullptr) {
+      for (const auto& b : *timeline) sent += b.sent;
+    }
+    const auto* rtt = exp.metrics().rtt_of(n);
+    const double total_ua =
+        meter.avg_current_ua(exp.controller(n)->activity(), cfg.duration);
+    std::printf("%-8u %-6u %-9llu %-10.4f %8.1f ms %9.1f days\n", n,
+                cfg.topology.hops(n), static_cast<unsigned long long>(sent),
+                exp.metrics().pdr_of(n),
+                rtt != nullptr ? rtt->quantile(0.5).to_ms_f() : 0.0,
+                energy::EnergyMeter::battery_days(230.0, total_ua));
+  }
+
+  const auto s = exp.summary();
+  std::printf("\nnetwork: %llu/%llu readings delivered (PDR %.4f), %llu connection "
+              "losses\n",
+              static_cast<unsigned long long>(s.acked),
+              static_cast<unsigned long long>(s.sent), s.coap_pdr,
+              static_cast<unsigned long long>(s.conn_losses));
+  std::printf("border router load: %llu CoAP requests served\n",
+              static_cast<unsigned long long>(exp.consumer().requests_rx()));
+  return 0;
+}

@@ -1,0 +1,54 @@
+#pragma once
+// CoAP message codec (RFC 7252 subset): the application protocol of the
+// paper's producer/consumer workload (non-confirmable GET requests answered
+// by the consumer, section 4.3).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mgap::app {
+
+inline constexpr std::uint16_t kCoapPort = 5683;
+
+enum class CoapType : std::uint8_t { kCon = 0, kNon = 1, kAck = 2, kRst = 3 };
+
+// Codes: class << 5 | detail.
+inline constexpr std::uint8_t kCodeEmpty = 0x00;
+inline constexpr std::uint8_t kCodeGet = 0x01;      // 0.01
+inline constexpr std::uint8_t kCodeContent = 0x45;  // 2.05
+inline constexpr std::uint8_t kCodeNotFound = 0x84; // 4.04
+
+// Option numbers.
+inline constexpr std::uint16_t kOptUriPath = 11;
+inline constexpr std::uint16_t kOptContentFormat = 12;
+
+struct CoapOption {
+  std::uint16_t number{0};
+  std::vector<std::uint8_t> value;
+  friend bool operator==(const CoapOption&, const CoapOption&) = default;
+};
+
+struct CoapMessage {
+  CoapType type{CoapType::kNon};
+  std::uint8_t code{kCodeGet};
+  std::uint16_t message_id{0};
+  std::vector<std::uint8_t> token;
+  std::vector<CoapOption> options;  // must be sorted by number for encoding
+  std::vector<std::uint8_t> payload;
+
+  /// Appends one Uri-Path segment.
+  void add_uri_path(std::string_view segment);
+  /// Joins all Uri-Path options with '/' (no leading slash).
+  [[nodiscard]] std::string uri_path() const;
+  [[nodiscard]] bool is_request() const { return code >= 0x01 && code <= 0x1F; }
+  [[nodiscard]] bool is_response() const { return code >= 0x40; }
+};
+
+[[nodiscard]] std::vector<std::uint8_t> coap_encode(const CoapMessage& msg);
+[[nodiscard]] std::optional<CoapMessage> coap_decode(std::span<const std::uint8_t> data);
+
+}  // namespace mgap::app

@@ -1,0 +1,184 @@
+#include "app/coap_endpoint.hpp"
+
+#include "sim/simulator.hpp"
+
+namespace mgap::app {
+
+namespace {
+
+std::uint64_t token_to_u64(const std::vector<std::uint8_t>& token) {
+  std::uint64_t v = 0;
+  for (const std::uint8_t b : token) v = v << 8 | b;
+  return v;
+}
+
+std::vector<std::uint8_t> u64_to_token(std::uint64_t v) {
+  // Fixed 4-byte tokens: together with the 3-byte "gap" path this yields the
+  // paper's 100-byte IP packets for 39-byte payloads.
+  return {static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+          static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+}
+
+}  // namespace
+
+CoapServer::CoapServer(net::IpStack& stack, std::uint16_t port) : stack_{stack}, port_{port} {
+  stack_.udp_bind(port_, [this](const net::Ipv6Addr& src, std::uint16_t sport,
+                                std::uint16_t dport, std::vector<std::uint8_t> payload,
+                                sim::TimePoint at) {
+    on_datagram(src, sport, dport, std::move(payload), at);
+  });
+}
+
+void CoapServer::on_get(std::string path, Handler handler) {
+  resources_[std::move(path)] = std::move(handler);
+}
+
+void CoapServer::on_datagram(const net::Ipv6Addr& src, std::uint16_t src_port,
+                             std::uint16_t /*dst_port*/, std::vector<std::uint8_t> payload,
+                             sim::TimePoint at) {
+  auto msg = coap_decode(payload);
+  if (!msg || !msg->is_request()) return;
+
+  // Deduplicate retransmitted CON requests: replay the cached response
+  // instead of re-executing the handler (RFC 7252 section 4.2).
+  const auto key = std::make_pair(src, msg->message_id);
+  if (msg->type == CoapType::kCon) {
+    // Expire stale cache entries (EXCHANGE_LIFETIME ~ 247 s; 60 s suffices
+    // for the workloads here and bounds memory).
+    std::erase_if(dedup_, [at](const auto& kv) {
+      return at - kv.second.at > sim::Duration::sec(60);
+    });
+    auto cached = dedup_.find(key);
+    if (cached != dedup_.end()) {
+      ++duplicates_rx_;
+      if (stack_.udp_send(src, port_, src_port, cached->second.wire)) ++responses_tx_;
+      return;
+    }
+  }
+  ++requests_rx_;
+
+  CoapMessage rsp;
+  auto it = resources_.find(msg->uri_path());
+  if (msg->code == kCodeGet && it != resources_.end()) {
+    rsp = it->second(*msg, src);
+  } else {
+    rsp.code = kCodeNotFound;
+  }
+  // CON requests get piggybacked ACK responses; NON requests NON responses.
+  rsp.type = msg->type == CoapType::kCon ? CoapType::kAck : CoapType::kNon;
+  rsp.token = msg->token;
+  rsp.message_id = msg->message_id;
+
+  const auto wire = coap_encode(rsp);
+  if (msg->type == CoapType::kCon) dedup_[key] = CachedResponse{wire, at};
+  if (stack_.udp_send(src, port_, src_port, wire)) ++responses_tx_;
+}
+
+CoapClient::CoapClient(sim::Simulator& sim, net::IpStack& stack, std::uint16_t local_port)
+    : sim_{sim}, stack_{stack}, local_port_{local_port}, rng_{sim.make_rng()} {
+  stack_.udp_bind(local_port_, [this](const net::Ipv6Addr& src, std::uint16_t sport,
+                                      std::uint16_t dport, std::vector<std::uint8_t> payload,
+                                      sim::TimePoint at) {
+    on_datagram(src, sport, dport, std::move(payload), at);
+  });
+}
+
+bool CoapClient::get(const net::Ipv6Addr& dst, std::string_view path,
+                     std::vector<std::uint8_t> payload, ResponseCb cb) {
+  CoapMessage req;
+  req.type = CoapType::kNon;
+  req.code = kCodeGet;
+  req.message_id = next_mid_++;
+  const std::uint64_t token_id = next_token_++;
+  req.token = u64_to_token(token_id);
+  req.add_uri_path(path);
+  req.payload = std::move(payload);
+
+  Pending p;
+  p.sent = sim_.now();
+  p.cb = std::move(cb);
+  pending_[token_id] = std::move(p);
+  ++requests_sent_;
+  return stack_.udp_send(dst, local_port_, kCoapPort, coap_encode(req));
+}
+
+bool CoapClient::con_get(const net::Ipv6Addr& dst, std::string_view path,
+                         std::vector<std::uint8_t> payload, ResponseCb cb,
+                         TimeoutCb on_timeout) {
+  CoapMessage req;
+  req.type = CoapType::kCon;
+  req.code = kCodeGet;
+  req.message_id = next_mid_++;
+  const std::uint64_t token_id = next_token_++;
+  req.token = u64_to_token(token_id);
+  req.add_uri_path(path);
+  req.payload = std::move(payload);
+
+  Pending p;
+  p.sent = sim_.now();
+  p.cb = std::move(cb);
+  p.confirmable = true;
+  p.wire = coap_encode(req);
+  p.dst = dst;
+  p.attempts = 1;
+  // Initial timeout in [ACK_TIMEOUT, ACK_TIMEOUT * ACK_RANDOM_FACTOR].
+  p.timeout = con_params_.ack_timeout.scaled(
+      rng_.uniform_real(1.0, con_params_.ack_random_factor));
+  p.on_timeout = std::move(on_timeout);
+  const auto wire = p.wire;
+  pending_[token_id] = std::move(p);
+  ++requests_sent_;
+  const bool ok = stack_.udp_send(dst, local_port_, kCoapPort, wire);
+  arm_retransmission(token_id);
+  return ok;
+}
+
+void CoapClient::arm_retransmission(std::uint64_t token_id) {
+  auto it = pending_.find(token_id);
+  if (it == pending_.end()) return;
+  it->second.timer = sim_.schedule_in(it->second.timeout,
+                                      [this, token_id] { on_retransmit_timer(token_id); });
+}
+
+void CoapClient::on_retransmit_timer(std::uint64_t token_id) {
+  auto it = pending_.find(token_id);
+  if (it == pending_.end()) return;  // answered meanwhile
+  Pending& p = it->second;
+  if (p.attempts > con_params_.max_retransmit) {
+    ++con_timeouts_;
+    TimeoutCb cb = std::move(p.on_timeout);
+    pending_.erase(it);
+    if (cb) cb();
+    return;
+  }
+  ++p.attempts;
+  ++retransmissions_;
+  p.timeout = p.timeout * 2;  // binary exponential backoff
+  (void)stack_.udp_send(p.dst, local_port_, kCoapPort, p.wire);
+  arm_retransmission(token_id);
+}
+
+void CoapClient::on_datagram(const net::Ipv6Addr& /*src*/, std::uint16_t /*src_port*/,
+                             std::uint16_t /*dst_port*/, std::vector<std::uint8_t> payload,
+                             sim::TimePoint at) {
+  auto msg = coap_decode(payload);
+  if (!msg || !msg->is_response()) return;
+  auto it = pending_.find(token_to_u64(msg->token));
+  if (it == pending_.end()) {
+    ++stale_responses_;
+    return;
+  }
+  ++responses_rx_;
+  const sim::Duration rtt = at - it->second.sent;
+  if (it->second.timer.valid()) sim_.cancel(it->second.timer);
+  auto cb = std::move(it->second.cb);
+  pending_.erase(it);
+  if (cb) cb(*msg, rtt);
+}
+
+void CoapClient::expire_pending(sim::Duration age) {
+  const sim::TimePoint now = sim_.now();
+  std::erase_if(pending_, [&](const auto& kv) { return now - kv.second.sent > age; });
+}
+
+}  // namespace mgap::app

@@ -1,0 +1,138 @@
+#pragma once
+// CoAP endpoints on top of the UDP stack: a resource server (gcoap
+// equivalent) and a request client that matches responses by token and
+// reports round-trip times — the metric pipeline of section 5 (RTT is
+// "request handed to the stack" until "response handed back", Figure 7b).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "app/coap.hpp"
+#include "net/ip_stack.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace mgap::sim {
+class Simulator;
+}
+
+namespace mgap::app {
+
+class CoapServer {
+ public:
+  /// Handler: builds the response for a request (token/MID are filled in).
+  using Handler = std::function<CoapMessage(const CoapMessage& request,
+                                            const net::Ipv6Addr& from)>;
+
+  CoapServer(net::IpStack& stack, std::uint16_t port = kCoapPort);
+
+  /// Registers a GET resource at `path` ("gap", "sensors/temp", ...).
+  void on_get(std::string path, Handler handler);
+
+  [[nodiscard]] std::uint64_t requests_rx() const { return requests_rx_; }
+  [[nodiscard]] std::uint64_t responses_tx() const { return responses_tx_; }
+  /// Duplicate CON requests absorbed by the message-id cache (replayed).
+  [[nodiscard]] std::uint64_t duplicates_rx() const { return duplicates_rx_; }
+
+ private:
+  void on_datagram(const net::Ipv6Addr& src, std::uint16_t src_port, std::uint16_t dst_port,
+                   std::vector<std::uint8_t> payload, sim::TimePoint at);
+
+  net::IpStack& stack_;
+  std::uint16_t port_;
+  std::map<std::string, Handler> resources_;
+  std::uint64_t requests_rx_{0};
+  std::uint64_t responses_tx_{0};
+  std::uint64_t duplicates_rx_{0};
+  // RFC 7252 deduplication: (peer, message id) -> cached response, replayed
+  // for retransmitted CON requests within EXCHANGE_LIFETIME.
+  struct CachedResponse {
+    std::vector<std::uint8_t> wire;
+    sim::TimePoint at;
+  };
+  std::map<std::pair<net::Ipv6Addr, std::uint16_t>, CachedResponse> dedup_;
+};
+
+/// RFC 7252 retransmission parameters for confirmable requests. The paper's
+/// section 8 warns that BLE connection intervals in the order of seconds
+/// clash with exactly these defaults, triggering spurious retransmissions of
+/// requests that were never lost.
+struct CoapConParams {
+  sim::Duration ack_timeout{sim::Duration::sec(2)};  // ACK_TIMEOUT
+  double ack_random_factor{1.5};                     // ACK_RANDOM_FACTOR
+  unsigned max_retransmit{4};                        // MAX_RETRANSMIT
+};
+
+class CoapClient {
+ public:
+  /// Response callback with the measured round-trip time.
+  using ResponseCb = std::function<void(const CoapMessage& response, sim::Duration rtt)>;
+  /// Called when a confirmable request exhausted its retransmissions.
+  using TimeoutCb = std::function<void()>;
+
+  CoapClient(sim::Simulator& sim, net::IpStack& stack, std::uint16_t local_port);
+
+  /// Sends a NON GET carrying `payload`; false when the stack dropped it
+  /// locally. The request still counts as sent for PDR accounting either way
+  /// (the paper counts requests handed to the network stack).
+  bool get(const net::Ipv6Addr& dst, std::string_view path,
+           std::vector<std::uint8_t> payload, ResponseCb cb);
+
+  /// Sends a CON GET with RFC 7252 retransmission: the message is re-sent at
+  /// exponentially backed-off timeouts until a response arrives or
+  /// MAX_RETRANSMIT is exhausted.
+  bool con_get(const net::Ipv6Addr& dst, std::string_view path,
+               std::vector<std::uint8_t> payload, ResponseCb cb,
+               TimeoutCb on_timeout = nullptr);
+
+  void set_con_params(CoapConParams p) { con_params_ = p; }
+
+  [[nodiscard]] std::uint64_t requests_sent() const { return requests_sent_; }
+  [[nodiscard]] std::uint64_t responses_rx() const { return responses_rx_; }
+  [[nodiscard]] std::uint64_t stale_responses() const { return stale_responses_; }
+  /// CON retransmissions put on the wire (section 8's amplification metric).
+  [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+  [[nodiscard]] std::uint64_t con_timeouts() const { return con_timeouts_; }
+
+  /// Drops pending requests older than `age` (bounds the token table).
+  void expire_pending(sim::Duration age);
+
+ private:
+  struct Pending {
+    sim::TimePoint sent;
+    ResponseCb cb;
+    // CON state (unused for NON requests).
+    bool confirmable{false};
+    std::vector<std::uint8_t> wire;  // encoded message for retransmission
+    net::Ipv6Addr dst;
+    unsigned attempts{0};
+    sim::Duration timeout{};
+    sim::EventId timer;
+    TimeoutCb on_timeout;
+  };
+
+  void on_datagram(const net::Ipv6Addr& src, std::uint16_t src_port, std::uint16_t dst_port,
+                   std::vector<std::uint8_t> payload, sim::TimePoint at);
+  void arm_retransmission(std::uint64_t token_id);
+  void on_retransmit_timer(std::uint64_t token_id);
+
+  sim::Simulator& sim_;
+  net::IpStack& stack_;
+  std::uint16_t local_port_;
+  CoapConParams con_params_;
+  sim::Rng rng_;
+  std::uint64_t next_token_{1};
+  std::uint16_t next_mid_{1};
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t requests_sent_{0};
+  std::uint64_t responses_rx_{0};
+  std::uint64_t stale_responses_{0};
+  std::uint64_t retransmissions_{0};
+  std::uint64_t con_timeouts_{0};
+};
+
+}  // namespace mgap::app

@@ -1,0 +1,362 @@
+#include "ble/connection.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "ble/controller.hpp"
+#include "ble/world.hpp"
+#include "phy/ble_phy.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgap::ble {
+
+Connection::Connection(sim::Simulator& sim, BleWorld& world, ConnId id, Controller& coord,
+                       Controller& sub, const ConnParams& params,
+                       sim::TimePoint first_anchor, std::uint32_t access_address,
+                       const ChannelMap& chmap, LinkStats& stats,
+                       const ConnectionConfig& config, sim::Rng rng)
+    : sim_{sim},
+      world_{world},
+      id_{id},
+      coord_{coord},
+      sub_{sub},
+      params_{params},
+      config_{config},
+      chmap_{chmap},
+      chan_sel_{params.csa, access_address,
+                static_cast<std::uint8_t>(5 + access_address % 12)},
+      stats_{stats},
+      rng_{rng},
+      anchor_{first_anchor},
+      last_valid_rx_coord_{first_anchor},
+      last_valid_rx_sub_{first_anchor},
+      last_sub_sync_{first_anchor},
+      coc_{*this, coord.config().l2cap} {}
+
+Controller& Connection::node(Role r) const {
+  return r == Role::kCoordinator ? coord_ : sub_;
+}
+
+Role Connection::role_of(const Controller& c) const {
+  assert(&c == &coord_ || &c == &sub_);
+  return &c == &coord_ ? Role::kCoordinator : Role::kSubordinate;
+}
+
+Controller& Connection::peer_of(const Controller& c) const {
+  return node(other(role_of(c)));
+}
+
+std::size_t Connection::queued_bytes(Role from) const {
+  std::size_t total = 0;
+  for (const LlPdu& p : queue_of(from)) total += p.payload.size();
+  return total;
+}
+
+void Connection::start() {
+  assert(!open_);
+  open_ = true;
+  claim_event_slots(anchor_);
+  schedule_event(anchor_);
+}
+
+void Connection::close(DisconnectReason reason) {
+  terminate(reason);
+}
+
+bool Connection::enqueue(Role from, LlPdu pdu) {
+  if (!open_) return false;
+  Controller& sender = node(from);
+  if (!sender.pool_alloc(pdu.payload.size())) return false;
+  queue_of(from).push_back(std::move(pdu));
+  return true;
+}
+
+void Connection::request_param_update(const ConnParams& params) {
+  pending_params_ = params;
+  apply_params_at_ = static_cast<std::uint16_t>(event_counter_ + kUpdateDelayEvents);
+}
+
+void Connection::request_channel_map_update(const ChannelMap& map) {
+  assert(map.used_count() >= 2);
+  pending_chmap_ = map;
+  apply_chmap_at_ = static_cast<std::uint16_t>(event_counter_ + kUpdateDelayEvents);
+}
+
+void Connection::afh_note(std::uint8_t channel, bool ok) {
+  if (!config_.adaptive_channel_map) return;
+  ++afh_tx_[channel];
+  if (!ok) ++afh_fail_[channel];
+}
+
+void Connection::afh_evaluate() {
+  // Exclude channels whose observed PER exceeds the threshold, worst first,
+  // while keeping at least afh_min_channels usable.
+  ChannelMap map = chmap_;
+  struct Bad {
+    std::uint8_t ch;
+    double per;
+  };
+  std::vector<Bad> bad;
+  for (std::uint8_t ch = 0; ch < 37; ++ch) {
+    if (!map.is_used(ch) || afh_tx_[ch] < config_.afh_min_samples) continue;
+    const double per =
+        static_cast<double>(afh_fail_[ch]) / static_cast<double>(afh_tx_[ch]);
+    if (per > config_.afh_per_threshold) bad.push_back(Bad{ch, per});
+  }
+  std::sort(bad.begin(), bad.end(),
+            [](const Bad& a, const Bad& b) { return a.per > b.per; });
+  bool changed = false;
+  for (const Bad& b : bad) {
+    if (map.used_count() <= config_.afh_min_channels) break;
+    map.exclude(b.ch);
+    changed = true;
+  }
+  if (changed) request_channel_map_update(map);
+  // Exponential decay instead of a hard reset: per-channel evidence (only a
+  // handful of draws land on each of 37 channels per window) accumulates
+  // across windows while old observations age out.
+  for (std::size_t ch = 0; ch < 37; ++ch) {
+    afh_tx_[ch] /= 2;
+    afh_fail_[ch] /= 2;
+  }
+}
+
+sim::Duration Connection::window_widening(sim::TimePoint at) const {
+  const double combined_ppm =
+      std::abs(coord_.clock().drift_ppm()) + std::abs(sub_.clock().drift_ppm());
+  const sim::Duration since = sim::max(at - last_sub_sync_, sim::Duration{});
+  const sim::Duration ww = since.scaled(combined_ppm * 1e-6) + config_.ww_margin;
+  return sim::min(ww, params_.interval / 2);
+}
+
+void Connection::claim_event_slots(sim::TimePoint anchor) {
+  coord_granted_ = coord_.scheduler().try_claim(anchor, anchor + config_.reserve_slot, id_);
+  // Subordinate latency: with empty queues the subordinate may sleep through
+  // up to `subordinate_latency` events (section 2.2, energy optimization).
+  if (params_.subordinate_latency > 0 && sub_q_.empty() &&
+      latency_skips_ < params_.subordinate_latency) {
+    ++latency_skips_;
+    sub_granted_ = false;
+    sub_intentional_skip_ = true;
+    return;
+  }
+  latency_skips_ = 0;
+  sub_intentional_skip_ = false;
+  const sim::Duration ww = window_widening(anchor);
+  sub_granted_ =
+      sub_.scheduler().try_claim(anchor - ww, anchor + config_.reserve_slot + ww, id_);
+}
+
+void Connection::schedule_event(sim::TimePoint anchor) {
+  next_event_ = sim_.schedule_at(anchor, [this, anchor] { on_conn_event(anchor); });
+}
+
+void Connection::on_conn_event(sim::TimePoint anchor) {
+  if (!open_) return;
+
+  const std::uint8_t channel = chan_sel_.channel_for_event(event_counter_, chmap_);
+
+  if (coord_granted_) ++coord_.activity().conn_events_coord;
+  if (sub_granted_) ++sub_.activity().conn_events_sub;
+
+  if (coord_granted_ && sub_granted_) {
+    const bool synced = run_exchange(anchor, channel);
+    if (synced) last_sub_sync_ = anchor;
+  } else if (!sub_intentional_skip_) {
+    ++stats_.events_missed;
+    // A transmitting coordinator whose subordinate is shaded away burns a
+    // data-PDU attempt without delivery — this is the per-channel-even link
+    // degradation of Figure 12.
+    if (coord_granted_ && !sub_granted_ && !coord_q_.empty()) {
+      ++stats_.pdu_tx;
+      ++stats_.chan_tx[channel];
+      ++stats_.pdu_retrans;
+    }
+  }
+
+  // Supervision: too long without a valid packet on either side kills the
+  // connection (section 2.2); this is the loss mechanism of section 6.1.
+  // Intentional latency skips refresh nothing — the configuration must keep
+  // the timeout above (latency + 1) * interval, as the spec demands.
+  if (anchor - last_valid_rx_coord_ > params_.supervision_timeout ||
+      anchor - last_valid_rx_sub_ > params_.supervision_timeout) {
+    terminate(DisconnectReason::kSupervisionTimeout);
+    return;
+  }
+
+  ++event_counter_;
+  if (pending_params_ && event_counter_ == apply_params_at_) {
+    params_ = *pending_params_;
+    pending_params_.reset();
+  }
+  if (pending_chmap_ && event_counter_ == apply_chmap_at_) {
+    chmap_ = *pending_chmap_;
+    pending_chmap_.reset();
+  }
+  if (config_.adaptive_channel_map && !pending_chmap_ &&
+      event_counter_ % config_.afh_eval_events == 0) {
+    afh_evaluate();
+  }
+
+  // The coordinator's sleep clock advances the anchor: nominal interval
+  // stretched by its drift. This is where clock drift enters the system.
+  anchor_ = anchor + coord_.clock().local_to_global(params_.interval);
+
+  coord_.scheduler().release(id_);
+  sub_.scheduler().release(id_);
+  claim_event_slots(anchor_);
+  schedule_event(anchor_);
+}
+
+bool Connection::run_exchange(sim::TimePoint anchor, std::uint8_t channel) {
+  // Usable window: up to the own next event or the next radio claim of either
+  // node, whichever comes first, minus one IFS for radio turnaround
+  // (Figure 3 / Figure 4 semantics).
+  sim::TimePoint wend = anchor + params_.interval;
+  wend = sim::min(wend, coord_.scheduler().next_start_after(anchor, id_));
+  wend = sim::min(wend, sub_.scheduler().next_start_after(anchor, id_));
+  wend = wend - phy::kIfs;
+
+  const phy::ChannelModel& cm = world_.channel_model();
+  // Pairwise link quality (mobility extension): 0 in the paper's fixed grid.
+  const double link_per = world_.link_per(coord_.id(), sub_.id());
+  sim::TimePoint t = anchor;
+  unsigned pairs = 0;
+  bool sub_synced = false;
+  bool aborted = false;
+  bool coord_freed = false;
+  bool sub_freed = false;
+
+  while (true) {
+    const bool c_has = !coord_q_.empty();
+    const bool s_has = !sub_q_.empty();
+    const std::size_t c_len = c_has ? coord_q_.front().air_payload() : 0;
+    const std::size_t s_len = s_has ? sub_q_.front().air_payload() : 0;
+    const sim::Duration pt = phy::pair_time(c_len, s_len, params_.phy);
+
+    // The first pair is the mandatory sync exchange and always runs; further
+    // pairs must fit the window and the per-event budget.
+    if (pairs > 0 && (t + pt > wend || pairs >= config_.max_pairs_per_event)) break;
+
+    // Coordinator -> subordinate PDU.
+    if (c_has) {
+      ++stats_.pdu_tx;
+      ++stats_.chan_tx[channel];
+    }
+    coord_.activity().bytes_tx += c_len + phy::kLlOverheadBytes;
+    sub_.activity().bytes_rx += c_len + phy::kLlOverheadBytes;
+    coord_.activity().data_bytes_tx += c_len;
+    sub_.activity().data_bytes_rx += c_len;
+    const bool c2s_ok = cm.deliver(channel, rng_) && !rng_.chance(link_per);
+    afh_note(channel, c2s_ok);
+    if (!c2s_ok) {
+      if (c_has) ++stats_.pdu_retrans;
+      aborted = true;  // CRC error closes the connection event (section 5.2)
+      break;
+    }
+    sub_synced = true;
+    last_valid_rx_sub_ = t + phy::ll_airtime(c_len, params_.phy);
+
+    // Subordinate -> coordinator PDU (reply after one IFS).
+    if (s_has) {
+      ++stats_.pdu_tx;
+      ++stats_.chan_tx[channel];
+    }
+    sub_.activity().bytes_tx += s_len + phy::kLlOverheadBytes;
+    coord_.activity().bytes_rx += s_len + phy::kLlOverheadBytes;
+    sub_.activity().data_bytes_tx += s_len;
+    coord_.activity().data_bytes_rx += s_len;
+    const bool s2c_ok = cm.deliver(channel, rng_) && !rng_.chance(link_per);
+    afh_note(channel, s2c_ok);
+    if (!s2c_ok) {
+      // The reply carried both the subordinate's data and the ack for the
+      // coordinator's PDU: both sides retransmit next event.
+      if (c_has) ++stats_.pdu_retrans;
+      if (s_has) ++stats_.pdu_retrans;
+      aborted = true;
+      break;
+    }
+    last_valid_rx_coord_ = t + pt - phy::kIfs;
+
+    // Clean pair: commit deliveries and free sender buffers.
+    const sim::TimePoint done = t + pt;
+    if (c_has) coord_freed = true;
+    if (s_has) sub_freed = true;
+    if (c_has) {
+      LlPdu pdu = std::move(coord_q_.front());
+      coord_q_.pop_front();
+      coord_.pool_free(pdu.payload.size());
+      ++stats_.pdu_ok;
+      ++stats_.chan_ok[channel];
+      deliver_later(Role::kSubordinate, std::move(pdu), done);
+    }
+    if (s_has) {
+      LlPdu pdu = std::move(sub_q_.front());
+      sub_q_.pop_front();
+      sub_.pool_free(pdu.payload.size());
+      ++stats_.pdu_ok;
+      ++stats_.chan_ok[channel];
+      deliver_later(Role::kCoordinator, std::move(pdu), done);
+    }
+
+    ++pairs;
+    if (pairs > 1) {
+      ++coord_.activity().packet_pairs;
+      ++sub_.activity().packet_pairs;
+    }
+    t = done;
+    if (coord_q_.empty() && sub_q_.empty()) break;  // both MD flags clear
+  }
+
+  if (aborted) {
+    ++stats_.events_aborted;
+  } else {
+    ++stats_.events_ok;
+  }
+  // Backpressure release: freed buffer space lets the host hand the next IP
+  // packets down. Scheduled at the end of the exchange to keep causality.
+  if (coord_freed || sub_freed) {
+    sim_.schedule_at(t, [this, coord_freed, sub_freed] {
+      if (coord_freed) coord_.notify_tx_space(*this);
+      if (sub_freed) sub_.notify_tx_space(*this);
+    });
+  }
+  return sub_synced;
+}
+
+void Connection::deliver_later(Role to, LlPdu pdu, sim::TimePoint at) {
+  sim_.schedule_at(at, [this, to, pdu = std::move(pdu), at]() mutable {
+    coc_.on_pdu_delivered(to, pdu, at);
+  });
+}
+
+void Connection::terminate(DisconnectReason reason) {
+  if (!open_) return;
+  open_ = false;
+  if (reason == DisconnectReason::kSupervisionTimeout) ++stats_.conn_losses;
+  if (world_.tracing()) {
+    char msg[96];
+    std::snprintf(msg, sizeof msg, "conn %llu closed reason=%s missed=%llu",
+                  static_cast<unsigned long long>(id_),
+                  reason == DisconnectReason::kSupervisionTimeout ? "supervision"
+                  : reason == DisconnectReason::kLocalClose       ? "local"
+                                                                  : "peer",
+                  static_cast<unsigned long long>(stats_.events_missed));
+    world_.trace(sim::TraceCat::kLinkLayer, coord_.id(), msg);
+  }
+  sim_.cancel(next_event_);
+  coord_.scheduler().release(id_);
+  sub_.scheduler().release(id_);
+  // Data queued on a broken link is dropped (section 5.1).
+  for (const LlPdu& p : coord_q_) coord_.pool_free(p.payload.size());
+  for (const LlPdu& p : sub_q_) sub_.pool_free(p.payload.size());
+  coord_q_.clear();
+  sub_q_.clear();
+  coord_.notify_close(*this, reason);
+  sub_.notify_close(*this, reason);
+}
+
+}  // namespace mgap::ble

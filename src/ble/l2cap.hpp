@@ -1,0 +1,73 @@
+#pragma once
+// L2CAP Connection-Oriented Channel with credit-based flow control (the
+// transport RFC 7668 mandates for IP payloads, section 2.1). One CoC — the
+// IPSP channel — exists per BLE connection. SDUs (IP datagrams) are segmented
+// into K-frames that each fit a single LL data PDU (MPS <= 247 with DLE);
+// every K-frame costs the sender one credit, and the receiver returns credits
+// as it hands reassembled SDUs to the host.
+
+#include <cstdint>
+#include <vector>
+
+#include "ble/ll_types.hpp"
+#include "sim/time.hpp"
+
+namespace mgap::ble {
+
+class Connection;
+
+class L2capCoc {
+ public:
+  struct Config {
+    std::size_t mtu{1280};           // max SDU (one IPv6 MTU)
+    std::size_t mps{247};            // max K-frame information payload
+    std::uint16_t initial_credits{30};
+  };
+
+  // K-frame wire overhead: 2 B length + 2 B CID; the first frame of an SDU
+  // additionally carries the 2 B SDU length.
+  static constexpr std::size_t kFrameHeader = 4;
+  static constexpr std::size_t kSduLenField = 2;
+
+  L2capCoc(Connection& conn, Config config);
+
+  /// Sends an SDU from the `from` side of the connection. All-or-nothing:
+  /// returns false (without consuming anything) when credits or the node's
+  /// BLE buffer pool cannot take the complete SDU right now.
+  bool send(Role from, std::vector<std::uint8_t> sdu, sim::TimePoint now);
+
+  /// Link layer hands an acknowledged K-frame up to side `to`.
+  void on_pdu_delivered(Role to, const LlPdu& pdu, sim::TimePoint at);
+
+  [[nodiscard]] std::uint16_t tx_credits(Role side) const { return side_of(side).tx_credits; }
+  [[nodiscard]] std::uint64_t sdus_sent(Role side) const { return side_of(side).sdus_sent; }
+  [[nodiscard]] std::uint64_t sdus_rx(Role side) const { return side_of(side).sdus_rx; }
+  [[nodiscard]] std::uint64_t send_rejected(Role side) const { return side_of(side).send_rejected; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Number of K-frames needed for an SDU of `len` bytes under `config`.
+  [[nodiscard]] static std::size_t frames_for(std::size_t len, const Config& config);
+
+ private:
+  struct Side {
+    std::uint16_t tx_credits{0};
+    // Reassembly state for SDUs arriving at this side.
+    std::size_t expected_len{0};
+    std::vector<std::uint8_t> partial;
+    std::uint64_t sdus_sent{0};
+    std::uint64_t sdus_rx{0};
+    std::uint64_t send_rejected{0};
+  };
+
+  [[nodiscard]] Side& side_of(Role r) { return r == Role::kCoordinator ? coord_ : sub_; }
+  [[nodiscard]] const Side& side_of(Role r) const {
+    return r == Role::kCoordinator ? coord_ : sub_;
+  }
+
+  Connection& conn_;
+  Config config_;
+  Side coord_;
+  Side sub_;
+};
+
+}  // namespace mgap::ble

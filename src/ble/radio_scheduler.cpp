@@ -1,0 +1,52 @@
+#include "ble/radio_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mgap::ble {
+
+bool RadioScheduler::try_claim(sim::TimePoint start, sim::TimePoint end, std::uint64_t owner) {
+  assert(start < end);
+  for (const Claim& c : claims_) {
+    if (start < c.end && c.start < end) {
+      ++denied_;
+      return false;
+    }
+  }
+  auto pos = std::upper_bound(claims_.begin(), claims_.end(), start,
+                              [](sim::TimePoint t, const Claim& c) { return t < c.start; });
+  claims_.insert(pos, Claim{start, end, owner});
+  ++granted_;
+  return true;
+}
+
+void RadioScheduler::release(std::uint64_t owner) {
+  std::erase_if(claims_, [owner](const Claim& c) { return c.owner == owner; });
+}
+
+void RadioScheduler::prune_before(sim::TimePoint t) {
+  std::erase_if(claims_, [t](const Claim& c) { return c.end < t; });
+}
+
+bool RadioScheduler::holds(std::uint64_t owner, sim::TimePoint at) const {
+  return std::any_of(claims_.begin(), claims_.end(), [owner, at](const Claim& c) {
+    return c.owner == owner && c.start <= at && at < c.end;
+  });
+}
+
+sim::TimePoint RadioScheduler::next_start_after(sim::TimePoint t,
+                                                std::uint64_t exclude_owner) const {
+  for (const Claim& c : claims_) {  // sorted by start
+    if (c.start > t && c.owner != exclude_owner) return c.start;
+  }
+  return never();
+}
+
+bool RadioScheduler::is_free(sim::TimePoint start, sim::TimePoint end,
+                             std::uint64_t owner) const {
+  return std::none_of(claims_.begin(), claims_.end(), [&](const Claim& c) {
+    return c.owner != owner && start < c.end && c.start < end;
+  });
+}
+
+}  // namespace mgap::ble

@@ -1,0 +1,63 @@
+#pragma once
+// Per-node radio arbitration.
+//
+// Every BLE activity (a connection event, an advertising event) must reserve
+// the node's single radio for a time slot before it can run. Reservations are
+// granted strictly first-come: a claim that overlaps an existing one is
+// denied and the corresponding event is skipped. This mirrors NimBLE's link-
+// layer scheduler and is the mechanism behind *connection shading*
+// (section 6.1): two connections with equal intervals that drift into overlap
+// starve the later claimer until its supervision timeout fires.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mgap::ble {
+
+class RadioScheduler {
+ public:
+  /// Attempts to reserve [start, end) for `owner`. Returns false (and leaves
+  /// the table unchanged) when the span overlaps any existing claim.
+  bool try_claim(sim::TimePoint start, sim::TimePoint end, std::uint64_t owner);
+
+  /// Releases all claims held by `owner`.
+  void release(std::uint64_t owner);
+
+  /// Drops claims that ended before `t` (consumed slots).
+  void prune_before(sim::TimePoint t);
+
+  /// True when `owner` holds a claim covering instant `at`.
+  [[nodiscard]] bool holds(std::uint64_t owner, sim::TimePoint at) const;
+
+  /// Start of the next claim beginning strictly after `t`, ignoring claims of
+  /// `exclude_owner`; TimePoint::max-like sentinel when none.
+  [[nodiscard]] sim::TimePoint next_start_after(sim::TimePoint t,
+                                                std::uint64_t exclude_owner) const;
+
+  /// True when [start, end) is free of claims from owners other than `owner`.
+  [[nodiscard]] bool is_free(sim::TimePoint start, sim::TimePoint end,
+                             std::uint64_t owner) const;
+
+  [[nodiscard]] std::uint64_t granted() const { return granted_; }
+  [[nodiscard]] std::uint64_t denied() const { return denied_; }
+  [[nodiscard]] std::size_t active_claims() const { return claims_.size(); }
+
+  [[nodiscard]] static constexpr sim::TimePoint never() {
+    return sim::TimePoint::from_ns(std::numeric_limits<std::int64_t>::max());
+  }
+
+ private:
+  struct Claim {
+    sim::TimePoint start;
+    sim::TimePoint end;
+    std::uint64_t owner;
+  };
+  std::vector<Claim> claims_;  // sorted by start
+  std::uint64_t granted_{0};
+  std::uint64_t denied_{0};
+};
+
+}  // namespace mgap::ble

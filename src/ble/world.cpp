@@ -1,0 +1,124 @@
+#include "ble/world.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+#include "sim/simulator.hpp"
+
+namespace mgap::ble {
+
+BleWorld::BleWorld(sim::Simulator& sim, phy::ChannelModel channel_model)
+    : sim_{sim}, channel_model_{channel_model}, rng_{sim.make_rng()} {}
+
+Controller& BleWorld::add_node(NodeId id, double drift_ppm, ControllerConfig config) {
+  assert(by_id_.find(id) == by_id_.end() && "duplicate node id");
+  nodes_.push_back(std::make_unique<Controller>(sim_, *this, id,
+                                                sim::SleepClock{drift_ppm},
+                                                std::move(config)));
+  Controller& ref = *nodes_.back();
+  by_id_[id] = &ref;
+  return ref;
+}
+
+Controller* BleWorld::find(NodeId id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+Connection& BleWorld::open_connection(Controller& coord, Controller& sub,
+                                      const ConnParams& params,
+                                      sim::TimePoint first_anchor) {
+  const ConnId id = next_conn_id_++;
+  const auto access_address = static_cast<std::uint32_t>(rng_.next_u64());
+  LinkStats& stats = link_stats(coord.id(), sub.id());
+  if (stats.events_ok + stats.events_missed > 0 || stats.conn_losses > 0) {
+    ++stats.reconnects;
+  }
+  connections_.push_back(std::make_unique<Connection>(
+      sim_, *this, id, coord, sub, params, first_anchor, access_address, default_chmap_,
+      stats, coord.config().conn, sim_.make_rng()));
+  Connection& conn = *connections_.back();
+  if (tracing()) {
+    char msg[96];
+    std::snprintf(msg, sizeof msg, "conn %llu open coord=%u sub=%u itvl=%s",
+                  static_cast<unsigned long long>(id), coord.id(), sub.id(),
+                  params.interval.str().c_str());
+    trace(sim::TraceCat::kGap, coord.id(), msg);
+  }
+  conn.start();
+  coord.notify_open(conn);
+  sub.notify_open(conn);
+  return conn;
+}
+
+void BleWorld::route_adv_event(Controller& advertiser, sim::TimePoint t,
+                               sim::Duration duration) {
+  // Passive observers first (they never consume the event).
+  for (const auto& node : nodes_) {
+    Controller& c = *node;
+    if (&c == &advertiser || !c.is_observing()) continue;
+    if (!c.scanner_hears(t, duration)) continue;
+    if (rng_.chance(link_per(advertiser.id(), c.id()))) continue;  // out of range
+    c.notify_observed(advertiser.id(), advertiser.adv_data());
+  }
+  for (const auto& node : nodes_) {
+    Controller& c = *node;
+    if (&c == &advertiser) continue;
+    const ConnParams* params = c.initiating_params(advertiser.id());
+    if (params == nullptr) continue;
+    if (!c.scanner_hears(t, duration)) continue;
+    if (rng_.chance(link_per(advertiser.id(), c.id()))) continue;  // out of range
+
+    // CONNECT_IND: the initiator becomes coordinator and dictates the anchor
+    // inside the transmit window — the random phase that redistributes link
+    // capacity after every reconnect (section 5.2's "beneficial reconnects").
+    const ConnParams chosen = *params;
+    c.stop_initiating(advertiser.id());
+    const sim::TimePoint anchor = t + duration + sim::Duration::ms_f(1.25) +
+                                  c.rng().uniform_duration(sim::Duration{}, chosen.interval);
+    open_connection(c, advertiser, chosen, anchor);
+    return;  // one CONNECT_IND per advertising event
+  }
+}
+
+LinkStats& BleWorld::link_stats(NodeId coordinator, NodeId subordinate) {
+  const auto key = std::make_pair(coordinator, subordinate);
+  auto it = link_stats_.find(key);
+  if (it == link_stats_.end()) {
+    auto stats = std::make_unique<LinkStats>();
+    stats->coordinator = coordinator;
+    stats->subordinate = subordinate;
+    it = link_stats_.emplace(key, std::move(stats)).first;
+  }
+  return *it->second;
+}
+
+std::vector<const LinkStats*> BleWorld::all_link_stats() const {
+  std::vector<const LinkStats*> out;
+  out.reserve(link_stats_.size());
+  for (const auto& [key, stats] : link_stats_) out.push_back(stats.get());
+  return out;
+}
+
+std::uint64_t BleWorld::total_conn_losses() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, stats] : link_stats_) total += stats->conn_losses;
+  return total;
+}
+
+std::vector<Connection*> BleWorld::open_connections() const {
+  std::vector<Connection*> out;
+  for (const auto& c : connections_) {
+    if (c->is_open()) out.push_back(c.get());
+  }
+  return out;
+}
+
+Connection* BleWorld::find_connection(ConnId id) const {
+  for (const auto& c : connections_) {
+    if (c->id() == id) return c.get();
+  }
+  return nullptr;
+}
+
+}  // namespace mgap::ble

@@ -1,0 +1,100 @@
+#pragma once
+// BleWorld: the radio environment tying controllers together. Owns all
+// controllers and connections (closed connections are kept as inert records
+// so late-delivered events and statistics stay valid), routes advertising
+// events to interested initiators, and hands out per-link statistics.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "ble/controller.hpp"
+#include "ble/connection.hpp"
+#include "ble/ll_types.hpp"
+#include "phy/channel_model.hpp"
+#include "sim/ids.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace mgap::sim {
+class Simulator;
+}
+
+namespace mgap::ble {
+
+class BleWorld {
+ public:
+  BleWorld(sim::Simulator& sim, phy::ChannelModel channel_model);
+
+  BleWorld(const BleWorld&) = delete;
+  BleWorld& operator=(const BleWorld&) = delete;
+
+  Controller& add_node(NodeId id, double drift_ppm, ControllerConfig config = {});
+  [[nodiscard]] Controller* find(NodeId id) const;
+  [[nodiscard]] const std::vector<std::unique_ptr<Controller>>& nodes() const {
+    return nodes_;
+  }
+
+  [[nodiscard]] phy::ChannelModel& channel_model() { return channel_model_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  /// Optional pairwise link-quality model (mobility extension): returns an
+  /// additional PER in [0,1] for the pair — 0 keeps the testbed's
+  /// "all nodes in range" default, 1 means out of range. Combined
+  /// multiplicatively with the per-channel model.
+  using LinkPerFn = std::function<double(NodeId, NodeId)>;
+  void set_link_per(LinkPerFn fn) { link_per_ = std::move(fn); }
+  [[nodiscard]] double link_per(NodeId a, NodeId b) const {
+    return link_per_ ? link_per_(a, b) : 0.0;
+  }
+
+  /// Channel map applied to newly created connections (the experiments
+  /// exclude jammed channel 22 on all nodes, section 4.2).
+  void set_default_channel_map(ChannelMap map) { default_chmap_ = map; }
+  [[nodiscard]] const ChannelMap& default_channel_map() const { return default_chmap_; }
+
+  /// Creates and starts a connection; used by the GAP connect path and
+  /// directly by tests.
+  Connection& open_connection(Controller& coord, Controller& sub, const ConnParams& params,
+                              sim::TimePoint first_anchor);
+
+  /// Called by an advertising controller for each transmitted adv event;
+  /// routes it to at most one listening initiator.
+  void route_adv_event(Controller& advertiser, sim::TimePoint t, sim::Duration duration);
+
+  [[nodiscard]] LinkStats& link_stats(NodeId coordinator, NodeId subordinate);
+  [[nodiscard]] std::vector<const LinkStats*> all_link_stats() const;
+  [[nodiscard]] std::uint64_t total_conn_losses() const;
+
+  [[nodiscard]] std::vector<Connection*> open_connections() const;
+  [[nodiscard]] Connection* find_connection(ConnId id) const;
+  [[nodiscard]] std::uint64_t connections_created() const { return next_conn_id_ - 1; }
+
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+
+  /// Optional event tracing (the paper's per-node STDIO event dump,
+  /// section 4.2). Null disables tracing (the default).
+  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+  void trace(sim::TraceCat cat, NodeId node, std::string msg) {
+    if (tracer_ != nullptr) tracer_->emit(sim_.now(), cat, node, std::move(msg));
+  }
+  [[nodiscard]] bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+
+ private:
+  sim::Tracer* tracer_{nullptr};
+  LinkPerFn link_per_;
+  sim::Simulator& sim_;
+  phy::ChannelModel channel_model_;
+  ChannelMap default_chmap_{ChannelMap::all()};
+  std::vector<std::unique_ptr<Controller>> nodes_;
+  std::map<NodeId, Controller*> by_id_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<LinkStats>> link_stats_;
+  ConnId next_conn_id_{1};
+  sim::Rng rng_;
+};
+
+}  // namespace mgap::ble

@@ -1,0 +1,149 @@
+#include "core/dynconn.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ble/world.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgap::core {
+
+Dynconn::Dynconn(NimbleNetif& netif, DynconnConfig config, bool is_root)
+    : netif_{netif}, ctrl_{netif.controller()}, config_{config}, root_{is_root} {
+  netif_.add_link_listener(
+      [this](ble::Connection& conn, bool up, ble::DisconnectReason reason) {
+        on_link_event(conn, up, reason);
+      });
+}
+
+void Dynconn::start() {
+  if (!root_ && !uplink_) begin_search();
+  reconcile_advertising();
+}
+
+void Dynconn::set_advertised_metric(std::uint16_t metric) {
+  metric_ = metric;
+  ctrl_.set_adv_data(metric_);
+  reconcile_advertising();
+}
+
+ble::ConnParams Dynconn::make_params() {
+  ble::ConnParams p;
+  p.supervision_timeout = config_.supervision_timeout;
+  p.interval = config_.policy.pick(ctrl_.rng(), live_intervals(nullptr));
+  return p;
+}
+
+std::vector<sim::Duration> Dynconn::live_intervals(ble::Connection* except) const {
+  std::vector<sim::Duration> out;
+  for (ble::Connection* c : ctrl_.connections()) {
+    if (c == except) continue;
+    out.push_back(c->params().interval);
+  }
+  return out;
+}
+
+void Dynconn::reconcile_advertising() {
+  const bool joined = root_ || uplink_.has_value();
+  const bool want = joined && metric_ != kNoMetric && children_ < config_.max_children;
+  if (want) {
+    ctrl_.set_adv_data(metric_);
+    ctrl_.start_advertising();
+  } else {
+    ctrl_.stop_advertising();
+  }
+}
+
+void Dynconn::begin_search() {
+  if (root_) return;
+  searching_ = true;
+  candidates_.clear();
+  ++search_epoch_;
+  ctrl_.start_observing(
+      [this](NodeId advertiser, std::uint16_t metric) { on_observed(advertiser, metric); });
+}
+
+void Dynconn::on_observed(NodeId advertiser, std::uint16_t metric) {
+  if (!searching_ || metric == kNoMetric) return;
+  // Never initiate towards a peer we already share a connection with (e.g.
+  // one of our own children) — prevents immediate two-node cycles.
+  if (ctrl_.connection_to(advertiser) != nullptr) return;
+  const bool first = candidates_.empty();
+  auto it = candidates_.find(advertiser);
+  if (it == candidates_.end() || it->second != metric) candidates_[advertiser] = metric;
+  if (first) {
+    // Collect alternatives for a short window, then commit to the best.
+    const std::uint64_t epoch = search_epoch_;
+    commit_timer_ = ctrl_.world().simulator().schedule_in(
+        config_.observe_window, [this, epoch] {
+          if (epoch == search_epoch_ && searching_) commit_to_candidate();
+        });
+  }
+}
+
+void Dynconn::commit_to_candidate() {
+  assert(!candidates_.empty());
+  NodeId best = kInvalidNode;
+  std::uint16_t best_metric = kNoMetric;
+  for (const auto& [id, metric] : candidates_) {
+    if (metric < best_metric || (metric == best_metric && id < best)) {
+      best = id;
+      best_metric = metric;
+    }
+  }
+  searching_ = false;
+  ctrl_.stop_observing();
+  ++join_attempts_;
+  ctrl_.start_initiating(best, make_params());
+
+  // If the advertiser vanished meanwhile, fall back to searching.
+  const std::uint64_t epoch = search_epoch_;
+  connect_guard_ =
+      ctrl_.world().simulator().schedule_in(config_.connect_timeout, [this, epoch, best] {
+        if (epoch != search_epoch_ || uplink_) return;
+        ctrl_.stop_initiating(best);
+        begin_search();
+      });
+}
+
+void Dynconn::on_link_event(ble::Connection& conn, bool up, ble::DisconnectReason reason) {
+  const ble::Role my_role = conn.role_of(ctrl_);
+  const NodeId peer = conn.peer_of(ctrl_).id();
+
+  if (up) {
+    if (my_role == ble::Role::kSubordinate) {
+      // Accepting a child: enforce per-node interval uniqueness (section 6.3).
+      if (config_.policy.is_randomized() &&
+          IntervalPolicy::collides(conn.params().interval, live_intervals(&conn))) {
+        conn.close(ble::DisconnectReason::kLocalClose);
+        return;
+      }
+      ++children_;
+      reconcile_advertising();
+      return;
+    }
+    // Coordinator side: our uplink came up.
+    ctrl_.world().simulator().cancel(connect_guard_);
+    ++search_epoch_;  // invalidate pending guards
+    uplink_ = peer;
+    if (uplink_cb_) uplink_cb_(uplink_);
+    reconcile_advertising();
+    return;
+  }
+
+  // Link down.
+  if (my_role == ble::Role::kSubordinate) {
+    if (children_ > 0) --children_;
+    reconcile_advertising();
+    return;
+  }
+  if (uplink_ && *uplink_ == peer) {
+    uplink_.reset();
+    if (reason == ble::DisconnectReason::kSupervisionTimeout) ++uplink_losses_;
+    if (uplink_cb_) uplink_cb_(std::nullopt);
+    reconcile_advertising();
+    begin_search();
+  }
+}
+
+}  // namespace mgap::core

@@ -1,0 +1,93 @@
+#pragma once
+// dynconn: dynamic BLE topology formation — the paper's section 9 future
+// work ("the management of BLE topologies, the coupling of BLE topologies
+// with IP routing, and the adaptability ... to dynamic environments"),
+// following the metadata-driven idea of Lee et al. [29]: joined nodes
+// advertise a routing metric (their RPL rank) in the advertising payload;
+// searching nodes observe for a window and initiate a connection to the
+// best advertiser.
+//
+// Per link the initiator becomes coordinator (it owns the uplink); accepting
+// nodes are subordinates for their children, exactly like statconn's role
+// assignment. Interval selection reuses the section 6.3 policies, including
+// the randomized-unique mitigation.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "ble/controller.hpp"
+#include "core/interval_policy.hpp"
+#include "core/nimble_netif.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mgap::core {
+
+struct DynconnConfig {
+  IntervalPolicy policy{IntervalPolicy::randomized(sim::Duration::ms(65),
+                                                   sim::Duration::ms(85))};
+  sim::Duration supervision_timeout{sim::Duration::sec(2)};
+  /// Maximum subordinate (children) links accepted.
+  unsigned max_children{3};
+  /// Observation window before committing to the best advertiser seen.
+  sim::Duration observe_window{sim::Duration::ms(400)};
+  /// Give up on an initiation attempt after this long and re-observe.
+  sim::Duration connect_timeout{sim::Duration::sec(2)};
+};
+
+class Dynconn {
+ public:
+  /// Fired when the uplink changes: the new parent, or nullopt on loss.
+  using UplinkCb = std::function<void(std::optional<NodeId>)>;
+
+  Dynconn(NimbleNetif& netif, DynconnConfig config, bool is_root);
+
+  Dynconn(const Dynconn&) = delete;
+  Dynconn& operator=(const Dynconn&) = delete;
+
+  void start();
+
+  /// The metric advertised to searching nodes (lower = better; e.g. the RPL
+  /// rank). Until this is set, a non-root node does not accept children.
+  void set_advertised_metric(std::uint16_t metric);
+
+  void set_uplink_changed(UplinkCb cb) { uplink_cb_ = std::move(cb); }
+
+  [[nodiscard]] bool is_root() const { return root_; }
+  [[nodiscard]] bool has_uplink() const { return uplink_.has_value(); }
+  [[nodiscard]] std::optional<NodeId> uplink_peer() const { return uplink_; }
+  [[nodiscard]] unsigned children() const { return children_; }
+  [[nodiscard]] std::uint64_t uplink_losses() const { return uplink_losses_; }
+  [[nodiscard]] std::uint64_t join_attempts() const { return join_attempts_; }
+
+ private:
+  static constexpr std::uint16_t kNoMetric = 0xFFFF;
+
+  void on_link_event(ble::Connection& conn, bool up, ble::DisconnectReason reason);
+  void begin_search();
+  void on_observed(NodeId advertiser, std::uint16_t metric);
+  void commit_to_candidate();
+  void reconcile_advertising();
+  [[nodiscard]] ble::ConnParams make_params();
+  [[nodiscard]] std::vector<sim::Duration> live_intervals(ble::Connection* except) const;
+
+  NimbleNetif& netif_;
+  ble::Controller& ctrl_;
+  DynconnConfig config_;
+  bool root_;
+  std::uint16_t metric_{kNoMetric};
+  std::optional<NodeId> uplink_;
+  unsigned children_{0};
+  UplinkCb uplink_cb_;
+
+  bool searching_{false};
+  std::map<NodeId, std::uint16_t> candidates_;
+  sim::EventId commit_timer_;
+  sim::EventId connect_guard_;
+  std::uint64_t search_epoch_{0};
+  std::uint64_t uplink_losses_{0};
+  std::uint64_t join_attempts_{0};
+};
+
+}  // namespace mgap::core

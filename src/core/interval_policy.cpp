@@ -1,0 +1,38 @@
+#include "core/interval_policy.hpp"
+
+#include <stdexcept>
+
+namespace mgap::core {
+
+IntervalPolicy IntervalPolicy::fixed(sim::Duration interval) {
+  const sim::Duration q = phy::quantize_conn_itvl(interval);
+  return IntervalPolicy{false, q, q};
+}
+
+IntervalPolicy IntervalPolicy::randomized(sim::Duration lo, sim::Duration hi) {
+  if (hi < lo) throw std::invalid_argument{"IntervalPolicy: hi < lo"};
+  return IntervalPolicy{true, phy::quantize_conn_itvl(lo), phy::quantize_conn_itvl(hi)};
+}
+
+bool IntervalPolicy::collides(sim::Duration candidate,
+                              std::span<const sim::Duration> in_use) {
+  for (const sim::Duration d : in_use) {
+    const sim::Duration diff = candidate < d ? d - candidate : candidate - d;
+    if (diff < min_spacing()) return true;
+  }
+  return false;
+}
+
+sim::Duration IntervalPolicy::pick(sim::Rng& rng,
+                                   std::span<const sim::Duration> in_use) const {
+  if (!randomized_) return lo_;
+  sim::Duration draw = lo_;
+  constexpr int kMaxTries = 64;
+  for (int i = 0; i < kMaxTries; ++i) {
+    draw = phy::quantize_conn_itvl(rng.uniform_duration(lo_, hi_));
+    if (!collides(draw, in_use)) return draw;
+  }
+  return draw;  // window too crowded; the subordinate-side check may reject
+}
+
+}  // namespace mgap::core

@@ -1,0 +1,57 @@
+#pragma once
+// Connection-interval selection policies — the paper's section 6.3 proposal.
+//
+// kStatic reproduces the standard behaviour (every connection uses the target
+// interval) and with it connection shading. kRandomized draws the interval
+// uniformly from a window around the target, quantized to the 1.25 ms legal
+// grid, and regenerates until it is unique among a node's live intervals
+// (coordinator-side enforcement; the subordinate-side close-on-collision
+// lives in Statconn).
+
+#include <span>
+#include <vector>
+
+#include "phy/ble_phy.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace mgap::core {
+
+class IntervalPolicy {
+ public:
+  /// Standard BLE-mesh behaviour: a fixed interval for every connection.
+  [[nodiscard]] static IntervalPolicy fixed(sim::Duration interval);
+
+  /// The paper's mitigation: uniform draw from [lo, hi] (e.g. [65, 85] ms
+  /// around a 75 ms target).
+  [[nodiscard]] static IntervalPolicy randomized(sim::Duration lo, sim::Duration hi);
+
+  [[nodiscard]] bool is_randomized() const { return randomized_; }
+  [[nodiscard]] sim::Duration target() const { return (lo_ + hi_) / 2; }
+  [[nodiscard]] sim::Duration lo() const { return lo_; }
+  [[nodiscard]] sim::Duration hi() const { return hi_; }
+
+  /// Minimum spacing between two intervals on one node for them to count as
+  /// non-colliding (one legal interval step).
+  [[nodiscard]] static sim::Duration min_spacing() { return phy::kConnItvlUnit; }
+
+  /// Picks an interval; for randomized policies the draw is regenerated until
+  /// unique w.r.t. `in_use` (gives up after a bounded number of tries when
+  /// the window is too crowded, returning the last draw).
+  [[nodiscard]] sim::Duration pick(sim::Rng& rng,
+                                   std::span<const sim::Duration> in_use) const;
+
+  /// True when `candidate` collides with any interval in `in_use`.
+  [[nodiscard]] static bool collides(sim::Duration candidate,
+                                     std::span<const sim::Duration> in_use);
+
+ private:
+  IntervalPolicy(bool randomized, sim::Duration lo, sim::Duration hi)
+      : randomized_{randomized}, lo_{lo}, hi_{hi} {}
+
+  bool randomized_;
+  sim::Duration lo_;
+  sim::Duration hi_;
+};
+
+}  // namespace mgap::core

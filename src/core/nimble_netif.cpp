@@ -1,0 +1,48 @@
+#include "core/nimble_netif.hpp"
+
+namespace mgap::core {
+
+NimbleNetif::NimbleNetif(ble::Controller& controller) : ctrl_{controller} {
+  ble::Controller::HostCallbacks cb;
+  cb.on_open = [this](ble::Connection& conn) {
+    for (const auto& l : listeners_) l(conn, true, ble::DisconnectReason::kLocalClose);
+    signal_writable(conn.peer_of(ctrl_).id());
+  };
+  cb.on_close = [this](ble::Connection& conn, ble::DisconnectReason reason) {
+    signal_neighbor_down(conn.peer_of(ctrl_).id());
+    for (const auto& l : listeners_) l(conn, false, reason);
+  };
+  cb.on_sdu = [this](ble::Connection& conn, std::vector<std::uint8_t> sdu,
+                     sim::TimePoint at) {
+    ++rx_sdus_;
+    deliver_rx(conn.peer_of(ctrl_).id(), std::move(sdu), at);
+  };
+  cb.on_tx_space = [this](ble::Connection& conn) {
+    signal_writable(conn.peer_of(ctrl_).id());
+  };
+  ctrl_.set_host(std::move(cb));
+}
+
+bool NimbleNetif::send(NodeId next_hop, std::vector<std::uint8_t> frame) {
+  ble::Connection* conn = ctrl_.connection_to(next_hop);
+  if (conn == nullptr) {
+    ++tx_rejected_;
+    return false;
+  }
+  if (!ctrl_.l2cap_send(*conn, std::move(frame))) {
+    ++tx_rejected_;
+    return false;
+  }
+  ++tx_sdus_;
+  return true;
+}
+
+std::size_t NimbleNetif::mtu() const {
+  return ctrl_.config().l2cap.mtu;
+}
+
+bool NimbleNetif::neighbor_up(NodeId neighbor) const {
+  return ctrl_.connection_to(neighbor) != nullptr;
+}
+
+}  // namespace mgap::core

@@ -1,0 +1,48 @@
+#pragma once
+// nimble_netif: the BLE <-> IP glue of the paper's platform (section 3,
+// Figure 5). Exposes BLE L2CAP connection-oriented channels as a link-layer
+// interface to the IP stack (net::Netif) and re-publishes link events to
+// connection managers such as statconn.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ble/controller.hpp"
+#include "net/netif.hpp"
+
+namespace mgap::core {
+
+class NimbleNetif final : public net::Netif {
+ public:
+  /// Link lifecycle event for connection managers: `up` on establishment,
+  /// otherwise down with the disconnect reason.
+  using LinkListener =
+      std::function<void(ble::Connection& conn, bool up, ble::DisconnectReason reason)>;
+
+  explicit NimbleNetif(ble::Controller& controller);
+
+  [[nodiscard]] ble::Controller& controller() { return ctrl_; }
+
+  void add_link_listener(LinkListener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  // net::Netif
+  bool send(NodeId next_hop, std::vector<std::uint8_t> frame) override;
+  [[nodiscard]] std::size_t mtu() const override;
+  [[nodiscard]] bool neighbor_up(NodeId neighbor) const override;
+
+  [[nodiscard]] std::uint64_t tx_sdus() const { return tx_sdus_; }
+  [[nodiscard]] std::uint64_t tx_rejected() const { return tx_rejected_; }
+  [[nodiscard]] std::uint64_t rx_sdus() const { return rx_sdus_; }
+
+ private:
+  ble::Controller& ctrl_;
+  std::vector<LinkListener> listeners_;
+  std::uint64_t tx_sdus_{0};
+  std::uint64_t tx_rejected_{0};
+  std::uint64_t rx_sdus_{0};
+};
+
+}  // namespace mgap::core

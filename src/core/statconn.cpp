@@ -1,0 +1,146 @@
+#include "core/statconn.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ble/world.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgap::core {
+
+Statconn::Statconn(NimbleNetif& netif, StatconnConfig config)
+    : netif_{netif}, ctrl_{netif.controller()}, config_{config} {
+  if (config_.policy.is_randomized()) config_.enforce_unique_intervals = true;
+  netif_.add_link_listener(
+      [this](ble::Connection& conn, bool up, ble::DisconnectReason reason) {
+        on_link_event(conn, up, reason);
+      });
+}
+
+void Statconn::add_subordinate_link(NodeId peer) {
+  links_.push_back(Link{peer, ble::Role::kSubordinate, false, false});
+  if (started_) reconcile();
+}
+
+void Statconn::add_coordinator_link(NodeId peer) {
+  links_.push_back(Link{peer, ble::Role::kCoordinator, false, false});
+  if (started_) reconcile();
+}
+
+void Statconn::start() {
+  started_ = true;
+  reconcile();
+  if (config_.param_update_mitigation) {
+    // Periodic local collision repair through LL parameter updates (the
+    // section 6.3 design-space alternative).
+    schedule_collision_check();
+  }
+}
+
+void Statconn::schedule_collision_check() {
+  sim::Simulator& sim = ctrl_.world().simulator();
+  sim.schedule_in(config_.update_check_interval, [this] {
+    check_interval_collisions();
+    schedule_collision_check();
+  });
+}
+
+void Statconn::check_interval_collisions() {
+  // Find a colliding pair among this node's connections; repair through the
+  // one where we are subordinate (the update runs without negotiation).
+  const auto conns = ctrl_.connections();
+  for (ble::Connection* conn : conns) {
+    if (conn->role_of(ctrl_) != ble::Role::kSubordinate) continue;
+    const auto others = live_intervals(conn);
+    if (!IntervalPolicy::collides(conn->params().interval, others)) continue;
+    // Draw a locally non-colliding interval around the target; the peer's
+    // other connections are invisible to us — exactly the blindness the
+    // paper criticises.
+    const sim::Duration target = config_.policy.target();
+    const auto window = IntervalPolicy::randomized(target - config_.update_window,
+                                                   target + config_.update_window);
+    ble::ConnParams np = conn->params();
+    np.interval = window.pick(ctrl_.rng(), others);
+    conn->request_param_update(np);
+    ++param_updates_;
+  }
+}
+
+bool Statconn::all_links_up() const {
+  return std::all_of(links_.begin(), links_.end(), [](const Link& l) { return l.up; });
+}
+
+Statconn::Link* Statconn::link_for(NodeId peer) {
+  auto it = std::find_if(links_.begin(), links_.end(),
+                         [peer](const Link& l) { return l.peer == peer; });
+  return it == links_.end() ? nullptr : &*it;
+}
+
+ble::ConnParams Statconn::make_params() const {
+  ble::ConnParams p;
+  p.supervision_timeout = config_.supervision_timeout;
+  p.subordinate_latency = config_.subordinate_latency;
+  p.csa = config_.csa;
+  p.phy = config_.phy;
+  return p;
+}
+
+std::vector<sim::Duration> Statconn::live_intervals(ble::Connection* except) const {
+  std::vector<sim::Duration> out;
+  for (ble::Connection* c : ctrl_.connections()) {
+    if (c == except) continue;
+    out.push_back(c->params().interval);
+  }
+  return out;
+}
+
+void Statconn::reconcile() {
+  if (!started_) return;
+  bool want_advertising = false;
+  for (Link& link : links_) {
+    if (link.up) continue;
+    if (link.local_role == ble::Role::kSubordinate) {
+      want_advertising = true;
+    } else if (!ctrl_.is_initiating(link.peer)) {
+      ble::ConnParams params = make_params();
+      // Coordinator-side mitigation: regenerate the draw until it is unique
+      // among this node's live connection intervals (section 6.3).
+      const auto in_use = live_intervals(nullptr);
+      params.interval = config_.policy.pick(ctrl_.rng(), in_use);
+      ctrl_.start_initiating(link.peer, params);
+    }
+  }
+  if (want_advertising) {
+    ctrl_.start_advertising();
+  } else {
+    ctrl_.stop_advertising();
+  }
+}
+
+void Statconn::on_link_event(ble::Connection& conn, bool up, ble::DisconnectReason reason) {
+  Link* link = link_for(conn.peer_of(ctrl_).id());
+  if (link == nullptr) return;  // unsolicited peer; statconn ignores it
+
+  if (up) {
+    // Subordinate-side mitigation: reject an interval that collides with any
+    // of our other connections; the coordinator will retry with a new draw.
+    if (link->local_role == ble::Role::kSubordinate &&
+        config_.enforce_unique_intervals) {
+      const auto in_use = live_intervals(&conn);
+      if (IntervalPolicy::collides(conn.params().interval, in_use)) {
+        ++interval_rejects_;
+        conn.close(ble::DisconnectReason::kLocalClose);
+        return;  // the close event re-runs reconcile()
+      }
+    }
+    if (link->ever_up) ++reconnects_;
+    link->up = true;
+    link->ever_up = true;
+  } else {
+    link->up = false;
+    if (reason == ble::DisconnectReason::kSupervisionTimeout) ++losses_seen_;
+  }
+  reconcile();
+}
+
+}  // namespace mgap::core

@@ -1,0 +1,96 @@
+#pragma once
+// statconn: the paper's static connection manager (section 3).
+//
+// Each node is statically configured with the peers it keeps BLE connections
+// to, and the role it takes per link: for "subordinate links" the node
+// advertises and waits; for "coordinator links" it scans for the peer's
+// advertisements and initiates. The module monitors link health and goes
+// back to advertising/scanning whenever a connection drops, which yields the
+// paper's 10-100 ms reconnect delays.
+//
+// It also hosts the section 6.3 mitigation: connection intervals are drawn
+// from an IntervalPolicy; with the randomized policy a coordinator
+// regenerates draws until unique on its node, and a subordinate immediately
+// closes a freshly opened connection whose interval collides with one of its
+// other connections, forcing the coordinator to retry with a new draw.
+
+#include <cstdint>
+#include <vector>
+
+#include "ble/controller.hpp"
+#include "core/interval_policy.hpp"
+#include "core/nimble_netif.hpp"
+
+namespace mgap::core {
+
+struct StatconnConfig {
+  IntervalPolicy policy{IntervalPolicy::fixed(sim::Duration::ms(75))};
+  sim::Duration supervision_timeout{sim::Duration::sec(2)};
+  unsigned subordinate_latency{0};
+  ble::Csa csa{ble::Csa::kCsa2};
+  phy::PhyMode phy{phy::PhyMode::k1M};
+  /// Enforce per-node interval uniqueness (subordinate-side close). Enabled
+  /// automatically with a randomized policy; pointless with a fixed one.
+  bool enforce_unique_intervals{false};
+
+  /// The section 6.3 design-space ALTERNATIVE: instead of randomizing at
+  /// connect time, a subordinate that detects a local interval collision
+  /// repairs it through the LL connection-parameter-update procedure. The
+  /// paper rejects this because the updating node cannot know its peer's
+  /// other intervals, so updates may collide remotely and cause ongoing
+  /// reconfiguration; implemented here to quantify that churn.
+  bool param_update_mitigation{false};
+  sim::Duration update_check_interval{sim::Duration::sec(1)};
+  sim::Duration update_window{sim::Duration::ms(10)};  // draw target +- window
+};
+
+class Statconn {
+ public:
+  Statconn(NimbleNetif& netif, StatconnConfig config);
+
+  /// Configures a link where this node is the subordinate (it advertises and
+  /// `peer` initiates).
+  void add_subordinate_link(NodeId peer);
+  /// Configures a link where this node is the coordinator (it scans for
+  /// `peer` and initiates the connection).
+  void add_coordinator_link(NodeId peer);
+
+  /// Starts advertising / scanning for all configured links.
+  void start();
+
+  [[nodiscard]] bool all_links_up() const;
+  [[nodiscard]] std::uint64_t losses_seen() const { return losses_seen_; }
+  [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
+  [[nodiscard]] std::uint64_t interval_rejects() const { return interval_rejects_; }
+  /// Parameter updates issued by the kParamUpdate mitigation (churn metric).
+  [[nodiscard]] std::uint64_t param_updates() const { return param_updates_; }
+  [[nodiscard]] const StatconnConfig& config() const { return config_; }
+
+ private:
+  struct Link {
+    NodeId peer;
+    ble::Role local_role;
+    bool up{false};
+    bool ever_up{false};
+  };
+
+  void on_link_event(ble::Connection& conn, bool up, ble::DisconnectReason reason);
+  void reconcile();
+  void check_interval_collisions();
+  void schedule_collision_check();
+  [[nodiscard]] ble::ConnParams make_params() const;
+  [[nodiscard]] std::vector<sim::Duration> live_intervals(ble::Connection* except) const;
+  [[nodiscard]] Link* link_for(NodeId peer);
+
+  NimbleNetif& netif_;
+  ble::Controller& ctrl_;
+  StatconnConfig config_;
+  std::vector<Link> links_;
+  bool started_{false};
+  std::uint64_t losses_seen_{0};
+  std::uint64_t reconnects_{0};
+  std::uint64_t interval_rejects_{0};
+  std::uint64_t param_updates_{0};
+};
+
+}  // namespace mgap::core

@@ -1,0 +1,33 @@
+#include "energy/energy_model.hpp"
+
+namespace mgap::energy {
+
+double EnergyMeter::ble_charge_uc(const ble::RadioActivity& a) const {
+  double uc = 0.0;
+  uc += static_cast<double>(a.conn_events_coord) * config_.charge_per_event_coord_uc;
+  uc += static_cast<double>(a.conn_events_sub) * config_.charge_per_event_sub_uc;
+  uc += static_cast<double>(a.adv_events) * config_.charge_per_adv_event_uc;
+  uc += static_cast<double>(a.data_bytes_tx + a.data_bytes_rx) *
+        config_.charge_per_data_byte_uc;
+  uc += a.scan_time.to_sec_f() * config_.scan_current_ua;
+  return uc;
+}
+
+double EnergyMeter::ble_current_ua(const ble::RadioActivity& a,
+                                   sim::Duration elapsed) const {
+  if (elapsed.count_ns() <= 0) return 0.0;
+  return ble_charge_uc(a) / elapsed.to_sec_f();
+}
+
+double EnergyMeter::avg_current_ua(const ble::RadioActivity& a,
+                                   sim::Duration elapsed) const {
+  return config_.idle_current_ua + ble_current_ua(a, elapsed);
+}
+
+double EnergyMeter::battery_days(double capacity_mah, double current_ua) {
+  if (current_ua <= 0.0) return 0.0;
+  const double hours = capacity_mah * 1000.0 / current_ua;
+  return hours / 24.0;
+}
+
+}  // namespace mgap::energy

@@ -1,0 +1,51 @@
+#pragma once
+// Energy accounting calibrated against the paper's Power-Profiler-Kit
+// measurements on nrf52dk boards (section 5.4):
+//   * 2.3 uC per connection event as coordinator, 2.6 uC as subordinate
+//     (a connection event with empty packets);
+//   * ~12 uC per advertising event (a beacon at 1 s advertising interval adds
+//     12 uA);
+//   * data payload costs the radio ~8 us/byte at ~5.5 mA => 0.044 uC/byte;
+//   * 15 uA board idle current; scanning keeps the receiver on (~5.4 mA).
+
+#include <cstdint>
+
+#include "ble/controller.hpp"
+#include "sim/time.hpp"
+
+namespace mgap::energy {
+
+struct EnergyConfig {
+  double idle_current_ua{15.0};
+  double charge_per_event_coord_uc{2.3};
+  double charge_per_event_sub_uc{2.6};
+  double charge_per_adv_event_uc{12.0};
+  double charge_per_data_byte_uc{0.044};
+  double scan_current_ua{5400.0};
+};
+
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(EnergyConfig config = {}) : config_{config} {}
+
+  /// Total BLE-attributable charge in microcoulombs for the given activity.
+  [[nodiscard]] double ble_charge_uc(const ble::RadioActivity& a) const;
+
+  /// Average current in microamps over `elapsed`, including board idle.
+  [[nodiscard]] double avg_current_ua(const ble::RadioActivity& a,
+                                      sim::Duration elapsed) const;
+
+  /// Additional average current caused by BLE only (no board idle).
+  [[nodiscard]] double ble_current_ua(const ble::RadioActivity& a,
+                                      sim::Duration elapsed) const;
+
+  /// Runtime in days on a battery of `capacity_mah` at `current_ua`.
+  [[nodiscard]] static double battery_days(double capacity_mah, double current_ua);
+
+  [[nodiscard]] const EnergyConfig& config() const { return config_; }
+
+ private:
+  EnergyConfig config_;
+};
+
+}  // namespace mgap::energy

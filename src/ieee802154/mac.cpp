@@ -1,0 +1,170 @@
+#include "ieee802154/mac.hpp"
+
+#include <cassert>
+
+#include "sim/simulator.hpp"
+
+namespace mgap::ieee802154 {
+
+namespace {
+// Long interframe spacing (frames > 18 B MPDU): 40 symbols.
+constexpr sim::Duration kLifs = phy::kSymbol154 * 40;
+}  // namespace
+
+Mac::Mac(sim::Simulator& sim, Network154& net, NodeId id, MacConfig config, sim::Rng rng)
+    : sim_{sim}, net_{net}, id_{id}, config_{config}, rng_{rng} {}
+
+bool Mac::send(NodeId dest, std::vector<std::uint8_t> payload) {
+  assert(dest != id_);
+  assert(payload.size() <= max_payload());
+  if (queue_used_bytes_ + payload.size() > config_.queue_bytes) {
+    ++stats_.drop_queue;
+    return false;
+  }
+  queue_used_bytes_ += payload.size();
+  queue_.push_back(Frame{dest, std::move(payload), next_seq_++});
+  kick();
+  return true;
+}
+
+void Mac::kick() {
+  if (busy_ || queue_.empty()) return;
+  busy_ = true;
+  retries_ = 0;
+  nb_ = 0;
+  be_ = config_.min_be;
+  start_csma_round();
+}
+
+void Mac::start_csma_round() {
+  const std::int64_t slots = rng_.uniform_int(0, (1LL << be_) - 1);
+  const sim::Duration backoff = phy::kUnitBackoff154 * slots;
+  sim_.schedule_in(backoff, [this] { do_cca(); });
+}
+
+void Mac::do_cca() {
+  const sim::TimePoint now = sim_.now();
+  if (net_.medium().carrier_busy(now)) {
+    // Channel busy: widen the backoff window and retry, up to the limit.
+    ++nb_;
+    be_ = std::min(be_ + 1, config_.max_be);
+    if (nb_ > config_.max_csma_backoffs) {
+      finish_frame(false, &stats_.drop_csma);
+      return;
+    }
+    start_csma_round();
+    return;
+  }
+  // CCA passed. The rx->tx turnaround between CCA and the first transmitted
+  // symbol is the classic blind window in which two nodes can both decide the
+  // channel is free — the source of collisions under contention.
+  sim_.schedule_in(phy::kCcaDuration154 + phy::kTurnaround154, [this] { transmit(); });
+}
+
+void Mac::transmit() {
+  assert(!queue_.empty());
+  const Frame& frame = queue_.front();
+  const std::size_t psdu = frame.payload.size() + kMacOverhead;
+  const sim::Duration airtime = phy::frame_airtime_154(psdu);
+  const std::uint64_t medium_id = net_.medium().begin_tx(id_, sim_.now(), airtime);
+  ++stats_.tx_attempts;
+  sim_.schedule_in(airtime, [this, medium_id] { on_tx_done(medium_id); });
+}
+
+void Mac::on_tx_done(std::uint64_t medium_id) {
+  assert(!queue_.empty());
+  const Frame& frame = queue_.front();
+  const bool frame_ok = net_.medium().finish_tx(medium_id, net_.rng());
+
+  bool routed = false;
+  if (frame_ok) {
+    routed = net_.route(id_, frame.dest, frame.seq, frame.payload, sim_.now());
+  }
+
+  if (!routed) {
+    // No ACK will come; model the ack-wait as elapsed before retrying.
+    sim_.schedule_in(phy::kAckWait154, [this] { on_ack_timeout(); });
+    return;
+  }
+
+  // Destination acknowledges after one turnaround; the ACK occupies the
+  // medium and can itself be destroyed by a collision.
+  const sim::TimePoint ack_start = sim_.now() + phy::kTurnaround154;
+  const std::uint64_t ack_id = net_.medium().begin_tx(frame.dest, ack_start,
+                                                      phy::kAckAirtime154);
+  sim_.schedule_at(ack_start + phy::kAckAirtime154, [this, ack_id] {
+    const bool ack_ok = net_.medium().finish_tx(ack_id, net_.rng());
+    if (ack_ok) {
+      finish_frame(true, nullptr);
+    } else {
+      on_ack_timeout();
+    }
+  });
+}
+
+void Mac::on_ack_timeout() {
+  ++retries_;
+  if (retries_ > config_.max_frame_retries) {
+    finish_frame(false, &stats_.drop_retries);
+    return;
+  }
+  nb_ = 0;
+  be_ = config_.min_be;
+  start_csma_round();
+}
+
+void Mac::finish_frame(bool ok, std::uint64_t* drop_counter) {
+  assert(!queue_.empty());
+  if (ok) {
+    ++stats_.tx_ok;
+  } else if (drop_counter != nullptr) {
+    ++*drop_counter;
+  }
+  const NodeId dest = queue_.front().dest;
+  queue_used_bytes_ -= queue_.front().payload.size();
+  queue_.pop_front();
+  busy_ = false;
+  if (tx_done_) tx_done_(dest, ok);
+  // Respect the interframe spacing before contending again.
+  sim_.schedule_in(kLifs, [this] { kick(); });
+}
+
+void Mac::deliver(NodeId src, std::uint8_t seq, const std::vector<std::uint8_t>& payload,
+                  sim::TimePoint at, bool& acked) {
+  acked = true;  // unicast to us: always acknowledged
+  auto it = last_seq_.find(src);
+  if (it != last_seq_.end() && it->second == seq) {
+    ++stats_.rx_duplicates;  // retransmission of a frame whose ACK was lost
+    return;
+  }
+  last_seq_[src] = seq;
+  ++stats_.rx_frames;
+  if (rx_) rx_(src, payload, at);
+}
+
+Network154::Network154(sim::Simulator& sim, double base_per)
+    : sim_{sim}, medium_{base_per}, rng_{sim.make_rng()} {}
+
+Mac& Network154::add_node(NodeId id, MacConfig config) {
+  assert(by_id_.find(id) == by_id_.end());
+  nodes_.push_back(std::make_unique<Mac>(sim_, *this, id, config, sim_.make_rng()));
+  Mac& ref = *nodes_.back();
+  by_id_[id] = &ref;
+  return ref;
+}
+
+Mac* Network154::find(NodeId id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+bool Network154::route(NodeId src, NodeId dest, std::uint8_t seq,
+                       const std::vector<std::uint8_t>& payload, sim::TimePoint at) {
+  Mac* d = find(dest);
+  if (d == nullptr) return false;
+  bool acked = false;
+  d->deliver(src, seq, payload, at, acked);
+  return acked;
+}
+
+}  // namespace mgap::ieee802154

@@ -1,0 +1,144 @@
+#pragma once
+// IEEE 802.15.4 unslotted CSMA/CA MAC with immediate acknowledgments —
+// the comparison baseline of section 5.3. Contrasts with BLE on exactly the
+// axes the paper names: contention-based medium access (vs time-sliced
+// channel hopping), small backoff delays (vs connection-interval queueing),
+// and drop-after-retries (vs retransmit-until-acked).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "phy/ieee802154_phy.hpp"
+#include "phy/medium154.hpp"
+#include "sim/ids.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace mgap::sim {
+class Simulator;
+}
+
+namespace mgap::ieee802154 {
+
+class Network154;
+
+struct MacConfig {
+  unsigned min_be{3};              // macMinBE
+  unsigned max_be{5};              // macMaxBE
+  unsigned max_csma_backoffs{4};   // macMaxCSMABackoffs
+  unsigned max_frame_retries{3};   // macMaxFrameRetries
+  std::size_t queue_bytes{6600};   // driver TX queue budget
+};
+
+struct MacStats {
+  std::uint64_t tx_ok{0};            // acked frames
+  std::uint64_t drop_csma{0};        // channel access failure
+  std::uint64_t drop_retries{0};     // retry budget exhausted
+  std::uint64_t drop_queue{0};       // TX queue overflow
+  std::uint64_t tx_attempts{0};      // frames put on air (incl. retries)
+  std::uint64_t rx_frames{0};        // unique frames delivered up
+  std::uint64_t rx_duplicates{0};
+};
+
+class Mac {
+ public:
+  /// Called for every unique frame addressed to this node.
+  using RxCallback =
+      std::function<void(NodeId src, std::vector<std::uint8_t> payload, sim::TimePoint at)>;
+  /// Called when a queued frame leaves the MAC (acked or dropped); the TX
+  /// queue has room again.
+  using TxDoneCallback = std::function<void(NodeId dest, bool ok)>;
+
+  // MAC header (FCF 2 + seq 1 + PAN 2 + dst 2 + src 2) + FCS 2.
+  static constexpr std::size_t kMacOverhead = 11;
+
+  Mac(sim::Simulator& sim, Network154& net, NodeId id, MacConfig config, sim::Rng rng);
+
+  Mac(const Mac&) = delete;
+  Mac& operator=(const Mac&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  void set_rx(RxCallback cb) { rx_ = std::move(cb); }
+  void set_tx_done(TxDoneCallback cb) { tx_done_ = std::move(cb); }
+
+  /// Queues a frame for `dest`. Returns false when the TX queue is full.
+  bool send(NodeId dest, std::vector<std::uint8_t> payload);
+
+  [[nodiscard]] const MacStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t queue_len() const { return queue_.size(); }
+
+  /// Maximum MAC payload that still fits a single PHY frame.
+  [[nodiscard]] static constexpr std::size_t max_payload() {
+    return phy::kMaxPsdu154 - kMacOverhead;
+  }
+
+  // --- internal (Network154) -------------------------------------------------
+  void deliver(NodeId src, std::uint8_t seq, const std::vector<std::uint8_t>& payload,
+               sim::TimePoint at, bool& acked);
+
+ private:
+  struct Frame {
+    NodeId dest;
+    std::vector<std::uint8_t> payload;
+    std::uint8_t seq;
+  };
+
+  void kick();                 // start CSMA for the queue head when idle
+  void start_csma_round();     // one backoff + CCA attempt
+  void do_cca();
+  void transmit();
+  void on_tx_done(std::uint64_t medium_id);
+  void on_ack_timeout();
+  void finish_frame(bool ok, std::uint64_t* drop_counter);
+
+  sim::Simulator& sim_;
+  Network154& net_;
+  NodeId id_;
+  MacConfig config_;
+  sim::Rng rng_;
+  RxCallback rx_;
+  TxDoneCallback tx_done_;
+  MacStats stats_;
+
+  std::deque<Frame> queue_;
+  std::size_t queue_used_bytes_{0};
+  bool busy_{false};           // CSMA/TX state machine active
+  unsigned nb_{0};             // backoff rounds this attempt
+  unsigned be_{0};             // current backoff exponent
+  unsigned retries_{0};
+  std::uint8_t next_seq_{0};
+
+  std::map<NodeId, std::uint8_t> last_seq_;  // duplicate rejection
+};
+
+/// Single-PAN, single-channel collision domain tying all MACs together.
+class Network154 {
+ public:
+  Network154(sim::Simulator& sim, double base_per = 0.01);
+
+  Mac& add_node(NodeId id, MacConfig config = {});
+  [[nodiscard]] Mac* find(NodeId id) const;
+
+  [[nodiscard]] phy::Medium154& medium() { return medium_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+
+  /// Delivers a successfully transmitted frame; returns true when the
+  /// destination exists and acknowledged it (the ACK itself is then simulated
+  /// by the caller).
+  bool route(NodeId src, NodeId dest, std::uint8_t seq,
+             const std::vector<std::uint8_t>& payload, sim::TimePoint at);
+
+ private:
+  sim::Simulator& sim_;
+  phy::Medium154 medium_;
+  std::vector<std::unique_ptr<Mac>> nodes_;
+  std::map<NodeId, Mac*> by_id_;
+  sim::Rng rng_;
+};
+
+}  // namespace mgap::ieee802154

@@ -1,0 +1,66 @@
+#pragma once
+// RFC 1071 Internet checksum, used by UDP over IPv6 (mandatory).
+
+#include <cstdint>
+#include <span>
+
+#include "net/ipv6_addr.hpp"
+
+namespace mgap::net {
+
+/// Accumulating one's-complement sum.
+class Checksum {
+ public:
+  void add(std::span<const std::uint8_t> data) {
+    for (const std::uint8_t byte : data) {
+      if (odd_) {
+        sum_ += static_cast<std::uint32_t>(pending_) << 8 | byte;
+        odd_ = false;
+      } else {
+        pending_ = byte;
+        odd_ = true;
+      }
+    }
+  }
+
+  void add_u16(std::uint16_t v) {
+    const std::uint8_t b[2] = {static_cast<std::uint8_t>(v >> 8),
+                               static_cast<std::uint8_t>(v & 0xFF)};
+    add(b);
+  }
+
+  void add_u32(std::uint32_t v) {
+    add_u16(static_cast<std::uint16_t>(v >> 16));
+    add_u16(static_cast<std::uint16_t>(v & 0xFFFF));
+  }
+
+  [[nodiscard]] std::uint16_t finish() {
+    if (odd_) {
+      sum_ += static_cast<std::uint32_t>(pending_) << 8;
+      odd_ = false;
+    }
+    std::uint32_t s = sum_;
+    while (s >> 16) s = (s & 0xFFFF) + (s >> 16);
+    const auto folded = static_cast<std::uint16_t>(~s & 0xFFFF);
+    return folded == 0 ? 0xFFFF : folded;  // UDP: all-zero transmitted as all-one
+  }
+
+ private:
+  std::uint32_t sum_{0};
+  std::uint8_t pending_{0};
+  bool odd_{false};
+};
+
+/// UDP-over-IPv6 checksum with pseudo header (RFC 8200 section 8.1).
+[[nodiscard]] inline std::uint16_t udp6_checksum(const Ipv6Addr& src, const Ipv6Addr& dst,
+                                                 std::span<const std::uint8_t> udp) {
+  Checksum cs;
+  cs.add(src.bytes());
+  cs.add(dst.bytes());
+  cs.add_u32(static_cast<std::uint32_t>(udp.size()));
+  cs.add_u32(17);  // next header = UDP
+  cs.add(udp);
+  return cs.finish();
+}
+
+}  // namespace mgap::net

@@ -1,0 +1,178 @@
+#include "net/ip_stack.hpp"
+
+#include <cassert>
+
+#include "sim/simulator.hpp"
+
+namespace mgap::net {
+
+IpStack::IpStack(sim::Simulator& sim, NodeId node, Netif& netif, IpStackConfig config)
+    : sim_{sim},
+      node_{node},
+      netif_{netif},
+      config_{config},
+      pktbuf_{config.pktbuf_bytes},
+      nib_{config.nib_capacity} {
+  netif_.set_rx([this](NodeId src, std::vector<std::uint8_t> frame, sim::TimePoint at) {
+    on_frame(src, std::move(frame), at);
+  });
+  netif_.set_writable([this](NodeId next_hop) { try_drain(next_hop); });
+  netif_.set_neighbor_down([this](NodeId neighbor) { flush_neighbor(neighbor); });
+}
+
+void IpStack::udp_bind(std::uint16_t port, UdpHandler handler) {
+  udp_handlers_[port] = std::move(handler);
+}
+
+bool IpStack::udp_send(const Ipv6Addr& dst, std::uint16_t src_port, std::uint16_t dst_port,
+                       std::vector<std::uint8_t> payload) {
+  const std::vector<std::uint8_t> udp =
+      udp_encode(address(), dst, src_port, dst_port, payload);
+  Ipv6Header h;
+  h.src = address();
+  h.dst = dst;
+  h.next_header = kProtoUdp;
+  h.hop_limit = kDefaultHopLimit;
+  ++stats_.udp_sent;
+  return output(ipv6_encode(h, udp));
+}
+
+bool IpStack::output(std::vector<std::uint8_t> packet) {
+  const auto h = ipv6_decode(packet);
+  if (!h) {
+    ++stats_.drop_malformed;
+    return false;
+  }
+  const auto next_hop_addr = routes_.lookup(h->dst);
+  if (!next_hop_addr) {
+    ++stats_.drop_no_route;
+    return false;
+  }
+  const auto next_hop = nib_.resolve(*next_hop_addr);
+  if (!next_hop) {
+    ++stats_.drop_no_neighbor;
+    return false;
+  }
+  if (!netif_.neighbor_up(*next_hop)) {
+    // Traffic that would traverse a broken link is dropped (section 5.1).
+    ++stats_.drop_link_down;
+    return false;
+  }
+
+  const std::vector<std::uint8_t> encoded =
+      sixlo_encode(packet, config_.compression, node_, *next_hop);
+  auto frames = sixlo_fragment(encoded, netif_.mtu(), frag_tag_++);
+
+  for (auto& frame : frames) {
+    if (!pktbuf_.alloc(frame.size() + config_.pkt_overhead)) {
+      // The shared packet buffer overflows: the section 5.2 loss mechanism.
+      ++stats_.drop_pktbuf;
+      return false;
+    }
+    pending_[*next_hop].push_back(Pending{std::move(frame)});
+  }
+  try_drain(*next_hop);
+  return true;
+}
+
+void IpStack::try_drain(NodeId next_hop) {
+  auto it = pending_.find(next_hop);
+  if (it == pending_.end()) return;
+  auto& q = it->second;
+  while (!q.empty()) {
+    if (!netif_.neighbor_up(next_hop)) break;  // flushed via neighbor_down signal
+    // Copy: the netif may consume the frame, but on failure we keep ours.
+    if (!netif_.send(next_hop, q.front().frame)) break;
+    pktbuf_.free(q.front().frame.size() + config_.pkt_overhead);
+    q.pop_front();
+  }
+}
+
+void IpStack::flush_neighbor(NodeId neighbor) {
+  auto it = pending_.find(neighbor);
+  if (it == pending_.end()) return;
+  for (const Pending& p : it->second) {
+    pktbuf_.free(p.frame.size() + config_.pkt_overhead);
+    ++stats_.drop_link_down;
+  }
+  it->second.clear();
+}
+
+std::size_t IpStack::queued_bytes(NodeId next_hop) const {
+  auto it = pending_.find(next_hop);
+  if (it == pending_.end()) return 0;
+  std::size_t total = 0;
+  for (const Pending& p : it->second) total += p.frame.size();
+  return total;
+}
+
+void IpStack::on_frame(NodeId src, std::vector<std::uint8_t> frame, sim::TimePoint at) {
+  // GNRC allocates every received frame in the shared pktbuf before
+  // processing; under TX backlog arriving packets are dropped right here.
+  const std::size_t rx_charge = frame.size() + config_.pkt_overhead;
+  if (!pktbuf_.alloc(rx_charge)) {
+    ++stats_.drop_pktbuf;
+    return;
+  }
+  struct Release {
+    Pktbuf& buf;
+    std::size_t n;
+    ~Release() { buf.free(n); }
+  } release{pktbuf_, rx_charge};
+
+  std::vector<std::uint8_t> encoded;
+  if (sixlo_is_fragment(frame)) {
+    auto done = reasm_.feed(src, frame, at);
+    if (!done) return;  // waiting for more fragments
+    encoded = std::move(*done);
+  } else {
+    encoded = std::move(frame);
+  }
+  auto packet = sixlo_decode(encoded, src, node_);
+  if (!packet) {
+    ++stats_.drop_malformed;
+    return;
+  }
+  ++stats_.rx_packets;
+  handle_packet(std::move(*packet), at);
+}
+
+void IpStack::handle_packet(std::vector<std::uint8_t> packet, sim::TimePoint at) {
+  const auto h = ipv6_decode(packet);
+  if (!h) {
+    ++stats_.drop_malformed;
+    return;
+  }
+  if (h->dst == address() || h->dst == link_local()) {
+    deliver_local(*h, packet, at);
+    return;
+  }
+  // Forwarding (the node is a 6LoWPAN router, section 4.2).
+  if (!ipv6_decrement_hop_limit(packet)) {
+    ++stats_.drop_hop_limit;
+    return;
+  }
+  if (output(std::move(packet))) ++stats_.forwarded;
+}
+
+void IpStack::deliver_local(const Ipv6Header& h, std::span<const std::uint8_t> packet,
+                            sim::TimePoint at) {
+  if (h.next_header != kProtoUdp) {
+    ++stats_.drop_no_handler;
+    return;
+  }
+  auto dg = udp_decode(h.src, h.dst, ipv6_payload(packet));
+  if (!dg) {
+    ++stats_.drop_malformed;
+    return;
+  }
+  auto it = udp_handlers_.find(dg->dst_port);
+  if (it == udp_handlers_.end()) {
+    ++stats_.drop_no_handler;
+    return;
+  }
+  ++stats_.udp_delivered;
+  it->second(h.src, dg->src_port, dg->dst_port, std::move(dg->payload), at);
+}
+
+}  // namespace mgap::net

@@ -1,0 +1,114 @@
+#pragma once
+// The per-node IPv6/6LoWPAN/UDP stack (GNRC equivalent, Figure 5 right side).
+//
+// TX path: UDP encode -> IPv6 encode -> route lookup -> NIB resolve ->
+//          6LoWPAN encode (+ fragmentation) -> per-next-hop queue charged to
+//          the shared pktbuf -> netif.
+// RX path: netif -> reassembly -> 6LoWPAN decode -> local delivery (UDP
+//          dispatch) or forwarding (hop-limit decrement + TX path).
+//
+// All loss points are counted: pktbuf exhaustion (the section 5.2 mechanism),
+// missing route/neighbor, broken links (section 5.1), malformed input.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "net/ipv6_addr.hpp"
+#include "net/netif.hpp"
+#include "net/pktbuf.hpp"
+#include "net/routing.hpp"
+#include "net/sixlowpan.hpp"
+#include "net/udp.hpp"
+
+namespace mgap::sim {
+class Simulator;
+}
+
+namespace mgap::net {
+
+struct IpStackConfig {
+  std::size_t pktbuf_bytes{6144};  // GNRC default (section 4.2)
+  std::size_t nib_capacity{32};    // raised to reach all nodes (section 4.2)
+  CompressionMode compression{CompressionMode::kUncompressed};
+  /// Per-packet bookkeeping cost inside the pktbuf (GNRC pktsnip chains +
+  /// netif headers), charged on top of the raw frame bytes.
+  std::size_t pkt_overhead{200};
+};
+
+struct IpStats {
+  std::uint64_t udp_sent{0};
+  std::uint64_t udp_delivered{0};   // datagrams handed to a bound handler
+  std::uint64_t forwarded{0};
+  std::uint64_t rx_packets{0};
+  std::uint64_t drop_pktbuf{0};
+  std::uint64_t drop_no_route{0};
+  std::uint64_t drop_no_neighbor{0};
+  std::uint64_t drop_link_down{0};
+  std::uint64_t drop_hop_limit{0};
+  std::uint64_t drop_malformed{0};
+  std::uint64_t drop_no_handler{0};
+};
+
+class IpStack {
+ public:
+  using UdpHandler = std::function<void(const Ipv6Addr& src, std::uint16_t src_port,
+                                        std::uint16_t dst_port,
+                                        std::vector<std::uint8_t> payload, sim::TimePoint at)>;
+
+  IpStack(sim::Simulator& sim, NodeId node, Netif& netif, IpStackConfig config = {});
+
+  IpStack(const IpStack&) = delete;
+  IpStack& operator=(const IpStack&) = delete;
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  /// The node's routable (site-prefix) address.
+  [[nodiscard]] Ipv6Addr address() const { return Ipv6Addr::site(node_); }
+  [[nodiscard]] Ipv6Addr link_local() const { return Ipv6Addr::link_local(node_); }
+
+  [[nodiscard]] RoutingTable& routes() { return routes_; }
+  [[nodiscard]] Nib& nib() { return nib_; }
+  [[nodiscard]] Pktbuf& pktbuf() { return pktbuf_; }
+  [[nodiscard]] const IpStats& stats() const { return stats_; }
+
+  void udp_bind(std::uint16_t port, UdpHandler handler);
+
+  /// Sends a UDP datagram; false when it was dropped locally (no route,
+  /// pktbuf full, link down, ...).
+  bool udp_send(const Ipv6Addr& dst, std::uint16_t src_port, std::uint16_t dst_port,
+                std::vector<std::uint8_t> payload);
+
+  /// Bytes queued towards `next_hop` (diagnostics).
+  [[nodiscard]] std::size_t queued_bytes(NodeId next_hop) const;
+
+ private:
+  void on_frame(NodeId src, std::vector<std::uint8_t> frame, sim::TimePoint at);
+  void handle_packet(std::vector<std::uint8_t> packet, sim::TimePoint at);
+  void deliver_local(const Ipv6Header& h, std::span<const std::uint8_t> packet,
+                     sim::TimePoint at);
+  bool output(std::vector<std::uint8_t> packet);
+  void try_drain(NodeId next_hop);
+  void flush_neighbor(NodeId neighbor);
+
+  sim::Simulator& sim_;
+  NodeId node_;
+  Netif& netif_;
+  IpStackConfig config_;
+  Pktbuf pktbuf_;
+  RoutingTable routes_;
+  Nib nib_;
+  IpStats stats_;
+  SixloReassembler reasm_;
+  std::uint16_t frag_tag_{0};
+
+  struct Pending {
+    std::vector<std::uint8_t> frame;
+  };
+  std::map<NodeId, std::deque<Pending>> pending_;
+  std::map<std::uint16_t, UdpHandler> udp_handlers_;
+};
+
+}  // namespace mgap::net

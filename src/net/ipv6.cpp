@@ -1,0 +1,62 @@
+#include "net/ipv6.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mgap::net {
+
+std::vector<std::uint8_t> ipv6_encode(const Ipv6Header& h,
+                                      std::span<const std::uint8_t> payload) {
+  assert(payload.size() <= 0xFFFF);
+  std::vector<std::uint8_t> out;
+  out.reserve(kIpv6HeaderLen + payload.size());
+  const std::uint32_t vtf = 6U << 28 | static_cast<std::uint32_t>(h.traffic_class) << 20 |
+                            (h.flow_label & 0xFFFFF);
+  out.push_back(static_cast<std::uint8_t>(vtf >> 24));
+  out.push_back(static_cast<std::uint8_t>(vtf >> 16));
+  out.push_back(static_cast<std::uint8_t>(vtf >> 8));
+  out.push_back(static_cast<std::uint8_t>(vtf));
+  const auto plen = static_cast<std::uint16_t>(payload.size());
+  out.push_back(static_cast<std::uint8_t>(plen >> 8));
+  out.push_back(static_cast<std::uint8_t>(plen & 0xFF));
+  out.push_back(h.next_header);
+  out.push_back(h.hop_limit);
+  out.insert(out.end(), h.src.bytes().begin(), h.src.bytes().end());
+  out.insert(out.end(), h.dst.bytes().begin(), h.dst.bytes().end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<Ipv6Header> ipv6_decode(std::span<const std::uint8_t> packet) {
+  if (packet.size() < kIpv6HeaderLen) return std::nullopt;
+  if (packet[0] >> 4 != 6) return std::nullopt;
+  Ipv6Header h;
+  h.traffic_class =
+      static_cast<std::uint8_t>((packet[0] & 0x0F) << 4 | (packet[1] & 0xF0) >> 4);
+  h.flow_label = static_cast<std::uint32_t>(packet[1] & 0x0F) << 16 |
+                 static_cast<std::uint32_t>(packet[2]) << 8 | packet[3];
+  h.payload_len = static_cast<std::uint16_t>(packet[4] << 8 | packet[5]);
+  if (packet.size() < kIpv6HeaderLen + h.payload_len) return std::nullopt;
+  h.next_header = packet[6];
+  h.hop_limit = packet[7];
+  std::array<std::uint8_t, 16> a{};
+  std::copy_n(packet.begin() + 8, 16, a.begin());
+  h.src = Ipv6Addr{a};
+  std::copy_n(packet.begin() + 24, 16, a.begin());
+  h.dst = Ipv6Addr{a};
+  return h;
+}
+
+bool ipv6_decrement_hop_limit(std::vector<std::uint8_t>& packet) {
+  assert(packet.size() >= kIpv6HeaderLen);
+  if (packet[7] <= 1) return false;
+  --packet[7];
+  return true;
+}
+
+std::span<const std::uint8_t> ipv6_payload(std::span<const std::uint8_t> packet) {
+  assert(packet.size() >= kIpv6HeaderLen);
+  return packet.subspan(kIpv6HeaderLen);
+}
+
+}  // namespace mgap::net

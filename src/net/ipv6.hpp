@@ -1,0 +1,40 @@
+#pragma once
+// IPv6 header encode/decode (RFC 8200, fixed 40-byte header).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ipv6_addr.hpp"
+
+namespace mgap::net {
+
+inline constexpr std::size_t kIpv6HeaderLen = 40;
+inline constexpr std::uint8_t kProtoUdp = 17;
+inline constexpr std::uint8_t kDefaultHopLimit = 64;
+
+struct Ipv6Header {
+  std::uint8_t traffic_class{0};
+  std::uint32_t flow_label{0};
+  std::uint16_t payload_len{0};
+  std::uint8_t next_header{kProtoUdp};
+  std::uint8_t hop_limit{kDefaultHopLimit};
+  Ipv6Addr src;
+  Ipv6Addr dst;
+};
+
+/// Serializes header + payload into one datagram.
+[[nodiscard]] std::vector<std::uint8_t> ipv6_encode(const Ipv6Header& h,
+                                                    std::span<const std::uint8_t> payload);
+
+/// Parses the header of `packet`; nullopt on malformed input.
+[[nodiscard]] std::optional<Ipv6Header> ipv6_decode(std::span<const std::uint8_t> packet);
+
+/// In-place hop-limit decrement (for forwarding). Returns false when expired.
+[[nodiscard]] bool ipv6_decrement_hop_limit(std::vector<std::uint8_t>& packet);
+
+/// Payload view of a well-formed datagram.
+[[nodiscard]] std::span<const std::uint8_t> ipv6_payload(std::span<const std::uint8_t> packet);
+
+}  // namespace mgap::net

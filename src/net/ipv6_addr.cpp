@@ -1,0 +1,61 @@
+#include "net/ipv6_addr.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mgap::net {
+
+namespace {
+
+std::array<std::uint8_t, 16> with_iid(std::array<std::uint8_t, 8> prefix, NodeId node) {
+  std::array<std::uint8_t, 16> b{};
+  std::copy(prefix.begin(), prefix.end(), b.begin());
+  // IID: zero-extended node id in the low 32 bits.
+  b[12] = static_cast<std::uint8_t>(node >> 24);
+  b[13] = static_cast<std::uint8_t>(node >> 16);
+  b[14] = static_cast<std::uint8_t>(node >> 8);
+  b[15] = static_cast<std::uint8_t>(node);
+  return b;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 8> Ipv6Addr::site_prefix() {
+  return {0xFD, 0x00, 0x6C, 0x6F, 0x62, 0x6C, 0x65, 0x00};
+}
+
+Ipv6Addr Ipv6Addr::link_local(NodeId node) {
+  return Ipv6Addr{with_iid({0xFE, 0x80, 0, 0, 0, 0, 0, 0}, node)};
+}
+
+Ipv6Addr Ipv6Addr::site(NodeId node) {
+  return Ipv6Addr{with_iid(site_prefix(), node)};
+}
+
+bool Ipv6Addr::is_unspecified() const {
+  return std::all_of(b_.begin(), b_.end(), [](std::uint8_t v) { return v == 0; });
+}
+
+bool Ipv6Addr::in_site_prefix() const {
+  const auto prefix = site_prefix();
+  return std::equal(prefix.begin(), prefix.end(), b_.begin());
+}
+
+NodeId Ipv6Addr::node_id() const {
+  if (!is_link_local() && !in_site_prefix()) return kInvalidNode;
+  // The plan keeps bytes 8..11 zero.
+  if (b_[8] != 0 || b_[9] != 0 || b_[10] != 0 || b_[11] != 0) return kInvalidNode;
+  return static_cast<NodeId>(b_[12]) << 24 | static_cast<NodeId>(b_[13]) << 16 |
+         static_cast<NodeId>(b_[14]) << 8 | static_cast<NodeId>(b_[15]);
+}
+
+std::string Ipv6Addr::str() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf,
+                "%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x",
+                b_[0], b_[1], b_[2], b_[3], b_[4], b_[5], b_[6], b_[7], b_[8], b_[9],
+                b_[10], b_[11], b_[12], b_[13], b_[14], b_[15]);
+  return buf;
+}
+
+}  // namespace mgap::net

@@ -1,0 +1,47 @@
+#pragma once
+// IPv6 addresses and the deployment's addressing plan.
+//
+// Every node owns two unicast addresses derived from its link-layer identity
+// (6LoWPAN-ND style): a link-local fe80::<iid> and a routable ULA
+// fd00:6c6f:626c:6500::<iid> ("loble" in hex, the experiment /64). The IID is
+// the 64-bit expansion of the node id, so IPHC can elide addresses entirely.
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "sim/ids.hpp"
+
+namespace mgap::net {
+
+class Ipv6Addr {
+ public:
+  constexpr Ipv6Addr() = default;
+  explicit constexpr Ipv6Addr(const std::array<std::uint8_t, 16>& bytes) : b_{bytes} {}
+
+  [[nodiscard]] static Ipv6Addr link_local(NodeId node);
+  [[nodiscard]] static Ipv6Addr site(NodeId node);
+  /// The experiment ULA prefix fd00:6c6f:626c:6500::/64.
+  [[nodiscard]] static std::array<std::uint8_t, 8> site_prefix();
+
+  [[nodiscard]] const std::array<std::uint8_t, 16>& bytes() const { return b_; }
+  [[nodiscard]] std::uint8_t operator[](std::size_t i) const { return b_[i]; }
+
+  [[nodiscard]] bool is_link_local() const { return b_[0] == 0xFE && (b_[1] & 0xC0) == 0x80; }
+  [[nodiscard]] bool is_unspecified() const;
+  [[nodiscard]] bool in_site_prefix() const;
+
+  /// Extracts the node id when the IID follows the deployment plan;
+  /// kInvalidNode otherwise.
+  [[nodiscard]] NodeId node_id() const;
+
+  [[nodiscard]] std::string str() const;
+
+  friend constexpr auto operator<=>(const Ipv6Addr&, const Ipv6Addr&) = default;
+
+ private:
+  std::array<std::uint8_t, 16> b_{};
+};
+
+}  // namespace mgap::net

@@ -1,0 +1,58 @@
+#pragma once
+// Abstract network interface between the IP stack and a link layer. Two
+// implementations exist: core::NimbleNetif (BLE L2CAP channels, the paper's
+// contribution) and testbed::Netif154 (IEEE 802.15.4 MAC). The same IP stack
+// and benchmark applications run over both — the abstraction the paper uses
+// for its "fair comparison" (section 5.3).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/ids.hpp"
+#include "sim/time.hpp"
+
+namespace mgap::net {
+
+class Netif {
+ public:
+  using RxHandler =
+      std::function<void(NodeId src, std::vector<std::uint8_t> frame, sim::TimePoint at)>;
+  using WritableHandler = std::function<void(NodeId next_hop)>;
+  using NeighborDownHandler = std::function<void(NodeId neighbor)>;
+
+  virtual ~Netif() = default;
+
+  /// Hands one link frame to `next_hop`. Returns false when the link cannot
+  /// take it right now (buffer/credits); the caller keeps the frame and
+  /// retries on the writable signal.
+  virtual bool send(NodeId next_hop, std::vector<std::uint8_t> frame) = 0;
+
+  /// Maximum frame payload the link accepts in one send().
+  [[nodiscard]] virtual std::size_t mtu() const = 0;
+
+  /// Whether a usable link to `neighbor` currently exists.
+  [[nodiscard]] virtual bool neighbor_up(NodeId neighbor) const = 0;
+
+  void set_rx(RxHandler h) { rx_ = std::move(h); }
+  void set_writable(WritableHandler h) { writable_ = std::move(h); }
+  void set_neighbor_down(NeighborDownHandler h) { neighbor_down_ = std::move(h); }
+
+ protected:
+  void deliver_rx(NodeId src, std::vector<std::uint8_t> frame, sim::TimePoint at) {
+    if (rx_) rx_(src, std::move(frame), at);
+  }
+  void signal_writable(NodeId next_hop) {
+    if (writable_) writable_(next_hop);
+  }
+  void signal_neighbor_down(NodeId neighbor) {
+    if (neighbor_down_) neighbor_down_(neighbor);
+  }
+
+ private:
+  RxHandler rx_;
+  WritableHandler writable_;
+  NeighborDownHandler neighbor_down_;
+};
+
+}  // namespace mgap::net

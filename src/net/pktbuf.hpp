@@ -1,0 +1,47 @@
+#pragma once
+// GNRC-style central packet buffer: one fixed byte pool per node shared by
+// every queued packet. The paper leaves it at the RIOT default of 6144 bytes
+// (section 4.2); exhausting it is the dominant loss mechanism under high
+// network load (section 5.2).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mgap::net {
+
+class Pktbuf {
+ public:
+  explicit Pktbuf(std::size_t capacity = 6144) : capacity_{capacity} {}
+
+  /// Reserves `n` bytes; false (and counts a drop opportunity) when the pool
+  /// cannot take them.
+  bool alloc(std::size_t n) {
+    if (used_ + n > capacity_) {
+      ++failed_;
+      return false;
+    }
+    used_ += n;
+    high_water_ = used_ > high_water_ ? used_ : high_water_;
+    ++allocs_;
+    return true;
+  }
+
+  void free(std::size_t n) {
+    used_ = n > used_ ? 0 : used_ - n;
+  }
+
+  [[nodiscard]] std::size_t used() const { return used_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+  [[nodiscard]] std::uint64_t failed_allocs() const { return failed_; }
+  [[nodiscard]] std::uint64_t allocs() const { return allocs_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_{0};
+  std::size_t high_water_{0};
+  std::uint64_t failed_{0};
+  std::uint64_t allocs_{0};
+};
+
+}  // namespace mgap::net

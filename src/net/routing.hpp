@@ -1,0 +1,82 @@
+#pragma once
+// Static routing, mirroring the experiment configuration: routes are
+// installed manually to funnel traffic towards the tree root / line end
+// (section 4.3); RPL-style dynamic routing is future work per the paper.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "net/ipv6_addr.hpp"
+
+namespace mgap::net {
+
+class RoutingTable {
+ public:
+  /// Installs a host route: packets for `dst` go to `next_hop` (a neighbor).
+  void add_host_route(const Ipv6Addr& dst, const Ipv6Addr& next_hop) {
+    host_routes_[dst] = next_hop;
+  }
+
+  void remove_host_route(const Ipv6Addr& dst) { host_routes_.erase(dst); }
+
+  /// Removes every host route whose next hop is `next_hop` (link loss).
+  void remove_routes_via(const Ipv6Addr& next_hop) {
+    std::erase_if(host_routes_, [&](const auto& kv) { return kv.second == next_hop; });
+  }
+
+  /// Installs the default route.
+  void set_default(const Ipv6Addr& next_hop) { default_ = next_hop; }
+  void clear_default() { default_.reset(); }
+
+  /// Next hop for `dst`: host route, else default, else nullopt.
+  [[nodiscard]] std::optional<Ipv6Addr> lookup(const Ipv6Addr& dst) const {
+    auto it = host_routes_.find(dst);
+    if (it != host_routes_.end()) return it->second;
+    return default_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return host_routes_.size(); }
+
+ private:
+  std::map<Ipv6Addr, Ipv6Addr> host_routes_;
+  std::optional<Ipv6Addr> default_;
+};
+
+/// Neighbor information base: maps on-link IPv6 addresses to link-layer
+/// identities. Sized like the experiments' configuration (32 entries,
+/// section 4.2).
+class Nib {
+ public:
+  explicit Nib(std::size_t capacity = 32) : capacity_{capacity} {}
+
+  bool add(const Ipv6Addr& addr, NodeId l2) {
+    auto it = entries_.find(addr);
+    if (it != entries_.end()) {
+      it->second = l2;
+      return true;
+    }
+    if (entries_.size() >= capacity_) return false;
+    entries_[addr] = l2;
+    return true;
+  }
+
+  [[nodiscard]] std::optional<NodeId> resolve(const Ipv6Addr& addr) const {
+    auto it = entries_.find(addr);
+    if (it != entries_.end()) return it->second;
+    // Fall back to the deployment addressing plan (IID == node id), the
+    // moral equivalent of deriving the L2 address from the IID per RFC 7668.
+    const NodeId derived = addr.node_id();
+    if (derived != kInvalidNode) return derived;
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::map<Ipv6Addr, NodeId> entries_;
+};
+
+}  // namespace mgap::net

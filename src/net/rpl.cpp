@@ -1,0 +1,225 @@
+#include "net/rpl.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/simulator.hpp"
+
+namespace mgap::net {
+
+namespace {
+
+constexpr std::uint8_t kMsgDio = 1;
+constexpr std::uint8_t kMsgDao = 2;
+
+std::vector<std::uint8_t> encode_dio(std::uint16_t rank) {
+  return {kMsgDio, static_cast<std::uint8_t>(rank >> 8),
+          static_cast<std::uint8_t>(rank & 0xFF)};
+}
+
+std::vector<std::uint8_t> encode_dao(NodeId target) {
+  return {kMsgDao, static_cast<std::uint8_t>(target >> 24),
+          static_cast<std::uint8_t>(target >> 16),
+          static_cast<std::uint8_t>(target >> 8),
+          static_cast<std::uint8_t>(target & 0xFF)};
+}
+
+}  // namespace
+
+Rpl::Rpl(sim::Simulator& sim, IpStack& stack, NeighborsFn neighbors, RplConfig config)
+    : sim_{sim},
+      stack_{stack},
+      neighbors_{std::move(neighbors)},
+      config_{config},
+      rng_{sim.make_rng()} {
+  stack_.udp_bind(kRplPort, [this](const Ipv6Addr& src, std::uint16_t sport,
+                                   std::uint16_t /*dport*/,
+                                   std::vector<std::uint8_t> payload, sim::TimePoint at) {
+    on_datagram(src, sport, std::move(payload), at);
+  });
+}
+
+void Rpl::start_as_root() {
+  started_ = true;
+  root_ = true;
+  set_rank(kRplRootRank);
+  reset_trickle();
+}
+
+void Rpl::start() {
+  started_ = true;
+  // Nothing to do until a DIO arrives; make sure we answer quickly once the
+  // first neighbor appears (neighbor_up resets trickle).
+}
+
+void Rpl::set_rank(std::uint16_t rank) {
+  if (rank == rank_) return;
+  rank_ = rank;
+  if (rank_changed_) rank_changed_(rank_);
+}
+
+void Rpl::on_datagram(const Ipv6Addr& src, std::uint16_t /*sport*/,
+                      std::vector<std::uint8_t> msg, sim::TimePoint at) {
+  if (!started_ || msg.empty()) return;
+  const NodeId from = src.node_id();
+  if (from == kInvalidNode) return;
+  switch (msg[0]) {
+    case kMsgDio: {
+      if (msg.size() < 3) return;
+      const auto rank = static_cast<std::uint16_t>(msg[1] << 8 | msg[2]);
+      ++stats_.dio_rx;
+      handle_dio(from, rank, at);
+      break;
+    }
+    case kMsgDao: {
+      if (msg.size() < 5) return;
+      const NodeId target = static_cast<NodeId>(msg[1]) << 24 |
+                            static_cast<NodeId>(msg[2]) << 16 |
+                            static_cast<NodeId>(msg[3]) << 8 | msg[4];
+      ++stats_.dao_rx;
+      handle_dao(from, target);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Rpl::handle_dio(NodeId from, std::uint16_t rank, sim::TimePoint at) {
+  neighbor_state_[from] = NeighborState{rank, at};
+  if (!root_) evaluate_parent();
+}
+
+void Rpl::evaluate_parent() {
+  // Drop expired neighbor state first.
+  const sim::TimePoint now = sim_.now();
+  std::erase_if(neighbor_state_, [&](const auto& kv) {
+    return now - kv.second.last_heard > config_.neighbor_lifetime;
+  });
+
+  // Best candidate: lowest advertised rank among live link neighbors.
+  const auto live = neighbors_();
+  std::optional<NodeId> best;
+  std::uint16_t best_rank = kRplInfiniteRank;
+  for (const auto& [id, state] : neighbor_state_) {
+    if (state.rank >= kRplInfiniteRank - kRplMinHopRankIncrease) continue;
+    if (std::find(live.begin(), live.end(), id) == live.end()) continue;
+    if (state.rank < best_rank || (state.rank == best_rank && best && id < *best)) {
+      best = id;
+      best_rank = state.rank;
+    }
+  }
+
+  if (!best) {
+    if (parent_) {
+      parent_.reset();
+      stack_.routes().clear_default();
+      set_rank(kRplInfiniteRank);
+      reset_trickle();
+    }
+    return;
+  }
+
+  const auto candidate_rank = static_cast<std::uint16_t>(best_rank + kRplMinHopRankIncrease);
+  const bool better_parent =
+      !parent_ || *best == *parent_ ||
+      candidate_rank + config_.parent_switch_threshold < rank_;
+  if (!better_parent) return;
+
+  const bool changed = !parent_ || *parent_ != *best;
+  if (changed) {
+    parent_ = best;
+    ++stats_.parent_changes;
+    stack_.routes().set_default(Ipv6Addr::site(*best));
+    reset_trickle();
+    send_dao();
+    schedule_dao();
+  }
+  set_rank(candidate_rank);
+}
+
+void Rpl::handle_dao(NodeId from, NodeId target) {
+  if (!joined() && !root_) return;
+  if (target == stack_.node()) return;  // nonsense
+  // Storing mode: remember the downward next hop and propagate rootwards.
+  auto it = downward_.find(target);
+  if (it == downward_.end() || it->second != from) {
+    downward_[target] = from;
+    ++stats_.routes_installed;
+    stack_.routes().add_host_route(Ipv6Addr::site(target), Ipv6Addr::site(from));
+  }
+  if (!root_ && parent_) {
+    ++stats_.dao_tx;
+    (void)stack_.udp_send(Ipv6Addr::site(*parent_), kRplPort, kRplPort,
+                          encode_dao(target));
+  }
+}
+
+void Rpl::send_dao() {
+  if (root_ || !parent_) return;
+  ++stats_.dao_tx;
+  (void)stack_.udp_send(Ipv6Addr::site(*parent_), kRplPort, kRplPort,
+                        encode_dao(stack_.node()));
+}
+
+void Rpl::schedule_dao() {
+  sim_.cancel(dao_timer_);  // cancellation alone invalidates the old timer
+  const sim::Duration jitter =
+      rng_.uniform_duration(sim::Duration{}, config_.dao_interval / 4);
+  dao_timer_ = sim_.schedule_in(config_.dao_interval + jitter, [this] {
+    send_dao();
+    schedule_dao();
+  });
+}
+
+void Rpl::send_dio_round() {
+  if (!joined()) return;
+  const auto msg = encode_dio(rank_);
+  for (const NodeId n : neighbors_()) {
+    ++stats_.dio_tx;
+    (void)stack_.udp_send(Ipv6Addr::site(n), kRplPort, kRplPort, msg);
+  }
+}
+
+void Rpl::schedule_trickle() {
+  // Fire at a uniform point in the second half of the interval (trickle's t).
+  const sim::Duration t = rng_.uniform_duration(trickle_i_ / 2, trickle_i_);
+  trickle_timer_ = sim_.schedule_in(t, [this] {
+    send_dio_round();
+    trickle_i_ = sim::min(trickle_i_ * 2, config_.trickle_imax);
+    schedule_trickle();
+  });
+}
+
+void Rpl::reset_trickle() {
+  if (!started_) return;
+  sim_.cancel(trickle_timer_);
+  trickle_i_ = config_.trickle_imin;
+  schedule_trickle();
+}
+
+void Rpl::neighbor_down(NodeId neighbor) {
+  neighbor_state_.erase(neighbor);
+  // Purge the on-link route and every downward route through the neighbor.
+  stack_.routes().remove_host_route(Ipv6Addr::site(neighbor));
+  stack_.routes().remove_routes_via(Ipv6Addr::site(neighbor));
+  std::erase_if(downward_, [&](const auto& kv) { return kv.second == neighbor; });
+  if (parent_ && *parent_ == neighbor) {
+    // Local repair: poison and look for a new parent among known neighbors.
+    parent_.reset();
+    stack_.routes().clear_default();
+    set_rank(kRplInfiniteRank);
+    evaluate_parent();
+    reset_trickle();
+  }
+}
+
+void Rpl::neighbor_up(NodeId neighbor) {
+  if (!started_) return;
+  // On-link route: the neighbor is reachable directly (the 6LoWPAN-ND moral
+  // equivalent; the NIB derives its L2 address from the IID).
+  stack_.routes().add_host_route(Ipv6Addr::site(neighbor), Ipv6Addr::site(neighbor));
+  if (joined()) reset_trickle();  // advertise the DODAG to the newcomer fast
+}
+
+}  // namespace mgap::net

@@ -1,0 +1,131 @@
+#pragma once
+// RPL-lite: a compact storing-mode implementation of the RPL ideas (RFC 6550)
+// the paper names as the common IPv6 routing protocol for low-power networks
+// (section 4.3) and whose coupling with BLE topologies it lists as future
+// work (section 9).
+//
+// Supported: DODAG formation from a single root, rank = parent rank + 256,
+// trickle-paced DIOs to link neighbors, hop-by-hop DAOs installing downward
+// host routes (storing mode), parent loss -> rank poisoning and local repair.
+// Deliberately out of scope: multiple instances/DODAGs, objective functions
+// beyond hop count, security, non-storing mode.
+//
+// Deviations from the RFC (documented): control messages ride UDP (port 521)
+// instead of ICMPv6, and DIOs are unicast to each connected BLE neighbor
+// (there is no broadcast medium on connection-based BLE links; 6BLEMesh
+// routes over the connections the same way).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/ip_stack.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/ids.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace mgap::sim {
+class Simulator;
+}
+
+namespace mgap::net {
+
+inline constexpr std::uint16_t kRplPort = 521;
+inline constexpr std::uint16_t kRplInfiniteRank = 0xFFFF;
+inline constexpr std::uint16_t kRplRootRank = 256;
+inline constexpr std::uint16_t kRplMinHopRankIncrease = 256;
+
+struct RplConfig {
+  sim::Duration trickle_imin{sim::Duration::ms(500)};
+  sim::Duration trickle_imax{sim::Duration::sec(32)};
+  sim::Duration dao_interval{sim::Duration::sec(10)};
+  /// A better parent must improve the rank by at least this much (hysteresis
+  /// against parent flapping).
+  std::uint16_t parent_switch_threshold{kRplMinHopRankIncrease / 2};
+  /// Neighbor DIO state expires after this long without refresh.
+  sim::Duration neighbor_lifetime{sim::Duration::sec(90)};
+};
+
+struct RplStats {
+  std::uint64_t dio_tx{0};
+  std::uint64_t dio_rx{0};
+  std::uint64_t dao_tx{0};
+  std::uint64_t dao_rx{0};
+  std::uint64_t parent_changes{0};
+  std::uint64_t routes_installed{0};
+};
+
+class Rpl {
+ public:
+  /// Enumerates the node ids of currently connected link neighbors.
+  using NeighborsFn = std::function<std::vector<NodeId>()>;
+  /// Fired whenever the rank changes (kRplInfiniteRank = left the DODAG).
+  using RankChangedCb = std::function<void(std::uint16_t rank)>;
+
+  Rpl(sim::Simulator& sim, IpStack& stack, NeighborsFn neighbors, RplConfig config = {});
+
+  Rpl(const Rpl&) = delete;
+  Rpl& operator=(const Rpl&) = delete;
+
+  /// Joins as DODAG root (the border router / consumer).
+  void start_as_root();
+  /// Joins as a regular node: waits for DIOs from neighbors.
+  void start();
+
+  void set_rank_changed(RankChangedCb cb) { rank_changed_ = std::move(cb); }
+
+  [[nodiscard]] bool is_root() const { return root_; }
+  [[nodiscard]] bool joined() const { return rank_ != kRplInfiniteRank; }
+  [[nodiscard]] std::uint16_t rank() const { return rank_; }
+  [[nodiscard]] std::optional<NodeId> parent() const { return parent_; }
+  [[nodiscard]] const RplStats& stats() const { return stats_; }
+
+  /// Link-layer notification: a neighbor's connection dropped. Loses routes
+  /// through it; losing the preferred parent poisons the rank and triggers
+  /// local repair.
+  void neighbor_down(NodeId neighbor);
+  /// A new neighbor appeared: reset trickle so it learns the DODAG quickly.
+  void neighbor_up(NodeId neighbor);
+
+ private:
+  struct NeighborState {
+    std::uint16_t rank{kRplInfiniteRank};
+    sim::TimePoint last_heard;
+  };
+
+  void on_datagram(const Ipv6Addr& src, std::uint16_t sport, std::vector<std::uint8_t> msg,
+                   sim::TimePoint at);
+  void handle_dio(NodeId from, std::uint16_t rank, sim::TimePoint at);
+  void handle_dao(NodeId from, NodeId target);
+  void evaluate_parent();
+  void set_rank(std::uint16_t rank);
+  void send_dio_round();
+  void schedule_trickle();
+  void reset_trickle();
+  void send_dao();
+  void schedule_dao();
+
+  sim::Simulator& sim_;
+  IpStack& stack_;
+  NeighborsFn neighbors_;
+  RplConfig config_;
+  RplStats stats_;
+  sim::Rng rng_;
+  RankChangedCb rank_changed_;
+
+  bool started_{false};
+  bool root_{false};
+  std::uint16_t rank_{kRplInfiniteRank};
+  std::optional<NodeId> parent_;
+  std::map<NodeId, NeighborState> neighbor_state_;
+  std::map<NodeId, NodeId> downward_;  // target -> next hop (storing mode)
+
+  sim::Duration trickle_i_{};
+  sim::EventId trickle_timer_;
+  sim::EventId dao_timer_;
+};
+
+}  // namespace mgap::net

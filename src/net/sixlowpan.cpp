@@ -1,0 +1,376 @@
+#include "net/sixlowpan.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/ipv6.hpp"
+#include "net/udp.hpp"
+
+namespace mgap::net {
+
+namespace {
+
+constexpr std::uint8_t kDispatchUncompressed = 0x41;
+constexpr std::uint8_t kDispatchIphcMask = 0xE0;   // 011xxxxx
+constexpr std::uint8_t kDispatchIphc = 0x60;
+constexpr std::uint8_t kDispatchFrag1Mask = 0xF8;  // 11000xxx
+constexpr std::uint8_t kDispatchFrag1 = 0xC0;
+constexpr std::uint8_t kDispatchFragNMask = 0xF8;  // 11100xxx
+constexpr std::uint8_t kDispatchFragN = 0xE0;
+constexpr std::uint8_t kNhcUdpMask = 0xF8;         // 11110xPP
+constexpr std::uint8_t kNhcUdp = 0xF0;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+// Address compression: returns (stateful, mode) and appends inline bytes.
+// mode 3 = fully elided (IID derivable from L2), 1 = 64-bit IID inline,
+// 0 = full 16 bytes inline.
+struct AddrComp {
+  bool stateful{false};
+  std::uint8_t mode{0};
+};
+
+AddrComp compress_addr(const Ipv6Addr& addr, NodeId l2, std::vector<std::uint8_t>& inline_bytes) {
+  const bool derivable = addr.node_id() != kInvalidNode && addr.node_id() == l2;
+  if (addr.is_link_local()) {
+    if (derivable) return {false, 3};
+    inline_bytes.insert(inline_bytes.end(), addr.bytes().begin() + 8, addr.bytes().end());
+    return {false, 1};
+  }
+  if (addr.in_site_prefix()) {  // shared context 0
+    if (derivable) return {true, 3};
+    inline_bytes.insert(inline_bytes.end(), addr.bytes().begin() + 8, addr.bytes().end());
+    return {true, 1};
+  }
+  inline_bytes.insert(inline_bytes.end(), addr.bytes().begin(), addr.bytes().end());
+  return {false, 0};
+}
+
+Ipv6Addr decompress_addr(bool stateful, std::uint8_t mode, NodeId l2,
+                         std::span<const std::uint8_t>& cursor, bool& ok) {
+  std::array<std::uint8_t, 16> b{};
+  const auto prefix = stateful ? Ipv6Addr::site_prefix()
+                               : std::array<std::uint8_t, 8>{0xFE, 0x80, 0, 0, 0, 0, 0, 0};
+  switch (mode) {
+    case 3:
+      return stateful ? Ipv6Addr::site(l2) : Ipv6Addr::link_local(l2);
+    case 1: {
+      if (cursor.size() < 8) {
+        ok = false;
+        return {};
+      }
+      std::copy(prefix.begin(), prefix.end(), b.begin());
+      std::copy_n(cursor.begin(), 8, b.begin() + 8);
+      cursor = cursor.subspan(8);
+      return Ipv6Addr{b};
+    }
+    case 0: {
+      if (cursor.size() < 16) {
+        ok = false;
+        return {};
+      }
+      std::copy_n(cursor.begin(), 16, b.begin());
+      cursor = cursor.subspan(16);
+      return Ipv6Addr{b};
+    }
+    default:
+      ok = false;
+      return {};
+  }
+}
+
+std::vector<std::uint8_t> iphc_encode(std::span<const std::uint8_t> packet, NodeId l2_src,
+                                      NodeId l2_dst) {
+  const auto h = ipv6_decode(packet);
+  assert(h.has_value());
+  const auto payload = ipv6_payload(packet);
+
+  std::vector<std::uint8_t> src_inline;
+  std::vector<std::uint8_t> dst_inline;
+  const AddrComp sc = compress_addr(h->src, l2_src, src_inline);
+  const AddrComp dc = compress_addr(h->dst, l2_dst, dst_inline);
+  const bool cid = sc.stateful || dc.stateful;
+
+  const bool tf_elided = h->traffic_class == 0 && h->flow_label == 0;
+  const bool udp_nhc = h->next_header == kProtoUdp && payload.size() >= kUdpHeaderLen;
+
+  std::uint8_t hlim_mode = 0;
+  if (h->hop_limit == 1) hlim_mode = 1;
+  else if (h->hop_limit == 64) hlim_mode = 2;
+  else if (h->hop_limit == 255) hlim_mode = 3;
+
+  std::vector<std::uint8_t> out;
+  out.reserve(packet.size());
+  const std::uint8_t byte0 = static_cast<std::uint8_t>(
+      kDispatchIphc | (tf_elided ? 0x18 : 0x00) | (udp_nhc ? 0x04 : 0x00) | hlim_mode);
+  const std::uint8_t byte1 = static_cast<std::uint8_t>(
+      (cid ? 0x80 : 0x00) | (sc.stateful ? 0x40 : 0x00) |
+      static_cast<std::uint8_t>(sc.mode << 4) | (dc.stateful ? 0x04 : 0x00) | dc.mode);
+  out.push_back(byte0);
+  out.push_back(byte1);
+  if (cid) out.push_back(0x00);  // context 0 for both
+
+  if (!tf_elided) {
+    out.push_back(h->traffic_class);
+    out.push_back(static_cast<std::uint8_t>((h->flow_label >> 16) & 0x0F));
+    out.push_back(static_cast<std::uint8_t>((h->flow_label >> 8) & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(h->flow_label & 0xFF));
+  }
+  if (!udp_nhc) out.push_back(h->next_header);
+  if (hlim_mode == 0) out.push_back(h->hop_limit);
+  out.insert(out.end(), src_inline.begin(), src_inline.end());
+  out.insert(out.end(), dst_inline.begin(), dst_inline.end());
+
+  if (udp_nhc) {
+    const auto sport = static_cast<std::uint16_t>(payload[0] << 8 | payload[1]);
+    const auto dport = static_cast<std::uint16_t>(payload[2] << 8 | payload[3]);
+    std::uint8_t p = 0;
+    if ((sport & 0xFFF0) == 0xF0B0 && (dport & 0xFFF0) == 0xF0B0) p = 3;
+    else if ((sport & 0xFF00) == 0xF000) p = 2;
+    else if ((dport & 0xFF00) == 0xF000) p = 1;
+    out.push_back(static_cast<std::uint8_t>(kNhcUdp | p));  // C=0: checksum carried
+    switch (p) {
+      case 3:
+        out.push_back(static_cast<std::uint8_t>((sport & 0x0F) << 4 | (dport & 0x0F)));
+        break;
+      case 2:
+        out.push_back(static_cast<std::uint8_t>(sport & 0xFF));
+        put_u16(out, dport);
+        break;
+      case 1:
+        put_u16(out, sport);
+        out.push_back(static_cast<std::uint8_t>(dport & 0xFF));
+        break;
+      default:
+        put_u16(out, sport);
+        put_u16(out, dport);
+        break;
+    }
+    out.push_back(payload[6]);  // checksum
+    out.push_back(payload[7]);
+    out.insert(out.end(), payload.begin() + kUdpHeaderLen, payload.end());
+  } else {
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> iphc_decode(std::span<const std::uint8_t> frame,
+                                                     NodeId l2_src, NodeId l2_dst) {
+  if (frame.size() < 2) return std::nullopt;
+  const std::uint8_t byte0 = frame[0];
+  const std::uint8_t byte1 = frame[1];
+  const bool tf_elided = (byte0 & 0x18) == 0x18;
+  const bool udp_nhc = (byte0 & 0x04) != 0;
+  const std::uint8_t hlim_mode = byte0 & 0x03;
+  const bool cid = (byte1 & 0x80) != 0;
+  const bool sac = (byte1 & 0x40) != 0;
+  const auto sam = static_cast<std::uint8_t>((byte1 >> 4) & 0x03);
+  const bool dac = (byte1 & 0x04) != 0;
+  const auto dam = static_cast<std::uint8_t>(byte1 & 0x03);
+
+  std::span<const std::uint8_t> cursor = frame.subspan(2);
+  if (cid) {
+    if (cursor.empty()) return std::nullopt;
+    cursor = cursor.subspan(1);  // only context 0 exists
+  }
+
+  Ipv6Header h;
+  if (!tf_elided) {
+    if (cursor.size() < 4) return std::nullopt;
+    h.traffic_class = cursor[0];
+    h.flow_label = static_cast<std::uint32_t>(cursor[1] & 0x0F) << 16 |
+                   static_cast<std::uint32_t>(cursor[2]) << 8 | cursor[3];
+    cursor = cursor.subspan(4);
+  }
+  if (!udp_nhc) {
+    if (cursor.empty()) return std::nullopt;
+    h.next_header = cursor[0];
+    cursor = cursor.subspan(1);
+  } else {
+    h.next_header = kProtoUdp;
+  }
+  switch (hlim_mode) {
+    case 0:
+      if (cursor.empty()) return std::nullopt;
+      h.hop_limit = cursor[0];
+      cursor = cursor.subspan(1);
+      break;
+    case 1: h.hop_limit = 1; break;
+    case 2: h.hop_limit = 64; break;
+    default: h.hop_limit = 255; break;
+  }
+
+  bool ok = true;
+  h.src = decompress_addr(sac, sam, l2_src, cursor, ok);
+  h.dst = decompress_addr(dac, dam, l2_dst, cursor, ok);
+  if (!ok) return std::nullopt;
+
+  std::vector<std::uint8_t> payload;
+  if (udp_nhc) {
+    if (cursor.empty()) return std::nullopt;
+    const std::uint8_t nhc = cursor[0];
+    if ((nhc & kNhcUdpMask) != kNhcUdp) return std::nullopt;
+    const std::uint8_t p = nhc & 0x03;
+    cursor = cursor.subspan(1);
+    std::uint16_t sport = 0;
+    std::uint16_t dport = 0;
+    switch (p) {
+      case 3:
+        if (cursor.empty()) return std::nullopt;
+        sport = static_cast<std::uint16_t>(0xF0B0 | cursor[0] >> 4);
+        dport = static_cast<std::uint16_t>(0xF0B0 | (cursor[0] & 0x0F));
+        cursor = cursor.subspan(1);
+        break;
+      case 2:
+        if (cursor.size() < 3) return std::nullopt;
+        sport = static_cast<std::uint16_t>(0xF000 | cursor[0]);
+        dport = static_cast<std::uint16_t>(cursor[1] << 8 | cursor[2]);
+        cursor = cursor.subspan(3);
+        break;
+      case 1:
+        if (cursor.size() < 3) return std::nullopt;
+        sport = static_cast<std::uint16_t>(cursor[0] << 8 | cursor[1]);
+        dport = static_cast<std::uint16_t>(0xF000 | cursor[2]);
+        cursor = cursor.subspan(3);
+        break;
+      default:
+        if (cursor.size() < 4) return std::nullopt;
+        sport = static_cast<std::uint16_t>(cursor[0] << 8 | cursor[1]);
+        dport = static_cast<std::uint16_t>(cursor[2] << 8 | cursor[3]);
+        cursor = cursor.subspan(4);
+        break;
+    }
+    if (cursor.size() < 2) return std::nullopt;
+    const std::uint8_t cs_hi = cursor[0];
+    const std::uint8_t cs_lo = cursor[1];
+    cursor = cursor.subspan(2);
+
+    const auto udp_len = static_cast<std::uint16_t>(kUdpHeaderLen + cursor.size());
+    payload.reserve(udp_len);
+    put_u16(payload, sport);
+    put_u16(payload, dport);
+    put_u16(payload, udp_len);
+    payload.push_back(cs_hi);
+    payload.push_back(cs_lo);
+    payload.insert(payload.end(), cursor.begin(), cursor.end());
+  } else {
+    payload.assign(cursor.begin(), cursor.end());
+  }
+
+  return ipv6_encode(h, payload);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> sixlo_encode(std::span<const std::uint8_t> ipv6_packet,
+                                       CompressionMode mode, NodeId l2_src, NodeId l2_dst) {
+  if (mode == CompressionMode::kIphc) return iphc_encode(ipv6_packet, l2_src, l2_dst);
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + ipv6_packet.size());
+  out.push_back(kDispatchUncompressed);
+  out.insert(out.end(), ipv6_packet.begin(), ipv6_packet.end());
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> sixlo_decode(std::span<const std::uint8_t> frame,
+                                                      NodeId l2_src, NodeId l2_dst) {
+  if (frame.empty()) return std::nullopt;
+  if (frame[0] == kDispatchUncompressed) {
+    return std::vector<std::uint8_t>{frame.begin() + 1, frame.end()};
+  }
+  if ((frame[0] & kDispatchIphcMask) == kDispatchIphc) {
+    return iphc_decode(frame, l2_src, l2_dst);
+  }
+  return std::nullopt;
+}
+
+bool sixlo_is_fragment(std::span<const std::uint8_t> frame) {
+  if (frame.empty()) return false;
+  return (frame[0] & kDispatchFrag1Mask) == kDispatchFrag1 ||
+         (frame[0] & kDispatchFragNMask) == kDispatchFragN;
+}
+
+std::vector<std::vector<std::uint8_t>> sixlo_fragment(std::span<const std::uint8_t> frame,
+                                                      std::size_t mtu, std::uint16_t tag) {
+  std::vector<std::vector<std::uint8_t>> out;
+  if (frame.size() <= mtu) {
+    out.emplace_back(frame.begin(), frame.end());
+    return out;
+  }
+  assert(frame.size() <= 0x7FF && "FRAG size field is 11 bits");
+  assert(mtu > 5 + 8);
+
+  const auto size = static_cast<std::uint16_t>(frame.size());
+  std::size_t offset = 0;
+  while (offset < frame.size()) {
+    const bool first = offset == 0;
+    const std::size_t header = first ? 4 : 5;
+    std::size_t chunk = mtu - header;
+    if (offset + chunk < frame.size()) chunk -= chunk % 8;  // non-final: 8-aligned
+    chunk = std::min(chunk, frame.size() - offset);
+
+    std::vector<std::uint8_t> frag;
+    frag.reserve(header + chunk);
+    const std::uint8_t dispatch = first ? kDispatchFrag1 : kDispatchFragN;
+    frag.push_back(static_cast<std::uint8_t>(dispatch | (size >> 8)));
+    frag.push_back(static_cast<std::uint8_t>(size & 0xFF));
+    put_u16(frag, tag);
+    if (!first) frag.push_back(static_cast<std::uint8_t>(offset / 8));
+    frag.insert(frag.end(), frame.begin() + static_cast<std::ptrdiff_t>(offset),
+                frame.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
+    out.push_back(std::move(frag));
+    offset += chunk;
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> SixloReassembler::feed(
+    NodeId l2_src, std::span<const std::uint8_t> fragment, sim::TimePoint now) {
+  // Evict expired datagrams.
+  std::erase_if(in_flight_, [&](const auto& kv) { return now - kv.second.started > timeout_; });
+
+  if (fragment.size() < 4) return std::nullopt;
+  const bool first = (fragment[0] & kDispatchFrag1Mask) == kDispatchFrag1;
+  const bool later = (fragment[0] & kDispatchFragNMask) == kDispatchFragN;
+  if (!first && !later) return std::nullopt;
+  const auto size =
+      static_cast<std::uint16_t>((fragment[0] & 0x07) << 8 | fragment[1]);
+  const auto tag = static_cast<std::uint16_t>(fragment[2] << 8 | fragment[3]);
+  std::size_t offset = 0;
+  std::size_t header = 4;
+  if (later) {
+    if (fragment.size() < 5) return std::nullopt;
+    offset = static_cast<std::size_t>(fragment[4]) * 8;
+    header = 5;
+  }
+  const std::span<const std::uint8_t> data = fragment.subspan(header);
+  if (offset + data.size() > size) return std::nullopt;
+
+  auto& dg = in_flight_[{l2_src, tag}];
+  if (dg.data.empty()) {
+    dg.data.resize(size);
+    dg.have.assign(size, false);
+    dg.started = now;
+  }
+  if (dg.data.size() != size) return std::nullopt;  // tag reuse mismatch
+
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (!dg.have[offset + i]) {
+      dg.have[offset + i] = true;
+      ++dg.received;
+    }
+    dg.data[offset + i] = data[i];
+  }
+  if (dg.received == size) {
+    std::vector<std::uint8_t> done = std::move(dg.data);
+    in_flight_.erase({l2_src, tag});
+    return done;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mgap::net

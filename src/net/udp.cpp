@@ -1,0 +1,51 @@
+#include "net/udp.hpp"
+
+#include <cassert>
+
+#include "net/checksum.hpp"
+
+namespace mgap::net {
+
+std::vector<std::uint8_t> udp_encode(const Ipv6Addr& src, const Ipv6Addr& dst,
+                                     std::uint16_t src_port, std::uint16_t dst_port,
+                                     std::span<const std::uint8_t> payload) {
+  assert(payload.size() + kUdpHeaderLen <= 0xFFFF);
+  std::vector<std::uint8_t> out;
+  out.reserve(kUdpHeaderLen + payload.size());
+  const auto len = static_cast<std::uint16_t>(kUdpHeaderLen + payload.size());
+  out.push_back(static_cast<std::uint8_t>(src_port >> 8));
+  out.push_back(static_cast<std::uint8_t>(src_port & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(dst_port >> 8));
+  out.push_back(static_cast<std::uint8_t>(dst_port & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len & 0xFF));
+  out.push_back(0);  // checksum placeholder
+  out.push_back(0);
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint16_t cs = udp6_checksum(src, dst, out);
+  out[6] = static_cast<std::uint8_t>(cs >> 8);
+  out[7] = static_cast<std::uint8_t>(cs & 0xFF);
+  return out;
+}
+
+std::optional<UdpDatagram> udp_decode(const Ipv6Addr& src, const Ipv6Addr& dst,
+                                      std::span<const std::uint8_t> datagram) {
+  if (datagram.size() < kUdpHeaderLen) return std::nullopt;
+  const auto len = static_cast<std::uint16_t>(datagram[4] << 8 | datagram[5]);
+  if (len < kUdpHeaderLen || len > datagram.size()) return std::nullopt;
+
+  // Verify: checksum over the datagram with the checksum field zeroed must
+  // reproduce the carried value.
+  std::vector<std::uint8_t> copy{datagram.begin(), datagram.begin() + len};
+  const auto carried = static_cast<std::uint16_t>(copy[6] << 8 | copy[7]);
+  copy[6] = copy[7] = 0;
+  if (udp6_checksum(src, dst, copy) != carried) return std::nullopt;
+
+  UdpDatagram d;
+  d.src_port = static_cast<std::uint16_t>(datagram[0] << 8 | datagram[1]);
+  d.dst_port = static_cast<std::uint16_t>(datagram[2] << 8 | datagram[3]);
+  d.payload.assign(copy.begin() + kUdpHeaderLen, copy.end());
+  return d;
+}
+
+}  // namespace mgap::net

@@ -1,0 +1,33 @@
+#pragma once
+// UDP over IPv6 (RFC 768 / RFC 8200): real header encoding with mandatory
+// checksum over the pseudo header.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ipv6_addr.hpp"
+
+namespace mgap::net {
+
+inline constexpr std::size_t kUdpHeaderLen = 8;
+
+struct UdpDatagram {
+  std::uint16_t src_port{0};
+  std::uint16_t dst_port{0};
+  std::vector<std::uint8_t> payload;
+};
+
+/// Builds header + payload with a valid checksum.
+[[nodiscard]] std::vector<std::uint8_t> udp_encode(const Ipv6Addr& src, const Ipv6Addr& dst,
+                                                   std::uint16_t src_port,
+                                                   std::uint16_t dst_port,
+                                                   std::span<const std::uint8_t> payload);
+
+/// Parses and checksum-verifies a UDP datagram; nullopt when malformed or the
+/// checksum fails.
+[[nodiscard]] std::optional<UdpDatagram> udp_decode(const Ipv6Addr& src, const Ipv6Addr& dst,
+                                                    std::span<const std::uint8_t> datagram);
+
+}  // namespace mgap::net

@@ -1,0 +1,83 @@
+#pragma once
+// BLE physical-layer constants and airtime arithmetic for the 1 Mbps
+// (LE 1M) PHY, the only mode used in the paper (the nrf52dk does not
+// support 2M / coded PHYs, section 4.2).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mgap::phy {
+
+// Channel layout: 40 channels of 2 MHz; 0..36 carry data, 37..39 advertising.
+inline constexpr std::uint8_t kNumDataChannels = 37;
+inline constexpr std::uint8_t kNumAdvChannels = 3;
+inline constexpr std::uint8_t kFirstAdvChannel = 37;
+inline constexpr std::uint8_t kNumChannels = 40;
+
+// Inter frame spacing, exactly 150 us (section 2.2).
+inline constexpr sim::Duration kIfs = sim::Duration::us(150);
+
+/// PHY modes. The paper's experiments use LE 1M exclusively because the
+/// nrf52dk lacks the others (section 4.2); LE 2M is implemented here as an
+/// extension (related work [10] reports up to 1300 kbps with it).
+enum class PhyMode : std::uint8_t { k1M, k2M };
+
+// On-air overhead per LL data PDU at 1 Mbps:
+//   preamble 1 + access address 4 + LL header 2 + CRC 3 = 10 bytes.
+inline constexpr std::size_t kLlOverheadBytes = 10;
+
+// Data length extension: max LL payload 251 bytes (enabled per section 4.2);
+// without DLE the legacy maximum is 27 bytes.
+inline constexpr std::size_t kMaxLlPayloadDle = 251;
+inline constexpr std::size_t kMaxLlPayloadLegacy = 27;
+
+// 1 Mbps <=> 1 us per bit <=> 8 us per byte; LE 2M halves it.
+inline constexpr sim::Duration kPerByte = sim::Duration::us(8);
+
+[[nodiscard]] constexpr sim::Duration per_byte(PhyMode mode) {
+  return mode == PhyMode::k2M ? sim::Duration::us(4) : sim::Duration::us(8);
+}
+
+/// Airtime of an LL data PDU carrying `payload` bytes.
+[[nodiscard]] constexpr sim::Duration ll_airtime(std::size_t payload,
+                                                 PhyMode mode = PhyMode::k1M) {
+  // LE 2M uses a 2-byte preamble (11 B overhead instead of 10).
+  const std::size_t overhead = mode == PhyMode::k2M ? kLlOverheadBytes + 1
+                                                    : kLlOverheadBytes;
+  return per_byte(mode) * static_cast<std::int64_t>(payload + overhead);
+}
+
+/// Airtime of an empty (keep-alive) LL PDU.
+inline constexpr sim::Duration kEmptyPduAirtime = ll_airtime(0);  // 80 us
+
+/// Duration of one TX/RX packet-pair slot inside a connection event:
+/// coordinator PDU + IFS + subordinate PDU + IFS (Figure 3).
+[[nodiscard]] constexpr sim::Duration pair_time(std::size_t tx_payload,
+                                                std::size_t rx_payload,
+                                                PhyMode mode = PhyMode::k1M) {
+  return ll_airtime(tx_payload, mode) + kIfs + ll_airtime(rx_payload, mode) + kIfs;
+}
+
+// Advertising PDU: up to 31 bytes AdvData plus 6-byte AdvA; one advertising
+// event transmits an ADV_IND on each of the three advertising channels with
+// small gaps; we account ~1 ms of radio occupancy per event.
+inline constexpr sim::Duration kAdvEventDuration = sim::Duration::us(1000);
+
+// Connection-interval granularity: all intervals are multiples of 1.25 ms in
+// 7.5 ms .. 4 s (Core spec Vol 6).
+inline constexpr sim::Duration kConnItvlUnit = sim::Duration::us(1250);
+inline constexpr sim::Duration kMinConnItvl = sim::Duration::ms_f(7.5);
+inline constexpr sim::Duration kMaxConnItvl = sim::Duration::sec(4);
+
+/// Rounds an arbitrary duration to the nearest legal connection interval.
+[[nodiscard]] constexpr sim::Duration quantize_conn_itvl(sim::Duration d) {
+  auto units = (d + kConnItvlUnit / 2) / kConnItvlUnit;
+  sim::Duration q = kConnItvlUnit * units;
+  if (q < kMinConnItvl) return kMinConnItvl;
+  if (q > kMaxConnItvl) return kMaxConnItvl;
+  return q;
+}
+
+}  // namespace mgap::phy

@@ -1,0 +1,21 @@
+#include "phy/channel_model.hpp"
+
+#include <stdexcept>
+
+namespace mgap::phy {
+
+ChannelModel::ChannelModel(double base_per) {
+  if (base_per < 0.0 || base_per > 1.0) {
+    throw std::invalid_argument{"ChannelModel: base PER must be within [0,1]"};
+  }
+  per_.fill(base_per);
+}
+
+void ChannelModel::set_per(std::uint8_t channel, double per) {
+  if (per < 0.0 || per > 1.0) {
+    throw std::invalid_argument{"ChannelModel: PER must be within [0,1]"};
+  }
+  per_.at(channel) = per;
+}
+
+}  // namespace mgap::phy

@@ -1,0 +1,38 @@
+#pragma once
+// Stochastic per-channel error model for the 2.4 GHz band.
+//
+// The testbed (section 4.2) sits in an office band shared with WLAN: links
+// see a small ambient packet-error rate, and BLE channel 22 was permanently
+// jammed by an external signal. The model assigns every channel a PER;
+// "jammed" channels lose (almost) everything.
+
+#include <array>
+#include <cstdint>
+
+#include "phy/ble_phy.hpp"
+#include "sim/rng.hpp"
+
+namespace mgap::phy {
+
+class ChannelModel {
+ public:
+  /// All channels get `base_per`; call jam() for pathological channels.
+  explicit ChannelModel(double base_per = 0.01);
+
+  void set_per(std::uint8_t channel, double per);
+  [[nodiscard]] double per(std::uint8_t channel) const { return per_.at(channel); }
+
+  /// Marks a channel as jammed by an external interferer (PER ~ 1).
+  void jam(std::uint8_t channel, double per = 0.98) { set_per(channel, per); }
+  [[nodiscard]] bool is_jammed(std::uint8_t channel) const { return per_.at(channel) > 0.5; }
+
+  /// Draws whether a single PDU on `channel` is received intact.
+  [[nodiscard]] bool deliver(std::uint8_t channel, sim::Rng& rng) const {
+    return !rng.chance(per_.at(channel));
+  }
+
+ private:
+  std::array<double, kNumChannels> per_{};
+};
+
+}  // namespace mgap::phy

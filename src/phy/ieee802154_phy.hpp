@@ -1,0 +1,34 @@
+#pragma once
+// IEEE 802.15.4 (2.4 GHz O-QPSK) physical-layer constants: 250 kbps,
+// 16 us symbols, 62.5 ksymbol/s, 2 symbols per byte.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mgap::phy {
+
+inline constexpr sim::Duration kSymbol154 = sim::Duration::us(16);
+inline constexpr sim::Duration kPerByte154 = kSymbol154 * 2;  // 32 us/byte
+
+// PHY framing: 4 B preamble + 1 B SFD + 1 B PHR.
+inline constexpr std::size_t kPhyOverhead154 = 6;
+// Maximum PSDU (MAC frame) size; staying below avoids 6LoWPAN fragmentation.
+inline constexpr std::size_t kMaxPsdu154 = 127;
+
+// MAC timing (unslotted CSMA/CA).
+inline constexpr sim::Duration kUnitBackoff154 = kSymbol154 * 20;     // 320 us
+inline constexpr sim::Duration kTurnaround154 = kSymbol154 * 12;      // 192 us
+inline constexpr sim::Duration kCcaDuration154 = kSymbol154 * 8;      // 128 us
+inline constexpr sim::Duration kAckWait154 = kSymbol154 * 54;         // macAckWaitDuration
+
+/// Airtime of a MAC frame with `psdu` bytes (PHY header included here).
+[[nodiscard]] constexpr sim::Duration frame_airtime_154(std::size_t psdu) {
+  return kPerByte154 * static_cast<std::int64_t>(psdu + kPhyOverhead154);
+}
+
+// Imm-ACK: 5 B PSDU.
+inline constexpr sim::Duration kAckAirtime154 = frame_airtime_154(5);
+
+}  // namespace mgap::phy

@@ -1,0 +1,47 @@
+#include "phy/medium154.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mgap::phy {
+
+void Medium154::prune(sim::TimePoint now) {
+  // Finished transmissions are removed by finish_tx(); this only guards
+  // against callers that probe far in the future.
+  (void)now;
+}
+
+bool Medium154::carrier_busy(sim::TimePoint now) const {
+  return std::any_of(active_.begin(), active_.end(), [now](const Tx& tx) {
+    return tx.start <= now && now < tx.end;
+  });
+}
+
+std::uint64_t Medium154::begin_tx(std::uint32_t src, sim::TimePoint start,
+                                  sim::Duration airtime) {
+  const std::uint64_t id = next_id_++;
+  bool collided = false;
+  const sim::TimePoint end = start + airtime;
+  for (Tx& other : active_) {
+    if (start < other.end && other.start < end) {
+      other.collided = true;
+      collided = true;
+    }
+  }
+  if (collided) ++collisions_;
+  ++transmissions_;
+  active_.push_back(Tx{id, src, start, end, collided});
+  return id;
+}
+
+bool Medium154::finish_tx(std::uint64_t id, sim::Rng& rng) {
+  auto it = std::find_if(active_.begin(), active_.end(),
+                         [id](const Tx& tx) { return tx.id == id; });
+  assert(it != active_.end());
+  const bool collided = it->collided;
+  active_.erase(it);
+  if (collided) return false;
+  return !rng.chance(base_per_);
+}
+
+}  // namespace mgap::phy

@@ -1,0 +1,54 @@
+#pragma once
+// Shared single-channel medium for IEEE 802.15.4.
+//
+// All testbed nodes are in mutual radio range (section 4.3), so the medium is
+// a single collision domain: any two temporally overlapping transmissions
+// corrupt each other, and a clear-channel assessment sees the medium busy
+// whenever any transmission is in the air.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace mgap::phy {
+
+class Medium154 {
+ public:
+  /// `base_per` models ambient noise corrupting otherwise collision-free frames.
+  explicit Medium154(double base_per = 0.01) : base_per_{base_per} {}
+
+  /// True when any transmission is on the air at `now` (CCA result).
+  [[nodiscard]] bool carrier_busy(sim::TimePoint now) const;
+
+  /// Registers a transmission [start, start+airtime). Any overlap with another
+  /// active transmission marks *both* as collided.
+  std::uint64_t begin_tx(std::uint32_t src, sim::TimePoint start, sim::Duration airtime);
+
+  /// Completes a transmission; returns true when the frame survived (no
+  /// collision and the ambient-noise draw passes).
+  bool finish_tx(std::uint64_t id, sim::Rng& rng);
+
+  [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
+  [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
+
+ private:
+  struct Tx {
+    std::uint64_t id;
+    std::uint32_t src;
+    sim::TimePoint start;
+    sim::TimePoint end;
+    bool collided;
+  };
+
+  void prune(sim::TimePoint now);
+
+  std::vector<Tx> active_;
+  double base_per_;
+  std::uint64_t next_id_{1};
+  std::uint64_t collisions_{0};
+  std::uint64_t transmissions_{0};
+};
+
+}  // namespace mgap::phy

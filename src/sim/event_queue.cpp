@@ -1,0 +1,66 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mgap::sim {
+
+EventId EventQueue::schedule(TimePoint at, Action action) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq});
+  actions_.emplace_back(seq, std::move(action));
+  ++live_count_;
+  return EventId{seq};
+}
+
+EventQueue::Action* EventQueue::find_action(std::uint64_t seq) {
+  auto it = std::lower_bound(actions_.begin(), actions_.end(), seq,
+                             [](const auto& p, std::uint64_t s) { return p.first < s; });
+  if (it == actions_.end() || it->first != seq) return nullptr;
+  return &it->second;
+}
+
+void EventQueue::erase_action(std::uint64_t seq) {
+  auto it = std::lower_bound(actions_.begin(), actions_.end(), seq,
+                             [](const auto& p, std::uint64_t s) { return p.first < s; });
+  assert(it != actions_.end() && it->first == seq);
+  actions_.erase(it);
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  Action* a = find_action(id.seq_);
+  if (a == nullptr) return false;
+  erase_action(id.seq_);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_tombstones() {
+  while (!heap_.empty() && find_action(heap_.top().seq) == nullptr) {
+    heap_.pop();
+  }
+}
+
+TimePoint EventQueue::next_time() const {
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_tombstones();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_tombstones();
+  assert(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  Action* a = find_action(top.seq);
+  assert(a != nullptr);
+  Fired fired{top.at, std::move(*a)};
+  erase_action(top.seq);
+  --live_count_;
+  ++fired_count_;
+  return fired;
+}
+
+}  // namespace mgap::sim

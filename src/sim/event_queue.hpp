@@ -1,0 +1,85 @@
+#pragma once
+// Cancellable discrete-event queue.
+//
+// A binary heap of (time, sequence) keyed events. Cancellation is lazy: a
+// cancelled event stays in the heap as a tombstone and is skipped on pop,
+// which keeps cancel() O(1) — important because supervision timers are
+// re-armed on every successful connection event.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mgap::sim {
+
+/// Opaque handle identifying a scheduled event; may be used to cancel it.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  friend constexpr bool operator==(EventId, EventId) = default;
+
+ private:
+  friend class EventQueue;
+  constexpr explicit EventId(std::uint64_t seq) : seq_{seq} {}
+  std::uint64_t seq_{0};
+};
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` to fire at absolute time `at`. Events scheduled for
+  /// the same instant fire in scheduling order (FIFO).
+  EventId schedule(TimePoint at, Action action);
+
+  /// Cancels a pending event. Cancelling an already-fired or already-cancelled
+  /// event is a harmless no-op; returns whether something was cancelled.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Time of the next live event. Only valid when !empty().
+  [[nodiscard]] TimePoint next_time() const;
+
+  /// Pops and returns the next live event. Only valid when !empty().
+  struct Fired {
+    TimePoint at;
+    Action action;
+  };
+  Fired pop();
+
+  /// Total number of events ever executed through pop(); for stats.
+  [[nodiscard]] std::uint64_t fired_count() const { return fired_count_; }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;
+    // Ordered as a max-heap by default; invert for earliest-first.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_tombstones();
+
+  std::priority_queue<Entry> heap_;
+  // seq -> action for live events; erased on cancel/fire.
+  std::vector<std::pair<std::uint64_t, Action>> actions_;  // assoc via sorted find
+  std::uint64_t next_seq_{1};
+  std::size_t live_count_{0};
+  std::uint64_t fired_count_{0};
+
+  // actions_ is keyed by seq which is strictly increasing, so it stays sorted
+  // by construction; lookup is binary search.
+  Action* find_action(std::uint64_t seq);
+  void erase_action(std::uint64_t seq);
+};
+
+}  // namespace mgap::sim

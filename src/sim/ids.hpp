@@ -1,0 +1,13 @@
+#pragma once
+// Cross-layer identifiers.
+
+#include <cstdint>
+
+namespace mgap {
+
+/// Stable identity of a simulated node (a "board" in the testbed).
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFF;
+
+}  // namespace mgap

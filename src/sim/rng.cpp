@@ -1,0 +1,105 @@
+#include "sim/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mgap::sim {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the stream id into the seeding sequence so streams are independent.
+  std::uint64_t x = seed ^ (0x6A09E667F3BCC909ULL * (stream + 1));
+  for (auto& word : s_) {
+    word = splitmix64(x);
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = range * (UINT64_MAX / range);
+  std::uint64_t v = next_u64();
+  while (v >= limit) {
+    v = next_u64();
+  }
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+Duration Rng::uniform_duration(Duration lo, Duration hi) {
+  return Duration::ns(uniform_int(lo.count_ns(), hi.count_ns()));
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform_real(-1.0, 1.0);
+    v = uniform_real(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * mul;
+  have_spare_normal_ = true;
+  return u * mul;
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double mean) {
+  return -mean * std::log1p(-uniform());
+}
+
+}  // namespace mgap::sim

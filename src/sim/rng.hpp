@@ -1,0 +1,52 @@
+#pragma once
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// xoshiro256++ with splitmix64 seeding. Every stochastic component of the
+// simulator (clock drift assignment, channel errors, traffic jitter, interval
+// randomization, ...) draws from its own stream derived from (seed, stream id),
+// so adding a component never perturbs the draws of another one.
+
+#include <array>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mgap::sim {
+
+class Rng {
+ public:
+  /// Constructs the generator for stream `stream` of master seed `seed`.
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Uniform duration in [lo, hi] with nanosecond granularity.
+  Duration uniform_duration(Duration lo, Duration hi);
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  /// Standard-normal deviate (Marsaglia polar method).
+  double normal();
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given mean.
+  double exponential(double mean);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool have_spare_normal_{false};
+  double spare_normal_{0.0};
+};
+
+}  // namespace mgap::sim

@@ -1,0 +1,27 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace mgap::sim {
+
+std::string Duration::str() const {
+  char buf[64];
+  if (ns_ % 1'000'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%llds", static_cast<long long>(ns_ / 1'000'000'000));
+  } else if (ns_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldms", static_cast<long long>(ns_ / 1'000'000));
+  } else if (ns_ % 1'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(ns_ / 1'000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+std::string TimePoint::str() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6fs", static_cast<double>(ns_) / 1e9);
+  return buf;
+}
+
+}  // namespace mgap::sim

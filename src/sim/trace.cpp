@@ -1,0 +1,17 @@
+#include "sim/trace.hpp"
+
+namespace mgap::sim {
+
+std::string_view to_string(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::kLinkLayer: return "ll";
+    case TraceCat::kGap: return "gap";
+    case TraceCat::kL2cap: return "l2cap";
+    case TraceCat::kNet: return "net";
+    case TraceCat::kApp: return "app";
+    case TraceCat::kEnergy: return "energy";
+  }
+  return "?";
+}
+
+}  // namespace mgap::sim

@@ -1,0 +1,56 @@
+#pragma once
+// Event tracing, mirroring the paper's per-node STDIO event dump (section 4.2):
+// compact, ordered records that downstream analysis consumes. Sinks subscribe
+// by category; the default build keeps tracing disabled for speed.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mgap::sim {
+
+enum class TraceCat : std::uint8_t {
+  kLinkLayer,   // connection events, misses, drops
+  kGap,         // advertising / scanning / connect
+  kL2cap,       // channel open/close, credits
+  kNet,         // IP forwarding, pktbuf drops
+  kApp,         // CoAP request/response
+  kEnergy,
+};
+
+[[nodiscard]] std::string_view to_string(TraceCat cat);
+
+struct TraceRecord {
+  TimePoint at;
+  TraceCat cat;
+  std::uint32_t node;
+  std::string msg;
+};
+
+class Tracer {
+ public:
+  using Sink = std::function<void(const TraceRecord&)>;
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void enable(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_ && sink_ != nullptr; }
+
+  void emit(TimePoint at, TraceCat cat, std::uint32_t node, std::string msg) {
+    if (enabled()) sink_(TraceRecord{at, cat, node, std::move(msg)});
+  }
+
+  /// Convenience sink that stores records in memory (used by tests).
+  static Sink collect_into(std::vector<TraceRecord>& out) {
+    return [&out](const TraceRecord& r) { out.push_back(r); };
+  }
+
+ private:
+  Sink sink_;
+  bool enabled_{false};
+};
+
+}  // namespace mgap::sim

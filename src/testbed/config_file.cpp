@@ -1,0 +1,230 @@
+#include "testbed/config_file.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mgap::testbed {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::optional<double> parse_number(std::string_view s) {
+  double v{};
+  const auto* end = s.data() + s.size();
+  const auto res = std::from_chars(s.data(), end, v);
+  if (res.ec != std::errc{} || res.ptr != end) return std::nullopt;
+  return v;
+}
+
+bool parse_bool(std::string_view v, const std::string& key) {
+  if (v == "true" || v == "yes" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "0") return false;
+  throw std::runtime_error{"config: bad boolean for '" + key + "'"};
+}
+
+/// "65:85ms" or "65ms:85ms" -> randomized policy; plain duration -> fixed.
+core::IntervalPolicy parse_policy(std::string_view v) {
+  const auto colon = v.find(':');
+  if (colon == std::string_view::npos) {
+    const auto d = parse_duration(v);
+    if (!d) throw std::runtime_error{"config: bad conn_interval"};
+    return core::IntervalPolicy::fixed(*d);
+  }
+  std::string_view lo_s = trim(v.substr(0, colon));
+  std::string_view hi_s = trim(v.substr(colon + 1));
+  // Allow the shorthand "65:85ms" (unit only on the upper bound).
+  auto hi = parse_duration(hi_s);
+  if (!hi) throw std::runtime_error{"config: bad conn_interval window"};
+  auto lo = parse_duration(lo_s);
+  if (!lo) {
+    const auto num = parse_number(lo_s);
+    if (!num) throw std::runtime_error{"config: bad conn_interval window"};
+    // Reuse the unit of the upper bound.
+    const auto unit_pos = hi_s.find_first_not_of("0123456789.");
+    lo = parse_duration(std::string(lo_s) + std::string(hi_s.substr(unit_pos)));
+    if (!lo) throw std::runtime_error{"config: bad conn_interval window"};
+  }
+  return core::IntervalPolicy::randomized(*lo, *hi);
+}
+
+Topology parse_topology(std::string_view v) {
+  if (v == "tree15" || v == "tree") return Topology::tree15();
+  if (v == "line15" || v == "line") return Topology::line15();
+  if (v.rfind("star", 0) == 0) {
+    const auto n = parse_number(v.substr(4));
+    if (!n || *n < 2) throw std::runtime_error{"config: bad star topology size"};
+    return Topology::star(static_cast<unsigned>(*n));
+  }
+  throw std::runtime_error{"config: unknown topology '" + std::string(v) + "'"};
+}
+
+}  // namespace
+
+std::optional<sim::Duration> parse_duration(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  const auto unit_pos = text.find_first_not_of("0123456789.");
+  if (unit_pos == 0 || unit_pos == std::string_view::npos) return std::nullopt;
+  const auto num = parse_number(text.substr(0, unit_pos));
+  if (!num) return std::nullopt;
+  const std::string_view unit = text.substr(unit_pos);
+  if (unit == "us") return sim::Duration::ns(static_cast<std::int64_t>(*num * 1e3));
+  if (unit == "ms") return sim::Duration::ms_f(*num);
+  if (unit == "s") return sim::Duration::sec_f(*num);
+  if (unit == "m" || unit == "min") return sim::Duration::sec_f(*num * 60.0);
+  if (unit == "h") return sim::Duration::sec_f(*num * 3600.0);
+  return std::nullopt;
+}
+
+ExperimentConfig parse_experiment_config(std::string_view text) {
+  ExperimentConfig cfg;
+  std::map<std::string, std::string> kv;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto nl = text.find('\n', pos);
+    std::string_view line = text.substr(pos, nl == std::string_view::npos
+                                                 ? std::string_view::npos
+                                                 : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    const auto hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::runtime_error{"config line " + std::to_string(line_no) +
+                               ": expected key = value"};
+    }
+    kv[std::string(trim(line.substr(0, eq)))] = std::string(trim(line.substr(eq + 1)));
+  }
+
+  for (const auto& [key, value] : kv) {
+    if (key == "radio") {
+      if (value == "ble") cfg.radio = ExperimentConfig::Radio::kBle;
+      else if (value == "802154" || value == "ieee802154")
+        cfg.radio = ExperimentConfig::Radio::kIeee802154;
+      else throw std::runtime_error{"config: unknown radio '" + value + "'"};
+    } else if (key == "topology") {
+      cfg.topology = parse_topology(value);
+    } else if (key == "duration") {
+      const auto d = parse_duration(value);
+      if (!d) throw std::runtime_error{"config: bad duration"};
+      cfg.duration = *d;
+    } else if (key == "producer_interval") {
+      const auto d = parse_duration(value);
+      if (!d) throw std::runtime_error{"config: bad producer_interval"};
+      cfg.producer_interval = *d;
+    } else if (key == "producer_jitter") {
+      const auto d = parse_duration(value);
+      if (!d) throw std::runtime_error{"config: bad producer_jitter"};
+      cfg.producer_jitter = *d;
+    } else if (key == "conn_interval") {
+      cfg.policy = parse_policy(value);
+    } else if (key == "supervision_timeout") {
+      const auto d = parse_duration(value);
+      if (!d) throw std::runtime_error{"config: bad supervision_timeout"};
+      cfg.supervision_timeout = *d;
+    } else if (key == "payload_len") {
+      const auto n = parse_number(value);
+      if (!n) throw std::runtime_error{"config: bad payload_len"};
+      cfg.payload_len = static_cast<std::size_t>(*n);
+    } else if (key == "seed") {
+      const auto n = parse_number(value);
+      if (!n) throw std::runtime_error{"config: bad seed"};
+      cfg.seed = static_cast<std::uint64_t>(*n);
+    } else if (key == "base_per") {
+      const auto n = parse_number(value);
+      if (!n) throw std::runtime_error{"config: bad base_per"};
+      cfg.base_per = *n;
+    } else if (key == "drift_ppm_range") {
+      const auto n = parse_number(value);
+      if (!n) throw std::runtime_error{"config: bad drift_ppm_range"};
+      cfg.drift_ppm_range = *n;
+    } else if (key == "jam_channel_22") {
+      cfg.jam_channel_22 = parse_bool(value, key);
+    } else if (key == "exclude_channel_22") {
+      cfg.exclude_channel_22 = parse_bool(value, key);
+    } else if (key == "adaptive_channel_map") {
+      cfg.adaptive_channel_map = parse_bool(value, key);
+    } else if (key == "confirmable_coap") {
+      cfg.confirmable_coap = parse_bool(value, key);
+    } else if (key == "param_update_mitigation") {
+      cfg.param_update_mitigation = parse_bool(value, key);
+    } else if (key == "compression") {
+      if (value == "uncompressed") cfg.compression = net::CompressionMode::kUncompressed;
+      else if (value == "iphc") cfg.compression = net::CompressionMode::kIphc;
+      else throw std::runtime_error{"config: unknown compression '" + value + "'"};
+    } else if (key == "metrics_bucket") {
+      const auto d = parse_duration(value);
+      if (!d) throw std::runtime_error{"config: bad metrics_bucket"};
+      cfg.metrics_bucket = *d;
+    } else {
+      throw std::runtime_error{"config: unknown key '" + key + "'"};
+    }
+  }
+  return cfg;
+}
+
+ExperimentConfig load_experiment_config(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"config: cannot open " + path};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_experiment_config(buf.str());
+}
+
+std::string render_experiment_config(const ExperimentConfig& config) {
+  std::ostringstream out;
+  out << "radio = "
+      << (config.radio == ExperimentConfig::Radio::kBle ? "ble" : "ieee802154") << "\n";
+  out << "topology = " << config.topology.name
+      << (config.topology.name == "star" ? std::to_string(config.topology.nodes.size())
+                                         : std::string{"15"})
+      << "\n";
+  out << "duration = " << config.duration.str() << "\n";
+  out << "producer_interval = " << config.producer_interval.str() << "\n";
+  out << "producer_jitter = " << config.producer_jitter.str() << "\n";
+  if (config.policy.is_randomized()) {
+    out << "conn_interval = " << config.policy.lo().str() << ":"
+        << config.policy.hi().str() << "\n";
+  } else {
+    out << "conn_interval = " << config.policy.target().str() << "\n";
+  }
+  out << "supervision_timeout = " << config.supervision_timeout.str() << "\n";
+  out << "payload_len = " << config.payload_len << "\n";
+  out << "seed = " << config.seed << "\n";
+  out << "base_per = " << config.base_per << "\n";
+  out << "drift_ppm_range = " << config.drift_ppm_range << "\n";
+  out << "jam_channel_22 = " << (config.jam_channel_22 ? "true" : "false") << "\n";
+  out << "exclude_channel_22 = " << (config.exclude_channel_22 ? "true" : "false")
+      << "\n";
+  out << "adaptive_channel_map = " << (config.adaptive_channel_map ? "true" : "false")
+      << "\n";
+  out << "confirmable_coap = " << (config.confirmable_coap ? "true" : "false") << "\n";
+  out << "param_update_mitigation = "
+      << (config.param_update_mitigation ? "true" : "false") << "\n";
+  out << "compression = "
+      << (config.compression == net::CompressionMode::kIphc ? "iphc" : "uncompressed")
+      << "\n";
+  out << "metrics_bucket = " << config.metrics_bucket.str() << "\n";
+  return out.str();
+}
+
+}  // namespace mgap::testbed

@@ -1,0 +1,33 @@
+#pragma once
+// Static experiment descriptions — the C++ twin of the paper's YML-based
+// experimentation framework (Appendix A.3: "Each experiment is fully
+// described in form of a static experiment description file. ... This static
+// experiment description ensures repeatability.")
+//
+// Format: one `key = value` per line, `#` comments. See
+// examples/experiments/*.conf for the configurations used in the paper.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "testbed/experiment.hpp"
+
+namespace mgap::testbed {
+
+/// Parses durations like "150us", "75ms", "1s", "30m", "24h".
+[[nodiscard]] std::optional<sim::Duration> parse_duration(std::string_view text);
+
+/// Parses a full experiment description; throws std::runtime_error with the
+/// offending line on malformed input. Unknown keys are rejected (typo guard).
+[[nodiscard]] ExperimentConfig parse_experiment_config(std::string_view text);
+
+/// Loads and parses a description file.
+[[nodiscard]] ExperimentConfig load_experiment_config(const std::string& path);
+
+/// Renders the effective configuration back into the file format (the
+/// framework's artifact (i): the static experiment description).
+[[nodiscard]] std::string render_experiment_config(const ExperimentConfig& config);
+
+}  // namespace mgap::testbed

@@ -1,0 +1,191 @@
+#include "testbed/experiment.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mgap::testbed {
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_{std::move(config)}, sim_{config_.seed}, metrics_{config_.metrics_bucket} {
+  if (config_.radio == ExperimentConfig::Radio::kBle) {
+    build_ble();
+  } else {
+    build_154();
+  }
+  install_routes();
+  spawn_workload();
+}
+
+Experiment::~Experiment() = default;
+
+void Experiment::build_ble() {
+  phy::ChannelModel cm{config_.base_per};
+  if (config_.jam_channel_22) cm.jam(22);
+  ble_world_ = std::make_unique<ble::BleWorld>(sim_, cm);
+  if (config_.exclude_channel_22) {
+    ble::ChannelMap map = ble::ChannelMap::all();
+    map.exclude(22);
+    ble_world_->set_default_channel_map(map);
+  }
+
+  // Per-node sleep-clock drift; a dedicated stream keeps the drifts stable
+  // regardless of how many other components draw randomness.
+  sim::Rng drift_rng = sim_.make_rng();
+
+  for (const NodeId id : config_.topology.nodes) {
+    const double drift = drift_rng.uniform_real(-config_.drift_ppm_range,
+                                                config_.drift_ppm_range);
+    ble::ControllerConfig ctrl_cfg;
+    ctrl_cfg.conn.adaptive_channel_map = config_.adaptive_channel_map;
+    ble::Controller& ctrl = ble_world_->add_node(id, drift, ctrl_cfg);
+
+    Node node;
+    node.ble_netif = std::make_unique<core::NimbleNetif>(ctrl);
+    net::IpStackConfig ip_cfg;
+    ip_cfg.compression = config_.compression;
+    node.stack = std::make_unique<net::IpStack>(sim_, id, *node.ble_netif, ip_cfg);
+
+    core::StatconnConfig sc_cfg;
+    sc_cfg.policy = config_.policy;
+    sc_cfg.supervision_timeout = config_.supervision_timeout;
+    sc_cfg.param_update_mitigation = config_.param_update_mitigation;
+    node.statconn = std::make_unique<core::Statconn>(*node.ble_netif, sc_cfg);
+
+    // Connection-loss log: counted once per link, on the coordinator's side.
+    node.ble_netif->add_link_listener(
+        [this, id](ble::Connection& conn, bool up, ble::DisconnectReason reason) {
+          if (!up && reason == ble::DisconnectReason::kSupervisionTimeout &&
+              conn.coordinator().id() == id) {
+            metrics_.on_conn_loss(id, sim_.now());
+          }
+        });
+
+    nodes_.emplace(id, std::move(node));
+  }
+
+  // Statconn link configuration follows the topology's role assignment.
+  for (const Topology::Edge& e : config_.topology.edges) {
+    nodes_.at(e.coordinator).statconn->add_coordinator_link(e.subordinate);
+    nodes_.at(e.subordinate).statconn->add_subordinate_link(e.coordinator);
+  }
+  for (auto& [id, node] : nodes_) node.statconn->start();
+}
+
+void Experiment::build_154() {
+  net154_ = std::make_unique<ieee802154::Network154>(sim_, config_.base_per);
+  for (const NodeId id : config_.topology.nodes) {
+    ieee802154::Mac& mac = net154_->add_node(id);
+    Node node;
+    node.netif154 = std::make_unique<Netif154>(mac);
+    net::IpStackConfig ip_cfg;
+    ip_cfg.compression = config_.compression;
+    node.stack = std::make_unique<net::IpStack>(sim_, id, *node.netif154, ip_cfg);
+    nodes_.emplace(id, std::move(node));
+  }
+}
+
+void Experiment::install_routes() {
+  const Topology& topo = config_.topology;
+  for (auto& [id, node] : nodes_) {
+    // Upstream: default route towards the consumer.
+    if (id != topo.consumer) {
+      node.stack->routes().set_default(net::Ipv6Addr::site(topo.parent.at(id)));
+    }
+    // Downstream: host routes into each child's subtree (for the responses).
+    for (const NodeId child : topo.children(id)) {
+      node.stack->routes().add_host_route(net::Ipv6Addr::site(child),
+                                          net::Ipv6Addr::site(child));
+      for (const NodeId desc : topo.subtree(child)) {
+        node.stack->routes().add_host_route(net::Ipv6Addr::site(desc),
+                                            net::Ipv6Addr::site(child));
+      }
+    }
+  }
+}
+
+void Experiment::spawn_workload() {
+  const Topology& topo = config_.topology;
+  consumer_ = std::make_unique<Consumer>(*nodes_.at(topo.consumer).stack);
+  for (const NodeId id : topo.producers()) {
+    Producer::Config pc;
+    pc.consumer = net::Ipv6Addr::site(topo.consumer);
+    pc.interval = config_.producer_interval;
+    pc.jitter = config_.producer_jitter;
+    pc.payload_len = config_.payload_len;
+    pc.confirmable = config_.confirmable_coap;
+    Node& node = nodes_.at(id);
+    node.producer = std::make_unique<Producer>(sim_, *node.stack, pc, metrics_);
+    node.producer->start();
+  }
+}
+
+void Experiment::run() {
+  assert(!ran_);
+  ran_ = true;
+  sim_.run_until(sim::TimePoint::origin() + config_.duration);
+  for (auto& [id, node] : nodes_) {
+    if (node.producer) node.producer->stop();
+  }
+  sim_.run_until(sim::TimePoint::origin() + config_.duration + config_.drain);
+}
+
+void Experiment::run_until(sim::TimePoint t) {
+  ran_ = true;
+  sim_.run_until(t);
+}
+
+net::IpStack& Experiment::stack(NodeId node) { return *nodes_.at(node).stack; }
+
+ble::Controller* Experiment::controller(NodeId node) {
+  return ble_world_ ? ble_world_->find(node) : nullptr;
+}
+
+core::Statconn* Experiment::statconn(NodeId node) {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? nullptr : it->second.statconn.get();
+}
+
+ExperimentSummary Experiment::summary() const {
+  ExperimentSummary s;
+  s.sent = metrics_.total_sent();
+  s.acked = metrics_.total_acked();
+  s.coap_pdr = metrics_.pdr();
+  s.rtt_p50 = metrics_.rtt().quantile(0.50);
+  s.rtt_p99 = metrics_.rtt().quantile(0.99);
+  s.rtt_max = metrics_.rtt().max_seen();
+
+  if (ble_world_) {
+    std::uint64_t tx = 0;
+    std::uint64_t ok = 0;
+    for (const ble::LinkStats* ls : ble_world_->all_link_stats()) {
+      tx += ls->pdu_tx;
+      ok += ls->pdu_ok;
+      s.conn_losses += ls->conn_losses;
+      s.reconnects += ls->reconnects;
+    }
+    s.ll_pdr = tx == 0 ? 1.0 : static_cast<double>(ok) / static_cast<double>(tx);
+  } else if (net154_) {
+    std::uint64_t attempts = 0;
+    std::uint64_t acked_frames = 0;
+    for (const NodeId id : config_.topology.nodes) {
+      const ieee802154::Mac* mac = net154_->find(id);
+      attempts += mac->stats().tx_attempts;
+      acked_frames += mac->stats().tx_ok;
+    }
+    s.ll_pdr = attempts == 0
+                   ? 1.0
+                   : static_cast<double>(acked_frames) / static_cast<double>(attempts);
+  }
+
+  for (const auto& [id, node] : nodes_) {
+    s.pktbuf_drops += node.stack->stats().drop_pktbuf;
+    s.link_down_drops += node.stack->stats().drop_link_down;
+    if (node.producer) {
+      s.coap_retransmissions += node.producer->retransmissions();
+      s.coap_timeouts += node.producer->con_timeouts();
+    }
+  }
+  return s;
+}
+
+}  // namespace mgap::testbed

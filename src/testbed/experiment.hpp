@@ -1,0 +1,131 @@
+#pragma once
+// Experiment runner: the C++ twin of the paper's YML-driven experimentation
+// framework (Appendix A.3). An ExperimentConfig fully describes a run —
+// radio, topology, traffic, connection-interval policy, seed — and the
+// Experiment assembles the per-node stacks, wires routes, runs the
+// simulation, and exposes metrics for the figures.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ble/world.hpp"
+#include "core/interval_policy.hpp"
+#include "core/nimble_netif.hpp"
+#include "core/statconn.hpp"
+#include "ieee802154/mac.hpp"
+#include "net/ip_stack.hpp"
+#include "phy/channel_model.hpp"
+#include "sim/simulator.hpp"
+#include "testbed/metrics.hpp"
+#include "testbed/netif154.hpp"
+#include "testbed/topology.hpp"
+#include "testbed/workload.hpp"
+
+namespace mgap::testbed {
+
+struct ExperimentConfig {
+  enum class Radio : std::uint8_t { kBle, kIeee802154 };
+
+  Radio radio{Radio::kBle};
+  Topology topology{Topology::tree15()};
+  sim::Duration duration{sim::Duration::hours(1)};
+
+  // Traffic (section 4.3 defaults).
+  sim::Duration producer_interval{sim::Duration::sec(1)};
+  sim::Duration producer_jitter{sim::Duration::ms(500)};
+  std::size_t payload_len{39};
+  bool confirmable_coap{false};  // CON + RFC 7252 retransmission (section 8)
+
+  // BLE connection parameters (section 4.2 / 6.3).
+  core::IntervalPolicy policy{core::IntervalPolicy::fixed(sim::Duration::ms(75))};
+  sim::Duration supervision_timeout{sim::Duration::sec(2)};
+  /// Section 6.3's rejected design-space alternative (for the ablation).
+  bool param_update_mitigation{false};
+
+  // Environment.
+  double base_per{0.01};
+  bool jam_channel_22{true};      // the external interferer seen in the testbed
+  bool exclude_channel_22{true};  // the channel-map countermeasure (section 4.2)
+  bool adaptive_channel_map{false};  // controller-side ADH instead (extension)
+  double drift_ppm_range{5.0};    // per-node drift ~ U[-r, +r] ppm
+  std::uint64_t seed{1};
+
+  net::CompressionMode compression{net::CompressionMode::kUncompressed};
+  sim::Duration metrics_bucket{sim::Duration::sec(10)};
+  /// Extra settle time after producers stop, so in-flight requests at the
+  /// cutoff are not miscounted as losses.
+  sim::Duration drain{sim::Duration::sec(10)};
+};
+
+struct ExperimentSummary {
+  std::uint64_t sent{0};
+  std::uint64_t acked{0};
+  double coap_pdr{1.0};
+  double ll_pdr{1.0};
+  std::uint64_t conn_losses{0};
+  std::uint64_t reconnects{0};
+  std::uint64_t pktbuf_drops{0};
+  std::uint64_t link_down_drops{0};
+  std::uint64_t coap_retransmissions{0};  // CON mode only
+  std::uint64_t coap_timeouts{0};
+  sim::Duration rtt_p50;
+  sim::Duration rtt_p99;
+  sim::Duration rtt_max;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Runs the full configured duration (may be called once).
+  void run();
+  /// Advances the simulation to absolute time `t` (for timeline probing).
+  void run_until(sim::TimePoint t);
+
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  /// Non-null for BLE experiments.
+  [[nodiscard]] ble::BleWorld* ble_world() { return ble_world_.get(); }
+  [[nodiscard]] ieee802154::Network154* net154() { return net154_.get(); }
+
+  [[nodiscard]] net::IpStack& stack(NodeId node);
+  [[nodiscard]] ble::Controller* controller(NodeId node);
+  [[nodiscard]] core::Statconn* statconn(NodeId node);
+  [[nodiscard]] const Consumer& consumer() const { return *consumer_; }
+
+  [[nodiscard]] ExperimentSummary summary() const;
+
+ private:
+  void build_ble();
+  void build_154();
+  void install_routes();
+  void spawn_workload();
+
+  struct Node {
+    // Exactly one netif flavour is set, matching the experiment radio.
+    std::unique_ptr<core::NimbleNetif> ble_netif;
+    std::unique_ptr<Netif154> netif154;
+    std::unique_ptr<net::IpStack> stack;
+    std::unique_ptr<core::Statconn> statconn;
+    std::unique_ptr<Producer> producer;
+  };
+
+  ExperimentConfig config_;
+  sim::Simulator sim_;
+  Metrics metrics_;
+  std::unique_ptr<ble::BleWorld> ble_world_;
+  std::unique_ptr<ieee802154::Network154> net154_;
+  std::map<NodeId, Node> nodes_;
+  std::unique_ptr<Consumer> consumer_;
+  bool ran_{false};
+};
+
+}  // namespace mgap::testbed

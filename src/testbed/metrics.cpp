@@ -1,0 +1,132 @@
+#include "testbed/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mgap::testbed {
+
+RttHistogram::RttHistogram() : bins_(kBins, 0) {}
+
+std::size_t RttHistogram::bin_of(sim::Duration d) {
+  // Log-spaced bins over [1 ms, 1000 s]: bin = floor(log10(ms) * (kBins/6)).
+  const double ms = std::max(d.to_ms_f(), 1.0);
+  const double pos = std::log10(ms) / 6.0 * static_cast<double>(kBins);
+  const auto bin = static_cast<std::size_t>(std::max(pos, 0.0));
+  return std::min(bin, kBins - 1);
+}
+
+sim::Duration RttHistogram::bin_upper(std::size_t bin) {
+  const double ms = std::pow(10.0, 6.0 * static_cast<double>(bin + 1) /
+                                       static_cast<double>(kBins));
+  return sim::Duration::ms_f(ms);
+}
+
+void RttHistogram::add(sim::Duration rtt) {
+  ++bins_[bin_of(rtt)];
+  ++count_;
+  sum_ms_ += rtt.to_ms_f();
+  max_seen_ = sim::max(max_seen_, rtt);
+}
+
+double RttHistogram::mean_ms() const {
+  return count_ == 0 ? 0.0 : sum_ms_ / static_cast<double>(count_);
+}
+
+sim::Duration RttHistogram::quantile(double p) const {
+  if (count_ == 0) return {};
+  const auto target = static_cast<std::uint64_t>(
+      p * static_cast<double>(count_ - 1));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBins; ++i) {
+    cum += bins_[i];
+    if (cum > target) return bin_upper(i);
+  }
+  return max_seen_;
+}
+
+std::vector<std::pair<sim::Duration, double>> RttHistogram::cdf() const {
+  std::vector<std::pair<sim::Duration, double>> out;
+  if (count_ == 0) return out;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBins; ++i) {
+    if (bins_[i] == 0) continue;
+    cum += bins_[i];
+    out.emplace_back(bin_upper(i),
+                     static_cast<double>(cum) / static_cast<double>(count_));
+  }
+  return out;
+}
+
+double RttHistogram::fraction_below(sim::Duration d) const {
+  if (count_ == 0) return 0.0;
+  const std::size_t limit = bin_of(d);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i <= limit; ++i) cum += bins_[i];
+  return static_cast<double>(cum) / static_cast<double>(count_);
+}
+
+void RttHistogram::merge(const RttHistogram& other) {
+  for (std::size_t i = 0; i < kBins; ++i) bins_[i] += other.bins_[i];
+  count_ += other.count_;
+  sum_ms_ += other.sum_ms_;
+  max_seen_ = sim::max(max_seen_, other.max_seen_);
+}
+
+void Metrics::on_sent(NodeId producer, sim::TimePoint at) {
+  auto& series = per_node_[producer];
+  const std::size_t idx = bucket_index(at);
+  if (series.size() <= idx) series.resize(idx + 1);
+  ++series[idx].sent;
+  ++total_sent_;
+}
+
+void Metrics::on_acked(NodeId producer, sim::TimePoint sent_at, sim::Duration rtt) {
+  auto& series = per_node_[producer];
+  const std::size_t idx = bucket_index(sent_at);
+  if (series.size() <= idx) series.resize(idx + 1);
+  ++series[idx].acked;
+  ++total_acked_;
+  rtt_.add(rtt);
+  rtt_per_node_[producer].add(rtt);
+}
+
+void Metrics::on_conn_loss(NodeId node, sim::TimePoint at) {
+  conn_losses_.emplace_back(at, node);
+}
+
+double Metrics::pdr_of(NodeId producer) const {
+  auto it = per_node_.find(producer);
+  if (it == per_node_.end()) return 1.0;
+  std::uint64_t sent = 0;
+  std::uint64_t acked = 0;
+  for (const PdrBucket& b : it->second) {
+    sent += b.sent;
+    acked += b.acked;
+  }
+  return sent == 0 ? 1.0 : static_cast<double>(acked) / static_cast<double>(sent);
+}
+
+const RttHistogram* Metrics::rtt_of(NodeId producer) const {
+  auto it = rtt_per_node_.find(producer);
+  return it == rtt_per_node_.end() ? nullptr : &it->second;
+}
+
+std::vector<PdrBucket> Metrics::timeline() const {
+  std::vector<PdrBucket> out;
+  for (const auto& [node, series] : per_node_) {
+    if (series.size() > out.size()) out.resize(series.size());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      out[i].sent += series[i].sent;
+      out[i].acked += series[i].acked;
+    }
+  }
+  return out;
+}
+
+const std::vector<PdrBucket>* Metrics::timeline_of(NodeId producer) const {
+  auto it = per_node_.find(producer);
+  return it == per_node_.end() ? nullptr : &it->second;
+}
+
+}  // namespace mgap::testbed

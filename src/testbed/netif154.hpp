@@ -1,0 +1,37 @@
+#pragma once
+// net::Netif adapter over the IEEE 802.15.4 MAC, so the exact same IP stack
+// and CoAP workload run over both radios (the paper's fair-comparison setup,
+// section 5.3).
+
+#include "ieee802154/mac.hpp"
+#include "net/netif.hpp"
+
+namespace mgap::testbed {
+
+class Netif154 final : public net::Netif {
+ public:
+  explicit Netif154(ieee802154::Mac& mac) : mac_{mac} {
+    mac_.set_rx([this](NodeId src, std::vector<std::uint8_t> payload, sim::TimePoint at) {
+      deliver_rx(src, std::move(payload), at);
+    });
+    mac_.set_tx_done([this](NodeId dest, bool /*ok*/) { signal_writable(dest); });
+  }
+
+  [[nodiscard]] ieee802154::Mac& mac() { return mac_; }
+
+  bool send(NodeId next_hop, std::vector<std::uint8_t> frame) override {
+    return mac_.send(next_hop, std::move(frame));
+  }
+
+  [[nodiscard]] std::size_t mtu() const override {
+    return ieee802154::Mac::max_payload();
+  }
+
+  /// 802.15.4 is connectionless: neighbors are always reachable.
+  [[nodiscard]] bool neighbor_up(NodeId /*neighbor*/) const override { return true; }
+
+ private:
+  ieee802154::Mac& mac_;
+};
+
+}  // namespace mgap::testbed

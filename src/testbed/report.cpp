@@ -1,0 +1,67 @@
+#include "testbed/report.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mgap::testbed {
+
+void print_rtt_quantiles(const char* label, const RttHistogram& hist) {
+  std::printf("%-34s n=%9llu  p10=%8.1fms p50=%8.1fms p90=%8.1fms p99=%8.1fms max=%9.1fms\n",
+              label, static_cast<unsigned long long>(hist.count()),
+              hist.quantile(0.10).to_ms_f(), hist.quantile(0.50).to_ms_f(),
+              hist.quantile(0.90).to_ms_f(), hist.quantile(0.99).to_ms_f(),
+              hist.max_seen().to_ms_f());
+}
+
+void print_rtt_cdf(const char* label, const RttHistogram& hist,
+                   const std::vector<sim::Duration>& probes) {
+  std::printf("%-24s", label);
+  for (const sim::Duration d : probes) {
+    std::printf(" %5.2fs:%5.3f", d.to_sec_f(), hist.fraction_below(d));
+  }
+  std::printf("\n");
+}
+
+void print_pdr_timeline(const char* label, const Metrics& metrics, std::size_t stride) {
+  const auto timeline = metrics.timeline();
+  std::printf("%s (bucket %llds, PDR per bucket):\n", label,
+              static_cast<long long>(metrics.bucket_width().count_ns() / 1'000'000'000));
+  std::size_t col = 0;
+  for (std::size_t i = 0; i < timeline.size(); i += stride) {
+    std::uint64_t sent = 0;
+    std::uint64_t acked = 0;
+    for (std::size_t j = i; j < std::min(i + stride, timeline.size()); ++j) {
+      sent += timeline[j].sent;
+      acked += timeline[j].acked;
+    }
+    const double pdr = sent == 0 ? 1.0 : static_cast<double>(acked) / static_cast<double>(sent);
+    std::printf(" %5.3f", pdr);
+    if (++col % 12 == 0) std::printf("\n");
+  }
+  if (col % 12 != 0) std::printf("\n");
+}
+
+void print_summary_header() {
+  std::printf("%-38s %9s %9s %8s %8s %7s %7s %9s %9s %9s\n", "configuration", "sent",
+              "acked", "coapPDR", "llPDR", "losses", "reconn", "p50[ms]", "p99[ms]",
+              "max[ms]");
+}
+
+void print_summary_row(const char* label, const ExperimentSummary& s) {
+  std::printf("%-38s %9llu %9llu %8.4f %8.4f %7llu %7llu %9.1f %9.1f %9.1f\n", label,
+              static_cast<unsigned long long>(s.sent),
+              static_cast<unsigned long long>(s.acked), s.coap_pdr, s.ll_pdr,
+              static_cast<unsigned long long>(s.conn_losses),
+              static_cast<unsigned long long>(s.reconnects), s.rtt_p50.to_ms_f(),
+              s.rtt_p99.to_ms_f(), s.rtt_max.to_ms_f());
+}
+
+sim::Duration scaled_duration(sim::Duration d, sim::Duration min_d) {
+  const char* env = std::getenv("MGAP_TIME_SCALE");
+  if (env == nullptr) return d;
+  const double scale = std::atof(env);
+  if (scale <= 0.0 || scale > 1.0) return d;
+  return sim::max(d.scaled(scale), min_d);
+}
+
+}  // namespace mgap::testbed

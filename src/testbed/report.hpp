@@ -1,0 +1,35 @@
+#pragma once
+// Console reporting helpers shared by the bench binaries: fixed-width tables,
+// CDF listings, and sparkline-style timelines that mirror the paper's plots.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "testbed/experiment.hpp"
+#include "testbed/metrics.hpp"
+
+namespace mgap::testbed {
+
+/// Prints "label: p10 p25 p50 p75 p90 p99 max" quantiles of an RTT histogram.
+void print_rtt_quantiles(const char* label, const RttHistogram& hist);
+
+/// Prints the CDF at the given probe points, e.g. for comparison with a
+/// figure's x-axis grid.
+void print_rtt_cdf(const char* label, const RttHistogram& hist,
+                   const std::vector<sim::Duration>& probes);
+
+/// Prints an aggregate PDR-vs-time line ("timeline") with one column per
+/// `stride` buckets.
+void print_pdr_timeline(const char* label, const Metrics& metrics, std::size_t stride = 1);
+
+/// Prints one summary row (PDR, LL PDR, losses, RTT percentiles).
+void print_summary_row(const char* label, const ExperimentSummary& s);
+void print_summary_header();
+
+/// Reads MGAP_TIME_SCALE (0 < scale <= 1) to shrink experiment durations on
+/// constrained machines; returns `d` scaled, with a floor of `min_d`.
+[[nodiscard]] sim::Duration scaled_duration(sim::Duration d,
+                                            sim::Duration min_d = sim::Duration::sec(60));
+
+}  // namespace mgap::testbed

@@ -1,0 +1,93 @@
+#pragma once
+// Self-forming multi-hop IPv6-over-BLE network: the coupling of dynamic BLE
+// topology management (core::Dynconn) with RPL routing (net::Rpl) that the
+// paper leaves as future work (section 9). No static configuration at all:
+// nodes discover the DODAG through advertised ranks, build BLE connections
+// accordingly, and RPL installs the IP routes over them.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "ble/world.hpp"
+#include "core/dynconn.hpp"
+#include "core/nimble_netif.hpp"
+#include "net/ip_stack.hpp"
+#include "net/rpl.hpp"
+#include "sim/simulator.hpp"
+#include "testbed/metrics.hpp"
+#include "testbed/workload.hpp"
+
+namespace mgap::testbed {
+
+struct SelfFormingConfig {
+  unsigned num_nodes{15};
+  NodeId root{1};
+  sim::Duration duration{sim::Duration::minutes(10)};
+
+  core::DynconnConfig dynconn;
+  net::RplConfig rpl;
+
+  sim::Duration producer_interval{sim::Duration::sec(1)};
+  sim::Duration producer_jitter{sim::Duration::ms(500)};
+  sim::Duration producer_start_delay{sim::Duration::sec(5)};
+  std::size_t payload_len{39};
+
+  double base_per{0.01};
+  bool jam_channel_22{true};
+  bool exclude_channel_22{true};
+  double drift_ppm_range{5.0};
+  std::uint64_t seed{1};
+  sim::Duration metrics_bucket{sim::Duration::sec(10)};
+};
+
+class SelfFormingNetwork {
+ public:
+  explicit SelfFormingNetwork(SelfFormingConfig config);
+  ~SelfFormingNetwork();
+
+  SelfFormingNetwork(const SelfFormingNetwork&) = delete;
+  SelfFormingNetwork& operator=(const SelfFormingNetwork&) = delete;
+
+  void run();
+  void run_until(sim::TimePoint t);
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] ble::BleWorld& world() { return *world_; }
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+  [[nodiscard]] net::Rpl& rpl(NodeId node) { return *nodes_.at(node).rpl; }
+  [[nodiscard]] core::Dynconn& dynconn(NodeId node) { return *nodes_.at(node).dynconn; }
+  [[nodiscard]] net::IpStack& stack(NodeId node) { return *nodes_.at(node).stack; }
+
+  /// True once every node holds a finite RPL rank.
+  [[nodiscard]] bool all_joined() const;
+  /// Time at which all_joined() first became true; nullopt if never.
+  [[nodiscard]] std::optional<sim::TimePoint> formation_time() const {
+    return formation_time_;
+  }
+  /// DODAG depth (rank / 256 - 1) per node.
+  [[nodiscard]] std::map<NodeId, unsigned> depths() const;
+  [[nodiscard]] std::uint64_t total_parent_changes() const;
+
+ private:
+  struct Node {
+    std::unique_ptr<core::NimbleNetif> netif;
+    std::unique_ptr<net::IpStack> stack;
+    std::unique_ptr<core::Dynconn> dynconn;
+    std::unique_ptr<net::Rpl> rpl;
+    std::unique_ptr<Producer> producer;
+  };
+
+  void check_formation();
+
+  SelfFormingConfig config_;
+  sim::Simulator sim_;
+  Metrics metrics_;
+  std::unique_ptr<ble::BleWorld> world_;
+  std::map<NodeId, Node> nodes_;
+  std::unique_ptr<Consumer> consumer_;
+  std::optional<sim::TimePoint> formation_time_;
+};
+
+}  // namespace mgap::testbed

@@ -1,0 +1,69 @@
+#pragma once
+// The paper's traffic pattern (section 4.3): every producer periodically
+// sends a CoAP non-confirmable GET with a preconfigured payload towards the
+// consumer; the consumer answers each request. Jitter prevents the producers
+// from synchronizing.
+
+#include <cstdint>
+
+#include "app/coap_endpoint.hpp"
+#include "net/ip_stack.hpp"
+#include "sim/rng.hpp"
+#include "testbed/metrics.hpp"
+
+namespace mgap::sim {
+class Simulator;
+}
+
+namespace mgap::testbed {
+
+/// CoAP resource "/gap" replying 2.05 Content (the "CoAP acknowledgment").
+class Consumer {
+ public:
+  explicit Consumer(net::IpStack& stack);
+
+  [[nodiscard]] std::uint64_t requests_rx() const { return server_.requests_rx(); }
+  [[nodiscard]] std::uint64_t responses_tx() const { return server_.responses_tx(); }
+
+ private:
+  app::CoapServer server_;
+};
+
+class Producer {
+ public:
+  struct Config {
+    net::Ipv6Addr consumer;
+    sim::Duration interval{sim::Duration::sec(1)};
+    sim::Duration jitter{sim::Duration::ms(500)};  // interval +- jitter
+    std::size_t payload_len{39};                   // -> 100 B IPv6 packets
+    sim::Duration start_delay{sim::Duration::sec(2)};  // let statconn connect
+    /// Use confirmable requests with RFC 7252 retransmission instead of the
+    /// paper's non-confirmable default (the section 8 what-if).
+    bool confirmable{false};
+  };
+
+  Producer(sim::Simulator& sim, net::IpStack& stack, Config config, Metrics& metrics);
+
+  void start();
+  void stop() { running_ = false; }
+
+  [[nodiscard]] std::uint64_t sent() const { return client_.requests_sent(); }
+  [[nodiscard]] std::uint64_t acked() const { return client_.responses_rx(); }
+  [[nodiscard]] std::uint64_t retransmissions() const { return client_.retransmissions(); }
+  [[nodiscard]] std::uint64_t con_timeouts() const { return client_.con_timeouts(); }
+
+ private:
+  void tick();
+  [[nodiscard]] sim::Duration next_delay();
+
+  sim::Simulator& sim_;
+  net::IpStack& stack_;
+  Config config_;
+  Metrics& metrics_;
+  app::CoapClient client_;
+  sim::Rng rng_;
+  bool running_{false};
+  std::uint64_t ticks_{0};
+};
+
+}  // namespace mgap::testbed

@@ -1,0 +1,94 @@
+#pragma once
+// Test helper: an in-memory link layer connecting IP stacks directly, with
+// injectable failures — isolates net/-layer tests from the radio models.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/netif.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgap::testhelpers {
+
+class PipeNet;
+
+class PipeNetif final : public net::Netif {
+ public:
+  PipeNetif(PipeNet& net, NodeId id) : net_{net}, id_{id} {}
+
+  bool send(NodeId next_hop, std::vector<std::uint8_t> frame) override;
+  [[nodiscard]] std::size_t mtu() const override { return mtu_; }
+  [[nodiscard]] bool neighbor_up(NodeId neighbor) const override;
+
+  void set_mtu(std::size_t m) { mtu_ = m; }
+  /// Simulates link backpressure: send() returns false while stuck.
+  void set_stuck(bool stuck) { stuck_ = stuck; }
+  void announce_writable(NodeId nh) { signal_writable(nh); }
+  void announce_neighbor_down(NodeId n) { signal_neighbor_down(n); }
+
+  [[nodiscard]] NodeId id() const { return id_; }
+
+  void inject_rx(NodeId src, std::vector<std::uint8_t> frame, sim::TimePoint at) {
+    deliver_rx(src, std::move(frame), at);
+  }
+
+ private:
+  friend class PipeNet;
+  PipeNet& net_;
+  NodeId id_;
+  std::size_t mtu_{1280};
+  bool stuck_{false};
+};
+
+/// A perfect mesh: every frame arrives after a fixed delay.
+class PipeNet {
+ public:
+  explicit PipeNet(sim::Simulator& sim, sim::Duration delay = sim::Duration::ms(1))
+      : sim_{sim}, delay_{delay} {}
+
+  PipeNetif& add(NodeId id) {
+    auto [it, inserted] = nodes_.try_emplace(id, PipeNetif{*this, id});
+    return it->second;
+  }
+
+  PipeNetif* find(NodeId id) {
+    auto it = nodes_.find(id);
+    return it == nodes_.end() ? nullptr : &it->second;
+  }
+
+  void set_link_down(NodeId a, NodeId b, bool down) {
+    down_links_[{std::min(a, b), std::max(a, b)}] = down;
+  }
+
+  [[nodiscard]] bool link_up(NodeId a, NodeId b) const {
+    auto it = down_links_.find({std::min(a, b), std::max(a, b)});
+    return it == down_links_.end() || !it->second;
+  }
+
+  void transmit(NodeId src, NodeId dst, std::vector<std::uint8_t> frame) {
+    sim_.schedule_in(delay_, [this, src, dst, frame = std::move(frame)]() mutable {
+      PipeNetif* n = find(dst);
+      if (n != nullptr) n->inject_rx(src, std::move(frame), sim_.now());
+    });
+  }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Duration delay_;
+  std::map<NodeId, PipeNetif> nodes_;
+  std::map<std::pair<NodeId, NodeId>, bool> down_links_;
+};
+
+inline bool PipeNetif::send(NodeId next_hop, std::vector<std::uint8_t> frame) {
+  if (stuck_) return false;
+  if (!net_.link_up(id_, next_hop)) return false;
+  net_.transmit(id_, next_hop, std::move(frame));
+  return true;
+}
+
+inline bool PipeNetif::neighbor_up(NodeId neighbor) const {
+  return net_.link_up(id_, neighbor);
+}
+
+}  // namespace mgap::testhelpers

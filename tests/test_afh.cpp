@@ -1,0 +1,125 @@
+// Unit tests: adaptive channel hopping (ADH) and the LL channel-map update
+// procedure — the controller-side interference mitigation of the related
+// work (Spoerk et al.), implemented as an extension.
+
+#include <gtest/gtest.h>
+
+#include "ble/world.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgap::ble {
+namespace {
+
+class AfhTest : public ::testing::Test {
+ protected:
+  AfhTest() : world_{sim_, phy::ChannelModel{0.01}} {}
+
+  Connection& connect(bool afh, ChannelMap map = ChannelMap::all()) {
+    ControllerConfig cfg;
+    cfg.conn.adaptive_channel_map = afh;
+    a_ = &world_.add_node(1, 1.0, cfg);
+    b_ = &world_.add_node(2, -1.0, cfg);
+    world_.set_default_channel_map(map);
+    ConnParams p;
+    p.interval = sim::Duration::ms(30);  // fast events -> quick AFH windows
+    p.supervision_timeout = sim::Duration::sec(2);
+    return world_.open_connection(*a_, *b_, p,
+                                  sim::TimePoint::origin() + sim::Duration::ms(10));
+  }
+
+  void pump_traffic(Connection& c, int seconds) {
+    for (int i = 0; i < seconds * 10; ++i) {
+      (void)a_->l2cap_send(c, std::vector<std::uint8_t>(50, 0x33));
+      sim_.run_until(sim_.now() + sim::Duration::ms(100));
+    }
+  }
+
+  sim::Simulator sim_{55};
+  BleWorld world_;
+  Controller* a_{nullptr};
+  Controller* b_{nullptr};
+};
+
+TEST_F(AfhTest, ChannelMapUpdateProcedureAppliesAfterSixEvents) {
+  Connection& c = connect(false);
+  sim_.run_until(sim_.now() + sim::Duration::ms(100));
+  ChannelMap map = ChannelMap::all();
+  map.exclude(10);
+  c.request_channel_map_update(map);
+  sim_.run_until(sim_.now() + sim::Duration::ms(60));  // 2 events: not yet
+  EXPECT_TRUE(c.channel_map().is_used(10));
+  sim_.run_until(sim_.now() + sim::Duration::ms(200));
+  EXPECT_FALSE(c.channel_map().is_used(10));
+  EXPECT_TRUE(c.is_open());
+}
+
+TEST_F(AfhTest, JammedChannelGetsExcluded) {
+  world_.channel_model().jam(22);
+  Connection& c = connect(true);
+  pump_traffic(c, 30);
+  EXPECT_TRUE(c.is_open());
+  EXPECT_FALSE(c.channel_map().is_used(22)) << "AFH should have excluded ch22";
+  // And afterwards, no further attempts land on it.
+  const auto tx_at_exclusion = c.link_stats().chan_tx[22];
+  pump_traffic(c, 10);
+  EXPECT_EQ(c.link_stats().chan_tx[22], tx_at_exclusion);
+}
+
+TEST_F(AfhTest, CleanChannelsStayIncluded) {
+  Connection& c = connect(true);
+  pump_traffic(c, 30);
+  // Base PER 1% is far below the 40% threshold: the map must stay complete.
+  EXPECT_EQ(c.channel_map().used_count(), 37u);
+}
+
+TEST_F(AfhTest, NeverDropsBelowMinimumChannels) {
+  // Jam most of the band: AFH must keep >= afh_min_channels usable.
+  for (std::uint8_t ch = 0; ch < 37; ++ch) {
+    if (ch % 3 != 0) world_.channel_model().jam(ch);
+  }
+  Connection& c = connect(true);
+  pump_traffic(c, 60);
+  if (c.is_open()) {
+    EXPECT_GE(c.channel_map().used_count(), 8u);
+  }
+}
+
+TEST_F(AfhTest, MultipleJammedChannelsExcluded) {
+  world_.channel_model().jam(5);
+  world_.channel_model().jam(17);
+  world_.channel_model().jam(30);
+  Connection& c = connect(true);
+  pump_traffic(c, 60);
+  ASSERT_TRUE(c.is_open());
+  EXPECT_FALSE(c.channel_map().is_used(5));
+  EXPECT_FALSE(c.channel_map().is_used(17));
+  EXPECT_FALSE(c.channel_map().is_used(30));
+  EXPECT_GE(c.channel_map().used_count(), 34u - 3u);
+}
+
+TEST_F(AfhTest, AfhImprovesLinkPdrUnderJamming) {
+  // Side-by-side with identical seeds: AFH must beat the static full map.
+  double pdr[2];
+  for (const bool afh : {false, true}) {
+    sim::Simulator simu{99};
+    BleWorld world{simu, phy::ChannelModel{0.01}};
+    world.channel_model().jam(22);
+    ControllerConfig cfg;
+    cfg.conn.adaptive_channel_map = afh;
+    Controller& a = world.add_node(1, 1.0, cfg);
+    Controller& b = world.add_node(2, -1.0, cfg);
+    ConnParams p;
+    p.interval = sim::Duration::ms(30);
+    Connection& c = world.open_connection(a, b, p, sim::TimePoint::origin() +
+                                                       sim::Duration::ms(10));
+    for (int i = 0; i < 600; ++i) {
+      (void)a.l2cap_send(c, std::vector<std::uint8_t>(50, 1));
+      simu.run_until(simu.now() + sim::Duration::ms(100));
+    }
+    pdr[afh ? 1 : 0] = c.link_stats().ll_pdr();
+  }
+  EXPECT_GT(pdr[1], pdr[0]);
+}
+
+}  // namespace
+}  // namespace mgap::ble

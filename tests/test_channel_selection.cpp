@@ -1,0 +1,162 @@
+// Unit + property tests: channel maps and the CSA#1 / CSA#2 selection
+// algorithms (Core spec Vol 6 Part B 4.5.8).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "ble/channel_selection.hpp"
+
+namespace mgap::ble {
+namespace {
+
+TEST(ChannelMap, AllChannelsByDefault) {
+  const ChannelMap map = ChannelMap::all();
+  EXPECT_EQ(map.used_count(), 37u);
+  for (std::uint8_t ch = 0; ch < 37; ++ch) EXPECT_TRUE(map.is_used(ch));
+}
+
+TEST(ChannelMap, ExcludeRemovesChannel) {
+  ChannelMap map = ChannelMap::all();
+  map.exclude(22);
+  EXPECT_FALSE(map.is_used(22));
+  EXPECT_EQ(map.used_count(), 36u);
+  const auto used = map.used_channels();
+  EXPECT_EQ(used.size(), 36u);
+  for (const auto ch : used) EXPECT_NE(ch, 22);
+}
+
+TEST(ChannelMap, IncludeRestoresChannel) {
+  ChannelMap map = ChannelMap::all();
+  map.exclude(5);
+  map.include(5);
+  EXPECT_TRUE(map.is_used(5));
+}
+
+TEST(ChannelMap, RejectsOutOfRange) {
+  ChannelMap map = ChannelMap::all();
+  EXPECT_THROW(map.exclude(37), std::out_of_range);
+  EXPECT_THROW(map.include(40), std::out_of_range);
+}
+
+TEST(ChannelMap, AdvChannelsNeverUsed) {
+  const ChannelMap map = ChannelMap::all();
+  EXPECT_FALSE(map.is_used(37));
+  EXPECT_FALSE(map.is_used(38));
+  EXPECT_FALSE(map.is_used(39));
+}
+
+TEST(Csa1, HopIncrementValidated) {
+  EXPECT_THROW(Csa1{4}, std::invalid_argument);
+  EXPECT_THROW(Csa1{17}, std::invalid_argument);
+  EXPECT_NO_THROW(Csa1{5});
+  EXPECT_NO_THROW(Csa1{16});
+}
+
+TEST(Csa1, HopsByIncrementOnFullMap) {
+  Csa1 csa{7};
+  const ChannelMap map = ChannelMap::all();
+  EXPECT_EQ(csa.next(map), 7);
+  EXPECT_EQ(csa.next(map), 14);
+  EXPECT_EQ(csa.next(map), 21);
+  EXPECT_EQ(csa.next(map), 28);
+  EXPECT_EQ(csa.next(map), 35);
+  EXPECT_EQ(csa.next(map), (35 + 7) % 37);
+}
+
+TEST(Csa1, RemapsUnusedChannel) {
+  Csa1 csa{7};
+  ChannelMap map = ChannelMap::all();
+  map.exclude(7);  // first hop lands on an unused channel
+  const auto used = map.used_channels();
+  // remapping index = unmapped % used_count = 7 % 36.
+  EXPECT_EQ(csa.next(map), used[7 % 36]);
+}
+
+TEST(Csa1, CyclesThroughAllChannelsWhenCoprime) {
+  Csa1 csa{10};  // gcd(10, 37) = 1 -> full cycle
+  const ChannelMap map = ChannelMap::all();
+  std::set<std::uint8_t> seen;
+  for (int i = 0; i < 37; ++i) seen.insert(csa.next(map));
+  EXPECT_EQ(seen.size(), 37u);
+}
+
+TEST(Csa2, DeterministicPerEventCounter) {
+  const Csa2 a{0x8E89BED6};
+  const Csa2 b{0x8E89BED6};
+  const ChannelMap map = ChannelMap::all();
+  for (std::uint16_t e = 0; e < 200; ++e) {
+    EXPECT_EQ(a.channel(e, map), b.channel(e, map));
+  }
+}
+
+TEST(Csa2, ChannelIdentifierFormula) {
+  const Csa2 csa{0x12345678};
+  EXPECT_EQ(csa.channel_identifier(), 0x1234 ^ 0x5678);
+}
+
+TEST(Csa2, AlwaysInsideChannelMap) {
+  const Csa2 csa{0xDEADBEEF};
+  ChannelMap map = ChannelMap::all();
+  map.exclude(22);
+  map.exclude(0);
+  map.exclude(36);
+  for (std::uint32_t e = 0; e <= 0xFFFF; e += 13) {
+    const auto ch = csa.channel(static_cast<std::uint16_t>(e), map);
+    EXPECT_TRUE(map.is_used(ch)) << "event " << e << " channel " << int{ch};
+  }
+}
+
+TEST(Csa2, RoughlyUniformOverUsedChannels) {
+  const Csa2 csa{0xCAFEBABE};
+  ChannelMap map = ChannelMap::all();
+  map.exclude(22);
+  std::array<int, 37> histo{};
+  constexpr int kEvents = 36'000;
+  for (int e = 0; e < kEvents; ++e) {
+    ++histo[csa.channel(static_cast<std::uint16_t>(e % 65536), map)];
+  }
+  EXPECT_EQ(histo[22], 0);
+  const double expected = static_cast<double>(kEvents) / 36.0;
+  for (std::uint8_t ch = 0; ch < 37; ++ch) {
+    if (ch == 22) continue;
+    EXPECT_NEAR(histo[ch], expected, expected * 0.25) << "channel " << int{ch};
+  }
+}
+
+// Property sweep: CSA#2 stays inside arbitrary channel maps for many access
+// addresses.
+class Csa2Property : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(Csa2Property, OutputAlwaysUsable) {
+  const Csa2 csa{GetParam()};
+  ChannelMap map = ChannelMap::all();
+  // Thin the map down to 9 channels.
+  for (std::uint8_t ch = 0; ch < 37; ++ch) {
+    if (ch % 4 != 0) map.exclude(ch);
+  }
+  ASSERT_EQ(map.used_count(), 10u);
+  for (std::uint32_t e = 0; e < 4096; ++e) {
+    const auto ch = csa.channel(static_cast<std::uint16_t>(e), map);
+    ASSERT_TRUE(map.is_used(ch));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AccessAddresses, Csa2Property,
+                         ::testing::Values(0x00000000u, 0xFFFFFFFFu, 0x8E89BED6u,
+                                           0x12345678u, 0xA5A5A5A5u, 0x0F0F0F0Fu,
+                                           0x31415926u, 0x27182818u));
+
+TEST(ChannelSelection, DispatchesToConfiguredAlgorithm) {
+  const ChannelMap map = ChannelMap::all();
+  ChannelSelection sel1{Csa::kCsa1, 0, 7};
+  EXPECT_EQ(sel1.channel_for_event(0, map), 7);  // CSA#1 ignores the counter
+
+  ChannelSelection sel2{Csa::kCsa2, 0x8E89BED6, 7};
+  const Csa2 ref{0x8E89BED6};
+  EXPECT_EQ(sel2.channel_for_event(42, map), ref.channel(42, map));
+}
+
+}  // namespace
+}  // namespace mgap::ble

@@ -1,0 +1,117 @@
+// Unit tests: CoAP codec (RFC 7252 subset) and the client/server endpoints.
+
+#include <gtest/gtest.h>
+
+#include "app/coap.hpp"
+
+namespace mgap::app {
+namespace {
+
+TEST(CoapCodec, MinimalMessageRoundTrip) {
+  CoapMessage m;
+  m.type = CoapType::kNon;
+  m.code = kCodeGet;
+  m.message_id = 0x1234;
+  const auto bytes = coap_encode(m);
+  ASSERT_EQ(bytes.size(), 4u);
+  const auto d = coap_decode(bytes);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, CoapType::kNon);
+  EXPECT_EQ(d->code, kCodeGet);
+  EXPECT_EQ(d->message_id, 0x1234);
+  EXPECT_TRUE(d->token.empty());
+  EXPECT_TRUE(d->payload.empty());
+}
+
+TEST(CoapCodec, TokenRoundTrip) {
+  CoapMessage m;
+  m.token = {0xDE, 0xAD, 0xBE, 0xEF};
+  const auto d = coap_decode(coap_encode(m));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->token, m.token);
+}
+
+TEST(CoapCodec, UriPathAndPayload) {
+  CoapMessage m;
+  m.add_uri_path("sensors");
+  m.add_uri_path("temp");
+  m.payload = {1, 2, 3};
+  const auto d = coap_decode(coap_encode(m));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->uri_path(), "sensors/temp");
+  EXPECT_EQ(d->payload, m.payload);
+}
+
+TEST(CoapCodec, RequestResponsePredicates) {
+  CoapMessage req;
+  req.code = kCodeGet;
+  EXPECT_TRUE(req.is_request());
+  EXPECT_FALSE(req.is_response());
+  CoapMessage rsp;
+  rsp.code = kCodeContent;
+  EXPECT_TRUE(rsp.is_response());
+  EXPECT_FALSE(rsp.is_request());
+}
+
+TEST(CoapCodec, OptionDeltaExtensions) {
+  CoapMessage m;
+  // Option numbers forcing 13- and 14-style extended deltas.
+  m.options.push_back(CoapOption{11, {'a'}});
+  m.options.push_back(CoapOption{60, {'b', 'c'}});     // delta 49 -> ext 13
+  m.options.push_back(CoapOption{2000, {'d'}});        // delta 1940 -> ext 14
+  const auto d = coap_decode(coap_encode(m));
+  ASSERT_TRUE(d.has_value());
+  ASSERT_EQ(d->options.size(), 3u);
+  EXPECT_EQ(d->options[0].number, 11);
+  EXPECT_EQ(d->options[1].number, 60);
+  EXPECT_EQ(d->options[2].number, 2000);
+  EXPECT_EQ(d->options[1].value, (std::vector<std::uint8_t>{'b', 'c'}));
+}
+
+TEST(CoapCodec, LongOptionValue) {
+  CoapMessage m;
+  CoapOption opt;
+  opt.number = kOptUriPath;
+  opt.value.assign(300, 'x');  // length needs the 14 extension
+  m.options.push_back(opt);
+  const auto d = coap_decode(coap_encode(m));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->options.at(0).value.size(), 300u);
+}
+
+TEST(CoapCodec, RejectsMalformed) {
+  EXPECT_FALSE(coap_decode(std::vector<std::uint8_t>{}).has_value());
+  EXPECT_FALSE(coap_decode(std::vector<std::uint8_t>{0x40, 0x01}).has_value());
+  // Wrong version (bits 01 expected).
+  std::vector<std::uint8_t> bad{0xC0, 0x01, 0x00, 0x01};
+  EXPECT_FALSE(coap_decode(bad).has_value());
+  // TKL > 8.
+  std::vector<std::uint8_t> tkl{0x49, 0x01, 0x00, 0x01};
+  EXPECT_FALSE(coap_decode(tkl).has_value());
+  // Payload marker with nothing after it.
+  std::vector<std::uint8_t> marker{0x40, 0x01, 0x00, 0x01, 0xFF};
+  EXPECT_FALSE(coap_decode(marker).has_value());
+}
+
+TEST(CoapCodec, PaperRequestIs52Bytes) {
+  // NON GET /gap with 4-byte token and 39-byte payload: 4 + 4 + 4 + 1 + 39 =
+  // 52 bytes => +8 UDP +40 IPv6 = the paper's 100-byte IP packet.
+  CoapMessage m;
+  m.type = CoapType::kNon;
+  m.code = kCodeGet;
+  m.token = {1, 2, 3, 4};
+  m.add_uri_path("gap");
+  m.payload.assign(39, 0xA5);
+  EXPECT_EQ(coap_encode(m).size(), 52u);
+}
+
+TEST(CoapCodec, EncodedTypeBitsMatchSpec) {
+  CoapMessage m;
+  m.type = CoapType::kAck;
+  const auto bytes = coap_encode(m);
+  EXPECT_EQ(bytes[0] >> 6, 1);          // version 1
+  EXPECT_EQ((bytes[0] >> 4) & 3, 2);    // ACK
+}
+
+}  // namespace
+}  // namespace mgap::app

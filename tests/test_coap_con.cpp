@@ -1,0 +1,120 @@
+// Unit tests: confirmable CoAP with RFC 7252 retransmission (the section 8
+// extension) — timer backoff, server-side deduplication, timeout reporting.
+
+#include <gtest/gtest.h>
+
+#include "app/coap_endpoint.hpp"
+#include "helpers/pipe_netif.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgap::app {
+namespace {
+
+using testhelpers::PipeNet;
+
+class CoapConTest : public ::testing::Test {
+ protected:
+  CoapConTest() : net_{sim_} {
+    client_stack_ = std::make_unique<net::IpStack>(sim_, 1, net_.add(1));
+    server_stack_ = std::make_unique<net::IpStack>(sim_, 2, net_.add(2));
+    client_stack_->routes().add_host_route(net::Ipv6Addr::site(2), net::Ipv6Addr::site(2));
+    server_stack_->routes().add_host_route(net::Ipv6Addr::site(1), net::Ipv6Addr::site(1));
+    server_ = std::make_unique<CoapServer>(*server_stack_);
+    server_->on_get("gap", [this](const CoapMessage&, const net::Ipv6Addr&) {
+      ++handler_calls_;
+      CoapMessage rsp;
+      rsp.code = kCodeContent;
+      return rsp;
+    });
+    client_ = std::make_unique<CoapClient>(sim_, *client_stack_, 40000);
+  }
+
+  void run_for(sim::Duration d) { sim_.run_until(sim_.now() + d); }
+
+  sim::Simulator sim_{77};
+  PipeNet net_;
+  std::unique_ptr<net::IpStack> client_stack_;
+  std::unique_ptr<net::IpStack> server_stack_;
+  std::unique_ptr<CoapServer> server_;
+  std::unique_ptr<CoapClient> client_;
+  int handler_calls_{0};
+};
+
+TEST_F(CoapConTest, FastResponseNeedsNoRetransmission) {
+  int responses = 0;
+  ASSERT_TRUE(client_->con_get(net::Ipv6Addr::site(2), "gap", {},
+                               [&](const CoapMessage& rsp, sim::Duration) {
+                                 EXPECT_EQ(rsp.type, CoapType::kAck);
+                                 ++responses;
+                               }));
+  run_for(sim::Duration::sec(10));
+  EXPECT_EQ(responses, 1);
+  EXPECT_EQ(client_->retransmissions(), 0u);
+  EXPECT_EQ(client_->con_timeouts(), 0u);
+}
+
+TEST_F(CoapConTest, SlowPathTriggersRetransmissionAndDedup) {
+  // Break the link long enough for >= 1 retransmission, then restore it.
+  net_.set_link_down(1, 2, true);
+  int responses = 0;
+  ASSERT_FALSE(client_->con_get(net::Ipv6Addr::site(2), "gap", {},
+                                [&](const CoapMessage&, sim::Duration) { ++responses; }));
+  run_for(sim::Duration::sec(7));  // first timeout (2-3 s) + backoff fires
+  EXPECT_GE(client_->retransmissions(), 1u);
+  net_.set_link_down(1, 2, false);
+  run_for(sim::Duration::sec(30));
+  EXPECT_EQ(responses, 1);
+  // Handler executed exactly once even though several copies arrived.
+  EXPECT_EQ(handler_calls_, 1);
+}
+
+TEST_F(CoapConTest, ExhaustedRetriesReportTimeout) {
+  net_.set_link_down(1, 2, true);
+  int timeouts = 0;
+  int responses = 0;
+  (void)client_->con_get(net::Ipv6Addr::site(2), "gap", {},
+                         [&](const CoapMessage&, sim::Duration) { ++responses; },
+                         [&] { ++timeouts; });
+  // Worst case: 3 * (1 + 2 + 4 + 8 + 16) = 93 s until MAX_RETRANSMIT fires.
+  run_for(sim::Duration::sec(120));
+  EXPECT_EQ(responses, 0);
+  EXPECT_EQ(timeouts, 1);
+  EXPECT_EQ(client_->con_timeouts(), 1u);
+  EXPECT_EQ(client_->retransmissions(), 4u);  // MAX_RETRANSMIT
+}
+
+TEST_F(CoapConTest, DuplicateRepliesAreReplayedNotReexecuted) {
+  // Two identical CON sends with distinct MIDs both execute; a retransmitted
+  // copy of the same MID does not.
+  int responses = 0;
+  ASSERT_TRUE(client_->con_get(net::Ipv6Addr::site(2), "gap", {},
+                               [&](const CoapMessage&, sim::Duration) { ++responses; }));
+  ASSERT_TRUE(client_->con_get(net::Ipv6Addr::site(2), "gap", {},
+                               [&](const CoapMessage&, sim::Duration) { ++responses; }));
+  run_for(sim::Duration::sec(5));
+  EXPECT_EQ(responses, 2);
+  EXPECT_EQ(handler_calls_, 2);
+  EXPECT_EQ(server_->duplicates_rx(), 0u);
+}
+
+TEST_F(CoapConTest, BackoffDoublesPerAttempt) {
+  net_.set_link_down(1, 2, true);
+  CoapConParams p;
+  p.ack_timeout = sim::Duration::sec(2);
+  p.ack_random_factor = 1.0;  // deterministic for the test
+  p.max_retransmit = 3;
+  client_->set_con_params(p);
+  (void)client_->con_get(net::Ipv6Addr::site(2), "gap", {}, nullptr, nullptr);
+  // Retransmissions at t = 2, 6, 14; timeout at t = 30.
+  run_for(sim::Duration::ms(2100));
+  EXPECT_EQ(client_->retransmissions(), 1u);
+  run_for(sim::Duration::sec(4));  // t = 6.1
+  EXPECT_EQ(client_->retransmissions(), 2u);
+  run_for(sim::Duration::sec(8));  // t = 14.1
+  EXPECT_EQ(client_->retransmissions(), 3u);
+  run_for(sim::Duration::sec(16));  // t = 30.1
+  EXPECT_EQ(client_->con_timeouts(), 1u);
+}
+
+}  // namespace
+}  // namespace mgap::app

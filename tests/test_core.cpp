@@ -1,0 +1,306 @@
+// Unit + behavioural tests of the paper's contribution: the nimble_netif
+// adapter, the statconn connection manager, and the section 6.3 randomized
+// connection-interval mitigation with per-node uniqueness enforcement.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ble/world.hpp"
+#include "core/interval_policy.hpp"
+#include "core/nimble_netif.hpp"
+#include "core/statconn.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgap::core {
+namespace {
+
+TEST(IntervalPolicy, FixedAlwaysReturnsTarget) {
+  const auto policy = IntervalPolicy::fixed(sim::Duration::ms(75));
+  sim::Rng rng{1, 1};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(policy.pick(rng, {}), sim::Duration::ms(75));
+  }
+  EXPECT_FALSE(policy.is_randomized());
+}
+
+TEST(IntervalPolicy, FixedQuantizesToLegalGrid) {
+  const auto policy = IntervalPolicy::fixed(sim::Duration::ms(76));
+  sim::Rng rng{1, 1};
+  EXPECT_EQ(policy.pick(rng, {}).count_us(), 76'250);
+}
+
+TEST(IntervalPolicy, RandomizedStaysInWindow) {
+  const auto policy =
+      IntervalPolicy::randomized(sim::Duration::ms(65), sim::Duration::ms(85));
+  sim::Rng rng{2, 1};
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = policy.pick(rng, {});
+    EXPECT_GE(d, sim::Duration::ms(65));
+    EXPECT_LE(d, sim::Duration::ms(85));
+    EXPECT_EQ(d % phy::kConnItvlUnit, sim::Duration{});
+  }
+}
+
+TEST(IntervalPolicy, PickAvoidsInUseIntervals) {
+  const auto policy =
+      IntervalPolicy::randomized(sim::Duration::ms(65), sim::Duration::ms(85));
+  sim::Rng rng{3, 1};
+  std::vector<sim::Duration> in_use;
+  for (int i = 0; i < 8; ++i) {
+    const auto d = policy.pick(rng, in_use);
+    EXPECT_FALSE(IntervalPolicy::collides(d, in_use)) << d.str();
+    in_use.push_back(d);
+  }
+  // All picks distinct on the 1.25 ms grid.
+  std::set<std::int64_t> unique;
+  for (const auto d : in_use) unique.insert(d.count_ns());
+  EXPECT_EQ(unique.size(), in_use.size());
+}
+
+TEST(IntervalPolicy, CollidesUsesMinSpacing) {
+  const std::vector<sim::Duration> in_use{sim::Duration::ms(75)};
+  EXPECT_TRUE(IntervalPolicy::collides(sim::Duration::ms(75), in_use));
+  EXPECT_TRUE(IntervalPolicy::collides(sim::Duration::ms_f(75.6), in_use));
+  EXPECT_FALSE(IntervalPolicy::collides(sim::Duration::ms_f(76.25), in_use));
+}
+
+TEST(IntervalPolicy, RandomizedWindowValidation) {
+  EXPECT_THROW((void)IntervalPolicy::randomized(sim::Duration::ms(85),
+                                                sim::Duration::ms(65)),
+               std::invalid_argument);
+}
+
+class StatconnTest : public ::testing::Test {
+ protected:
+  StatconnTest() : world_{sim_, phy::ChannelModel{0.0}} {}
+
+  struct NodeBundle {
+    ble::Controller* ctrl;
+    std::unique_ptr<NimbleNetif> netif;
+    std::unique_ptr<Statconn> statconn;
+  };
+
+  NodeBundle& add(NodeId id, double drift, StatconnConfig cfg) {
+    auto& bundle = nodes_[id];
+    bundle.ctrl = &world_.add_node(id, drift);
+    bundle.netif = std::make_unique<NimbleNetif>(*bundle.ctrl);
+    bundle.statconn = std::make_unique<Statconn>(*bundle.netif, cfg);
+    return bundle;
+  }
+
+  static StatconnConfig static75() {
+    StatconnConfig cfg;
+    cfg.policy = IntervalPolicy::fixed(sim::Duration::ms(75));
+    return cfg;
+  }
+
+  static StatconnConfig rand_65_85() {
+    StatconnConfig cfg;
+    cfg.policy = IntervalPolicy::randomized(sim::Duration::ms(65), sim::Duration::ms(85));
+    return cfg;
+  }
+
+  void run_for(sim::Duration d) { sim_.run_until(sim_.now() + d); }
+
+  sim::Simulator sim_{31};
+  ble::BleWorld world_;
+  std::map<NodeId, NodeBundle> nodes_;
+};
+
+TEST_F(StatconnTest, BringsUpConfiguredLink) {
+  auto& parent = add(1, 0.0, static75());
+  auto& child = add(2, 0.0, static75());
+  parent.statconn->add_subordinate_link(2);
+  child.statconn->add_coordinator_link(1);
+  parent.statconn->start();
+  child.statconn->start();
+  run_for(sim::Duration::ms(300));
+
+  EXPECT_TRUE(parent.statconn->all_links_up());
+  EXPECT_TRUE(child.statconn->all_links_up());
+  ble::Connection* conn = child.ctrl->connection_to(1);
+  ASSERT_NE(conn, nullptr);
+  EXPECT_EQ(conn->role_of(*child.ctrl), ble::Role::kCoordinator);
+  EXPECT_EQ(conn->params().interval, sim::Duration::ms(75));
+  // Advertising stops once all subordinate links are up.
+  EXPECT_FALSE(parent.ctrl->is_advertising());
+}
+
+TEST_F(StatconnTest, ReconnectsAfterSupervisionLoss) {
+  auto& parent = add(1, 0.0, static75());
+  auto& child = add(2, 0.0, static75());
+  parent.statconn->add_subordinate_link(2);
+  child.statconn->add_coordinator_link(1);
+  parent.statconn->start();
+  child.statconn->start();
+  run_for(sim::Duration::sec(1));
+  ble::Connection* first = child.ctrl->connection_to(1);
+  ASSERT_NE(first, nullptr);
+
+  first->close(ble::DisconnectReason::kSupervisionTimeout);
+  run_for(sim::Duration::ms(300));  // 10-100 ms reconnect + margin
+
+  ble::Connection* second = child.ctrl->connection_to(1);
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(second, first);
+  EXPECT_EQ(child.statconn->losses_seen(), 1u);
+  EXPECT_EQ(child.statconn->reconnects(), 1u);
+}
+
+TEST_F(StatconnTest, RandomizedPolicyYieldsUniqueIntervalsPerNode) {
+  // A hub subordinate to four coordinators: all four intervals must be
+  // distinct on the hub (coordinator regeneration + subordinate rejection).
+  auto& hub = add(1, 0.0, rand_65_85());
+  hub.statconn->add_subordinate_link(2);
+  hub.statconn->add_subordinate_link(3);
+  hub.statconn->add_subordinate_link(4);
+  hub.statconn->add_subordinate_link(5);
+  for (NodeId id = 2; id <= 5; ++id) {
+    auto& child = add(id, 0.0, rand_65_85());
+    child.statconn->add_coordinator_link(1);
+    child.statconn->start();
+  }
+  hub.statconn->start();
+  run_for(sim::Duration::sec(3));
+
+  const auto conns = hub.ctrl->connections();
+  ASSERT_EQ(conns.size(), 4u);
+  std::set<std::int64_t> intervals;
+  for (ble::Connection* c : conns) {
+    intervals.insert(c->params().interval.count_ns());
+    EXPECT_GE(c->params().interval, sim::Duration::ms(65));
+    EXPECT_LE(c->params().interval, sim::Duration::ms(85));
+  }
+  EXPECT_EQ(intervals.size(), 4u);
+}
+
+TEST_F(StatconnTest, SubordinateRejectsCollidingInterval) {
+  // Hub enforces uniqueness, but the two coordinators draw from windows that
+  // force a collision on the first try (single-value windows).
+  StatconnConfig hub_cfg = static75();
+  hub_cfg.enforce_unique_intervals = true;
+  auto& hub = add(1, 0.0, hub_cfg);
+  hub.statconn->add_subordinate_link(2);
+  hub.statconn->add_subordinate_link(3);
+  hub.statconn->start();
+
+  auto& c2 = add(2, 0.0, static75());
+  c2.statconn->add_coordinator_link(1);
+  c2.statconn->start();
+  run_for(sim::Duration::sec(1));
+  ASSERT_NE(c2.ctrl->connection_to(1), nullptr);
+
+  // Node 3 also insists on exactly 75 ms: the hub must close it immediately
+  // (repeatedly — the fixed policy can never produce a unique draw).
+  auto& c3 = add(3, 0.0, static75());
+  c3.statconn->add_coordinator_link(1);
+  c3.statconn->start();
+  run_for(sim::Duration::sec(3));
+  EXPECT_GT(hub.statconn->interval_rejects(), 0u);
+  EXPECT_EQ(c3.ctrl->connection_to(1), nullptr);
+
+  // The original link is unaffected.
+  EXPECT_NE(c2.ctrl->connection_to(1), nullptr);
+}
+
+TEST_F(StatconnTest, MitigationPreventsShadingLosses) {
+  // The headline experiment in miniature: a hub with two subordinate links
+  // whose coordinators drift at +-150 ppm. Static intervals must lose a
+  // connection; randomized intervals must not (section 6.3).
+  for (const bool randomized : {false, true}) {
+    sim::Simulator simu{randomized ? 101u : 102u};
+    ble::BleWorld world{simu, phy::ChannelModel{0.0}};
+    const StatconnConfig cfg = randomized ? rand_65_85() : static75();
+
+    ble::Controller& hub = world.add_node(1, 0.0);
+    NimbleNetif hub_netif{hub};
+    Statconn hub_sc{hub_netif, cfg};
+    hub_sc.add_subordinate_link(2);
+    hub_sc.add_subordinate_link(3);
+
+    ble::Controller& a = world.add_node(2, +150.0);
+    NimbleNetif a_netif{a};
+    Statconn a_sc{a_netif, cfg};
+    a_sc.add_coordinator_link(1);
+
+    ble::Controller& b = world.add_node(3, -150.0);
+    NimbleNetif b_netif{b};
+    Statconn b_sc{b_netif, cfg};
+    b_sc.add_coordinator_link(1);
+
+    hub_sc.start();
+    a_sc.start();
+    b_sc.start();
+    simu.run_until(sim::TimePoint::origin() + sim::Duration::minutes(10));
+
+    if (randomized) {
+      EXPECT_EQ(world.total_conn_losses(), 0u) << "randomized intervals must not shade";
+    } else {
+      EXPECT_GE(world.total_conn_losses(), 1u) << "static intervals must shade";
+    }
+    // Either way the links are up at the end (statconn heals).
+    EXPECT_TRUE(a_sc.all_links_up());
+    EXPECT_TRUE(b_sc.all_links_up());
+  }
+}
+
+TEST_F(StatconnTest, ParamUpdateMitigationRepairsCollisions) {
+  // Two same-interval connections overlap on the hub; with the section 6.3
+  // design-space alternative enabled, the hub repairs the collision through
+  // a parameter update instead of letting shading kill the link.
+  StatconnConfig cfg = static75();
+  cfg.param_update_mitigation = true;
+  auto& hub = add(1, 0.0, cfg);
+  hub.statconn->add_subordinate_link(2);
+  hub.statconn->add_subordinate_link(3);
+  hub.statconn->start();
+  for (NodeId id = 2; id <= 3; ++id) {
+    auto& child = add(id, id == 2 ? +150.0 : -150.0, static75());
+    child.statconn->add_coordinator_link(1);
+    child.statconn->start();
+  }
+  run_for(sim::Duration::minutes(10));
+  // The repair fires as soon as both links are up (they collide by
+  // construction: both request exactly 75 ms).
+  EXPECT_GT(hub.statconn->param_updates(), 0u);
+  EXPECT_EQ(world_.total_conn_losses(), 0u);
+  // Intervals ended up distinct.
+  const auto conns = hub.ctrl->connections();
+  ASSERT_EQ(conns.size(), 2u);
+  EXPECT_NE(conns[0]->params().interval, conns[1]->params().interval);
+}
+
+TEST_F(StatconnTest, NimbleNetifDataPath) {
+  auto& parent = add(1, 0.0, static75());
+  auto& child = add(2, 0.0, static75());
+  parent.statconn->add_subordinate_link(2);
+  child.statconn->add_coordinator_link(1);
+  parent.statconn->start();
+  child.statconn->start();
+  run_for(sim::Duration::ms(300));
+
+  std::vector<std::uint8_t> got;
+  parent.netif->set_rx([&](NodeId src, std::vector<std::uint8_t> frame, sim::TimePoint) {
+    EXPECT_EQ(src, 2u);
+    got = std::move(frame);
+  });
+  EXPECT_TRUE(child.netif->neighbor_up(1));
+  EXPECT_FALSE(child.netif->neighbor_up(9));
+  EXPECT_EQ(child.netif->mtu(), 1280u);
+  EXPECT_TRUE(child.netif->send(1, {1, 2, 3}));
+  run_for(sim::Duration::ms(200));
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(child.netif->tx_sdus(), 1u);
+  EXPECT_EQ(parent.netif->rx_sdus(), 1u);
+}
+
+TEST_F(StatconnTest, NetifSendToUnknownNeighborFails) {
+  auto& lone = add(1, 0.0, static75());
+  lone.statconn->start();
+  EXPECT_FALSE(lone.netif->send(42, {1}));
+  EXPECT_EQ(lone.netif->tx_rejected(), 1u);
+}
+
+}  // namespace
+}  // namespace mgap::core

@@ -1,0 +1,75 @@
+// Unit tests: the energy model against the paper's Power-Profiler-Kit
+// numbers (section 5.4).
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hpp"
+
+namespace mgap::energy {
+namespace {
+
+TEST(EnergyMeter, IdleConnectionAt75msMatchesPaper) {
+  // "a connection interval of 75 ms, a single idle connection adds 30.7 uA or
+  //  34.7 uA to a node's average current consumption, depending on the role."
+  EnergyMeter meter;
+  const sim::Duration hour = sim::Duration::hours(1);
+  const auto events = static_cast<std::uint64_t>(hour / sim::Duration::ms(75));
+
+  ble::RadioActivity coord;
+  coord.conn_events_coord = events;
+  EXPECT_NEAR(meter.ble_current_ua(coord, hour), 30.7, 0.2);
+
+  ble::RadioActivity sub;
+  sub.conn_events_sub = events;
+  EXPECT_NEAR(meter.ble_current_ua(sub, hour), 34.7, 0.2);
+}
+
+TEST(EnergyMeter, BeaconAt1sMatchesPaper) {
+  // "an advertising interval of 1 s, we measure an increased current
+  //  consumption of 12 uA compared to the node in idle mode."
+  EnergyMeter meter;
+  ble::RadioActivity a;
+  a.adv_events = 3600;
+  EXPECT_NEAR(meter.ble_current_ua(a, sim::Duration::hours(1)), 12.0, 0.1);
+}
+
+TEST(EnergyMeter, AvgCurrentIncludesBoardIdle) {
+  EnergyMeter meter;
+  const ble::RadioActivity idle{};
+  EXPECT_DOUBLE_EQ(meter.avg_current_ua(idle, sim::Duration::hours(1)), 15.0);
+}
+
+TEST(EnergyMeter, ForwarderScenarioBatteryLife) {
+  // "123 uA caused by the BLE connections... allows to run this configuration
+  //  for 69 days on a 230 mAh coin cell or little over 2 years on a 2500 mAh
+  //  18650 cell."
+  const double total_ua = 15.0 + 123.0;
+  EXPECT_NEAR(EnergyMeter::battery_days(230.0, total_ua), 69.4, 1.0);
+  EXPECT_GT(EnergyMeter::battery_days(2500.0, total_ua), 2.0 * 365.0);
+}
+
+TEST(EnergyMeter, DataBytesAddRadioCharge) {
+  EnergyMeter meter;
+  ble::RadioActivity a;
+  a.data_bytes_tx = 1000;
+  // 0.044 uC/byte at the calibrated radio current.
+  EXPECT_NEAR(meter.ble_charge_uc(a), 44.0, 0.01);
+}
+
+TEST(EnergyMeter, ScanningDominatesWhenAlwaysOn) {
+  EnergyMeter meter;
+  ble::RadioActivity a;
+  a.scan_time = sim::Duration::sec(1);
+  // 1 s of scanning at ~5.4 mA.
+  EXPECT_NEAR(meter.ble_charge_uc(a), 5400.0, 1.0);
+}
+
+TEST(EnergyMeter, ZeroElapsedIsSafe) {
+  EnergyMeter meter;
+  const ble::RadioActivity a{};
+  EXPECT_DOUBLE_EQ(meter.ble_current_ua(a, sim::Duration{}), 0.0);
+  EXPECT_DOUBLE_EQ(EnergyMeter::battery_days(100.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace mgap::energy

@@ -1,0 +1,202 @@
+// Unit tests: IEEE 802.15.4 CSMA/CA MAC — the section 5.3 baseline. Verifies
+// acknowledged delivery, collision behaviour under contention, the
+// drop-after-retries policy, and duplicate rejection.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ieee802154/mac.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgap::ieee802154 {
+namespace {
+
+class MacTest : public ::testing::Test {
+ protected:
+  explicit MacTest(double per = 0.0) : net_{sim_, per} {}
+
+  void run_for(sim::Duration d) { sim_.run_until(sim_.now() + d); }
+
+  sim::Simulator sim_{11};
+  Network154 net_;
+};
+
+TEST_F(MacTest, UnicastDeliveredAndAcked) {
+  Mac& a = net_.add_node(1);
+  Mac& b = net_.add_node(2);
+  std::vector<std::uint8_t> got;
+  b.set_rx([&](NodeId src, std::vector<std::uint8_t> p, sim::TimePoint) {
+    EXPECT_EQ(src, 1u);
+    got = std::move(p);
+  });
+  ASSERT_TRUE(a.send(2, {1, 2, 3, 4}));
+  run_for(sim::Duration::ms(50));
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(a.stats().tx_ok, 1u);
+  EXPECT_EQ(b.stats().rx_frames, 1u);
+}
+
+TEST_F(MacTest, DeliveryLatencyIsMilliseconds) {
+  // Backoff + CCA + airtime: a fraction of the BLE connection interval
+  // (Figure 10(b): 802.15.4 wins on latency).
+  Mac& a = net_.add_node(1);
+  Mac& b = net_.add_node(2);
+  sim::TimePoint at;
+  b.set_rx([&](NodeId, std::vector<std::uint8_t>, sim::TimePoint t) { at = t; });
+  const sim::TimePoint start = sim_.now();
+  ASSERT_TRUE(a.send(2, std::vector<std::uint8_t>(100, 0)));
+  run_for(sim::Duration::ms(100));
+  ASSERT_NE(at, sim::TimePoint{});
+  EXPECT_LE(at - start, sim::Duration::ms(15));
+}
+
+TEST_F(MacTest, FramesToUnknownDestinationDroppedAfterRetries) {
+  Mac& a = net_.add_node(1);
+  ASSERT_TRUE(a.send(99, {1}));
+  run_for(sim::Duration::sec(1));
+  EXPECT_EQ(a.stats().tx_ok, 0u);
+  EXPECT_EQ(a.stats().drop_retries, 1u);
+  // 1 + macMaxFrameRetries attempts.
+  EXPECT_EQ(a.stats().tx_attempts, 4u);
+}
+
+TEST_F(MacTest, QueueOverflowRejectsSend) {
+  MacConfig cfg;
+  cfg.queue_bytes = 250;
+  Mac& a = net_.add_node(1, cfg);
+  net_.add_node(2);
+  EXPECT_TRUE(a.send(2, std::vector<std::uint8_t>(100, 0)));
+  EXPECT_TRUE(a.send(2, std::vector<std::uint8_t>(100, 0)));
+  EXPECT_FALSE(a.send(2, std::vector<std::uint8_t>(100, 0)));
+  EXPECT_EQ(a.stats().drop_queue, 1u);
+}
+
+TEST_F(MacTest, QueueDrainsInOrder) {
+  Mac& a = net_.add_node(1);
+  Mac& b = net_.add_node(2);
+  std::vector<std::uint8_t> order;
+  b.set_rx([&](NodeId, std::vector<std::uint8_t> p, sim::TimePoint) {
+    order.push_back(p.at(0));
+  });
+  for (std::uint8_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(a.send(2, std::vector<std::uint8_t>{i}));
+  }
+  run_for(sim::Duration::sec(1));
+  ASSERT_EQ(order.size(), 20u);
+  for (std::uint8_t i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST_F(MacTest, ContendersShareTheChannel) {
+  // 8 senders towards one sink: CSMA/CA resolves most contention; ambient
+  // collisions cause retries, but throughput remains high.
+  Mac& sink = net_.add_node(100);
+  std::map<NodeId, int> rx_per_src;
+  sink.set_rx([&](NodeId src, std::vector<std::uint8_t>, sim::TimePoint) {
+    ++rx_per_src[src];
+  });
+  std::vector<Mac*> senders;
+  for (NodeId id = 1; id <= 8; ++id) senders.push_back(&net_.add_node(id));
+  for (int round = 0; round < 50; ++round) {
+    for (Mac* s : senders) {
+      (void)s->send(100, std::vector<std::uint8_t>(50, 0));
+      run_for(sim::Duration::ms(5));  // realistic arrival stagger
+    }
+    run_for(sim::Duration::ms(60));
+  }
+  run_for(sim::Duration::sec(1));
+  int total = 0;
+  for (const auto& [src, n] : rx_per_src) total += n;
+  // CSMA/CA resolves most of the contention; the remainder is the
+  // channel-access-failure / drop-after-retries loss the paper reports for
+  // IEEE 802.15.4 (section 5.3).
+  EXPECT_GT(total, 330);
+  // Conservation: every offered frame is acked or dropped, never lost track of.
+  std::uint64_t accounted = 0;
+  for (Mac* s : senders) {
+    accounted += s->stats().tx_ok + s->stats().drop_csma + s->stats().drop_retries +
+                 s->stats().drop_queue;
+  }
+  EXPECT_EQ(accounted, 400u);
+}
+
+TEST_F(MacTest, SimultaneousSendersCollideAndRecover) {
+  Mac& a = net_.add_node(1);
+  Mac& b = net_.add_node(2);
+  Mac& c = net_.add_node(3);
+  int c_rx = 0;
+  c.set_rx([&](NodeId, std::vector<std::uint8_t>, sim::TimePoint) { ++c_rx; });
+  // Both queue at the same instant: same initial backoff window.
+  ASSERT_TRUE(a.send(3, std::vector<std::uint8_t>(80, 1)));
+  ASSERT_TRUE(b.send(3, std::vector<std::uint8_t>(80, 2)));
+  run_for(sim::Duration::sec(1));
+  EXPECT_EQ(c_rx, 2);  // both eventually delivered (retries resolve collisions)
+}
+
+TEST_F(MacTest, DuplicateRejectedWhenAckLost) {
+  // Force an ACK collision scenario indirectly: with heavy noise the ACK can
+  // be lost while the data frame got through; the retransmission must be
+  // de-duplicated by sequence number.
+  sim::Simulator simu{13};
+  Network154 noisy{simu, 0.3};
+  Mac& a = noisy.add_node(1);
+  Mac& b = noisy.add_node(2);
+  int rx = 0;
+  b.set_rx([&](NodeId, std::vector<std::uint8_t>, sim::TimePoint) { ++rx; });
+  int delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    (void)a.send(2, std::vector<std::uint8_t>(50, 0));
+    simu.run_until(simu.now() + sim::Duration::ms(50));
+  }
+  delivered = rx;
+  EXPECT_LE(static_cast<std::uint64_t>(delivered), 200u);
+  EXPECT_EQ(b.stats().rx_frames, static_cast<std::uint64_t>(delivered));
+  // Ack losses happened: duplicates were seen and filtered.
+  EXPECT_GT(b.stats().rx_duplicates, 0u);
+}
+
+TEST_F(MacTest, CcaDefersWhileCarrierBusy) {
+  Mac& a = net_.add_node(1);
+  Mac& b = net_.add_node(2);
+  net_.add_node(3);
+  // Occupy the medium with a foreign transmission; CSMA must defer through
+  // it (without exhausting macMaxCSMABackoffs) and deliver afterwards.
+  const auto long_tx = net_.medium().begin_tx(3, sim_.now(), sim::Duration::ms(5));
+  ASSERT_TRUE(a.send(2, std::vector<std::uint8_t>(10, 0)));
+  int rx = 0;
+  b.set_rx([&](NodeId, std::vector<std::uint8_t>, sim::TimePoint) { ++rx; });
+  run_for(sim::Duration::ms(2));
+  EXPECT_EQ(rx, 0);  // still deferring
+  run_for(sim::Duration::ms(100));
+  sim::Rng rng{1, 1};
+  (void)net_.medium().finish_tx(long_tx, rng);
+  EXPECT_EQ(rx, 1);
+  EXPECT_EQ(a.stats().drop_csma, 0u);
+}
+
+// Property sweep: delivery ratio degrades gracefully with ambient noise but
+// the MAC never deadlocks.
+class MacNoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MacNoiseSweep, KeepsDelivering) {
+  sim::Simulator simu{17};
+  Network154 net{simu, GetParam()};
+  Mac& a = net.add_node(1);
+  Mac& b = net.add_node(2);
+  int rx = 0;
+  b.set_rx([&](NodeId, std::vector<std::uint8_t>, sim::TimePoint) { ++rx; });
+  for (int i = 0; i < 100; ++i) {
+    (void)a.send(2, std::vector<std::uint8_t>(60, 0));
+    simu.run_until(simu.now() + sim::Duration::ms(100));
+  }
+  EXPECT_GT(rx, 50);
+  EXPECT_EQ(a.stats().tx_ok + a.stats().drop_retries + a.stats().drop_csma +
+                a.stats().drop_queue,
+            100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, MacNoiseSweep,
+                         ::testing::Values(0.0, 0.02, 0.05, 0.1, 0.2));
+
+}  // namespace
+}  // namespace mgap::ieee802154

@@ -1,0 +1,114 @@
+// Unit tests: the measurement pipeline (RTT histogram, PDR timelines).
+
+#include <gtest/gtest.h>
+
+#include "testbed/metrics.hpp"
+
+namespace mgap::testbed {
+namespace {
+
+TEST(RttHistogram, QuantilesOfUniformSamples) {
+  RttHistogram h;
+  for (int ms = 1; ms <= 1000; ++ms) h.add(sim::Duration::ms(ms));
+  EXPECT_EQ(h.count(), 1000u);
+  // Log-binned: expect ~2% relative accuracy.
+  EXPECT_NEAR(h.quantile(0.5).to_ms_f(), 500.0, 25.0);
+  EXPECT_NEAR(h.quantile(0.9).to_ms_f(), 900.0, 40.0);
+  EXPECT_EQ(h.max_seen(), sim::Duration::ms(1000));
+  EXPECT_NEAR(h.mean_ms(), 500.5, 0.1);
+}
+
+TEST(RttHistogram, FractionBelow) {
+  RttHistogram h;
+  for (int i = 0; i < 50; ++i) h.add(sim::Duration::ms(10));
+  for (int i = 0; i < 50; ++i) h.add(sim::Duration::ms(1000));
+  EXPECT_NEAR(h.fraction_below(sim::Duration::ms(100)), 0.5, 0.01);
+  EXPECT_NEAR(h.fraction_below(sim::Duration::sec(2)), 1.0, 0.01);
+}
+
+TEST(RttHistogram, CdfIsMonotone) {
+  RttHistogram h;
+  for (int i = 1; i < 2000; i += 3) h.add(sim::Duration::ms(i % 700 + 1));
+  const auto cdf = h.cdf();
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].second, cdf[i].second);
+    EXPECT_LT(cdf[i - 1].first, cdf[i].first);
+  }
+  EXPECT_NEAR(cdf.back().second, 1.0, 1e-9);
+}
+
+TEST(RttHistogram, MergeCombinesCounts) {
+  RttHistogram a;
+  RttHistogram b;
+  a.add(sim::Duration::ms(10));
+  b.add(sim::Duration::ms(100));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.max_seen(), sim::Duration::ms(100));
+}
+
+TEST(RttHistogram, SubMillisecondClampsToFirstBin) {
+  RttHistogram h;
+  h.add(sim::Duration::us(50));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_LE(h.quantile(0.5), sim::Duration::ms(2));
+}
+
+TEST(Metrics, PdrAccounting) {
+  Metrics m{sim::Duration::sec(10)};
+  const auto t = sim::TimePoint::origin() + sim::Duration::sec(5);
+  m.on_sent(1, t);
+  m.on_sent(1, t + sim::Duration::sec(1));
+  m.on_acked(1, t, sim::Duration::ms(100));
+  EXPECT_EQ(m.total_sent(), 2u);
+  EXPECT_EQ(m.total_acked(), 1u);
+  EXPECT_DOUBLE_EQ(m.pdr(), 0.5);
+  EXPECT_DOUBLE_EQ(m.pdr_of(1), 0.5);
+  EXPECT_DOUBLE_EQ(m.pdr_of(99), 1.0);  // no traffic -> vacuous
+}
+
+TEST(Metrics, AcksAttributedToSendBucket) {
+  Metrics m{sim::Duration::sec(10)};
+  const auto t0 = sim::TimePoint::origin() + sim::Duration::sec(1);
+  m.on_sent(1, t0);
+  // Ack arrives 15 s later: still credited to bucket 0 via the send time.
+  m.on_acked(1, t0, sim::Duration::sec(15));
+  const auto timeline = m.timeline();
+  ASSERT_GE(timeline.size(), 1u);
+  EXPECT_EQ(timeline[0].sent, 1u);
+  EXPECT_EQ(timeline[0].acked, 1u);
+}
+
+TEST(Metrics, TimelineAggregatesProducers) {
+  Metrics m{sim::Duration::sec(10)};
+  for (NodeId n = 1; n <= 3; ++n) {
+    m.on_sent(n, sim::TimePoint::origin() + sim::Duration::sec(2));
+    m.on_sent(n, sim::TimePoint::origin() + sim::Duration::sec(12));
+  }
+  const auto timeline = m.timeline();
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_EQ(timeline[0].sent, 3u);
+  EXPECT_EQ(timeline[1].sent, 3u);
+  ASSERT_NE(m.timeline_of(2), nullptr);
+  EXPECT_EQ((*m.timeline_of(2))[0].sent, 1u);
+}
+
+TEST(Metrics, ConnLossLog) {
+  Metrics m;
+  m.on_conn_loss(4, sim::TimePoint::origin() + sim::Duration::sec(100));
+  ASSERT_EQ(m.conn_losses().size(), 1u);
+  EXPECT_EQ(m.conn_losses()[0].second, 4u);
+}
+
+TEST(Metrics, PerNodeRtt) {
+  Metrics m;
+  m.on_sent(1, sim::TimePoint::origin());
+  m.on_acked(1, sim::TimePoint::origin(), sim::Duration::ms(150));
+  ASSERT_NE(m.rtt_of(1), nullptr);
+  EXPECT_EQ(m.rtt_of(1)->count(), 1u);
+  EXPECT_EQ(m.rtt_of(2), nullptr);
+}
+
+}  // namespace
+}  // namespace mgap::testbed

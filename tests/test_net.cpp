@@ -1,0 +1,199 @@
+// Unit tests: IPv6 addressing/headers, UDP with checksums, routing/NIB, and
+// the GNRC-style pktbuf.
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+#include "net/ipv6.hpp"
+#include "net/ipv6_addr.hpp"
+#include "net/pktbuf.hpp"
+#include "net/routing.hpp"
+#include "net/udp.hpp"
+
+namespace mgap::net {
+namespace {
+
+TEST(Ipv6Addr, AddressingPlan) {
+  const Ipv6Addr ll = Ipv6Addr::link_local(7);
+  const Ipv6Addr site = Ipv6Addr::site(7);
+  EXPECT_TRUE(ll.is_link_local());
+  EXPECT_FALSE(site.is_link_local());
+  EXPECT_TRUE(site.in_site_prefix());
+  EXPECT_EQ(ll.node_id(), 7u);
+  EXPECT_EQ(site.node_id(), 7u);
+  EXPECT_NE(ll, site);
+}
+
+TEST(Ipv6Addr, NodeIdRejectsForeignAddresses) {
+  std::array<std::uint8_t, 16> raw{};
+  raw[0] = 0x20;
+  raw[1] = 0x01;
+  raw[15] = 5;
+  EXPECT_EQ(Ipv6Addr{raw}.node_id(), kInvalidNode);
+}
+
+TEST(Ipv6Addr, TextFormat) {
+  EXPECT_EQ(Ipv6Addr::site(1).str(), "fd00:6c6f:626c:6500:0000:0000:0000:0001");
+  EXPECT_EQ(Ipv6Addr::link_local(255).str(), "fe80:0000:0000:0000:0000:0000:0000:00ff");
+}
+
+TEST(Ipv6Addr, OrderingIsTotal) {
+  EXPECT_LT(Ipv6Addr::site(1), Ipv6Addr::site(2));
+  EXPECT_TRUE(Ipv6Addr{}.is_unspecified());
+}
+
+TEST(Ipv6Header, EncodeDecodeRoundTrip) {
+  Ipv6Header h;
+  h.traffic_class = 0x20;
+  h.flow_label = 0xABCDE;
+  h.next_header = kProtoUdp;
+  h.hop_limit = 17;
+  h.src = Ipv6Addr::site(3);
+  h.dst = Ipv6Addr::site(9);
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  const auto packet = ipv6_encode(h, payload);
+  ASSERT_EQ(packet.size(), kIpv6HeaderLen + 5);
+
+  const auto d = ipv6_decode(packet);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->traffic_class, 0x20);
+  EXPECT_EQ(d->flow_label, 0xABCDEu);
+  EXPECT_EQ(d->payload_len, 5);
+  EXPECT_EQ(d->hop_limit, 17);
+  EXPECT_EQ(d->src, h.src);
+  EXPECT_EQ(d->dst, h.dst);
+  const auto pl = ipv6_payload(packet);
+  EXPECT_TRUE(std::equal(pl.begin(), pl.end(), payload.begin()));
+}
+
+TEST(Ipv6Header, DecodeRejectsGarbage) {
+  EXPECT_FALSE(ipv6_decode(std::vector<std::uint8_t>(10, 0)).has_value());
+  std::vector<std::uint8_t> not_v6(kIpv6HeaderLen, 0);
+  not_v6[0] = 0x45;  // IPv4
+  EXPECT_FALSE(ipv6_decode(not_v6).has_value());
+  // Truncated payload.
+  Ipv6Header h;
+  h.src = Ipv6Addr::site(1);
+  h.dst = Ipv6Addr::site(2);
+  auto p = ipv6_encode(h, std::vector<std::uint8_t>(20, 0));
+  p.resize(p.size() - 1);
+  EXPECT_FALSE(ipv6_decode(p).has_value());
+}
+
+TEST(Ipv6Header, HopLimitDecrement) {
+  Ipv6Header h;
+  h.hop_limit = 2;
+  h.src = Ipv6Addr::site(1);
+  h.dst = Ipv6Addr::site(2);
+  auto p = ipv6_encode(h, {});
+  EXPECT_TRUE(ipv6_decrement_hop_limit(p));
+  EXPECT_EQ(ipv6_decode(p)->hop_limit, 1);
+  EXPECT_FALSE(ipv6_decrement_hop_limit(p));  // expired
+}
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> sum 0xddf2 -> ~ = 0x220d.
+  Checksum cs;
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  cs.add(data);
+  EXPECT_EQ(cs.finish(), 0x220D);
+}
+
+TEST(Checksum, OddLengthHandled) {
+  Checksum a;
+  const std::uint8_t one[] = {0xAB};
+  a.add(one);
+  // 0xAB00 -> complement.
+  EXPECT_EQ(a.finish(), static_cast<std::uint16_t>(~0xAB00 & 0xFFFF));
+}
+
+TEST(Checksum, SplitFeedsEqualSingleFeed) {
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5, 6, 7};
+  Checksum whole;
+  whole.add(data);
+  Checksum split;
+  split.add(std::span{data}.subspan(0, 3));
+  split.add(std::span{data}.subspan(3));
+  EXPECT_EQ(whole.finish(), split.finish());
+}
+
+TEST(Udp, EncodeDecodeRoundTrip) {
+  const Ipv6Addr src = Ipv6Addr::site(1);
+  const Ipv6Addr dst = Ipv6Addr::site(2);
+  const std::vector<std::uint8_t> payload(39, 0xA5);
+  const auto dg = udp_encode(src, dst, 49153, 5683, payload);
+  ASSERT_EQ(dg.size(), kUdpHeaderLen + 39);
+
+  const auto d = udp_decode(src, dst, dg);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->src_port, 49153);
+  EXPECT_EQ(d->dst_port, 5683);
+  EXPECT_EQ(d->payload, payload);
+}
+
+TEST(Udp, ChecksumDetectsCorruption) {
+  const Ipv6Addr src = Ipv6Addr::site(1);
+  const Ipv6Addr dst = Ipv6Addr::site(2);
+  auto dg = udp_encode(src, dst, 1000, 2000, std::vector<std::uint8_t>{1, 2, 3});
+  dg[10] ^= 0x01;  // flip a payload bit
+  EXPECT_FALSE(udp_decode(src, dst, dg).has_value());
+}
+
+TEST(Udp, ChecksumCoversPseudoHeader) {
+  const auto dg = udp_encode(Ipv6Addr::site(1), Ipv6Addr::site(2), 1, 2,
+                             std::vector<std::uint8_t>{9});
+  // Same bytes, different claimed source address: must fail.
+  EXPECT_FALSE(udp_decode(Ipv6Addr::site(3), Ipv6Addr::site(2), dg).has_value());
+}
+
+TEST(Udp, RejectsTruncated) {
+  EXPECT_FALSE(udp_decode(Ipv6Addr::site(1), Ipv6Addr::site(2),
+                          std::vector<std::uint8_t>(4, 0))
+                   .has_value());
+}
+
+TEST(RoutingTable, HostRoutePrecedesDefault) {
+  RoutingTable rt;
+  rt.set_default(Ipv6Addr::site(1));
+  rt.add_host_route(Ipv6Addr::site(9), Ipv6Addr::site(5));
+  EXPECT_EQ(rt.lookup(Ipv6Addr::site(9)), Ipv6Addr::site(5));
+  EXPECT_EQ(rt.lookup(Ipv6Addr::site(8)), Ipv6Addr::site(1));
+  rt.clear_default();
+  EXPECT_FALSE(rt.lookup(Ipv6Addr::site(8)).has_value());
+}
+
+TEST(Nib, ResolvesExplicitAndDerived) {
+  Nib nib{2};
+  EXPECT_TRUE(nib.add(Ipv6Addr::site(4), 44));
+  EXPECT_EQ(nib.resolve(Ipv6Addr::site(4)), 44u);
+  // Fallback: IID-derived L2 address per the addressing plan.
+  EXPECT_EQ(nib.resolve(Ipv6Addr::site(6)), 6u);
+  // Foreign address with no entry: unresolvable.
+  std::array<std::uint8_t, 16> raw{};
+  raw[0] = 0x20;
+  EXPECT_FALSE(nib.resolve(Ipv6Addr{raw}).has_value());
+}
+
+TEST(Nib, CapacityBounded) {
+  Nib nib{2};
+  EXPECT_TRUE(nib.add(Ipv6Addr::site(1), 1));
+  EXPECT_TRUE(nib.add(Ipv6Addr::site(2), 2));
+  EXPECT_FALSE(nib.add(Ipv6Addr::site(3), 3));
+  EXPECT_TRUE(nib.add(Ipv6Addr::site(1), 11));  // update in place
+  EXPECT_EQ(nib.resolve(Ipv6Addr::site(1)), 11u);
+}
+
+TEST(Pktbuf, AllocFreeAccounting) {
+  Pktbuf buf{100};
+  EXPECT_TRUE(buf.alloc(60));
+  EXPECT_TRUE(buf.alloc(40));
+  EXPECT_FALSE(buf.alloc(1));
+  EXPECT_EQ(buf.failed_allocs(), 1u);
+  EXPECT_EQ(buf.high_water(), 100u);
+  buf.free(40);
+  EXPECT_TRUE(buf.alloc(30));
+  EXPECT_EQ(buf.used(), 90u);
+}
+
+}  // namespace
+}  // namespace mgap::net

@@ -1,0 +1,135 @@
+// Unit tests: PHY constants, airtime arithmetic, channel model, and the
+// IEEE 802.15.4 shared medium.
+
+#include <gtest/gtest.h>
+
+#include "phy/ble_phy.hpp"
+#include "phy/channel_model.hpp"
+#include "phy/ieee802154_phy.hpp"
+#include "phy/medium154.hpp"
+#include "sim/rng.hpp"
+
+namespace mgap::phy {
+namespace {
+
+TEST(BlePhy, AirtimeAt1Mbps) {
+  // 1 Mbps <=> 8 us per byte; empty PDU = 10 overhead bytes = 80 us.
+  EXPECT_EQ(kEmptyPduAirtime, sim::Duration::us(80));
+  // The paper's 115-byte packets: (106 payload + 10 overhead) * 8 us.
+  EXPECT_EQ(ll_airtime(106), sim::Duration::us(928));
+}
+
+TEST(BlePhy, PairTimeIncludesTwoIfs) {
+  // Empty pair: 80 + 150 + 80 + 150 = 460 us (Figure 3 flow).
+  EXPECT_EQ(pair_time(0, 0), sim::Duration::us(460));
+  EXPECT_EQ(pair_time(106, 0), sim::Duration::us(928 + 150 + 80 + 150));
+}
+
+TEST(BlePhy, IfsIs150Us) { EXPECT_EQ(kIfs, sim::Duration::us(150)); }
+
+TEST(BlePhy, QuantizeConnItvlGrid) {
+  EXPECT_EQ(quantize_conn_itvl(sim::Duration::ms(75)), sim::Duration::ms(75));
+  // 76 ms rounds to 76.25 ms (61 units).
+  EXPECT_EQ(quantize_conn_itvl(sim::Duration::ms(76)).count_us(), 76'250);
+  // Clamped to the legal range.
+  EXPECT_EQ(quantize_conn_itvl(sim::Duration::ms(1)), kMinConnItvl);
+  EXPECT_EQ(quantize_conn_itvl(sim::Duration::sec(10)), kMaxConnItvl);
+}
+
+TEST(BlePhy, QuantizedValuesAreMultiplesOfUnit) {
+  for (int ms = 8; ms < 200; ms += 7) {
+    const auto q = quantize_conn_itvl(sim::Duration::ms(ms));
+    EXPECT_EQ(q % kConnItvlUnit, sim::Duration{}) << ms;
+  }
+}
+
+TEST(ChannelModel, BasePerAppliesToAllChannels) {
+  const ChannelModel cm{0.25};
+  for (std::uint8_t ch = 0; ch < kNumChannels; ++ch) {
+    EXPECT_DOUBLE_EQ(cm.per(ch), 0.25);
+  }
+}
+
+TEST(ChannelModel, JamChannel) {
+  ChannelModel cm{0.01};
+  cm.jam(22);
+  EXPECT_TRUE(cm.is_jammed(22));
+  EXPECT_FALSE(cm.is_jammed(21));
+  EXPECT_GT(cm.per(22), 0.9);
+}
+
+TEST(ChannelModel, RejectsInvalidPer) {
+  ChannelModel cm;
+  EXPECT_THROW(cm.set_per(0, 1.5), std::invalid_argument);
+  EXPECT_THROW(ChannelModel{-0.1}, std::invalid_argument);
+}
+
+TEST(ChannelModel, DeliverStatistics) {
+  ChannelModel cm{0.2};
+  sim::Rng rng{1, 1};
+  int ok = 0;
+  constexpr int kN = 20'000;
+  for (int i = 0; i < kN; ++i) ok += cm.deliver(7, rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ok) / kN, 0.8, 0.01);
+}
+
+TEST(Phy154, FrameAirtime) {
+  // 250 kbps <=> 32 us/byte; PHY adds 6 bytes.
+  EXPECT_EQ(frame_airtime_154(100), sim::Duration::us((100 + 6) * 32));
+  EXPECT_EQ(kAckAirtime154, sim::Duration::us(11 * 32));
+}
+
+TEST(Medium154, CarrierBusyDuringTx) {
+  Medium154 m{0.0};
+  sim::Rng rng{1, 1};
+  const auto t0 = sim::TimePoint::from_ns(0);
+  const auto id = m.begin_tx(1, t0, sim::Duration::ms(1));
+  EXPECT_TRUE(m.carrier_busy(t0 + sim::Duration::us(500)));
+  EXPECT_FALSE(m.carrier_busy(t0 + sim::Duration::ms(2)));
+  EXPECT_TRUE(m.finish_tx(id, rng));
+  EXPECT_FALSE(m.carrier_busy(t0 + sim::Duration::us(500)));
+}
+
+TEST(Medium154, OverlappingTransmissionsCollide) {
+  Medium154 m{0.0};
+  sim::Rng rng{1, 1};
+  const auto t0 = sim::TimePoint::from_ns(0);
+  const auto a = m.begin_tx(1, t0, sim::Duration::ms(1));
+  const auto b = m.begin_tx(2, t0 + sim::Duration::us(300), sim::Duration::ms(1));
+  EXPECT_FALSE(m.finish_tx(a, rng));
+  EXPECT_FALSE(m.finish_tx(b, rng));
+  EXPECT_EQ(m.collisions(), 1u);
+}
+
+TEST(Medium154, DisjointTransmissionsSurvive) {
+  Medium154 m{0.0};
+  sim::Rng rng{1, 1};
+  const auto t0 = sim::TimePoint::from_ns(0);
+  const auto a = m.begin_tx(1, t0, sim::Duration::ms(1));
+  EXPECT_TRUE(m.finish_tx(a, rng));
+  const auto b = m.begin_tx(2, t0 + sim::Duration::ms(2), sim::Duration::ms(1));
+  EXPECT_TRUE(m.finish_tx(b, rng));
+  EXPECT_EQ(m.collisions(), 0u);
+}
+
+TEST(Medium154, AmbientNoiseDropsFrames) {
+  Medium154 m{1.0};  // everything noise-corrupted
+  sim::Rng rng{1, 1};
+  const auto id = m.begin_tx(1, sim::TimePoint::from_ns(0), sim::Duration::ms(1));
+  EXPECT_FALSE(m.finish_tx(id, rng));
+}
+
+TEST(Medium154, FutureTxRegistersOverlap) {
+  // An ACK scheduled slightly in the future must collide with a transmission
+  // that starts in between.
+  Medium154 m{0.0};
+  sim::Rng rng{1, 1};
+  const auto t0 = sim::TimePoint::from_ns(0);
+  const auto ack = m.begin_tx(1, t0 + sim::Duration::us(192), kAckAirtime154);
+  const auto other = m.begin_tx(2, t0 + sim::Duration::us(250), sim::Duration::ms(1));
+  EXPECT_FALSE(m.finish_tx(ack, rng));
+  EXPECT_FALSE(m.finish_tx(other, rng));
+}
+
+}  // namespace
+}  // namespace mgap::phy

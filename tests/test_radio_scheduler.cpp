@@ -1,0 +1,99 @@
+// Unit tests: per-node radio claim arbitration — the mechanism behind
+// connection shading (first-come claims, denial on overlap).
+
+#include <gtest/gtest.h>
+
+#include "ble/radio_scheduler.hpp"
+
+namespace mgap::ble {
+namespace {
+
+sim::TimePoint tp(std::int64_t us) { return sim::TimePoint::from_ns(us * 1000); }
+
+TEST(RadioScheduler, GrantsNonOverlapping) {
+  RadioScheduler s;
+  EXPECT_TRUE(s.try_claim(tp(0), tp(100), 1));
+  EXPECT_TRUE(s.try_claim(tp(100), tp(200), 2));  // adjacent is fine
+  EXPECT_TRUE(s.try_claim(tp(500), tp(600), 3));
+  EXPECT_EQ(s.granted(), 3u);
+  EXPECT_EQ(s.denied(), 0u);
+}
+
+TEST(RadioScheduler, DeniesOverlap) {
+  RadioScheduler s;
+  EXPECT_TRUE(s.try_claim(tp(100), tp(200), 1));
+  EXPECT_FALSE(s.try_claim(tp(150), tp(250), 2));  // overlaps tail
+  EXPECT_FALSE(s.try_claim(tp(50), tp(150), 2));   // overlaps head
+  EXPECT_FALSE(s.try_claim(tp(120), tp(180), 2));  // contained
+  EXPECT_FALSE(s.try_claim(tp(0), tp(300), 2));    // containing
+  EXPECT_EQ(s.denied(), 4u);
+}
+
+TEST(RadioScheduler, FirstComeWins) {
+  // The essence of shading: whoever claims first keeps the slot; the later
+  // claimer starves (section 6.1 choice (i)).
+  RadioScheduler s;
+  EXPECT_TRUE(s.try_claim(tp(100), tp(200), 7));
+  EXPECT_FALSE(s.try_claim(tp(100), tp(200), 8));
+  s.release(7);
+  EXPECT_TRUE(s.try_claim(tp(100), tp(200), 8));
+}
+
+TEST(RadioScheduler, ReleaseRemovesAllClaimsOfOwner) {
+  RadioScheduler s;
+  EXPECT_TRUE(s.try_claim(tp(0), tp(10), 1));
+  EXPECT_TRUE(s.try_claim(tp(20), tp(30), 1));
+  EXPECT_TRUE(s.try_claim(tp(40), tp(50), 2));
+  s.release(1);
+  EXPECT_EQ(s.active_claims(), 1u);
+  EXPECT_TRUE(s.try_claim(tp(0), tp(30), 3));
+}
+
+TEST(RadioScheduler, NextStartAfterSkipsExcludedOwner) {
+  RadioScheduler s;
+  ASSERT_TRUE(s.try_claim(tp(100), tp(110), 1));
+  ASSERT_TRUE(s.try_claim(tp(200), tp(210), 2));
+  ASSERT_TRUE(s.try_claim(tp(300), tp(310), 3));
+  EXPECT_EQ(s.next_start_after(tp(0), 1), tp(200));
+  EXPECT_EQ(s.next_start_after(tp(0), 99), tp(100));
+  EXPECT_EQ(s.next_start_after(tp(250), 99), tp(300));
+  EXPECT_EQ(s.next_start_after(tp(400), 99), RadioScheduler::never());
+}
+
+TEST(RadioScheduler, HoldsChecksOwnerAndInstant) {
+  RadioScheduler s;
+  ASSERT_TRUE(s.try_claim(tp(100), tp(200), 5));
+  EXPECT_TRUE(s.holds(5, tp(100)));
+  EXPECT_TRUE(s.holds(5, tp(199)));
+  EXPECT_FALSE(s.holds(5, tp(200)));  // end-exclusive
+  EXPECT_FALSE(s.holds(6, tp(150)));
+}
+
+TEST(RadioScheduler, IsFreeIgnoresOwnClaims) {
+  RadioScheduler s;
+  ASSERT_TRUE(s.try_claim(tp(100), tp(200), 5));
+  EXPECT_TRUE(s.is_free(tp(100), tp(200), 5));
+  EXPECT_FALSE(s.is_free(tp(100), tp(200), 6));
+  EXPECT_TRUE(s.is_free(tp(300), tp(400), 6));
+}
+
+TEST(RadioScheduler, PruneDropsExpiredClaims) {
+  RadioScheduler s;
+  ASSERT_TRUE(s.try_claim(tp(0), tp(10), 1));
+  ASSERT_TRUE(s.try_claim(tp(20), tp(30), 2));
+  s.prune_before(tp(15));
+  EXPECT_EQ(s.active_claims(), 1u);
+  EXPECT_TRUE(s.try_claim(tp(0), tp(10), 3));
+}
+
+TEST(RadioScheduler, ZeroLengthForbidden) {
+  RadioScheduler s;
+#ifndef NDEBUG
+  EXPECT_DEATH((void)s.try_claim(tp(10), tp(10), 1), "");
+#else
+  GTEST_SKIP() << "assertions disabled";
+#endif
+}
+
+}  // namespace
+}  // namespace mgap::ble

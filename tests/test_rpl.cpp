@@ -1,0 +1,180 @@
+// Unit tests: RPL-lite (DODAG formation, rank propagation, storing-mode DAO
+// routes, parent loss and local repair) over an injectable link layer.
+
+#include <gtest/gtest.h>
+
+#include "helpers/pipe_netif.hpp"
+#include "net/rpl.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgap::net {
+namespace {
+
+using testhelpers::PipeNet;
+
+class RplTest : public ::testing::Test {
+ protected:
+  RplTest() : net_{sim_} {}
+
+  struct Node {
+    std::unique_ptr<IpStack> stack;
+    std::unique_ptr<Rpl> rpl;
+    std::vector<NodeId> neighbors;
+  };
+
+  Node& add(NodeId id) {
+    auto& n = nodes_[id];
+    n.stack = std::make_unique<IpStack>(sim_, id, net_.add(id));
+    n.rpl = std::make_unique<Rpl>(sim_, *n.stack, [this, id] {
+      std::vector<NodeId> live;
+      for (const NodeId peer : nodes_[id].neighbors) {
+        if (net_.link_up(id, peer)) live.push_back(peer);
+      }
+      return live;
+    });
+    return n;
+  }
+
+  /// Declares a bidirectional link and notifies both RPL instances.
+  void link(NodeId a, NodeId b) {
+    nodes_[a].neighbors.push_back(b);
+    nodes_[b].neighbors.push_back(a);
+    nodes_[a].rpl->neighbor_up(b);
+    nodes_[b].rpl->neighbor_up(a);
+  }
+
+  void cut(NodeId a, NodeId b) {
+    net_.set_link_down(a, b, true);
+    nodes_[a].rpl->neighbor_down(b);
+    nodes_[b].rpl->neighbor_down(a);
+  }
+
+  void run_for(sim::Duration d) { sim_.run_until(sim_.now() + d); }
+
+  sim::Simulator sim_{41};
+  PipeNet net_;
+  std::map<NodeId, Node> nodes_;
+};
+
+TEST_F(RplTest, LineDodagFormsWithCorrectRanks) {
+  for (NodeId id = 1; id <= 4; ++id) add(id);
+  nodes_[1].rpl->start_as_root();
+  for (NodeId id = 2; id <= 4; ++id) nodes_[id].rpl->start();
+  link(1, 2);
+  link(2, 3);
+  link(3, 4);
+  run_for(sim::Duration::sec(20));
+
+  EXPECT_EQ(nodes_[1].rpl->rank(), kRplRootRank);
+  EXPECT_EQ(nodes_[2].rpl->rank(), kRplRootRank + 256);
+  EXPECT_EQ(nodes_[3].rpl->rank(), kRplRootRank + 512);
+  EXPECT_EQ(nodes_[4].rpl->rank(), kRplRootRank + 768);
+  EXPECT_EQ(nodes_[2].rpl->parent(), 1u);
+  EXPECT_EQ(nodes_[3].rpl->parent(), 2u);
+  EXPECT_EQ(nodes_[4].rpl->parent(), 3u);
+}
+
+TEST_F(RplTest, DiamondPrefersLowerRankParent) {
+  // 1 -- 2 -- 4 and 1 -- 3 -- 4: node 4 must pick rank-equivalent parent
+  // deterministically and end at depth 2.
+  for (NodeId id = 1; id <= 4; ++id) add(id);
+  nodes_[1].rpl->start_as_root();
+  for (NodeId id = 2; id <= 4; ++id) nodes_[id].rpl->start();
+  link(1, 2);
+  link(1, 3);
+  link(2, 4);
+  link(3, 4);
+  run_for(sim::Duration::sec(20));
+  EXPECT_EQ(nodes_[4].rpl->rank(), kRplRootRank + 512);
+  EXPECT_TRUE(nodes_[4].rpl->parent() == 2u || nodes_[4].rpl->parent() == 3u);
+}
+
+TEST_F(RplTest, DaoInstallsDownwardRoutesEndToEnd) {
+  for (NodeId id = 1; id <= 4; ++id) add(id);
+  nodes_[1].rpl->start_as_root();
+  for (NodeId id = 2; id <= 4; ++id) nodes_[id].rpl->start();
+  link(1, 2);
+  link(2, 3);
+  link(3, 4);
+  run_for(sim::Duration::sec(25));
+
+  // Leaf-to-root and root-to-leaf UDP must both work on RPL-installed routes.
+  int at_root = 0;
+  int at_leaf = 0;
+  nodes_[1].stack->udp_bind(9000, [&](const Ipv6Addr&, std::uint16_t, std::uint16_t,
+                                      std::vector<std::uint8_t>, sim::TimePoint) {
+    ++at_root;
+  });
+  nodes_[4].stack->udp_bind(9000, [&](const Ipv6Addr&, std::uint16_t, std::uint16_t,
+                                      std::vector<std::uint8_t>, sim::TimePoint) {
+    ++at_leaf;
+  });
+  EXPECT_TRUE(nodes_[4].stack->udp_send(Ipv6Addr::site(1), 9000, 9000, {1}));
+  EXPECT_TRUE(nodes_[1].stack->udp_send(Ipv6Addr::site(4), 9000, 9000, {2}));
+  run_for(sim::Duration::ms(100));
+  EXPECT_EQ(at_root, 1);
+  EXPECT_EQ(at_leaf, 1);
+}
+
+TEST_F(RplTest, ParentLossTriggersLocalRepair) {
+  // 4 parented via 2; cutting 2-4 must re-parent via 3.
+  for (NodeId id = 1; id <= 4; ++id) add(id);
+  nodes_[1].rpl->start_as_root();
+  for (NodeId id = 2; id <= 4; ++id) nodes_[id].rpl->start();
+  link(1, 2);
+  link(1, 3);
+  link(2, 4);
+  run_for(sim::Duration::sec(10));
+  ASSERT_EQ(nodes_[4].rpl->parent(), 2u);
+
+  link(3, 4);  // alternative appears
+  run_for(sim::Duration::sec(10));
+  cut(2, 4);
+  run_for(sim::Duration::sec(20));
+  EXPECT_TRUE(nodes_[4].rpl->joined());
+  EXPECT_EQ(nodes_[4].rpl->parent(), 3u);
+  EXPECT_GE(nodes_[4].rpl->stats().parent_changes, 2u);
+}
+
+TEST_F(RplTest, IsolatedNodePoisonsRank) {
+  for (NodeId id = 1; id <= 3; ++id) add(id);
+  nodes_[1].rpl->start_as_root();
+  for (NodeId id = 2; id <= 3; ++id) nodes_[id].rpl->start();
+  link(1, 2);
+  link(2, 3);
+  run_for(sim::Duration::sec(10));
+  ASSERT_TRUE(nodes_[3].rpl->joined());
+
+  int last_rank = -1;
+  nodes_[3].rpl->set_rank_changed([&](std::uint16_t r) { last_rank = r; });
+  cut(2, 3);
+  run_for(sim::Duration::sec(5));
+  EXPECT_FALSE(nodes_[3].rpl->joined());
+  EXPECT_EQ(last_rank, kRplInfiniteRank);
+}
+
+TEST_F(RplTest, RootIgnoresDios) {
+  for (NodeId id = 1; id <= 2; ++id) add(id);
+  nodes_[1].rpl->start_as_root();
+  nodes_[2].rpl->start();
+  link(1, 2);
+  run_for(sim::Duration::sec(10));
+  EXPECT_EQ(nodes_[1].rpl->rank(), kRplRootRank);
+  EXPECT_FALSE(nodes_[1].rpl->parent().has_value());
+}
+
+TEST_F(RplTest, DioLoadIsTricklePaced) {
+  for (NodeId id = 1; id <= 2; ++id) add(id);
+  nodes_[1].rpl->start_as_root();
+  nodes_[2].rpl->start();
+  link(1, 2);
+  run_for(sim::Duration::minutes(5));
+  // Trickle doubles 0.5 s -> 32 s: far fewer DIOs than a fixed 0.5 s beacon
+  // (600), but a steady trickle remains.
+  const auto dios = nodes_[1].rpl->stats().dio_tx;
+  EXPECT_LT(dios, 120u);
+  EXPECT_GT(dios, 10u);
+}
+
+}  // namespace
+}  // namespace mgap::net

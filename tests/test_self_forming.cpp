@@ -1,0 +1,107 @@
+// Integration tests: self-forming IPv6-over-BLE networks — dynamic topology
+// management coupled with RPL routing (the paper's section 9 future work).
+
+#include <gtest/gtest.h>
+
+#include "testbed/self_forming.hpp"
+
+namespace mgap::testbed {
+namespace {
+
+TEST(SelfForming, FifteenNodesFormAndDeliver) {
+  SelfFormingConfig cfg;
+  cfg.num_nodes = 15;
+  cfg.duration = sim::Duration::minutes(5);
+  cfg.seed = 1;
+  SelfFormingNetwork net{cfg};
+  net.run();
+
+  EXPECT_TRUE(net.all_joined());
+  ASSERT_TRUE(net.formation_time().has_value());
+  // Formation completes within tens of seconds (observation windows +
+  // connect + trickle rounds per tier).
+  EXPECT_LT(*net.formation_time(), sim::TimePoint::origin() + sim::Duration::sec(60));
+
+  // Traffic flows once formed.
+  EXPECT_GT(net.metrics().total_acked(), 0u);
+  const double pdr = net.metrics().pdr();
+  EXPECT_GT(pdr, 0.85);  // early requests race formation; steady state ~1.0
+}
+
+TEST(SelfForming, DepthsBoundedByFanout) {
+  SelfFormingConfig cfg;
+  cfg.num_nodes = 15;
+  cfg.duration = sim::Duration::minutes(3);
+  cfg.seed = 2;
+  SelfFormingNetwork net{cfg};
+  net.run();
+  ASSERT_TRUE(net.all_joined());
+  // Root + 14 nodes at fanout <= 3: depth up to 3 tiers typically.
+  for (const auto& [id, depth] : net.depths()) {
+    if (id == cfg.root) continue;
+    EXPECT_GE(depth, 1u) << "node " << id;
+    EXPECT_LE(depth, 6u) << "node " << id;
+  }
+  // Fanout constraint respected at the BLE level.
+  for (NodeId id = 1; id <= cfg.num_nodes; ++id) {
+    EXPECT_LE(net.dynconn(id).children(), cfg.dynconn.max_children) << "node " << id;
+  }
+}
+
+TEST(SelfForming, SteadyStateIsReliable) {
+  SelfFormingConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.duration = sim::Duration::minutes(10);
+  cfg.producer_start_delay = sim::Duration::sec(60);  // measure steady state only
+  cfg.seed = 3;
+  SelfFormingNetwork net{cfg};
+  net.run();
+  ASSERT_TRUE(net.all_joined());
+  EXPECT_GT(net.metrics().pdr(), 0.99);
+}
+
+TEST(SelfForming, HealsAfterForcedUplinkLoss) {
+  SelfFormingConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.duration = sim::Duration::minutes(2);
+  cfg.seed = 4;
+  SelfFormingNetwork net{cfg};
+  net.run_until(sim::TimePoint::origin() + sim::Duration::minutes(2));
+  ASSERT_TRUE(net.all_joined());
+
+  // Kill a mid-tree node's uplink; the network must re-form.
+  NodeId victim = kInvalidNode;
+  for (NodeId id = 2; id <= cfg.num_nodes; ++id) {
+    if (net.dynconn(id).children() > 0) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidNode) << "expected at least one interior node";
+  const NodeId parent = *net.dynconn(victim).uplink_peer();
+  ble::Connection* uplink = net.world().find(victim)->connection_to(parent);
+  ASSERT_NE(uplink, nullptr);
+  uplink->close(ble::DisconnectReason::kSupervisionTimeout);
+
+  net.run_until(net.simulator().now() + sim::Duration::minutes(2));
+  EXPECT_TRUE(net.all_joined());
+  EXPECT_TRUE(net.dynconn(victim).has_uplink());
+}
+
+TEST(SelfForming, RandomizedIntervalsKeepFormedNetworkLossFree) {
+  SelfFormingConfig cfg;
+  cfg.num_nodes = 12;
+  cfg.duration = sim::Duration::minutes(30);
+  cfg.seed = 5;
+  // Default dynconn policy is randomized [65:85] ms: after formation there
+  // must be no shading-induced uplink losses.
+  SelfFormingNetwork net{cfg};
+  net.run();
+  ASSERT_TRUE(net.all_joined());
+  std::uint64_t losses = 0;
+  for (NodeId id = 2; id <= cfg.num_nodes; ++id) losses += net.dynconn(id).uplink_losses();
+  EXPECT_EQ(losses, 0u);
+}
+
+}  // namespace
+}  // namespace mgap::testbed

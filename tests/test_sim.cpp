@@ -1,0 +1,222 @@
+// Unit tests: simulation kernel (time, RNG, event queue, clocks).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace mgap::sim {
+namespace {
+
+TEST(Duration, FactoriesAndArithmetic) {
+  EXPECT_EQ(Duration::ms(75).count_us(), 75'000);
+  EXPECT_EQ(Duration::sec(2).count_ms(), 2'000);
+  EXPECT_EQ((Duration::ms(100) + Duration::us(500)).count_us(), 100'500);
+  EXPECT_EQ((Duration::sec(1) - Duration::ms(1)).count_ms(), 999);
+  EXPECT_EQ(Duration::ms(75) * 4, Duration::ms(300));
+  EXPECT_EQ(Duration::sec(1) / Duration::ms(75), 13);
+  EXPECT_EQ(Duration::sec(1) % Duration::ms(75), Duration::ms(25));
+  EXPECT_LT(Duration::ms(1), Duration::ms(2));
+  EXPECT_TRUE((-Duration::ms(1)).is_negative());
+}
+
+TEST(Duration, FractionalFactories) {
+  EXPECT_EQ(Duration::ms_f(1.25).count_us(), 1250);
+  EXPECT_EQ(Duration::sec_f(0.5).count_ms(), 500);
+}
+
+TEST(Duration, ScaledAppliesPpmDrift) {
+  const Duration interval = Duration::ms(75);
+  // +5 ppm on 75 ms = +375 ns.
+  EXPECT_EQ(interval.scaled(1.0 + 5e-6).count_ns(), 75'000'375);
+}
+
+TEST(TimePoint, Arithmetic) {
+  const TimePoint t = TimePoint::origin() + Duration::sec(10);
+  EXPECT_EQ((t + Duration::ms(1)) - t, Duration::ms(1));
+  EXPECT_EQ(t.since_origin(), Duration::sec(10));
+  EXPECT_LT(t, t + Duration::ns(1));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a{12345, 7};
+  Rng b{12345, 7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a{12345, 1};
+  Rng b{12345, 2};
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) any_diff |= a.next_u64() != b.next_u64();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng{1, 1};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng rng{99, 0};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{7, 3};
+  double sum = 0;
+  double sq = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng{5, 5};
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, UniformDurationWithinBounds) {
+  Rng rng{11, 0};
+  const Duration lo = Duration::ms(65);
+  const Duration hi = Duration::ms(85);
+  for (int i = 0; i < 1000; ++i) {
+    const Duration d = rng.uniform_duration(lo, hi);
+    ASSERT_GE(d, lo);
+    ASSERT_LE(d, hi);
+  }
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint::from_ns(300), [&] { order.push_back(3); });
+  q.schedule(TimePoint::from_ns(100), [&] { order.push_back(1); });
+  q.schedule(TimePoint::from_ns(200), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto t = TimePoint::from_ns(50);
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(t, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().action();
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule(TimePoint::from_ns(10), [&] { ++fired; });
+  q.schedule(TimePoint::from_ns(20), [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double cancel is a no-op
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelInvalidIdIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const auto id1 = q.schedule(TimePoint::from_ns(1), [] {});
+  q.schedule(TimePoint::from_ns(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(id1);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Simulator, RunUntilAdvancesClock) {
+  Simulator sim{1};
+  int fired = 0;
+  sim.schedule_in(Duration::ms(10), [&] { ++fired; });
+  sim.schedule_in(Duration::ms(30), [&] { ++fired; });
+  sim.run_until(TimePoint::origin() + Duration::ms(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::ms(20));
+  sim.run_until(TimePoint::origin() + Duration::ms(40));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim{1};
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_in(Duration::ms(1), recurse);
+  };
+  sim.schedule_in(Duration::ms(1), recurse);
+  sim.run_until(TimePoint::origin() + Duration::sec(1));
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(Simulator, ScheduleInPastClampsToNow) {
+  Simulator sim{1};
+  sim.run_until(TimePoint::origin() + Duration::sec(1));
+  int fired = 0;
+  sim.schedule_at(TimePoint::origin(), [&] { ++fired; });  // in the past
+  sim.run_until(TimePoint::origin() + Duration::sec(2));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SleepClock, DriftRoundTrip) {
+  const SleepClock clk{5.0};  // +5 ppm fast
+  const Duration local = Duration::sec(3600);
+  const Duration global = clk.local_to_global(local);
+  // 5 ppm over an hour = 18 ms.
+  EXPECT_EQ(global.count_ns() - local.count_ns(), 18'000'000);
+  EXPECT_NEAR(static_cast<double>(clk.global_to_local(global).count_ns()),
+              static_cast<double>(local.count_ns()), 10.0);
+}
+
+TEST(SleepClock, ZeroDriftIsIdentity) {
+  const SleepClock clk{0.0};
+  EXPECT_EQ(clk.local_to_global(Duration::ms(75)), Duration::ms(75));
+}
+
+TEST(SleepClock, RelativeDriftBetweenTwoClocks) {
+  // Two coordinators timing 75 ms intervals at +5 / -5 ppm drift apart by
+  // 750 ns per interval: the connection-shading clock race (section 6.2).
+  const SleepClock a{5.0};
+  const SleepClock b{-5.0};
+  const Duration itvl = Duration::ms(75);
+  const auto delta = a.local_to_global(itvl) - b.local_to_global(itvl);
+  EXPECT_EQ(delta.count_ns(), 750);
+}
+
+}  // namespace
+}  // namespace mgap::sim

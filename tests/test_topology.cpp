@@ -1,0 +1,81 @@
+// Unit tests: the Figure 6 topologies and their paper-stated invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "testbed/topology.hpp"
+
+namespace mgap::testbed {
+namespace {
+
+TEST(Topology, Tree15MatchesPaperInvariants) {
+  const Topology t = Topology::tree15();
+  EXPECT_EQ(t.nodes.size(), 15u);
+  EXPECT_EQ(t.producers().size(), 14u);
+  EXPECT_EQ(t.edges.size(), 14u);
+  EXPECT_EQ(t.consumer, 1u);
+  // "the average hop count in this particular topology is 2.14" (section 5.1)
+  EXPECT_NEAR(t.mean_hops(), 2.14, 0.01);
+  // "a tree topology with a maximum hop count of 3" (section 4.3)
+  EXPECT_EQ(t.max_hops(), 3u);
+  // The consumer is subordinate of exactly three connections (Figure 12).
+  unsigned consumer_links = 0;
+  for (const auto& e : t.edges) {
+    EXPECT_EQ(e.subordinate, t.parent.at(e.coordinator));
+    if (e.subordinate == t.consumer) ++consumer_links;
+  }
+  EXPECT_EQ(consumer_links, 3u);
+}
+
+TEST(Topology, Line15MatchesPaperInvariants) {
+  const Topology t = Topology::line15();
+  EXPECT_EQ(t.nodes.size(), 15u);
+  // "a line topology with a hop count of 14 nodes" / mean 7.5 (section 5.1).
+  EXPECT_EQ(t.max_hops(), 14u);
+  EXPECT_NEAR(t.mean_hops(), 7.5, 0.01);
+  // Each node connects to its physical neighbor.
+  for (const auto& [child, parent] : t.parent) EXPECT_EQ(parent, child - 1);
+}
+
+TEST(Topology, HopRatioLineVsTree) {
+  // The RTT factor 3.5 between line and tree stems from 7.5 / 2.14.
+  EXPECT_NEAR(Topology::line15().mean_hops() / Topology::tree15().mean_hops(), 3.5, 0.05);
+}
+
+TEST(Topology, StarIsSingleHop) {
+  const Topology t = Topology::star(15);
+  EXPECT_EQ(t.max_hops(), 1u);
+  EXPECT_EQ(t.producers().size(), 14u);
+  for (const auto& e : t.edges) EXPECT_EQ(e.subordinate, t.consumer);
+}
+
+TEST(Topology, ChildrenAndSubtree) {
+  const Topology t = Topology::tree15();
+  const auto roots_children = t.children(1);
+  EXPECT_EQ(roots_children.size(), 3u);
+  const auto below_root = t.subtree(1);
+  EXPECT_EQ(below_root.size(), 14u);
+  // Subtrees partition the producers.
+  std::set<NodeId> all;
+  for (const NodeId c : roots_children) {
+    all.insert(c);
+    for (const NodeId d : t.subtree(c)) all.insert(d);
+  }
+  EXPECT_EQ(all.size(), 14u);
+  // A leaf has no subtree.
+  EXPECT_TRUE(t.subtree(5).empty());
+}
+
+TEST(Topology, EveryProducerReachesConsumer) {
+  for (const Topology& t : {Topology::tree15(), Topology::line15(), Topology::star(8)}) {
+    for (const NodeId p : t.producers()) {
+      EXPECT_GE(t.hops(p), 1u) << t.name;
+      EXPECT_LE(t.hops(p), t.nodes.size()) << t.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mgap::testbed
