@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_adaptive_channel_map.dir/abl_adaptive_channel_map.cpp.o"
+  "CMakeFiles/abl_adaptive_channel_map.dir/abl_adaptive_channel_map.cpp.o.d"
+  "abl_adaptive_channel_map"
+  "abl_adaptive_channel_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_adaptive_channel_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_coap_retransmission.dir/abl_coap_retransmission.cpp.o"
+  "CMakeFiles/abl_coap_retransmission.dir/abl_coap_retransmission.cpp.o.d"
+  "abl_coap_retransmission"
+  "abl_coap_retransmission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_coap_retransmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mitigation_designs.dir/abl_mitigation_designs.cpp.o"
+  "CMakeFiles/abl_mitigation_designs.dir/abl_mitigation_designs.cpp.o.d"
+  "abl_mitigation_designs"
+  "abl_mitigation_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mitigation_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_mitigation_designs.
+# This may be replaced when dependencies are built.

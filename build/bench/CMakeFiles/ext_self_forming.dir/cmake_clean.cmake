@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_self_forming.dir/ext_self_forming.cpp.o"
+  "CMakeFiles/ext_self_forming.dir/ext_self_forming.cpp.o.d"
+  "ext_self_forming"
+  "ext_self_forming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_self_forming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_moderate_load.dir/fig07_moderate_load.cpp.o"
+  "CMakeFiles/fig07_moderate_load.dir/fig07_moderate_load.cpp.o.d"
+  "fig07_moderate_load"
+  "fig07_moderate_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_moderate_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_interval_sweep.cpp" "bench/CMakeFiles/fig08_interval_sweep.dir/fig08_interval_sweep.cpp.o" "gcc" "bench/CMakeFiles/fig08_interval_sweep.dir/fig08_interval_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/mindgap_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/ieee802154/CMakeFiles/mindgap_ieee802154.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/mindgap_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mindgap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mindgap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/mindgap_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ble/CMakeFiles/mindgap_ble.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mindgap_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mindgap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_high_load.dir/fig09_high_load.cpp.o"
+  "CMakeFiles/fig09_high_load.dir/fig09_high_load.cpp.o.d"
+  "fig09_high_load"
+  "fig09_high_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_high_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ieee802154.dir/fig10_ieee802154.cpp.o"
+  "CMakeFiles/fig10_ieee802154.dir/fig10_ieee802154.cpp.o.d"
+  "fig10_ieee802154"
+  "fig10_ieee802154.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ieee802154.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

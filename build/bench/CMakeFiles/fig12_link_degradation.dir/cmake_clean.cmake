@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_link_degradation.dir/fig12_link_degradation.cpp.o"
+  "CMakeFiles/fig12_link_degradation.dir/fig12_link_degradation.cpp.o.d"
+  "fig12_link_degradation"
+  "fig12_link_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_link_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_mitigation_24h.dir/fig13_mitigation_24h.cpp.o"
+  "CMakeFiles/fig13_mitigation_24h.dir/fig13_mitigation_24h.cpp.o.d"
+  "fig13_mitigation_24h"
+  "fig13_mitigation_24h.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_mitigation_24h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

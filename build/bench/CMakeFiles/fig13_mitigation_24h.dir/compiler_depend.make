@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_mitigation_24h.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_mitigation_24h.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_connection_losses.dir/fig14_connection_losses.cpp.o"
+  "CMakeFiles/fig14_connection_losses.dir/fig14_connection_losses.cpp.o.d"
+  "fig14_connection_losses"
+  "fig14_connection_losses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_connection_losses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

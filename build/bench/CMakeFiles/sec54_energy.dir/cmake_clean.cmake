@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec54_energy.dir/sec54_energy.cpp.o"
+  "CMakeFiles/sec54_energy.dir/sec54_energy.cpp.o.d"
+  "sec54_energy"
+  "sec54_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec62_shading_probability.dir/sec62_shading_probability.cpp.o"
+  "CMakeFiles/sec62_shading_probability.dir/sec62_shading_probability.cpp.o.d"
+  "sec62_shading_probability"
+  "sec62_shading_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_shading_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec62_shading_probability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_radio_comparison.dir/tab01_radio_comparison.cpp.o"
+  "CMakeFiles/tab01_radio_comparison.dir/tab01_radio_comparison.cpp.o.d"
+  "tab01_radio_comparison"
+  "tab01_radio_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_radio_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_relay.dir/line_relay.cpp.o"
+  "CMakeFiles/line_relay.dir/line_relay.cpp.o.d"
+  "line_relay"
+  "line_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

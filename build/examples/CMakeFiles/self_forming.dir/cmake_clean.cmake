@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_forming.dir/self_forming.cpp.o"
+  "CMakeFiles/self_forming.dir/self_forming.cpp.o.d"
+  "self_forming"
+  "self_forming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_forming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

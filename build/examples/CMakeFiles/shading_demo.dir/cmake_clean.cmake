@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shading_demo.dir/shading_demo.cpp.o"
+  "CMakeFiles/shading_demo.dir/shading_demo.cpp.o.d"
+  "shading_demo"
+  "shading_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shading_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

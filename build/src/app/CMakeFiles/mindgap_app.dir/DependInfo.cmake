@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/coap.cpp" "src/app/CMakeFiles/mindgap_app.dir/coap.cpp.o" "gcc" "src/app/CMakeFiles/mindgap_app.dir/coap.cpp.o.d"
+  "/root/repo/src/app/coap_endpoint.cpp" "src/app/CMakeFiles/mindgap_app.dir/coap_endpoint.cpp.o" "gcc" "src/app/CMakeFiles/mindgap_app.dir/coap_endpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mindgap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mindgap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

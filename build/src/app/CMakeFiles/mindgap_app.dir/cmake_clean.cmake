@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindgap_app.dir/coap.cpp.o"
+  "CMakeFiles/mindgap_app.dir/coap.cpp.o.d"
+  "CMakeFiles/mindgap_app.dir/coap_endpoint.cpp.o"
+  "CMakeFiles/mindgap_app.dir/coap_endpoint.cpp.o.d"
+  "libmindgap_app.a"
+  "libmindgap_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindgap_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

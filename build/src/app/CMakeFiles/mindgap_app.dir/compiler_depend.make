@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mindgap_app.
+# This may be replaced when dependencies are built.

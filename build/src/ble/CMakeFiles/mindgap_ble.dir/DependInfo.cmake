@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ble/channel_selection.cpp" "src/ble/CMakeFiles/mindgap_ble.dir/channel_selection.cpp.o" "gcc" "src/ble/CMakeFiles/mindgap_ble.dir/channel_selection.cpp.o.d"
+  "/root/repo/src/ble/connection.cpp" "src/ble/CMakeFiles/mindgap_ble.dir/connection.cpp.o" "gcc" "src/ble/CMakeFiles/mindgap_ble.dir/connection.cpp.o.d"
+  "/root/repo/src/ble/controller.cpp" "src/ble/CMakeFiles/mindgap_ble.dir/controller.cpp.o" "gcc" "src/ble/CMakeFiles/mindgap_ble.dir/controller.cpp.o.d"
+  "/root/repo/src/ble/l2cap.cpp" "src/ble/CMakeFiles/mindgap_ble.dir/l2cap.cpp.o" "gcc" "src/ble/CMakeFiles/mindgap_ble.dir/l2cap.cpp.o.d"
+  "/root/repo/src/ble/radio_scheduler.cpp" "src/ble/CMakeFiles/mindgap_ble.dir/radio_scheduler.cpp.o" "gcc" "src/ble/CMakeFiles/mindgap_ble.dir/radio_scheduler.cpp.o.d"
+  "/root/repo/src/ble/world.cpp" "src/ble/CMakeFiles/mindgap_ble.dir/world.cpp.o" "gcc" "src/ble/CMakeFiles/mindgap_ble.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mindgap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mindgap_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

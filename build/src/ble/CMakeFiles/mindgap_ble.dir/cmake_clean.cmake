@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindgap_ble.dir/channel_selection.cpp.o"
+  "CMakeFiles/mindgap_ble.dir/channel_selection.cpp.o.d"
+  "CMakeFiles/mindgap_ble.dir/connection.cpp.o"
+  "CMakeFiles/mindgap_ble.dir/connection.cpp.o.d"
+  "CMakeFiles/mindgap_ble.dir/controller.cpp.o"
+  "CMakeFiles/mindgap_ble.dir/controller.cpp.o.d"
+  "CMakeFiles/mindgap_ble.dir/l2cap.cpp.o"
+  "CMakeFiles/mindgap_ble.dir/l2cap.cpp.o.d"
+  "CMakeFiles/mindgap_ble.dir/radio_scheduler.cpp.o"
+  "CMakeFiles/mindgap_ble.dir/radio_scheduler.cpp.o.d"
+  "CMakeFiles/mindgap_ble.dir/world.cpp.o"
+  "CMakeFiles/mindgap_ble.dir/world.cpp.o.d"
+  "libmindgap_ble.a"
+  "libmindgap_ble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindgap_ble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

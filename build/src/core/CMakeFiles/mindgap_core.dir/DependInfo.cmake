@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dynconn.cpp" "src/core/CMakeFiles/mindgap_core.dir/dynconn.cpp.o" "gcc" "src/core/CMakeFiles/mindgap_core.dir/dynconn.cpp.o.d"
+  "/root/repo/src/core/interval_policy.cpp" "src/core/CMakeFiles/mindgap_core.dir/interval_policy.cpp.o" "gcc" "src/core/CMakeFiles/mindgap_core.dir/interval_policy.cpp.o.d"
+  "/root/repo/src/core/nimble_netif.cpp" "src/core/CMakeFiles/mindgap_core.dir/nimble_netif.cpp.o" "gcc" "src/core/CMakeFiles/mindgap_core.dir/nimble_netif.cpp.o.d"
+  "/root/repo/src/core/statconn.cpp" "src/core/CMakeFiles/mindgap_core.dir/statconn.cpp.o" "gcc" "src/core/CMakeFiles/mindgap_core.dir/statconn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ble/CMakeFiles/mindgap_ble.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mindgap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mindgap_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mindgap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

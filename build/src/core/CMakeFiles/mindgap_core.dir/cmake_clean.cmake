@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindgap_core.dir/dynconn.cpp.o"
+  "CMakeFiles/mindgap_core.dir/dynconn.cpp.o.d"
+  "CMakeFiles/mindgap_core.dir/interval_policy.cpp.o"
+  "CMakeFiles/mindgap_core.dir/interval_policy.cpp.o.d"
+  "CMakeFiles/mindgap_core.dir/nimble_netif.cpp.o"
+  "CMakeFiles/mindgap_core.dir/nimble_netif.cpp.o.d"
+  "CMakeFiles/mindgap_core.dir/statconn.cpp.o"
+  "CMakeFiles/mindgap_core.dir/statconn.cpp.o.d"
+  "libmindgap_core.a"
+  "libmindgap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindgap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindgap_energy.dir/energy_model.cpp.o"
+  "CMakeFiles/mindgap_energy.dir/energy_model.cpp.o.d"
+  "libmindgap_energy.a"
+  "libmindgap_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindgap_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindgap_ieee802154.dir/mac.cpp.o"
+  "CMakeFiles/mindgap_ieee802154.dir/mac.cpp.o.d"
+  "libmindgap_ieee802154.a"
+  "libmindgap_ieee802154.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindgap_ieee802154.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ip_stack.cpp" "src/net/CMakeFiles/mindgap_net.dir/ip_stack.cpp.o" "gcc" "src/net/CMakeFiles/mindgap_net.dir/ip_stack.cpp.o.d"
+  "/root/repo/src/net/ipv6.cpp" "src/net/CMakeFiles/mindgap_net.dir/ipv6.cpp.o" "gcc" "src/net/CMakeFiles/mindgap_net.dir/ipv6.cpp.o.d"
+  "/root/repo/src/net/ipv6_addr.cpp" "src/net/CMakeFiles/mindgap_net.dir/ipv6_addr.cpp.o" "gcc" "src/net/CMakeFiles/mindgap_net.dir/ipv6_addr.cpp.o.d"
+  "/root/repo/src/net/rpl.cpp" "src/net/CMakeFiles/mindgap_net.dir/rpl.cpp.o" "gcc" "src/net/CMakeFiles/mindgap_net.dir/rpl.cpp.o.d"
+  "/root/repo/src/net/sixlowpan.cpp" "src/net/CMakeFiles/mindgap_net.dir/sixlowpan.cpp.o" "gcc" "src/net/CMakeFiles/mindgap_net.dir/sixlowpan.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/net/CMakeFiles/mindgap_net.dir/udp.cpp.o" "gcc" "src/net/CMakeFiles/mindgap_net.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mindgap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindgap_net.dir/ip_stack.cpp.o"
+  "CMakeFiles/mindgap_net.dir/ip_stack.cpp.o.d"
+  "CMakeFiles/mindgap_net.dir/ipv6.cpp.o"
+  "CMakeFiles/mindgap_net.dir/ipv6.cpp.o.d"
+  "CMakeFiles/mindgap_net.dir/ipv6_addr.cpp.o"
+  "CMakeFiles/mindgap_net.dir/ipv6_addr.cpp.o.d"
+  "CMakeFiles/mindgap_net.dir/rpl.cpp.o"
+  "CMakeFiles/mindgap_net.dir/rpl.cpp.o.d"
+  "CMakeFiles/mindgap_net.dir/sixlowpan.cpp.o"
+  "CMakeFiles/mindgap_net.dir/sixlowpan.cpp.o.d"
+  "CMakeFiles/mindgap_net.dir/udp.cpp.o"
+  "CMakeFiles/mindgap_net.dir/udp.cpp.o.d"
+  "libmindgap_net.a"
+  "libmindgap_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindgap_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/channel_model.cpp" "src/phy/CMakeFiles/mindgap_phy.dir/channel_model.cpp.o" "gcc" "src/phy/CMakeFiles/mindgap_phy.dir/channel_model.cpp.o.d"
+  "/root/repo/src/phy/medium154.cpp" "src/phy/CMakeFiles/mindgap_phy.dir/medium154.cpp.o" "gcc" "src/phy/CMakeFiles/mindgap_phy.dir/medium154.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mindgap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindgap_phy.dir/channel_model.cpp.o"
+  "CMakeFiles/mindgap_phy.dir/channel_model.cpp.o.d"
+  "CMakeFiles/mindgap_phy.dir/medium154.cpp.o"
+  "CMakeFiles/mindgap_phy.dir/medium154.cpp.o.d"
+  "libmindgap_phy.a"
+  "libmindgap_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindgap_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

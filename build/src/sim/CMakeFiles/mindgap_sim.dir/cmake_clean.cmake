@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindgap_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/mindgap_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/mindgap_sim.dir/rng.cpp.o"
+  "CMakeFiles/mindgap_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/mindgap_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mindgap_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/mindgap_sim.dir/time.cpp.o"
+  "CMakeFiles/mindgap_sim.dir/time.cpp.o.d"
+  "CMakeFiles/mindgap_sim.dir/trace.cpp.o"
+  "CMakeFiles/mindgap_sim.dir/trace.cpp.o.d"
+  "libmindgap_sim.a"
+  "libmindgap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindgap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindgap_testbed.dir/config_file.cpp.o"
+  "CMakeFiles/mindgap_testbed.dir/config_file.cpp.o.d"
+  "CMakeFiles/mindgap_testbed.dir/experiment.cpp.o"
+  "CMakeFiles/mindgap_testbed.dir/experiment.cpp.o.d"
+  "CMakeFiles/mindgap_testbed.dir/metrics.cpp.o"
+  "CMakeFiles/mindgap_testbed.dir/metrics.cpp.o.d"
+  "CMakeFiles/mindgap_testbed.dir/mobility.cpp.o"
+  "CMakeFiles/mindgap_testbed.dir/mobility.cpp.o.d"
+  "CMakeFiles/mindgap_testbed.dir/report.cpp.o"
+  "CMakeFiles/mindgap_testbed.dir/report.cpp.o.d"
+  "CMakeFiles/mindgap_testbed.dir/self_forming.cpp.o"
+  "CMakeFiles/mindgap_testbed.dir/self_forming.cpp.o.d"
+  "CMakeFiles/mindgap_testbed.dir/topology.cpp.o"
+  "CMakeFiles/mindgap_testbed.dir/topology.cpp.o.d"
+  "CMakeFiles/mindgap_testbed.dir/workload.cpp.o"
+  "CMakeFiles/mindgap_testbed.dir/workload.cpp.o.d"
+  "libmindgap_testbed.a"
+  "libmindgap_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindgap_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

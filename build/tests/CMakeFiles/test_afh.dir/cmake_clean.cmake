@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_afh.dir/test_afh.cpp.o"
+  "CMakeFiles/test_afh.dir/test_afh.cpp.o.d"
+  "test_afh"
+  "test_afh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_afh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel_selection.dir/test_channel_selection.cpp.o"
+  "CMakeFiles/test_channel_selection.dir/test_channel_selection.cpp.o.d"
+  "test_channel_selection"
+  "test_channel_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

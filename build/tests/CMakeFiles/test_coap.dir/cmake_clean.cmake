@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coap.dir/test_coap.cpp.o"
+  "CMakeFiles/test_coap.dir/test_coap.cpp.o.d"
+  "test_coap"
+  "test_coap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coap_con.dir/test_coap_con.cpp.o"
+  "CMakeFiles/test_coap_con.dir/test_coap_con.cpp.o.d"
+  "test_coap_con"
+  "test_coap_con.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coap_con.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gap.dir/test_gap.cpp.o"
+  "CMakeFiles/test_gap.dir/test_gap.cpp.o.d"
+  "test_gap"
+  "test_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ieee802154.dir/test_ieee802154.cpp.o"
+  "CMakeFiles/test_ieee802154.dir/test_ieee802154.cpp.o.d"
+  "test_ieee802154"
+  "test_ieee802154.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ieee802154.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

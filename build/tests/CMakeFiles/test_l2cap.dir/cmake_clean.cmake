@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l2cap.dir/test_l2cap.cpp.o"
+  "CMakeFiles/test_l2cap.dir/test_l2cap.cpp.o.d"
+  "test_l2cap"
+  "test_l2cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l2cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

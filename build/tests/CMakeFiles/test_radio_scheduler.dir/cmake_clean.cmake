@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radio_scheduler.dir/test_radio_scheduler.cpp.o"
+  "CMakeFiles/test_radio_scheduler.dir/test_radio_scheduler.cpp.o.d"
+  "test_radio_scheduler"
+  "test_radio_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radio_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpl.dir/test_rpl.cpp.o"
+  "CMakeFiles/test_rpl.dir/test_rpl.cpp.o.d"
+  "test_rpl"
+  "test_rpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_self_forming.dir/test_self_forming.cpp.o"
+  "CMakeFiles/test_self_forming.dir/test_self_forming.cpp.o.d"
+  "test_self_forming"
+  "test_self_forming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_self_forming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sixlowpan.dir/test_sixlowpan.cpp.o"
+  "CMakeFiles/test_sixlowpan.dir/test_sixlowpan.cpp.o.d"
+  "test_sixlowpan"
+  "test_sixlowpan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sixlowpan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
