@@ -7,60 +7,109 @@
 //   (b) RTT CDFs for producer intervals {100 ms, 500 ms, 1 s, 5 s, 10 s,
 //       30 s} at a fixed 75 ms connection interval. Paper: the producer
 //       interval barely moves the CDF as long as the network keeps up.
+//
+// Runs as two campaigns on the parallel runner: every (interval, seed) cell
+// is an independent experiment sharded across cores, and each row reports the
+// across-seed mean ±95% CI (the paper's testbed gave one sample per point).
+// MGAP_SEEDS sets the replication count (default 4), MGAP_THREADS the worker
+// count (default hardware_concurrency), MGAP_TIME_SCALE the per-cell length.
 
 #include <cstdio>
-#include <vector>
+#include <cstdlib>
 
-#include "testbed/experiment.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
 #include "testbed/report.hpp"
 
 using namespace mgap;
+using namespace mgap::campaign;
 using namespace mgap::testbed;
 
-int main() {
-  const sim::Duration duration = scaled_duration(sim::Duration::hours(1));
+namespace {
 
+CampaignSpec base_spec(const char* name) {
+  CampaignSpec spec;
+  spec.name = name;
+  spec.base.topology = Topology::tree15();
+  spec.base.duration = scaled_duration(sim::Duration::hours(1));
+  int n_seeds = 4;
+  if (const char* env = std::getenv("MGAP_SEEDS")) {
+    n_seeds = std::max(1, std::atoi(env));
+  }
+  for (int s = 1; s <= n_seeds; ++s) {
+    spec.seeds.push_back(static_cast<std::uint64_t>(s));
+  }
+  // Keep the supervision timeout proportional to slow intervals, as the
+  // serial loop did.
+  spec.finalize = [](ExperimentConfig& cfg) {
+    cfg.supervision_timeout = sim::max(sim::Duration::sec(2), cfg.policy.target() * 6);
+  };
+  return spec;
+}
+
+RunnerOptions runner_options() {
+  RunnerOptions options;
+  if (const char* env = std::getenv("MGAP_THREADS")) {
+    options.threads = static_cast<unsigned>(std::max(1, std::atoi(env)));
+  }
+  return options;
+}
+
+}  // namespace
+
+int main() {
   std::printf("=== Figure 8(a): RTT vs BLE connection interval (tree, producer 1 s) "
               "===\n\n");
-  for (const int ci_ms : {25, 50, 75, 100, 250, 500, 750}) {
-    ExperimentConfig cfg;
-    cfg.topology = Topology::tree15();
-    cfg.duration = duration;
-    cfg.policy = core::IntervalPolicy::fixed(sim::Duration::ms(ci_ms));
-    cfg.supervision_timeout =
-        sim::max(sim::Duration::sec(2), sim::Duration::ms(ci_ms) * 6);
-    cfg.seed = 1;
-    Experiment e{cfg};
-    e.run();
-    char label[64];
-    std::snprintf(label, sizeof label, "connitvl %3d ms", ci_ms);
-    print_rtt_quantiles(label, e.metrics().rtt());
-    const auto& rtt = e.metrics().rtt();
-    std::printf("    within [1x..4x] interval: %.3f   runaway (>8x): %.4f\n",
-                rtt.fraction_below(sim::Duration::ms(4 * ci_ms)) -
-                    rtt.fraction_below(sim::Duration::ms(ci_ms)),
-                1.0 - rtt.fraction_below(sim::Duration::ms(8 * ci_ms)));
+  {
+    CampaignSpec spec = base_spec("fig08a_interval_sweep");
+    spec.axes.push_back(
+        {"conn_interval", {"25ms", "50ms", "75ms", "100ms", "250ms", "500ms", "750ms"}});
+    const CampaignResult result = CampaignRunner{runner_options()}.run(spec);
+    for (std::size_t i = 0; i < result.configs.size(); ++i) {
+      const ConfigAggregate& agg = result.aggregates[i];
+      const auto ci = result.configs[i].config.policy.target();
+      char label[64];
+      std::snprintf(label, sizeof label, "connitvl %3lld ms",
+                    static_cast<long long>(ci.count_ms()));
+      std::printf("%-18s p50 %14s ms  p99 %14s ms  (n=%llu seeds)\n", label,
+                  format_mean_ci(agg.rtt_p50_ms.mean, agg.rtt_p50_ms.ci95, 1).c_str(),
+                  format_mean_ci(agg.rtt_p99_ms.mean, agg.rtt_p99_ms.ci95, 1).c_str(),
+                  static_cast<unsigned long long>(agg.rtt_p50_ms.n));
+      const auto& rtt = agg.pooled_rtt;
+      std::printf("    within [1x..4x] interval: %.3f   runaway (>8x): %.4f\n",
+                  rtt.fraction_below(ci * 4) - rtt.fraction_below(ci),
+                  1.0 - rtt.fraction_below(ci * 8));
+    }
+    std::printf("\nExpected shape: RTT scales with the connection interval; bulk of "
+                "mass within 1x-4x interval.\n");
   }
-  std::printf("\nExpected shape: RTT scales with the connection interval; bulk of "
-              "mass within 1x-4x interval.\n");
 
   std::printf("\n=== Figure 8(b): RTT vs producer interval (tree, connitvl 75 ms) "
               "===\n\n");
-  for (const int prod_ms : {100, 500, 1000, 5000, 10000, 30000}) {
-    ExperimentConfig cfg;
-    cfg.topology = Topology::tree15();
-    cfg.duration = duration;
-    cfg.producer_interval = sim::Duration::ms(prod_ms);
-    cfg.producer_jitter = sim::Duration::ms(prod_ms / 2);
-    cfg.policy = core::IntervalPolicy::fixed(sim::Duration::ms(75));
-    cfg.seed = 1;
-    Experiment e{cfg};
-    e.run();
-    char label[64];
-    std::snprintf(label, sizeof label, "producer %5d ms", prod_ms);
-    print_rtt_quantiles(label, e.metrics().rtt());
+  {
+    CampaignSpec spec = base_spec("fig08b_producer_sweep");
+    spec.axes.push_back(
+        {"producer_interval", {"100ms", "500ms", "1s", "5s", "10s", "30s"}});
+    // The serial loop set jitter to half the producer interval; mirror that.
+    auto derive_supervision = spec.finalize;
+    spec.finalize = [derive_supervision](ExperimentConfig& cfg) {
+      derive_supervision(cfg);
+      cfg.producer_jitter = cfg.producer_interval / 2;
+    };
+    const CampaignResult result = CampaignRunner{runner_options()}.run(spec);
+    for (std::size_t i = 0; i < result.configs.size(); ++i) {
+      const ConfigAggregate& agg = result.aggregates[i];
+      char label[64];
+      std::snprintf(label, sizeof label, "producer %5lld ms",
+                    static_cast<long long>(
+                        result.configs[i].config.producer_interval.count_ms()));
+      std::printf("%-18s p50 %14s ms  p99 %14s ms  (n=%llu seeds)\n", label,
+                  format_mean_ci(agg.rtt_p50_ms.mean, agg.rtt_p50_ms.ci95, 1).c_str(),
+                  format_mean_ci(agg.rtt_p99_ms.mean, agg.rtt_p99_ms.ci95, 1).c_str(),
+                  static_cast<unsigned long long>(agg.rtt_p50_ms.n));
+    }
+    std::printf("\nExpected shape: CDFs nearly overlap for producer intervals >= 500 ms;\n"
+                "only overload (100 ms) moves the tail (paper Figure 8(b)).\n");
   }
-  std::printf("\nExpected shape: CDFs nearly overlap for producer intervals >= 500 ms;\n"
-              "only overload (100 ms) moves the tail (paper Figure 8(b)).\n");
   return 0;
 }

@@ -8,94 +8,80 @@
 // (100 ms) and at static intervals; randomized windows eliminate connection
 // losses everywhere; RTT grows with the connection interval.
 //
-// Runs 1x1h per cell by default (the paper ran 5x1h); set MGAP_RUNS=5 and/or
-// MGAP_TIME_SCALE to adjust.
+// Runs on the parallel campaign runner: the 60-point grid is declared as two
+// sweep axes, each (config, seed) cell executes as an independent experiment
+// across cores, and rows report across-seed mean ±95% CI. The paper ran 5x1h
+// per cell; set MGAP_SEEDS=5 (default 1, alias MGAP_RUNS) to match, and
+// MGAP_TIME_SCALE / MGAP_THREADS to fit the machine.
 
 #include <cstdio>
 #include <cstdlib>
-#include <vector>
 
-#include "testbed/experiment.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
 #include "testbed/report.hpp"
 
 using namespace mgap;
+using namespace mgap::campaign;
 using namespace mgap::testbed;
 
-namespace {
-
-struct CiSpec {
-  const char* label;
-  core::IntervalPolicy policy;
-  sim::Duration supervision;
-};
-
-}  // namespace
-
 int main() {
-  const sim::Duration duration = scaled_duration(sim::Duration::hours(1));
-  int runs = 1;
-  if (const char* env = std::getenv("MGAP_RUNS")) runs = std::max(1, std::atoi(env));
+  CampaignSpec spec;
+  spec.name = "fig15_aggregate_sweep";
+  spec.base.topology = Topology::tree15();
+  spec.base.duration = scaled_duration(sim::Duration::hours(1));
 
-  const std::vector<int> producer_ms = {100, 500, 1000, 5000, 10000, 30000};
-  const std::vector<CiSpec> cis = {
-      {"25", core::IntervalPolicy::fixed(sim::Duration::ms(25)), sim::Duration::sec(2)},
-      {"50", core::IntervalPolicy::fixed(sim::Duration::ms(50)), sim::Duration::sec(2)},
-      {"75", core::IntervalPolicy::fixed(sim::Duration::ms(75)), sim::Duration::sec(2)},
-      {"100", core::IntervalPolicy::fixed(sim::Duration::ms(100)), sim::Duration::sec(2)},
-      {"500", core::IntervalPolicy::fixed(sim::Duration::ms(500)), sim::Duration::sec(4)},
-      {"[15:35]",
-       core::IntervalPolicy::randomized(sim::Duration::ms(15), sim::Duration::ms(35)),
-       sim::Duration::sec(2)},
-      {"[40:60]",
-       core::IntervalPolicy::randomized(sim::Duration::ms(40), sim::Duration::ms(60)),
-       sim::Duration::sec(2)},
-      {"[65:85]",
-       core::IntervalPolicy::randomized(sim::Duration::ms(65), sim::Duration::ms(85)),
-       sim::Duration::sec(2)},
-      {"[90:110]",
-       core::IntervalPolicy::randomized(sim::Duration::ms(90), sim::Duration::ms(110)),
-       sim::Duration::sec(2)},
-      {"[490:510]",
-       core::IntervalPolicy::randomized(sim::Duration::ms(490), sim::Duration::ms(510)),
-       sim::Duration::sec(4)},
+  int n_seeds = 1;
+  if (const char* env = std::getenv("MGAP_SEEDS")) {
+    n_seeds = std::max(1, std::atoi(env));
+  } else if (const char* runs = std::getenv("MGAP_RUNS")) {
+    n_seeds = std::max(1, std::atoi(runs));
+  }
+  for (int s = 1; s <= n_seeds; ++s) {
+    spec.seeds.push_back(static_cast<std::uint64_t>(s));
+  }
+
+  // First axis (slowest): the 10 connection-interval configurations — 5
+  // static, 5 randomized windows in the file syntax "lo:hi".
+  spec.axes.push_back({"conn_interval",
+                       {"25ms", "50ms", "75ms", "100ms", "500ms", "15:35ms",
+                        "40:60ms", "65:85ms", "90:110ms", "490:510ms"}});
+  spec.axes.push_back(
+      {"producer_interval", {"100ms", "500ms", "1s", "5s", "10s", "30s"}});
+
+  spec.finalize = [](ExperimentConfig& cfg) {
+    // The 500 ms-class intervals ran with a 4 s supervision timeout.
+    cfg.supervision_timeout = cfg.policy.target() >= sim::Duration::ms(400)
+                                  ? sim::Duration::sec(4)
+                                  : sim::Duration::sec(2);
+    cfg.producer_jitter = cfg.producer_interval / 2;
   };
 
-  std::printf("=== Figure 15: 60-configuration aggregate sweep (tree, %d run(s) per "
-              "cell) ===\n\n",
-              runs);
-  std::printf("%-10s %-10s %8s %8s %9s %9s %7s\n", "connitvl", "producer", "llPDR",
-              "coapPDR", "p50[ms]", "p99[ms]", "losses");
+  RunnerOptions options;
+  if (const char* env = std::getenv("MGAP_THREADS")) {
+    options.threads = static_cast<unsigned>(std::max(1, std::atoi(env)));
+  }
 
-  for (const CiSpec& ci : cis) {
-    for (const int prod : producer_ms) {
-      double ll = 0;
-      double coap = 0;
-      double p50 = 0;
-      double p99 = 0;
-      std::uint64_t losses = 0;
-      for (int run = 0; run < runs; ++run) {
-        ExperimentConfig cfg;
-        cfg.topology = Topology::tree15();
-        cfg.duration = duration;
-        cfg.producer_interval = sim::Duration::ms(prod);
-        cfg.producer_jitter = sim::Duration::ms(prod / 2);
-        cfg.policy = ci.policy;
-        cfg.supervision_timeout = ci.supervision;
-        cfg.seed = static_cast<std::uint64_t>(run + 1);
-        Experiment e{cfg};
-        e.run();
-        const auto s = e.summary();
-        ll += s.ll_pdr;
-        coap += s.coap_pdr;
-        p50 += s.rtt_p50.to_ms_f();
-        p99 += s.rtt_p99.to_ms_f();
-        losses += s.conn_losses;
-      }
-      std::printf("%-10s %-10d %8.4f %8.4f %9.1f %9.1f %7llu\n", ci.label, prod,
-                  ll / runs, coap / runs, p50 / runs, p99 / runs,
-                  static_cast<unsigned long long>(losses));
-    }
-    std::printf("\n");
+  std::printf("=== Figure 15: 60-configuration aggregate sweep (tree, %d seed(s) per "
+              "cell) ===\n\n",
+              n_seeds);
+  const CampaignResult result = CampaignRunner{options}.run(spec);
+
+  std::printf("%-10s %-10s %16s %16s %14s %14s %10s\n", "connitvl", "producer",
+              "llPDR", "coapPDR", "p50[ms]", "p99[ms]", "losses");
+  for (std::size_t i = 0; i < result.configs.size(); ++i) {
+    const CellConfig& config = result.configs[i];
+    const ConfigAggregate& agg = result.aggregates[i];
+    // assignment[0] is the conn_interval value, assignment[1] the producer's.
+    std::printf("%-10s %-10s %16s %16s %14s %14s %10s\n",
+                config.assignment[0].second.c_str(),
+                config.assignment[1].second.c_str(),
+                format_mean_ci(agg.ll_pdr.mean, agg.ll_pdr.ci95).c_str(),
+                format_mean_ci(agg.coap_pdr.mean, agg.coap_pdr.ci95).c_str(),
+                format_mean_ci(agg.rtt_p50_ms.mean, agg.rtt_p50_ms.ci95, 1).c_str(),
+                format_mean_ci(agg.rtt_p99_ms.mean, agg.rtt_p99_ms.ci95, 1).c_str(),
+                format_mean_ci(agg.conn_losses.mean, agg.conn_losses.ci95, 1).c_str());
+    if (i % 6 == 5) std::printf("\n");
   }
 
   std::printf("Expected shape (paper Figure 15): CoAP PDR collapses only in the\n"

@@ -1,0 +1,62 @@
+#include "campaign/aggregate.hpp"
+
+#include <cmath>
+
+namespace mgap::campaign {
+
+double t_critical_95(std::uint64_t df) {
+  // Two-sided 95% (upper 2.5% point). Abramowitz & Stegun table 26.10.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df - 1];
+  return 1.960;
+}
+
+Stat stat_of(const std::vector<double>& samples) {
+  Stat s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  double sum = 0.0;
+  for (const double x : samples) sum += x;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n < 2) return s;
+  double ss = 0.0;
+  for (const double x : samples) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+  s.ci95 = t_critical_95(s.n - 1) * s.stddev / std::sqrt(static_cast<double>(s.n));
+  return s;
+}
+
+ConfigAggregate aggregate_config(std::size_t config_index,
+                                 const std::vector<CellResult>& cells) {
+  ConfigAggregate agg;
+  agg.config_index = config_index;
+  std::vector<double> sent, coap_pdr, ll_pdr, losses, reconnects, drops, p50, p99;
+  for (const CellResult& cell : cells) {
+    if (cell.config_index != config_index) continue;
+    const testbed::ExperimentSummary& s = cell.summary;
+    sent.push_back(static_cast<double>(s.sent));
+    coap_pdr.push_back(s.coap_pdr);
+    ll_pdr.push_back(s.ll_pdr);
+    losses.push_back(static_cast<double>(s.conn_losses));
+    reconnects.push_back(static_cast<double>(s.reconnects));
+    drops.push_back(static_cast<double>(s.pktbuf_drops));
+    p50.push_back(s.rtt_p50.to_ms_f());
+    p99.push_back(s.rtt_p99.to_ms_f());
+    agg.pooled_rtt.merge(cell.rtt);
+  }
+  agg.sent = stat_of(sent);
+  agg.coap_pdr = stat_of(coap_pdr);
+  agg.ll_pdr = stat_of(ll_pdr);
+  agg.conn_losses = stat_of(losses);
+  agg.reconnects = stat_of(reconnects);
+  agg.pktbuf_drops = stat_of(drops);
+  agg.rtt_p50_ms = stat_of(p50);
+  agg.rtt_p99_ms = stat_of(p99);
+  return agg;
+}
+
+}  // namespace mgap::campaign

@@ -1,0 +1,66 @@
+#pragma once
+// Cross-seed statistics: the campaign's answer to the related Bluetooth Mesh
+// studies (Rondón et al., Aijaz et al.) reporting means with confidence
+// intervals over many replications, where the paper's figures are single
+// testbed runs. Each swept configuration aggregates its per-seed
+// ExperimentSummary fields into mean / stddev / 95% CI and pools the RTT
+// histograms for cross-seed quantiles.
+
+#include <cstdint>
+#include <vector>
+
+#include "testbed/experiment.hpp"
+#include "testbed/metrics.hpp"
+
+namespace mgap::campaign {
+
+/// Sample statistics of one summary field across seeds. `ci95` is the
+/// half-width of the two-sided Student-t 95% interval (0 for n < 2).
+struct Stat {
+  double mean{0.0};
+  double stddev{0.0};
+  double ci95{0.0};
+  std::uint64_t n{0};
+};
+
+/// Two-sided 97.5% Student-t critical value for `df` degrees of freedom
+/// (exact table for df <= 30, normal approximation above).
+[[nodiscard]] double t_critical_95(std::uint64_t df);
+
+/// Sample mean / Bessel-corrected stddev / t-based 95% CI half-width.
+[[nodiscard]] Stat stat_of(const std::vector<double>& samples);
+
+/// Per-seed result of one (config, seed) cell.
+struct CellResult {
+  std::size_t config_index{0};
+  std::uint64_t seed{0};
+  testbed::ExperimentSummary summary;
+  testbed::RttHistogram rtt;
+  /// Host wall time of the cell, for the progress reporter only — it varies
+  /// run to run and thread to thread, so it never reaches JSON/CSV output.
+  double wall_seconds{0.0};
+};
+
+/// Cross-seed aggregate of one configuration.
+struct ConfigAggregate {
+  std::size_t config_index{0};
+  Stat sent;
+  Stat coap_pdr;
+  Stat ll_pdr;
+  Stat conn_losses;
+  Stat reconnects;
+  Stat pktbuf_drops;
+  Stat rtt_p50_ms;
+  Stat rtt_p99_ms;
+  /// All seeds' RTT samples pooled into one histogram; its quantiles are the
+  /// across-replication distribution (vs. the mean-of-per-seed-quantiles
+  /// reported in rtt_p50_ms / rtt_p99_ms).
+  testbed::RttHistogram pooled_rtt;
+};
+
+/// Aggregates the cells of configuration `config_index`. `cells` may contain
+/// other configurations' results; they are skipped.
+[[nodiscard]] ConfigAggregate aggregate_config(std::size_t config_index,
+                                               const std::vector<CellResult>& cells);
+
+}  // namespace mgap::campaign

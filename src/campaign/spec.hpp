@@ -1,0 +1,79 @@
+#pragma once
+// Campaign descriptions: a declarative sweep over ExperimentConfig space.
+//
+// A CampaignSpec is a base configuration plus a parameter grid (one axis per
+// swept key, expanded as a cross product) and a seed list. It is the batch
+// twin of the paper's static experiment description (Appendix A.3): the file
+// format is the testbed's `key = value` syntax with two extensions —
+// comma-separated values turn a key into a sweep axis, and `seeds = 1..10`
+// declares the replication seeds. Figure 15's 60-cell sweep becomes:
+//
+//   producer_interval = 100ms, 500ms, 1s, 5s, 10s, 30s
+//   conn_interval = 25ms, 50ms, 75ms, 100ms, 500ms
+//   seeds = 1..5
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "testbed/config_file.hpp"
+#include "testbed/experiment.hpp"
+
+namespace mgap::campaign {
+
+struct CampaignSpec {
+  struct Axis {
+    std::string key;                  // an ExperimentConfig file key
+    std::vector<std::string> values;  // in sweep order, file-syntax values
+  };
+
+  std::string name{"campaign"};
+  testbed::ExperimentConfig base;
+  /// Axes in declaration order; the grid is their cross product, first axis
+  /// slowest (row-major), matching how the paper tables group rows.
+  std::vector<Axis> axes;
+  /// Replication seeds; when empty the base config's single seed is used.
+  std::vector<std::uint64_t> seeds;
+  /// Optional code-only hook applied to every expanded config after the axis
+  /// assignment (e.g. deriving the supervision timeout from the connection
+  /// interval, as the figure benches do). Must be deterministic.
+  std::function<void(testbed::ExperimentConfig&)> finalize;
+
+  /// Number of distinct configurations (product of axis sizes, >= 1).
+  [[nodiscard]] std::size_t grid_size() const;
+  /// grid_size() x number of seeds: the independent Experiment runs.
+  [[nodiscard]] std::size_t cell_count() const;
+  [[nodiscard]] std::vector<std::uint64_t> effective_seeds() const;
+};
+
+/// One point of the expanded grid (seed not yet applied).
+struct CellConfig {
+  std::size_t config_index{0};
+  /// The axis assignment that produced this cell, in axis order.
+  std::vector<std::pair<std::string, std::string>> assignment;
+  testbed::ExperimentConfig config;
+
+  /// "conn_interval=75ms producer_interval=1s" (empty for a gridless spec).
+  [[nodiscard]] std::string label() const;
+};
+
+/// Expands the cross product of the spec's axes over its base configuration.
+/// Throws std::runtime_error if an axis value is malformed for its key.
+[[nodiscard]] std::vector<CellConfig> expand_grid(const CampaignSpec& spec);
+
+/// Parses "1..10" (inclusive range), "1, 2, 7" (list), or a single seed.
+/// Throws std::runtime_error on malformed input or an empty result.
+[[nodiscard]] std::vector<std::uint64_t> parse_seed_list(std::string_view text);
+
+/// Parses a campaign description (see header comment for the format).
+/// Scalar keys configure the base; comma-separated keys become sweep axes in
+/// file order; `campaign = <name>` and `seeds = ...` are campaign-level.
+[[nodiscard]] CampaignSpec parse_campaign_spec(std::string_view text);
+
+/// Loads and parses a campaign description file.
+[[nodiscard]] CampaignSpec load_campaign_spec(const std::string& path);
+
+}  // namespace mgap::campaign

@@ -1,0 +1,181 @@
+#include "campaign/writers.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "testbed/report.hpp"
+
+namespace mgap::campaign {
+
+namespace {
+
+/// Shortest round-trip decimal form (std::to_chars): deterministic across
+/// runs and thread counts, and what the byte-identity test relies on.
+std::string json_double(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void json_stat(std::ostringstream& out, const char* name, const Stat& s,
+               const char* trail = ",") {
+  out << "        \"" << name << "\": {\"mean\": " << json_double(s.mean)
+      << ", \"stddev\": " << json_double(s.stddev)
+      << ", \"ci95\": " << json_double(s.ci95) << ", \"n\": " << s.n << "}" << trail
+      << "\n";
+}
+
+void csv_stat(std::ostringstream& out, const Stat& s) {
+  out << "," << json_double(s.mean) << "," << json_double(s.ci95);
+}
+
+}  // namespace
+
+std::string to_json(const CampaignResult& result) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"campaign\": \"" << json_escape(result.name) << "\",\n";
+  out << "  \"seeds\": [";
+  for (std::size_t i = 0; i < result.seeds.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << result.seeds[i];
+  }
+  out << "],\n";
+  out << "  \"grid\": [\n";
+  const std::size_t n_seeds = result.seeds.size();
+  for (std::size_t i = 0; i < result.configs.size(); ++i) {
+    const CellConfig& config = result.configs[i];
+    out << "    {\n";
+    out << "      \"index\": " << i << ",\n";
+    out << "      \"assignment\": {";
+    for (std::size_t a = 0; a < config.assignment.size(); ++a) {
+      if (a != 0) out << ", ";
+      out << "\"" << json_escape(config.assignment[a].first) << "\": \""
+          << json_escape(config.assignment[a].second) << "\"";
+    }
+    out << "},\n";
+    out << "      \"cells\": [\n";
+    for (std::size_t j = 0; j < n_seeds; ++j) {
+      const CellResult& cell = result.cells[i * n_seeds + j];
+      const testbed::ExperimentSummary& s = cell.summary;
+      out << "        {\"seed\": " << cell.seed << ", \"sent\": " << s.sent
+          << ", \"acked\": " << s.acked
+          << ", \"coap_pdr\": " << json_double(s.coap_pdr)
+          << ", \"ll_pdr\": " << json_double(s.ll_pdr)
+          << ", \"conn_losses\": " << s.conn_losses
+          << ", \"reconnects\": " << s.reconnects
+          << ", \"pktbuf_drops\": " << s.pktbuf_drops
+          << ", \"link_down_drops\": " << s.link_down_drops
+          << ", \"coap_retransmissions\": " << s.coap_retransmissions
+          << ", \"coap_timeouts\": " << s.coap_timeouts
+          << ", \"rtt_p50_ms\": " << json_double(s.rtt_p50.to_ms_f())
+          << ", \"rtt_p99_ms\": " << json_double(s.rtt_p99.to_ms_f())
+          << ", \"rtt_max_ms\": " << json_double(s.rtt_max.to_ms_f()) << "}"
+          << (j + 1 < n_seeds ? "," : "") << "\n";
+    }
+    out << "      ],\n";
+    out << "      \"aggregate\": {\n";
+    const ConfigAggregate& agg = result.aggregates[i];
+    json_stat(out, "sent", agg.sent);
+    json_stat(out, "coap_pdr", agg.coap_pdr);
+    json_stat(out, "ll_pdr", agg.ll_pdr);
+    json_stat(out, "conn_losses", agg.conn_losses);
+    json_stat(out, "reconnects", agg.reconnects);
+    json_stat(out, "pktbuf_drops", agg.pktbuf_drops);
+    json_stat(out, "rtt_p50_ms", agg.rtt_p50_ms);
+    json_stat(out, "rtt_p99_ms", agg.rtt_p99_ms);
+    out << "        \"pooled_rtt\": {\"count\": " << agg.pooled_rtt.count()
+        << ", \"p50_ms\": " << json_double(agg.pooled_rtt.quantile(0.50).to_ms_f())
+        << ", \"p90_ms\": " << json_double(agg.pooled_rtt.quantile(0.90).to_ms_f())
+        << ", \"p99_ms\": " << json_double(agg.pooled_rtt.quantile(0.99).to_ms_f())
+        << ", \"max_ms\": " << json_double(agg.pooled_rtt.max_seen().to_ms_f())
+        << "}\n";
+    out << "      }\n";
+    out << "    }" << (i + 1 < result.configs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_csv(const CampaignResult& result) {
+  std::ostringstream out;
+  out << "config_index";
+  // Axis columns come from the first config's assignment keys (identical for
+  // every config by construction).
+  if (!result.configs.empty()) {
+    for (const auto& [key, value] : result.configs.front().assignment) {
+      out << "," << key;
+    }
+  }
+  out << ",seeds,sent_mean,sent_ci95,coap_pdr_mean,coap_pdr_ci95,ll_pdr_mean,"
+         "ll_pdr_ci95,conn_losses_mean,conn_losses_ci95,reconnects_mean,"
+         "reconnects_ci95,pktbuf_drops_mean,pktbuf_drops_ci95,rtt_p50_ms_mean,"
+         "rtt_p50_ms_ci95,rtt_p99_ms_mean,rtt_p99_ms_ci95,pooled_rtt_p50_ms,"
+         "pooled_rtt_p99_ms\n";
+  for (std::size_t i = 0; i < result.configs.size(); ++i) {
+    const ConfigAggregate& agg = result.aggregates[i];
+    out << i;
+    for (const auto& [key, value] : result.configs[i].assignment) {
+      out << "," << value;
+    }
+    out << "," << result.seeds.size();
+    csv_stat(out, agg.sent);
+    csv_stat(out, agg.coap_pdr);
+    csv_stat(out, agg.ll_pdr);
+    csv_stat(out, agg.conn_losses);
+    csv_stat(out, agg.reconnects);
+    csv_stat(out, agg.pktbuf_drops);
+    csv_stat(out, agg.rtt_p50_ms);
+    csv_stat(out, agg.rtt_p99_ms);
+    out << "," << json_double(agg.pooled_rtt.quantile(0.50).to_ms_f()) << ","
+        << json_double(agg.pooled_rtt.quantile(0.99).to_ms_f()) << "\n";
+  }
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error{"campaign: cannot write " + path};
+  out << content;
+  if (!out) throw std::runtime_error{"campaign: write failed for " + path};
+}
+
+void print_console_report(const CampaignResult& result) {
+  std::printf("campaign '%s': %zu configuration(s) x %zu seed(s)\n\n",
+              result.name.c_str(), result.configs.size(), result.seeds.size());
+  std::printf("%-42s %18s %18s %16s %16s %12s\n", "configuration", "coapPDR",
+              "llPDR", "p50[ms]", "p99[ms]", "losses");
+  for (std::size_t i = 0; i < result.configs.size(); ++i) {
+    const ConfigAggregate& agg = result.aggregates[i];
+    const std::string label = result.configs[i].label();
+    std::printf("%-42s %18s %18s %16s %16s %12s\n",
+                label.empty() ? "(base)" : label.c_str(),
+                testbed::format_mean_ci(agg.coap_pdr.mean, agg.coap_pdr.ci95).c_str(),
+                testbed::format_mean_ci(agg.ll_pdr.mean, agg.ll_pdr.ci95).c_str(),
+                testbed::format_mean_ci(agg.rtt_p50_ms.mean, agg.rtt_p50_ms.ci95, 1).c_str(),
+                testbed::format_mean_ci(agg.rtt_p99_ms.mean, agg.rtt_p99_ms.ci95, 1).c_str(),
+                testbed::format_mean_ci(agg.conn_losses.mean, agg.conn_losses.ci95, 1).c_str());
+  }
+}
+
+}  // namespace mgap::campaign

@@ -89,6 +89,72 @@ std::optional<sim::Duration> parse_duration(std::string_view text) {
   return std::nullopt;
 }
 
+void apply_experiment_kv(ExperimentConfig& cfg, const std::string& key,
+                         const std::string& value) {
+  if (key == "radio") {
+    if (value == "ble") cfg.radio = ExperimentConfig::Radio::kBle;
+    else if (value == "802154" || value == "ieee802154")
+      cfg.radio = ExperimentConfig::Radio::kIeee802154;
+    else throw std::runtime_error{"config: unknown radio '" + value + "'"};
+  } else if (key == "topology") {
+    cfg.topology = parse_topology(value);
+  } else if (key == "duration") {
+    const auto d = parse_duration(value);
+    if (!d) throw std::runtime_error{"config: bad duration"};
+    cfg.duration = *d;
+  } else if (key == "producer_interval") {
+    const auto d = parse_duration(value);
+    if (!d) throw std::runtime_error{"config: bad producer_interval"};
+    cfg.producer_interval = *d;
+  } else if (key == "producer_jitter") {
+    const auto d = parse_duration(value);
+    if (!d) throw std::runtime_error{"config: bad producer_jitter"};
+    cfg.producer_jitter = *d;
+  } else if (key == "conn_interval") {
+    cfg.policy = parse_policy(value);
+  } else if (key == "supervision_timeout") {
+    const auto d = parse_duration(value);
+    if (!d) throw std::runtime_error{"config: bad supervision_timeout"};
+    cfg.supervision_timeout = *d;
+  } else if (key == "payload_len") {
+    const auto n = parse_number(value);
+    if (!n) throw std::runtime_error{"config: bad payload_len"};
+    cfg.payload_len = static_cast<std::size_t>(*n);
+  } else if (key == "seed") {
+    const auto n = parse_number(value);
+    if (!n) throw std::runtime_error{"config: bad seed"};
+    cfg.seed = static_cast<std::uint64_t>(*n);
+  } else if (key == "base_per") {
+    const auto n = parse_number(value);
+    if (!n) throw std::runtime_error{"config: bad base_per"};
+    cfg.base_per = *n;
+  } else if (key == "drift_ppm_range") {
+    const auto n = parse_number(value);
+    if (!n) throw std::runtime_error{"config: bad drift_ppm_range"};
+    cfg.drift_ppm_range = *n;
+  } else if (key == "jam_channel_22") {
+    cfg.jam_channel_22 = parse_bool(value, key);
+  } else if (key == "exclude_channel_22") {
+    cfg.exclude_channel_22 = parse_bool(value, key);
+  } else if (key == "adaptive_channel_map") {
+    cfg.adaptive_channel_map = parse_bool(value, key);
+  } else if (key == "confirmable_coap") {
+    cfg.confirmable_coap = parse_bool(value, key);
+  } else if (key == "param_update_mitigation") {
+    cfg.param_update_mitigation = parse_bool(value, key);
+  } else if (key == "compression") {
+    if (value == "uncompressed") cfg.compression = net::CompressionMode::kUncompressed;
+    else if (value == "iphc") cfg.compression = net::CompressionMode::kIphc;
+    else throw std::runtime_error{"config: unknown compression '" + value + "'"};
+  } else if (key == "metrics_bucket") {
+    const auto d = parse_duration(value);
+    if (!d) throw std::runtime_error{"config: bad metrics_bucket"};
+    cfg.metrics_bucket = *d;
+  } else {
+    throw std::runtime_error{"config: unknown key '" + key + "'"};
+  }
+}
+
 ExperimentConfig parse_experiment_config(std::string_view text) {
   ExperimentConfig cfg;
   std::map<std::string, std::string> kv;
@@ -115,70 +181,7 @@ ExperimentConfig parse_experiment_config(std::string_view text) {
     kv[std::string(trim(line.substr(0, eq)))] = std::string(trim(line.substr(eq + 1)));
   }
 
-  for (const auto& [key, value] : kv) {
-    if (key == "radio") {
-      if (value == "ble") cfg.radio = ExperimentConfig::Radio::kBle;
-      else if (value == "802154" || value == "ieee802154")
-        cfg.radio = ExperimentConfig::Radio::kIeee802154;
-      else throw std::runtime_error{"config: unknown radio '" + value + "'"};
-    } else if (key == "topology") {
-      cfg.topology = parse_topology(value);
-    } else if (key == "duration") {
-      const auto d = parse_duration(value);
-      if (!d) throw std::runtime_error{"config: bad duration"};
-      cfg.duration = *d;
-    } else if (key == "producer_interval") {
-      const auto d = parse_duration(value);
-      if (!d) throw std::runtime_error{"config: bad producer_interval"};
-      cfg.producer_interval = *d;
-    } else if (key == "producer_jitter") {
-      const auto d = parse_duration(value);
-      if (!d) throw std::runtime_error{"config: bad producer_jitter"};
-      cfg.producer_jitter = *d;
-    } else if (key == "conn_interval") {
-      cfg.policy = parse_policy(value);
-    } else if (key == "supervision_timeout") {
-      const auto d = parse_duration(value);
-      if (!d) throw std::runtime_error{"config: bad supervision_timeout"};
-      cfg.supervision_timeout = *d;
-    } else if (key == "payload_len") {
-      const auto n = parse_number(value);
-      if (!n) throw std::runtime_error{"config: bad payload_len"};
-      cfg.payload_len = static_cast<std::size_t>(*n);
-    } else if (key == "seed") {
-      const auto n = parse_number(value);
-      if (!n) throw std::runtime_error{"config: bad seed"};
-      cfg.seed = static_cast<std::uint64_t>(*n);
-    } else if (key == "base_per") {
-      const auto n = parse_number(value);
-      if (!n) throw std::runtime_error{"config: bad base_per"};
-      cfg.base_per = *n;
-    } else if (key == "drift_ppm_range") {
-      const auto n = parse_number(value);
-      if (!n) throw std::runtime_error{"config: bad drift_ppm_range"};
-      cfg.drift_ppm_range = *n;
-    } else if (key == "jam_channel_22") {
-      cfg.jam_channel_22 = parse_bool(value, key);
-    } else if (key == "exclude_channel_22") {
-      cfg.exclude_channel_22 = parse_bool(value, key);
-    } else if (key == "adaptive_channel_map") {
-      cfg.adaptive_channel_map = parse_bool(value, key);
-    } else if (key == "confirmable_coap") {
-      cfg.confirmable_coap = parse_bool(value, key);
-    } else if (key == "param_update_mitigation") {
-      cfg.param_update_mitigation = parse_bool(value, key);
-    } else if (key == "compression") {
-      if (value == "uncompressed") cfg.compression = net::CompressionMode::kUncompressed;
-      else if (value == "iphc") cfg.compression = net::CompressionMode::kIphc;
-      else throw std::runtime_error{"config: unknown compression '" + value + "'"};
-    } else if (key == "metrics_bucket") {
-      const auto d = parse_duration(value);
-      if (!d) throw std::runtime_error{"config: bad metrics_bucket"};
-      cfg.metrics_bucket = *d;
-    } else {
-      throw std::runtime_error{"config: unknown key '" + key + "'"};
-    }
-  }
+  for (const auto& [key, value] : kv) apply_experiment_kv(cfg, key, value);
   return cfg;
 }
 

@@ -19,6 +19,13 @@ namespace mgap::testbed {
 /// Parses durations like "150us", "75ms", "1s", "30m", "24h".
 [[nodiscard]] std::optional<sim::Duration> parse_duration(std::string_view text);
 
+/// Applies one `key = value` assignment to `cfg`. Throws std::runtime_error on
+/// a malformed value or an unknown key (typo guard). This is the single point
+/// through which both whole-file parsing and campaign grid expansion mutate a
+/// configuration, so sweep axes accept exactly the file syntax.
+void apply_experiment_kv(ExperimentConfig& cfg, const std::string& key,
+                         const std::string& value);
+
 /// Parses a full experiment description; throws std::runtime_error with the
 /// offending line on malformed input. Unknown keys are rejected (typo guard).
 [[nodiscard]] ExperimentConfig parse_experiment_config(std::string_view text);

@@ -1,6 +1,8 @@
 #include "testbed/report.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace mgap::testbed {
@@ -56,11 +58,29 @@ void print_summary_row(const char* label, const ExperimentSummary& s) {
               s.rtt_p99.to_ms_f(), s.rtt_max.to_ms_f());
 }
 
+std::string format_mean_ci(double mean, double ci95, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f ±%.*f", precision, mean, precision, ci95);
+  return std::string{buf};
+}
+
 sim::Duration scaled_duration(sim::Duration d, sim::Duration min_d) {
   const char* env = std::getenv("MGAP_TIME_SCALE");
-  if (env == nullptr) return d;
-  const double scale = std::atof(env);
-  if (scale <= 0.0 || scale > 1.0) return d;
+  if (env == nullptr || *env == '\0') return d;
+  char* end = nullptr;
+  errno = 0;
+  const double scale = std::strtod(env, &end);
+  // Reject anything that is not a clean finite number in (0, 1]: a typo'd
+  // scale silently running the full-length experiment (or a zero/negative one
+  // degenerating to the floor) is much harder to notice than a warning.
+  if (end == env || *end != '\0' || errno == ERANGE || !std::isfinite(scale) ||
+      scale <= 0.0 || scale > 1.0) {
+    std::fprintf(stderr,
+                 "warning: ignoring MGAP_TIME_SCALE='%s' (want a number with "
+                 "0 < scale <= 1); running unscaled\n",
+                 env);
+    return d;
+  }
   return sim::max(d.scaled(scale), min_d);
 }
 

@@ -27,8 +27,14 @@ void print_pdr_timeline(const char* label, const Metrics& metrics, std::size_t s
 void print_summary_row(const char* label, const ExperimentSummary& s);
 void print_summary_header();
 
+/// Formats "mean ±ci95" with the given precision, e.g. "0.9995 ±0.0003" —
+/// the error-bar cell format shared by the multi-seed campaign tables.
+[[nodiscard]] std::string format_mean_ci(double mean, double ci95, int precision = 4);
+
 /// Reads MGAP_TIME_SCALE (0 < scale <= 1) to shrink experiment durations on
 /// constrained machines; returns `d` scaled, with a floor of `min_d`.
+/// Malformed, non-finite, or out-of-range values are rejected with a warning
+/// on stderr and the unscaled duration is used.
 [[nodiscard]] sim::Duration scaled_duration(sim::Duration d,
                                             sim::Duration min_d = sim::Duration::sec(60));
 

@@ -1,0 +1,283 @@
+// Unit tests for the campaign subsystem: grid expansion, seed-range parsing,
+// CI aggregation math, writer determinism across thread counts, and the
+// thread-safety contract that makes cells embarrassingly parallel.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/writers.hpp"
+#include "testbed/report.hpp"
+
+namespace mgap::campaign {
+namespace {
+
+TEST(SeedList, Range) {
+  EXPECT_EQ(parse_seed_list("1..5"), (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(parse_seed_list(" 7 .. 7 "), (std::vector<std::uint64_t>{7}));
+}
+
+TEST(SeedList, Explicit) {
+  EXPECT_EQ(parse_seed_list("3, 1, 9"), (std::vector<std::uint64_t>{3, 1, 9}));
+  EXPECT_EQ(parse_seed_list("42"), (std::vector<std::uint64_t>{42}));
+}
+
+TEST(SeedList, RejectsGarbage) {
+  EXPECT_THROW(parse_seed_list(""), std::runtime_error);
+  EXPECT_THROW(parse_seed_list("a..b"), std::runtime_error);
+  EXPECT_THROW(parse_seed_list("5..1"), std::runtime_error);
+  EXPECT_THROW(parse_seed_list("1,,3"), std::runtime_error);
+  EXPECT_THROW(parse_seed_list("1.5"), std::runtime_error);
+}
+
+TEST(SpecParse, AxesScalarsAndSeeds) {
+  const CampaignSpec spec = parse_campaign_spec(R"(
+# sweep fixture
+campaign = fixture
+topology = star5
+duration = 30s
+conn_interval = 25ms, 75ms   # axis 1
+producer_interval = 1s, 5s   # axis 2
+payload_len = 16
+seeds = 1..3
+)");
+  EXPECT_EQ(spec.name, "fixture");
+  EXPECT_EQ(spec.base.payload_len, 16u);
+  EXPECT_EQ(spec.base.duration, sim::Duration::sec(30));
+  ASSERT_EQ(spec.axes.size(), 2u);
+  EXPECT_EQ(spec.axes[0].key, "conn_interval");
+  EXPECT_EQ(spec.axes[1].values, (std::vector<std::string>{"1s", "5s"}));
+  EXPECT_EQ(spec.seeds, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(spec.grid_size(), 4u);
+  EXPECT_EQ(spec.cell_count(), 12u);
+}
+
+TEST(SpecParse, RejectsBadInput) {
+  EXPECT_THROW(parse_campaign_spec("unknown_key = 1, 2"), std::runtime_error);
+  EXPECT_THROW(parse_campaign_spec("conn_interval = 25ms, banana"),
+               std::runtime_error);
+  EXPECT_THROW(parse_campaign_spec("conn_interval = 25ms,, 75ms"),
+               std::runtime_error);
+  EXPECT_THROW(parse_campaign_spec("conn_interval = 25ms, 50ms\n"
+                                   "conn_interval = 75ms, 100ms"),
+               std::runtime_error);
+  EXPECT_THROW(parse_campaign_spec("just a line"), std::runtime_error);
+}
+
+TEST(SpecParse, EmptySeedsFallBackToBaseSeed) {
+  const CampaignSpec spec = parse_campaign_spec("seed = 9");
+  EXPECT_EQ(spec.effective_seeds(), (std::vector<std::uint64_t>{9}));
+  EXPECT_EQ(spec.cell_count(), 1u);
+}
+
+TEST(GridExpansion, RowMajorCrossProduct) {
+  CampaignSpec spec;
+  spec.axes.push_back({"conn_interval", {"25ms", "75ms"}});
+  spec.axes.push_back({"producer_interval", {"1s", "5s", "10s"}});
+  const auto grid = expand_grid(spec);
+  ASSERT_EQ(grid.size(), 6u);
+  // First axis slowest: (25,1s) (25,5s) (25,10s) (75,1s) ...
+  EXPECT_EQ(grid[0].label(), "conn_interval=25ms producer_interval=1s");
+  EXPECT_EQ(grid[2].label(), "conn_interval=25ms producer_interval=10s");
+  EXPECT_EQ(grid[3].label(), "conn_interval=75ms producer_interval=1s");
+  EXPECT_EQ(grid[3].config.policy.target(), sim::Duration::ms(75));
+  EXPECT_EQ(grid[5].config.producer_interval, sim::Duration::sec(10));
+  for (std::size_t i = 0; i < grid.size(); ++i) EXPECT_EQ(grid[i].config_index, i);
+}
+
+TEST(GridExpansion, FinalizeHookRuns) {
+  CampaignSpec spec;
+  spec.axes.push_back({"conn_interval", {"100ms", "500ms"}});
+  spec.finalize = [](testbed::ExperimentConfig& cfg) {
+    cfg.supervision_timeout = cfg.policy.target() * 8;
+  };
+  const auto grid = expand_grid(spec);
+  EXPECT_EQ(grid[0].config.supervision_timeout, sim::Duration::ms(800));
+  EXPECT_EQ(grid[1].config.supervision_timeout, sim::Duration::sec(4));
+}
+
+TEST(Aggregate, TCriticalValues) {
+  EXPECT_NEAR(t_critical_95(1), 12.706, 1e-9);
+  EXPECT_NEAR(t_critical_95(4), 2.776, 1e-9);
+  EXPECT_NEAR(t_critical_95(9), 2.262, 1e-9);
+  EXPECT_NEAR(t_critical_95(30), 2.042, 1e-9);
+  EXPECT_NEAR(t_critical_95(1000), 1.960, 1e-9);
+}
+
+TEST(Aggregate, StatOfKnownSamples) {
+  const Stat s = stat_of({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  // t(df=4) * s / sqrt(5)
+  EXPECT_NEAR(s.ci95, 2.776 * std::sqrt(2.5) / std::sqrt(5.0), 1e-9);
+}
+
+TEST(Aggregate, DegenerateSamples) {
+  EXPECT_EQ(stat_of({}).n, 0u);
+  const Stat one = stat_of({7.5});
+  EXPECT_DOUBLE_EQ(one.mean, 7.5);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(one.ci95, 0.0);
+}
+
+TEST(Aggregate, PoolsRttAcrossSeedsOnly) {
+  CellResult a;
+  a.config_index = 0;
+  a.summary.coap_pdr = 0.9;
+  a.rtt.add(sim::Duration::ms(10));
+  CellResult b;
+  b.config_index = 0;
+  b.summary.coap_pdr = 1.0;
+  b.rtt.add(sim::Duration::ms(30));
+  CellResult other;
+  other.config_index = 1;
+  other.summary.coap_pdr = 0.0;
+  other.rtt.add(sim::Duration::sec(5));
+  const ConfigAggregate agg = aggregate_config(0, {a, b, other});
+  EXPECT_EQ(agg.coap_pdr.n, 2u);
+  EXPECT_DOUBLE_EQ(agg.coap_pdr.mean, 0.95);
+  EXPECT_EQ(agg.pooled_rtt.count(), 2u);
+  EXPECT_LT(agg.pooled_rtt.max_seen(), sim::Duration::sec(1));
+}
+
+TEST(FormatMeanCi, Renders) {
+  EXPECT_EQ(testbed::format_mean_ci(0.99945, 0.00031), "0.9994 ±0.0003");
+  EXPECT_EQ(testbed::format_mean_ci(209.4, 12.35, 1), "209.4 ±12.3");
+}
+
+// A small but real campaign used by the parallelism tests: 2 intervals x 2
+// producer rates x 2 seeds on the 5-node star, 30 s + drain per cell.
+CampaignSpec small_campaign() {
+  return parse_campaign_spec(R"(
+campaign = determinism_fixture
+topology = star5
+duration = 30s
+producer_jitter = 250ms
+conn_interval = 30ms, 75ms
+producer_interval = 500ms, 1s
+seeds = 1..2
+)");
+}
+
+TEST(Runner, SerialAndParallelRunsAreByteIdentical) {
+  RunnerOptions serial;
+  serial.threads = 1;
+  serial.progress = false;
+  const CampaignResult r1 = CampaignRunner{serial}.run(small_campaign());
+
+  RunnerOptions parallel;
+  parallel.threads = std::max(2u, std::thread::hardware_concurrency());
+  parallel.progress = false;
+  const CampaignResult rn = CampaignRunner{parallel}.run(small_campaign());
+
+  EXPECT_EQ(r1.threads_used, 1u);
+  EXPECT_GE(rn.threads_used, 2u);
+  // The determinism contract: JSON and CSV are byte-identical regardless of
+  // the thread count (results keyed by (config, seed), wall times excluded).
+  EXPECT_EQ(to_json(r1), to_json(rn));
+  EXPECT_EQ(to_csv(r1), to_csv(rn));
+}
+
+TEST(Runner, CellsMatchStandaloneExperiments) {
+  RunnerOptions options;
+  options.threads = 0;  // hardware_concurrency
+  options.progress = false;
+  const CampaignSpec spec = small_campaign();
+  const CampaignResult result = CampaignRunner{options}.run(spec);
+  ASSERT_EQ(result.cells.size(), spec.cell_count());
+
+  // Spot-check one cell against a standalone serial Experiment with the same
+  // (config, seed): sharding must not perturb results.
+  const auto grid = expand_grid(spec);
+  const std::size_t cell_index = 5;  // config 2, seed 2
+  const CellResult& cell = result.cells[cell_index];
+  testbed::ExperimentConfig cfg = grid[cell.config_index].config;
+  cfg.seed = cell.seed;
+  testbed::Experiment reference{cfg};
+  reference.run();
+  const testbed::ExperimentSummary expect = reference.summary();
+  EXPECT_EQ(cell.summary.sent, expect.sent);
+  EXPECT_EQ(cell.summary.acked, expect.acked);
+  EXPECT_EQ(cell.summary.conn_losses, expect.conn_losses);
+  EXPECT_EQ(cell.summary.rtt_p50, expect.rtt_p50);
+  EXPECT_EQ(cell.summary.rtt_p99, expect.rtt_p99);
+  EXPECT_EQ(cell.rtt.count(), reference.metrics().rtt().count());
+}
+
+// The thread-safety audit: two Experiment instances on different threads
+// share no mutable state (per-instance Simulator, RNG streams, Metrics,
+// worlds; no globals; the Tracer sink is opt-in and not installed), so
+// concurrent runs must reproduce serial runs bit-exactly. CI additionally
+// builds this test under -fsanitize=thread.
+TEST(ThreadSafety, ConcurrentExperimentsMatchSerialRuns) {
+  auto make_config = [](std::uint64_t seed, int interval_ms) {
+    testbed::ExperimentConfig cfg;
+    cfg.topology = testbed::Topology::star(4);
+    cfg.duration = sim::Duration::sec(20);
+    cfg.policy = core::IntervalPolicy::fixed(sim::Duration::ms(interval_ms));
+    cfg.seed = seed;
+    return cfg;
+  };
+
+  testbed::ExperimentSummary serial_a, serial_b, threaded_a, threaded_b;
+  {
+    testbed::Experiment a{make_config(3, 30)};
+    a.run();
+    serial_a = a.summary();
+    testbed::Experiment b{make_config(4, 75)};
+    b.run();
+    serial_b = b.summary();
+  }
+  {
+    std::thread ta{[&] {
+      testbed::Experiment a{make_config(3, 30)};
+      a.run();
+      threaded_a = a.summary();
+    }};
+    std::thread tb{[&] {
+      testbed::Experiment b{make_config(4, 75)};
+      b.run();
+      threaded_b = b.summary();
+    }};
+    ta.join();
+    tb.join();
+  }
+  EXPECT_EQ(serial_a.sent, threaded_a.sent);
+  EXPECT_EQ(serial_a.acked, threaded_a.acked);
+  EXPECT_EQ(serial_a.rtt_p50, threaded_a.rtt_p50);
+  EXPECT_EQ(serial_b.sent, threaded_b.sent);
+  EXPECT_EQ(serial_b.acked, threaded_b.acked);
+  EXPECT_EQ(serial_b.rtt_p50, threaded_b.rtt_p50);
+}
+
+TEST(ScaledDuration, RejectsMalformedTimeScale) {
+  const sim::Duration d = sim::Duration::hours(1);
+  const auto scaled_with = [&](const char* value) {
+    ::setenv("MGAP_TIME_SCALE", value, 1);
+    const sim::Duration out = testbed::scaled_duration(d);
+    ::unsetenv("MGAP_TIME_SCALE");
+    return out;
+  };
+  EXPECT_EQ(scaled_with("banana"), d);
+  EXPECT_EQ(scaled_with("0.5x"), d);
+  EXPECT_EQ(scaled_with("nan"), d);
+  EXPECT_EQ(scaled_with("inf"), d);
+  EXPECT_EQ(scaled_with("-0.5"), d);
+  EXPECT_EQ(scaled_with("0"), d);
+  EXPECT_EQ(scaled_with("1.5"), d);
+  EXPECT_EQ(scaled_with(""), d);
+  EXPECT_EQ(scaled_with("0.5"), sim::Duration::minutes(30));
+  // The floor still applies.
+  EXPECT_EQ(scaled_with("0.001"), sim::Duration::sec(60));
+  ::unsetenv("MGAP_TIME_SCALE");
+  EXPECT_EQ(testbed::scaled_duration(d), d);
+}
+
+}  // namespace
+}  // namespace mgap::campaign
