@@ -1,0 +1,80 @@
+// Fault recovery — connection-loss timeline under injected failures, in the
+// style of the paper's connection-loss-over-time plots (section 6.1): the
+// 15-node tree runs its steady 1 s workload while a depth-1 router crashes
+// and reboots, a backbone link blacks out, and wideband interference hits
+// mid-run. Reported per fault: time-to-reconnect, time-to-first-delivery
+// after repair, and the PDR windows before / during / after each event.
+
+#include <cstdio>
+#include <vector>
+
+#include "fault/spec.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/report.hpp"
+
+using namespace mgap;
+using namespace mgap::testbed;
+
+int main() {
+  std::printf("=== Fault recovery: injected failures on the 15-node tree "
+              "(1 s producer interval) ===\n\n");
+  const sim::Duration duration = scaled_duration(sim::Duration::minutes(10),
+                                                 sim::Duration::minutes(5));
+  // Fault times scale with the horizon so the scenario survives
+  // MGAP_TIME_SCALE: crash a depth-1 router (node 2 feeds a 4-node subtree),
+  // black out the consumer's link to another router, then jam most of the
+  // 2.4 GHz band.
+  const auto at = [&](int tenth) {
+    return (duration / 10) * tenth;
+  };
+  ExperimentConfig cfg;
+  cfg.topology = Topology::tree15();
+  cfg.duration = duration;
+  cfg.seed = 1;
+  cfg.faults["fault.0"] = fault::parse_fault_event(
+      "crash node=2 at=" + at(2).str() + " reboot_after=10s");
+  cfg.faults["fault.1"] = fault::parse_fault_event(
+      "blackout link=6-1 at=" + at(5).str() + " for=8s");
+  cfg.faults["fault.2"] = fault::parse_fault_event(
+      "interfere channels=4-32 at=" + at(8).str() + " for=15s per=0.95");
+
+  Experiment e{cfg};
+  e.run();
+  const ExperimentSummary s = e.summary();
+
+  std::printf("fault plan:\n");
+  for (const auto& [key, ev] : cfg.faults) {
+    std::printf("  %-8s %s\n", key.c_str(), ev.str().c_str());
+  }
+  std::printf("\n");
+
+  print_pdr_timeline("PDR over time (faults dent, recovery restores)",
+                     e.metrics());
+
+  std::printf("\nconnection-loss timeline (coordinator, time):\n  ");
+  for (const auto& [t, node] : e.metrics().conn_losses()) {
+    std::printf("n%u@%.0fs ", node, t.since_origin().to_ms_f() / 1000.0);
+  }
+  std::printf("\n\nrecovery metrics:\n");
+  std::printf("  faults injected          : %llu\n",
+              static_cast<unsigned long long>(s.faults_injected));
+  std::printf("  losses injected/emergent : %llu / %llu\n",
+              static_cast<unsigned long long>(s.losses_injected),
+              static_cast<unsigned long long>(s.losses_emergent));
+  std::printf("  link downs/ups           : %llu / %llu\n",
+              static_cast<unsigned long long>(s.link_downs),
+              static_cast<unsigned long long>(s.link_ups));
+  std::printf("  time-to-reconnect p50/max: %.1f / %.1f ms\n",
+              s.reconnect_p50.to_ms_f(), s.reconnect_max.to_ms_f());
+  std::printf("  repair-to-delivery p50   : %.1f ms\n",
+              s.repair_to_delivery_p50.to_ms_f());
+  std::printf("  PDR pre/during/post fault: %.4f / %.4f / %.4f\n",
+              s.pdr_pre_fault, s.pdr_during_fault, s.pdr_post_fault);
+  std::printf("  overall CoAP PDR         : %.4f\n", s.coap_pdr);
+
+  std::printf("\nExpected shape: PDR collapses for the crashed router's subtree\n"
+              "and during the blackout/interference windows, then returns to the\n"
+              "pre-fault level; reconnects after repair stay in the 10-100 ms\n"
+              "regime plus the supervision-timeout detection delay.\n");
+  return 0;
+}

@@ -133,7 +133,10 @@ sim::Duration Connection::window_widening(sim::TimePoint at) const {
 }
 
 void Connection::claim_event_slots(sim::TimePoint anchor) {
-  coord_granted_ = coord_.scheduler().try_claim(anchor, anchor + config_.reserve_slot, id_);
+  // A powered-down radio (crash fault) grants nothing; the connection keeps
+  // missing events until the supervision timeout fires.
+  coord_granted_ = coord_.radio_on() &&
+                   coord_.scheduler().try_claim(anchor, anchor + config_.reserve_slot, id_);
   // Subordinate latency: with empty queues the subordinate may sleep through
   // up to `subordinate_latency` events (section 2.2, energy optimization).
   if (params_.subordinate_latency > 0 && sub_q_.empty() &&
@@ -147,7 +150,18 @@ void Connection::claim_event_slots(sim::TimePoint anchor) {
   sub_intentional_skip_ = false;
   const sim::Duration ww = window_widening(anchor);
   sub_granted_ =
+      sub_.radio_on() &&
       sub_.scheduler().try_claim(anchor - ww, anchor + config_.reserve_slot + ww, id_);
+}
+
+void Connection::shift_anchor(sim::Duration delta) {
+  if (!open_) return;
+  sim_.cancel(next_event_);
+  coord_.scheduler().release(id_);
+  sub_.scheduler().release(id_);
+  anchor_ = sim::max(anchor_ + delta, sim_.now());
+  claim_event_slots(anchor_);
+  schedule_event(anchor_);
 }
 
 void Connection::schedule_event(sim::TimePoint anchor) {

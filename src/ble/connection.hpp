@@ -102,6 +102,11 @@ class Connection {
   /// LL channel-map update procedure (same six-event apply delay).
   void request_channel_map_update(const ChannelMap& map);
 
+  /// Displaces the next anchor by `delta` (clock-step fault): the pending
+  /// event is re-armed at the shifted time while the supervision baselines
+  /// stay put, so a large step can legitimately trip the timeout.
+  void shift_anchor(sim::Duration delta);
+
  private:
   static constexpr unsigned kUpdateDelayEvents = 6;
 

@@ -19,8 +19,17 @@ Controller::Controller(sim::Simulator& sim, BleWorld& world, NodeId id,
 
 // --- GAP: advertising --------------------------------------------------------
 
+void Controller::set_radio_on(bool on) {
+  if (radio_on_ == on) return;
+  radio_on_ = on;
+  if (!on) {
+    stop_advertising();
+    while (!intents_.empty()) stop_initiating(intents_.back().peer);
+  }
+}
+
 void Controller::start_advertising() {
-  if (advertising_) return;
+  if (advertising_ || !radio_on_) return;
   advertising_ = true;
   ++adv_session_;
   const std::uint64_t session = adv_session_;
@@ -57,7 +66,7 @@ void Controller::on_adv_event(std::uint64_t session) {
 // --- GAP: scanning / initiating ------------------------------------------------
 
 void Controller::start_initiating(NodeId peer, ConnParams params) {
-  if (is_initiating(peer)) return;
+  if (is_initiating(peer) || !radio_on_) return;
   intents_.push_back(Intent{peer, params, sim_.now()});
 }
 
@@ -91,6 +100,7 @@ const ConnParams* Controller::initiating_params(NodeId peer) const {
 }
 
 bool Controller::scanner_hears(sim::TimePoint t, sim::Duration adv_duration) const {
+  if (!radio_on_) return false;
   // The scanner is a lower-priority radio user: connection events preempt it.
   if (!sched_.is_free(t, t + adv_duration, /*owner=*/0)) return false;
   if (config_.scan.window >= config_.scan.interval) return true;  // 100% duty

@@ -84,6 +84,17 @@ class Controller {
 
   void set_host(HostCallbacks callbacks) { host_ = std::move(callbacks); }
 
+  // --- radio power (fault injection) ---------------------------------------
+  /// Powers the radio down/up. Off kills GAP activity (advertising, scan
+  /// intents) immediately; open connections are NOT torn down here — their
+  /// events simply stop being granted, so the peers observe the loss through
+  /// the supervision timeout, exactly like a real crash.
+  void set_radio_on(bool on);
+  [[nodiscard]] bool radio_on() const { return radio_on_; }
+
+  /// Replaces the sleep-clock drift (clock-perturbation faults).
+  void set_clock_drift(double ppm) { clock_ = sim::SleepClock{ppm}; }
+
   // --- GAP -----------------------------------------------------------------
   /// Starts connectable advertising (subordinate-to-be).
   void start_advertising();
@@ -156,6 +167,7 @@ class Controller {
   sim::Rng rng_;
   HostCallbacks host_;
 
+  bool radio_on_{true};
   bool advertising_{false};
   std::uint64_t adv_session_{0};
   std::uint16_t adv_data_{0};

@@ -47,6 +47,9 @@ class BleWorld {
   /// multiplicatively with the per-channel model.
   using LinkPerFn = std::function<double(NodeId, NodeId)>;
   void set_link_per(LinkPerFn fn) { link_per_ = std::move(fn); }
+  /// The raw installed hook (null when unset); lets a fault injector compose
+  /// its own windows over a pre-existing model instead of replacing it.
+  [[nodiscard]] const LinkPerFn& link_per_fn() const { return link_per_; }
   [[nodiscard]] double link_per(NodeId a, NodeId b) const {
     return link_per_ ? link_per_(a, b) : 0.0;
   }

@@ -35,6 +35,7 @@ ConfigAggregate aggregate_config(std::size_t config_index,
   ConfigAggregate agg;
   agg.config_index = config_index;
   std::vector<double> sent, coap_pdr, ll_pdr, losses, reconnects, drops, p50, p99;
+  std::vector<double> injected, reconnect_p50, repair_p50, pdr_post;
   for (const CellResult& cell : cells) {
     if (cell.config_index != config_index) continue;
     const testbed::ExperimentSummary& s = cell.summary;
@@ -46,6 +47,10 @@ ConfigAggregate aggregate_config(std::size_t config_index,
     drops.push_back(static_cast<double>(s.pktbuf_drops));
     p50.push_back(s.rtt_p50.to_ms_f());
     p99.push_back(s.rtt_p99.to_ms_f());
+    injected.push_back(static_cast<double>(s.losses_injected));
+    reconnect_p50.push_back(s.reconnect_p50.to_ms_f());
+    repair_p50.push_back(s.repair_to_delivery_p50.to_ms_f());
+    pdr_post.push_back(s.pdr_post_fault);
     agg.pooled_rtt.merge(cell.rtt);
   }
   agg.sent = stat_of(sent);
@@ -56,6 +61,10 @@ ConfigAggregate aggregate_config(std::size_t config_index,
   agg.pktbuf_drops = stat_of(drops);
   agg.rtt_p50_ms = stat_of(p50);
   agg.rtt_p99_ms = stat_of(p99);
+  agg.losses_injected = stat_of(injected);
+  agg.reconnect_p50_ms = stat_of(reconnect_p50);
+  agg.repair_p50_ms = stat_of(repair_p50);
+  agg.pdr_post_fault = stat_of(pdr_post);
   return agg;
 }
 

@@ -52,6 +52,11 @@ struct ConfigAggregate {
   Stat pktbuf_drops;
   Stat rtt_p50_ms;
   Stat rtt_p99_ms;
+  // Recovery metrics (all-zero when the configuration injects no faults).
+  Stat losses_injected;
+  Stat reconnect_p50_ms;
+  Stat repair_p50_ms;
+  Stat pdr_post_fault;
   /// All seeds' RTT samples pooled into one histogram; its quantiles are the
   /// across-replication distribution (vs. the mean-of-per-seed-quantiles
   /// reported in rtt_p50_ms / rtt_p99_ms).

@@ -9,6 +9,7 @@
 // Cells run in parallel across threads; output is byte-identical for any
 // thread count. MGAP_TIME_SCALE shortens per-cell durations as usual.
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +29,18 @@ int usage(const char* argv0) {
                "[--quiet] [--dry-run]\n",
                argv0);
   return 2;
+}
+
+/// Strict positive-integer option parse: the whole token must be digits and
+/// the value >= 1. atoi's silent 0 on garbage ("--threads x") used to fall
+/// back to auto-detection instead of failing.
+bool parse_positive(const char* text, unsigned& out) {
+  unsigned v{};
+  const char* end = text + std::strlen(text);
+  const auto res = std::from_chars(text, end, v);
+  if (res.ec != std::errc{} || res.ptr != end || v < 1) return false;
+  out = v;
+  return true;
 }
 
 }  // namespace
@@ -50,12 +63,13 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (std::strcmp(arg, "--threads") == 0) {
-      const int n = std::atoi(next_value());
-      if (n < 1) {
-        std::fprintf(stderr, "%s: --threads wants a positive integer\n", argv[0]);
+      const char* value = next_value();
+      if (!parse_positive(value, threads)) {
+        std::fprintf(stderr,
+                     "%s: --threads wants a positive integer, got '%s'\n",
+                     argv[0], value);
         return 2;
       }
-      threads = static_cast<unsigned>(n);
     } else if (std::strcmp(arg, "--json") == 0) {
       json_path = next_value();
     } else if (std::strcmp(arg, "--csv") == 0) {

@@ -89,7 +89,19 @@ std::string to_json(const CampaignResult& result) {
           << ", \"coap_timeouts\": " << s.coap_timeouts
           << ", \"rtt_p50_ms\": " << json_double(s.rtt_p50.to_ms_f())
           << ", \"rtt_p99_ms\": " << json_double(s.rtt_p99.to_ms_f())
-          << ", \"rtt_max_ms\": " << json_double(s.rtt_max.to_ms_f()) << "}"
+          << ", \"rtt_max_ms\": " << json_double(s.rtt_max.to_ms_f())
+          << ", \"faults_injected\": " << s.faults_injected
+          << ", \"losses_injected\": " << s.losses_injected
+          << ", \"losses_emergent\": " << s.losses_emergent
+          << ", \"link_downs\": " << s.link_downs
+          << ", \"link_ups\": " << s.link_ups
+          << ", \"reconnect_p50_ms\": " << json_double(s.reconnect_p50.to_ms_f())
+          << ", \"reconnect_max_ms\": " << json_double(s.reconnect_max.to_ms_f())
+          << ", \"repair_p50_ms\": "
+          << json_double(s.repair_to_delivery_p50.to_ms_f())
+          << ", \"pdr_pre_fault\": " << json_double(s.pdr_pre_fault)
+          << ", \"pdr_during_fault\": " << json_double(s.pdr_during_fault)
+          << ", \"pdr_post_fault\": " << json_double(s.pdr_post_fault) << "}"
           << (j + 1 < n_seeds ? "," : "") << "\n";
     }
     out << "      ],\n";
@@ -103,6 +115,10 @@ std::string to_json(const CampaignResult& result) {
     json_stat(out, "pktbuf_drops", agg.pktbuf_drops);
     json_stat(out, "rtt_p50_ms", agg.rtt_p50_ms);
     json_stat(out, "rtt_p99_ms", agg.rtt_p99_ms);
+    json_stat(out, "losses_injected", agg.losses_injected);
+    json_stat(out, "reconnect_p50_ms", agg.reconnect_p50_ms);
+    json_stat(out, "repair_p50_ms", agg.repair_p50_ms);
+    json_stat(out, "pdr_post_fault", agg.pdr_post_fault);
     out << "        \"pooled_rtt\": {\"count\": " << agg.pooled_rtt.count()
         << ", \"p50_ms\": " << json_double(agg.pooled_rtt.quantile(0.50).to_ms_f())
         << ", \"p90_ms\": " << json_double(agg.pooled_rtt.quantile(0.90).to_ms_f())
@@ -130,7 +146,10 @@ std::string to_csv(const CampaignResult& result) {
   out << ",seeds,sent_mean,sent_ci95,coap_pdr_mean,coap_pdr_ci95,ll_pdr_mean,"
          "ll_pdr_ci95,conn_losses_mean,conn_losses_ci95,reconnects_mean,"
          "reconnects_ci95,pktbuf_drops_mean,pktbuf_drops_ci95,rtt_p50_ms_mean,"
-         "rtt_p50_ms_ci95,rtt_p99_ms_mean,rtt_p99_ms_ci95,pooled_rtt_p50_ms,"
+         "rtt_p50_ms_ci95,rtt_p99_ms_mean,rtt_p99_ms_ci95,"
+         "losses_injected_mean,losses_injected_ci95,reconnect_p50_ms_mean,"
+         "reconnect_p50_ms_ci95,repair_p50_ms_mean,repair_p50_ms_ci95,"
+         "pdr_post_fault_mean,pdr_post_fault_ci95,pooled_rtt_p50_ms,"
          "pooled_rtt_p99_ms\n";
   for (std::size_t i = 0; i < result.configs.size(); ++i) {
     const ConfigAggregate& agg = result.aggregates[i];
@@ -147,6 +166,10 @@ std::string to_csv(const CampaignResult& result) {
     csv_stat(out, agg.pktbuf_drops);
     csv_stat(out, agg.rtt_p50_ms);
     csv_stat(out, agg.rtt_p99_ms);
+    csv_stat(out, agg.losses_injected);
+    csv_stat(out, agg.reconnect_p50_ms);
+    csv_stat(out, agg.repair_p50_ms);
+    csv_stat(out, agg.pdr_post_fault);
     out << "," << json_double(agg.pooled_rtt.quantile(0.50).to_ms_f()) << ","
         << json_double(agg.pooled_rtt.quantile(0.99).to_ms_f()) << "\n";
   }

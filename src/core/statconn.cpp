@@ -8,8 +8,18 @@
 
 namespace mgap::core {
 
+namespace {
+// Backoff jitter draws come from a dedicated per-node stream id far above the
+// sequentially assigned component streams, so enabling backoff never shifts
+// the draws of any other component.
+constexpr std::uint64_t kBackoffStreamBase = 0x0B0FF'0000ULL;
+}  // namespace
+
 Statconn::Statconn(NimbleNetif& netif, StatconnConfig config)
-    : netif_{netif}, ctrl_{netif.controller()}, config_{config} {
+    : netif_{netif},
+      ctrl_{netif.controller()},
+      config_{config},
+      backoff_rng_{ctrl_.world().simulator().make_rng(kBackoffStreamBase + ctrl_.id())} {
   if (config_.policy.is_randomized()) config_.enforce_unique_intervals = true;
   netif_.add_link_listener(
       [this](ble::Connection& conn, bool up, ble::DisconnectReason reason) {
@@ -18,13 +28,37 @@ Statconn::Statconn(NimbleNetif& netif, StatconnConfig config)
 }
 
 void Statconn::add_subordinate_link(NodeId peer) {
-  links_.push_back(Link{peer, ble::Role::kSubordinate, false, false});
+  links_.push_back(Link{peer, ble::Role::kSubordinate, false, false, 0, {}});
   if (started_) reconcile();
 }
 
 void Statconn::add_coordinator_link(NodeId peer) {
-  links_.push_back(Link{peer, ble::Role::kCoordinator, false, false});
+  links_.push_back(Link{peer, ble::Role::kCoordinator, false, false, 0, {}});
   if (started_) reconcile();
+}
+
+void Statconn::suspend() {
+  if (suspended_) return;
+  suspended_ = true;
+  ctrl_.stop_advertising();
+  for (const Link& link : links_) {
+    if (link.local_role == ble::Role::kCoordinator) ctrl_.stop_initiating(link.peer);
+  }
+}
+
+void Statconn::resume() {
+  if (!suspended_) return;
+  suspended_ = false;
+  // All links of a rebooting node come back at once; a fresh jitter per link
+  // spreads the burst even when the crash outlived every backoff deadline.
+  const sim::TimePoint now = ctrl_.world().simulator().now();
+  for (Link& link : links_) {
+    if (!link.up) {
+      link.retry_at =
+          now + backoff_rng_.uniform_duration({}, config_.reconnect_backoff_jitter);
+    }
+  }
+  reconcile();
 }
 
 void Statconn::start() {
@@ -94,11 +128,41 @@ std::vector<sim::Duration> Statconn::live_intervals(ble::Connection* except) con
   return out;
 }
 
+sim::Duration Statconn::backoff_delay(unsigned losses_in_a_row) {
+  sim::Duration d = config_.reconnect_backoff_base;
+  for (unsigned i = 1; i < losses_in_a_row && d < config_.reconnect_backoff_max; ++i) {
+    d = d * 2;
+  }
+  d = sim::min(d, config_.reconnect_backoff_max);
+  return d + backoff_rng_.uniform_duration({}, config_.reconnect_backoff_jitter);
+}
+
+void Statconn::schedule_retry(sim::TimePoint at) {
+  // A stale (later) pending retry is left to fire — reconcile() is
+  // idempotent — but an earlier deadline always gets its own event.
+  if (retry_pending_ && retry_scheduled_for_ <= at) return;
+  retry_pending_ = true;
+  retry_scheduled_for_ = at;
+  ctrl_.world().simulator().schedule_at(at, [this] {
+    retry_pending_ = false;
+    if (started_ && !suspended_) reconcile();
+  });
+}
+
 void Statconn::reconcile() {
-  if (!started_) return;
+  if (!started_ || suspended_) return;
+  const sim::TimePoint now = ctrl_.world().simulator().now();
   bool want_advertising = false;
+  sim::TimePoint next_retry;
+  bool have_retry = false;
   for (Link& link : links_) {
     if (link.up) continue;
+    if (link.retry_at > now) {
+      // Still backing off; come back when the earliest deadline passes.
+      next_retry = have_retry ? sim::min(next_retry, link.retry_at) : link.retry_at;
+      have_retry = true;
+      continue;
+    }
     if (link.local_role == ble::Role::kSubordinate) {
       want_advertising = true;
     } else if (!ctrl_.is_initiating(link.peer)) {
@@ -115,6 +179,7 @@ void Statconn::reconcile() {
   } else {
     ctrl_.stop_advertising();
   }
+  if (have_retry) schedule_retry(next_retry);
 }
 
 void Statconn::on_link_event(ble::Connection& conn, bool up, ble::DisconnectReason reason) {
@@ -136,11 +201,18 @@ void Statconn::on_link_event(ble::Connection& conn, bool up, ble::DisconnectReas
     if (link->ever_up) ++reconnects_;
     link->up = true;
     link->ever_up = true;
+    link->losses_in_a_row = 0;
+    link->retry_at = {};
   } else {
     link->up = false;
-    if (reason == ble::DisconnectReason::kSupervisionTimeout) ++losses_seen_;
+    if (reason == ble::DisconnectReason::kSupervisionTimeout) {
+      ++losses_seen_;
+      ++link->losses_in_a_row;
+      link->retry_at = ctrl_.world().simulator().now() +
+                       backoff_delay(link->losses_in_a_row);
+    }
   }
-  reconcile();
+  if (!suspended_) reconcile();
 }
 
 }  // namespace mgap::core

@@ -42,6 +42,18 @@ struct StatconnConfig {
   bool param_update_mitigation{false};
   sim::Duration update_check_interval{sim::Duration::sec(1)};
   sim::Duration update_window{sim::Duration::ms(10)};  // draw target +- window
+
+  /// Reconnect backoff after a supervision-timeout loss: the n-th consecutive
+  /// loss on a link defers its re-advertising/re-initiating by
+  /// min(max, base * 2^(n-1)) + U[0, jitter]. Bounded so recovery stays
+  /// within the paper's 10-100 ms reconnect regime under isolated losses;
+  /// jittered (per-node seeded RNG) so a mass disconnect — every link of a
+  /// crashed coordinator times out together — does not come back as one
+  /// synchronized reconnect storm. Intentional closes (e.g. the interval-
+  /// collision reject) stay immediate.
+  sim::Duration reconnect_backoff_base{sim::Duration::ms(10)};
+  sim::Duration reconnect_backoff_max{sim::Duration::ms(640)};
+  sim::Duration reconnect_backoff_jitter{sim::Duration::ms(20)};
 };
 
 class Statconn {
@@ -58,6 +70,14 @@ class Statconn {
   /// Starts advertising / scanning for all configured links.
   void start();
 
+  /// Crash-fault support: a suspended statconn stops all GAP activity and
+  /// keeps tracking link state without reacting to it. resume() re-jitters
+  /// every down link's retry time before reconciling, desynchronizing the
+  /// post-reboot reconnect burst.
+  void suspend();
+  void resume();
+  [[nodiscard]] bool suspended() const { return suspended_; }
+
   [[nodiscard]] bool all_links_up() const;
   [[nodiscard]] std::uint64_t losses_seen() const { return losses_seen_; }
   [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
@@ -72,10 +92,14 @@ class Statconn {
     ble::Role local_role;
     bool up{false};
     bool ever_up{false};
+    unsigned losses_in_a_row{0};
+    sim::TimePoint retry_at;
   };
 
   void on_link_event(ble::Connection& conn, bool up, ble::DisconnectReason reason);
   void reconcile();
+  [[nodiscard]] sim::Duration backoff_delay(unsigned losses_in_a_row);
+  void schedule_retry(sim::TimePoint at);
   void check_interval_collisions();
   void schedule_collision_check();
   [[nodiscard]] ble::ConnParams make_params() const;
@@ -85,8 +109,12 @@ class Statconn {
   NimbleNetif& netif_;
   ble::Controller& ctrl_;
   StatconnConfig config_;
+  sim::Rng backoff_rng_;
   std::vector<Link> links_;
   bool started_{false};
+  bool suspended_{false};
+  bool retry_pending_{false};
+  sim::TimePoint retry_scheduled_for_;
   std::uint64_t losses_seen_{0};
   std::uint64_t reconnects_{0};
   std::uint64_t interval_rejects_{0};

@@ -1,0 +1,222 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "ble/connection.hpp"
+#include "ble/controller.hpp"
+
+namespace mgap::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, ble::BleWorld* world,
+                             InjectorHooks hooks)
+    : sim_{sim}, world_{world}, hooks_{std::move(hooks)} {}
+
+void FaultInjector::arm(std::vector<FaultEvent> plan) {
+  if (armed_ || plan.empty()) return;
+  armed_ = true;
+
+  std::stable_sort(plan.begin(), plan.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+
+  timeline_.reserve(plan.size());
+  for (const FaultEvent& ev : plan) {
+    InjectedFault f;
+    f.event = ev;
+    f.begin = ev.at;
+    switch (ev.kind) {
+      case FaultKind::kCrash:
+        f.permanent = ev.duration.is_zero();
+        f.end = f.permanent ? f.begin : f.begin + ev.duration;
+        break;
+      case FaultKind::kClockDrift:
+        f.permanent = ev.duration.is_zero();
+        f.end = f.permanent ? f.begin : f.begin + ev.duration;
+        break;
+      case FaultKind::kClockStep:
+        f.end = f.begin;  // instant
+        break;
+      default:
+        f.end = f.begin + ev.duration;
+        break;
+    }
+    timeline_.push_back(f);
+  }
+  seized_bytes_.assign(timeline_.size(), 0);
+  saved_channel_per_.assign(timeline_.size(), {});
+  saved_drift_.assign(timeline_.size(), 0.0);
+
+  const bool needs_link_hook =
+      world_ != nullptr &&
+      std::any_of(timeline_.begin(), timeline_.end(), [](const InjectedFault& f) {
+        return f.event.kind == FaultKind::kBlackout ||
+               f.event.kind == FaultKind::kAttenuate;
+      });
+  if (needs_link_hook) install_link_hook();
+
+  for (std::size_t i = 0; i < timeline_.size(); ++i) {
+    sim_.schedule_at(timeline_[i].begin, [this, i] { begin_fault(i); });
+    // Link/channel windows need no begin action beyond the hook; their end
+    // actions restore saved state. Instant and permanent faults have no end.
+    const InjectedFault& f = timeline_[i];
+    const bool has_end = !f.permanent && f.end > f.begin;
+    if (has_end) sim_.schedule_at(f.end, [this, i] { end_fault(i); });
+  }
+}
+
+void FaultInjector::install_link_hook() {
+  prev_link_per_ = world_->link_per_fn();
+  // Combine failure probabilities: surviving both hazards independently.
+  world_->set_link_per([this](NodeId a, NodeId b) {
+    const double prev = prev_link_per_ ? prev_link_per_(a, b) : 0.0;
+    const double extra = windowed_link_per(a, b);
+    return 1.0 - (1.0 - prev) * (1.0 - extra);
+  });
+}
+
+double FaultInjector::windowed_link_per(NodeId a, NodeId b) const {
+  const sim::TimePoint now = sim_.now();
+  double per = 0.0;
+  for (const InjectedFault& f : timeline_) {
+    if (f.event.kind != FaultKind::kBlackout && f.event.kind != FaultKind::kAttenuate) {
+      continue;
+    }
+    const bool same_link = (f.event.node == a && f.event.peer == b) ||
+                           (f.event.node == b && f.event.peer == a);
+    if (!same_link || now < f.begin || now >= f.end) continue;
+    per = std::max(per, f.event.per);
+  }
+  return per;
+}
+
+void FaultInjector::trace(const InjectedFault& f, const char* phase) {
+  if (world_ == nullptr || !world_->tracing()) return;
+  char msg[160];
+  std::snprintf(msg, sizeof msg, "%s %s", phase, f.event.str().c_str());
+  world_->trace(sim::TraceCat::kFault,
+                f.event.node == kInvalidNode ? 0 : f.event.node, msg);
+}
+
+void FaultInjector::begin_fault(std::size_t index) {
+  InjectedFault& f = timeline_[index];
+  const FaultEvent& ev = f.event;
+  trace(f, "begin");
+
+  switch (ev.kind) {
+    case FaultKind::kCrash: {
+      if (world_ != nullptr) {
+        if (ble::Controller* ctrl = world_->find(ev.node)) ctrl->set_radio_on(false);
+      }
+      if (hooks_.on_crash) hooks_.on_crash(ev.node);
+      break;
+    }
+    case FaultKind::kBlackout:
+    case FaultKind::kAttenuate:
+      break;  // the installed link hook reads the window directly
+    case FaultKind::kInterfere: {
+      if (world_ == nullptr) break;
+      phy::ChannelModel& cm = world_->channel_model();
+      for (std::uint8_t ch = ev.chan_lo; ch <= ev.chan_hi; ++ch) {
+        const double old = cm.per(ch);
+        saved_channel_per_[index].emplace_back(ch, old);
+        cm.set_per(ch, 1.0 - (1.0 - old) * (1.0 - ev.per));
+      }
+      break;
+    }
+    case FaultKind::kClockDrift: {
+      if (world_ == nullptr) break;
+      if (ble::Controller* ctrl = world_->find(ev.node)) {
+        saved_drift_[index] = ctrl->clock().drift_ppm();
+        ctrl->set_clock_drift(ev.ppm);
+      }
+      break;
+    }
+    case FaultKind::kClockStep: {
+      if (world_ == nullptr) break;
+      if (ble::Controller* ctrl = world_->find(ev.node)) {
+        for (ble::Connection* conn : ctrl->connections()) {
+          if (&conn->coordinator() == ctrl) conn->shift_anchor(ev.step);
+        }
+      }
+      break;
+    }
+    case FaultKind::kPressure: {
+      if (!hooks_.pktbuf_of) break;
+      if (net::Pktbuf* buf = hooks_.pktbuf_of(ev.node)) {
+        seized_bytes_[index] = buf->seize(ev.bytes);
+      }
+      break;
+    }
+  }
+}
+
+void FaultInjector::end_fault(std::size_t index) {
+  InjectedFault& f = timeline_[index];
+  const FaultEvent& ev = f.event;
+  trace(f, "end");
+
+  switch (ev.kind) {
+    case FaultKind::kCrash: {
+      if (world_ != nullptr) {
+        if (ble::Controller* ctrl = world_->find(ev.node)) ctrl->set_radio_on(true);
+      }
+      if (hooks_.on_reboot) hooks_.on_reboot(ev.node);
+      break;
+    }
+    case FaultKind::kBlackout:
+    case FaultKind::kAttenuate:
+      break;
+    case FaultKind::kInterfere: {
+      if (world_ == nullptr) break;
+      phy::ChannelModel& cm = world_->channel_model();
+      // Restore in reverse so overlapping windows unwind correctly.
+      for (auto it = saved_channel_per_[index].rbegin();
+           it != saved_channel_per_[index].rend(); ++it) {
+        cm.set_per(it->first, it->second);
+      }
+      saved_channel_per_[index].clear();
+      break;
+    }
+    case FaultKind::kClockDrift: {
+      if (world_ == nullptr) break;
+      if (ble::Controller* ctrl = world_->find(ev.node)) {
+        ctrl->set_clock_drift(saved_drift_[index]);
+      }
+      break;
+    }
+    case FaultKind::kClockStep:
+      break;
+    case FaultKind::kPressure: {
+      if (seized_bytes_[index] == 0 || !hooks_.pktbuf_of) break;
+      if (net::Pktbuf* buf = hooks_.pktbuf_of(ev.node)) {
+        buf->free(seized_bytes_[index]);
+      }
+      seized_bytes_[index] = 0;
+      break;
+    }
+  }
+}
+
+bool FaultInjector::attributable(NodeId node, sim::TimePoint at,
+                                 sim::Duration grace) const {
+  for (const InjectedFault& f : timeline_) {
+    bool involves = false;
+    switch (f.event.kind) {
+      case FaultKind::kBlackout:
+      case FaultKind::kAttenuate:
+        involves = f.event.node == node || f.event.peer == node;
+        break;
+      case FaultKind::kInterfere:
+        involves = true;
+        break;
+      default:
+        involves = f.event.node == node;
+        break;
+    }
+    if (!involves || at < f.begin) continue;
+    if (f.permanent || at <= f.end + grace) return true;
+  }
+  return false;
+}
+
+}  // namespace mgap::fault

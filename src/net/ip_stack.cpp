@@ -88,6 +88,17 @@ void IpStack::try_drain(NodeId next_hop) {
   }
 }
 
+void IpStack::purge() {
+  for (auto& [next_hop, queue] : pending_) {
+    for (const Pending& p : queue) {
+      pktbuf_.free(p.frame.size() + config_.pkt_overhead);
+      ++stats_.drop_link_down;
+    }
+    queue.clear();
+  }
+  reasm_ = SixloReassembler{};
+}
+
 void IpStack::flush_neighbor(NodeId neighbor) {
   auto it = pending_.find(neighbor);
   if (it == pending_.end()) return;

@@ -84,6 +84,11 @@ class IpStack {
   /// Bytes queued towards `next_hop` (diagnostics).
   [[nodiscard]] std::size_t queued_bytes(NodeId next_hop) const;
 
+  /// Drops all queued frames and in-flight reassemblies, releasing their
+  /// pktbuf charge (node-crash fault: RAM state does not survive a reboot).
+  /// Dropped frames count as drop_link_down.
+  void purge();
+
  private:
   void on_frame(NodeId src, std::vector<std::uint8_t> frame, sim::TimePoint at);
   void handle_packet(std::vector<std::uint8_t> packet, sim::TimePoint at);

@@ -30,6 +30,16 @@ class Pktbuf {
     used_ = n > used_ ? 0 : used_ - n;
   }
 
+  /// Takes as much of `want` as currently fits and returns the amount taken
+  /// (buffer-pressure fault injection). Unlike alloc() this never fails and
+  /// never counts a drop; release the returned amount with free().
+  std::size_t seize(std::size_t want) {
+    const std::size_t take = want < capacity_ - used_ ? want : capacity_ - used_;
+    used_ += take;
+    high_water_ = used_ > high_water_ ? used_ : high_water_;
+    return take;
+  }
+
   [[nodiscard]] std::size_t used() const { return used_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t high_water() const { return high_water_; }

@@ -1,5 +1,7 @@
 #include "sim/time.hpp"
 
+#include <cctype>
+#include <charconv>
 #include <cstdio>
 
 namespace mgap::sim {
@@ -22,6 +24,37 @@ std::string TimePoint::str() const {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.6fs", static_cast<double>(ns_) / 1e9);
   return buf;
+}
+
+std::optional<Duration> parse_duration(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  if (text.empty()) return std::nullopt;
+  bool negative = false;
+  if (text.front() == '-') {
+    negative = true;
+    text.remove_prefix(1);
+  }
+  const auto unit_pos = text.find_first_not_of("0123456789.");
+  if (unit_pos == 0 || unit_pos == std::string_view::npos) return std::nullopt;
+  double num{};
+  const std::string_view digits = text.substr(0, unit_pos);
+  const auto res = std::from_chars(digits.data(), digits.data() + digits.size(), num);
+  if (res.ec != std::errc{} || res.ptr != digits.data() + digits.size()) {
+    return std::nullopt;
+  }
+  if (negative) num = -num;
+  const std::string_view unit = text.substr(unit_pos);
+  if (unit == "us") return Duration::ns(static_cast<std::int64_t>(num * 1e3));
+  if (unit == "ms") return Duration::ms_f(num);
+  if (unit == "s") return Duration::sec_f(num);
+  if (unit == "m" || unit == "min") return Duration::sec_f(num * 60.0);
+  if (unit == "h") return Duration::sec_f(num * 3600.0);
+  return std::nullopt;
 }
 
 }  // namespace mgap::sim

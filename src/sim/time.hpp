@@ -8,7 +8,9 @@
 
 #include <compare>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace mgap::sim {
 
@@ -100,6 +102,11 @@ class TimePoint {
   constexpr explicit TimePoint(std::int64_t v) : ns_{v} {}
   std::int64_t ns_{0};
 };
+
+/// Parses durations like "150us", "75ms", "1.5s", "30m", "24h". Lives here
+/// (not in testbed) so lower layers — e.g. the fault-event spec parser — can
+/// share the experiment file syntax without an upward dependency.
+[[nodiscard]] std::optional<Duration> parse_duration(std::string_view text);
 
 [[nodiscard]] constexpr Duration max(Duration a, Duration b) { return a < b ? b : a; }
 [[nodiscard]] constexpr Duration min(Duration a, Duration b) { return a < b ? a : b; }

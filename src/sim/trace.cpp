@@ -10,6 +10,7 @@ std::string_view to_string(TraceCat cat) {
     case TraceCat::kNet: return "net";
     case TraceCat::kApp: return "app";
     case TraceCat::kEnergy: return "energy";
+    case TraceCat::kFault: return "fault";
   }
   return "?";
 }

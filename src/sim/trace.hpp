@@ -20,6 +20,7 @@ enum class TraceCat : std::uint8_t {
   kNet,         // IP forwarding, pktbuf drops
   kApp,         // CoAP request/response
   kEnergy,
+  kFault,       // injected fault begin/end
 };
 
 [[nodiscard]] std::string_view to_string(TraceCat cat);

@@ -74,19 +74,7 @@ Topology parse_topology(std::string_view v) {
 }  // namespace
 
 std::optional<sim::Duration> parse_duration(std::string_view text) {
-  text = trim(text);
-  if (text.empty()) return std::nullopt;
-  const auto unit_pos = text.find_first_not_of("0123456789.");
-  if (unit_pos == 0 || unit_pos == std::string_view::npos) return std::nullopt;
-  const auto num = parse_number(text.substr(0, unit_pos));
-  if (!num) return std::nullopt;
-  const std::string_view unit = text.substr(unit_pos);
-  if (unit == "us") return sim::Duration::ns(static_cast<std::int64_t>(*num * 1e3));
-  if (unit == "ms") return sim::Duration::ms_f(*num);
-  if (unit == "s") return sim::Duration::sec_f(*num);
-  if (unit == "m" || unit == "min") return sim::Duration::sec_f(*num * 60.0);
-  if (unit == "h") return sim::Duration::sec_f(*num * 3600.0);
-  return std::nullopt;
+  return sim::parse_duration(text);
 }
 
 void apply_experiment_kv(ExperimentConfig& cfg, const std::string& key,
@@ -150,6 +138,39 @@ void apply_experiment_kv(ExperimentConfig& cfg, const std::string& key,
     const auto d = parse_duration(value);
     if (!d) throw std::runtime_error{"config: bad metrics_bucket"};
     cfg.metrics_bucket = *d;
+  } else if (key.rfind("fault.", 0) == 0) {
+    // "none"/"off" clears the slot so a campaign axis can sweep a fault away.
+    if (value == "none" || value == "off") {
+      cfg.faults.erase(key);
+    } else {
+      try {
+        cfg.faults[key] = fault::parse_fault_event(value);
+      } catch (const std::exception& e) {
+        throw std::runtime_error{"config: '" + key + "': " + e.what()};
+      }
+    }
+  } else if (key == "chaos_rate") {
+    const auto n = parse_number(value);
+    if (!n || *n < 0.0) throw std::runtime_error{"config: bad chaos_rate"};
+    cfg.chaos.rate_per_min = *n;
+  } else if (key == "chaos_kinds") {
+    try {
+      cfg.chaos.kinds = fault::parse_kind_list(value);
+    } catch (const std::exception& e) {
+      throw std::runtime_error{"config: chaos_kinds: " + std::string(e.what())};
+    }
+  } else if (key == "reconnect_backoff_base") {
+    const auto d = parse_duration(value);
+    if (!d) throw std::runtime_error{"config: bad reconnect_backoff_base"};
+    cfg.reconnect_backoff_base = *d;
+  } else if (key == "reconnect_backoff_max") {
+    const auto d = parse_duration(value);
+    if (!d) throw std::runtime_error{"config: bad reconnect_backoff_max"};
+    cfg.reconnect_backoff_max = *d;
+  } else if (key == "reconnect_backoff_jitter") {
+    const auto d = parse_duration(value);
+    if (!d) throw std::runtime_error{"config: bad reconnect_backoff_jitter"};
+    cfg.reconnect_backoff_jitter = *d;
   } else {
     throw std::runtime_error{"config: unknown key '" + key + "'"};
   }
@@ -227,6 +248,19 @@ std::string render_experiment_config(const ExperimentConfig& config) {
       << (config.compression == net::CompressionMode::kIphc ? "iphc" : "uncompressed")
       << "\n";
   out << "metrics_bucket = " << config.metrics_bucket.str() << "\n";
+  for (const auto& [key, ev] : config.faults) {
+    out << key << " = " << ev.str() << "\n";
+  }
+  if (config.chaos.enabled()) {
+    out << "chaos_rate = " << config.chaos.rate_per_min << "\n";
+    if (!config.chaos.kinds.empty()) {
+      out << "chaos_kinds = " << fault::render_kind_list(config.chaos.kinds) << "\n";
+    }
+  }
+  out << "reconnect_backoff_base = " << config.reconnect_backoff_base.str() << "\n";
+  out << "reconnect_backoff_max = " << config.reconnect_backoff_max.str() << "\n";
+  out << "reconnect_backoff_jitter = " << config.reconnect_backoff_jitter.str()
+      << "\n";
   return out.str();
 }
 

@@ -14,6 +14,7 @@ Experiment::Experiment(ExperimentConfig config)
   }
   install_routes();
   spawn_workload();
+  setup_faults();
 }
 
 Experiment::~Experiment() = default;
@@ -49,14 +50,35 @@ void Experiment::build_ble() {
     sc_cfg.policy = config_.policy;
     sc_cfg.supervision_timeout = config_.supervision_timeout;
     sc_cfg.param_update_mitigation = config_.param_update_mitigation;
+    sc_cfg.reconnect_backoff_base = config_.reconnect_backoff_base;
+    sc_cfg.reconnect_backoff_max = config_.reconnect_backoff_max;
+    sc_cfg.reconnect_backoff_jitter = config_.reconnect_backoff_jitter;
     node.statconn = std::make_unique<core::Statconn>(*node.ble_netif, sc_cfg);
 
-    // Connection-loss log: counted once per link, on the coordinator's side.
+    // Link lifecycle + connection-loss log: counted once per link, on the
+    // coordinator's side. Supervision timeouts inside a fault window (on
+    // either endpoint) count as injected; the rest are emergent shading.
     node.ble_netif->add_link_listener(
         [this, id](ble::Connection& conn, bool up, ble::DisconnectReason reason) {
-          if (!up && reason == ble::DisconnectReason::kSupervisionTimeout &&
-              conn.coordinator().id() == id) {
-            metrics_.on_conn_loss(id, sim_.now());
+          if (conn.coordinator().id() != id) return;
+          const NodeId sub = conn.subordinate().id();
+          if (up) {
+            metrics_.on_link_up(id, sub, sim_.now());
+            return;
+          }
+          metrics_.on_link_down(id, sub, sim_.now());
+          if (reason == ble::DisconnectReason::kSupervisionTimeout) {
+            bool injected = false;
+            if (injector_) {
+              // A fault is charged for timeouts up to one supervision window
+              // (plus slack) past its end: the loss surfaces only when the
+              // timeout expires.
+              const sim::Duration grace =
+                  config_.supervision_timeout + sim::Duration::sec(1);
+              injected = injector_->attributable(id, sim_.now(), grace) ||
+                         injector_->attributable(sub, sim_.now(), grace);
+            }
+            metrics_.on_conn_loss(id, sim_.now(), injected);
           }
         });
 
@@ -117,6 +139,56 @@ void Experiment::spawn_workload() {
     node.producer = std::make_unique<Producer>(sim_, *node.stack, pc, metrics_);
     node.producer->start();
   }
+}
+
+void Experiment::setup_faults() {
+  if (config_.faults.empty() && !config_.chaos.enabled()) return;
+  std::vector<fault::FaultEvent> plan;
+  plan.reserve(config_.faults.size());
+  for (const auto& [key, ev] : config_.faults) plan.push_back(ev);
+  if (config_.chaos.enabled()) {
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (const Topology::Edge& e : config_.topology.edges) {
+      edges.emplace_back(e.coordinator, e.subordinate);
+    }
+    // Created only when chaos is on, so fault-free configs keep their
+    // sequentially assigned RNG streams (and thus their exact outcomes).
+    sim::Rng chaos_rng = sim_.make_rng();
+    const auto sampled = fault::sample_chaos(config_.chaos, config_.topology.nodes,
+                                             edges, config_.duration, chaos_rng);
+    plan.insert(plan.end(), sampled.begin(), sampled.end());
+  }
+
+  fault::InjectorHooks hooks;
+  hooks.on_crash = [this](NodeId node) { on_node_crash(node); };
+  hooks.on_reboot = [this](NodeId node) { on_node_reboot(node); };
+  hooks.pktbuf_of = [this](NodeId node) -> net::Pktbuf* {
+    auto it = nodes_.find(node);
+    return it == nodes_.end() ? nullptr : &it->second.stack->pktbuf();
+  };
+  injector_ =
+      std::make_unique<fault::FaultInjector>(sim_, ble_world_.get(), std::move(hooks));
+  injector_->arm(std::move(plan));
+}
+
+void Experiment::on_node_crash(NodeId node) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return;
+  Node& n = it->second;
+  if (n.statconn) n.statconn->suspend();
+  if (n.producer) n.producer->stop();
+  // RAM does not survive: queued frames and half-built reassemblies are gone.
+  n.stack->purge();
+}
+
+void Experiment::on_node_reboot(NodeId node) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return;
+  Node& n = it->second;
+  if (n.statconn) n.statconn->resume();
+  // Don't restart traffic during the post-run drain window.
+  const bool running = sim_.now() < sim::TimePoint::origin() + config_.duration;
+  if (n.producer && running) n.producer->start();
 }
 
 void Experiment::run() {
@@ -184,6 +256,45 @@ ExperimentSummary Experiment::summary() const {
       s.coap_retransmissions += node.producer->retransmissions();
       s.coap_timeouts += node.producer->con_timeouts();
     }
+  }
+
+  s.losses_injected = metrics_.losses_injected();
+  s.losses_emergent = metrics_.losses_emergent();
+  s.link_downs = metrics_.link_downs();
+  s.link_ups = metrics_.link_ups();
+  s.reconnect_p50 = metrics_.reconnect_times().quantile(0.50);
+  s.reconnect_max = metrics_.reconnect_times().max_seen();
+  s.repair_to_delivery_p50 = metrics_.repair_to_delivery().quantile(0.50);
+
+  if (injector_) {
+    s.faults_injected = injector_->injected_count();
+    // Sliding PDR windows around each fault: w = 3 metric buckets before the
+    // fault, the fault window itself (to experiment end for permanent
+    // faults), and w after it.
+    const sim::Duration w = config_.metrics_bucket * 3;
+    const sim::TimePoint exp_end = sim::TimePoint::origin() + config_.duration;
+    PdrBucket pre;
+    PdrBucket during;
+    PdrBucket post;
+    for (const fault::InjectedFault& f : injector_->timeline()) {
+      sim::TimePoint during_end = f.permanent ? exp_end : f.end;
+      // Instant faults (clock_step) still get the bucket they landed in.
+      if (during_end <= f.begin) during_end = f.begin + config_.metrics_bucket;
+      const PdrBucket a = metrics_.count_between(f.begin - w, f.begin);
+      const PdrBucket b = metrics_.count_between(f.begin, during_end);
+      pre.sent += a.sent;
+      pre.acked += a.acked;
+      during.sent += b.sent;
+      during.acked += b.acked;
+      if (!f.permanent) {
+        const PdrBucket c = metrics_.count_between(during_end, during_end + w);
+        post.sent += c.sent;
+        post.acked += c.acked;
+      }
+    }
+    s.pdr_pre_fault = pre.pdr();
+    s.pdr_during_fault = during.pdr();
+    s.pdr_post_fault = post.pdr();
   }
   return s;
 }

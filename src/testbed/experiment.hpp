@@ -14,6 +14,8 @@
 #include "core/interval_policy.hpp"
 #include "core/nimble_netif.hpp"
 #include "core/statconn.hpp"
+#include "fault/injector.hpp"
+#include "fault/spec.hpp"
 #include "ieee802154/mac.hpp"
 #include "net/ip_stack.hpp"
 #include "phy/channel_model.hpp"
@@ -57,6 +59,17 @@ struct ExperimentConfig {
   /// Extra settle time after producers stop, so in-flight requests at the
   /// cutoff are not miscounted as losses.
   sim::Duration drain{sim::Duration::sec(10)};
+
+  // Fault injection (src/fault/). Keyed by config key ("fault.0", ...) so a
+  // campaign axis on fault.N replaces rather than appends. Chaos mode adds a
+  // seeded random fault sequence on top of the declared ones.
+  std::map<std::string, fault::FaultEvent> faults;
+  fault::ChaosConfig chaos;
+
+  // statconn reconnect backoff (see StatconnConfig).
+  sim::Duration reconnect_backoff_base{sim::Duration::ms(10)};
+  sim::Duration reconnect_backoff_max{sim::Duration::ms(640)};
+  sim::Duration reconnect_backoff_jitter{sim::Duration::ms(20)};
 };
 
 struct ExperimentSummary {
@@ -73,6 +86,19 @@ struct ExperimentSummary {
   sim::Duration rtt_p50;
   sim::Duration rtt_p99;
   sim::Duration rtt_max;
+
+  // Recovery metrics (zero / 1.0 when no faults were configured).
+  std::uint64_t faults_injected{0};
+  std::uint64_t losses_injected{0};   // supervision timeouts inside fault windows
+  std::uint64_t losses_emergent{0};   // ... outside them (shading et al.)
+  std::uint64_t link_downs{0};
+  std::uint64_t link_ups{0};
+  sim::Duration reconnect_p50;        // per-link down-to-up time
+  sim::Duration reconnect_max;
+  sim::Duration repair_to_delivery_p50;
+  double pdr_pre_fault{1.0};          // sliding windows around fault events
+  double pdr_during_fault{1.0};
+  double pdr_post_fault{1.0};
 };
 
 class Experiment {
@@ -99,6 +125,8 @@ class Experiment {
   [[nodiscard]] net::IpStack& stack(NodeId node);
   [[nodiscard]] ble::Controller* controller(NodeId node);
   [[nodiscard]] core::Statconn* statconn(NodeId node);
+  /// Non-null when faults or chaos mode are configured.
+  [[nodiscard]] fault::FaultInjector* injector() { return injector_.get(); }
   [[nodiscard]] const Consumer& consumer() const { return *consumer_; }
 
   [[nodiscard]] ExperimentSummary summary() const;
@@ -108,6 +136,9 @@ class Experiment {
   void build_154();
   void install_routes();
   void spawn_workload();
+  void setup_faults();
+  void on_node_crash(NodeId node);
+  void on_node_reboot(NodeId node);
 
   struct Node {
     // Exactly one netif flavour is set, matching the experiment radio.
@@ -125,6 +156,7 @@ class Experiment {
   std::unique_ptr<ieee802154::Network154> net154_;
   std::map<NodeId, Node> nodes_;
   std::unique_ptr<Consumer> consumer_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   bool ran_{false};
 };
 

@@ -89,10 +89,56 @@ void Metrics::on_acked(NodeId producer, sim::TimePoint sent_at, sim::Duration rt
   ++total_acked_;
   rtt_.add(rtt);
   rtt_per_node_[producer].add(rtt);
+  const sim::TimePoint acked_at = sent_at + rtt;
+  if (awaiting_delivery_ && acked_at >= last_repair_) {
+    repair_to_delivery_.add(acked_at - last_repair_);
+    awaiting_delivery_ = false;
+  }
 }
 
-void Metrics::on_conn_loss(NodeId node, sim::TimePoint at) {
+void Metrics::on_conn_loss(NodeId node, sim::TimePoint at, bool injected) {
   conn_losses_.emplace_back(at, node);
+  if (injected) {
+    ++losses_injected_;
+  } else {
+    ++losses_emergent_;
+  }
+}
+
+void Metrics::on_link_down(NodeId coordinator, NodeId subordinate, sim::TimePoint at) {
+  ++link_downs_;
+  // A repeated down without an intervening up keeps the first timestamp: the
+  // outage started when connectivity was first lost.
+  open_outages_.emplace(std::make_pair(coordinator, subordinate), at);
+}
+
+void Metrics::on_link_up(NodeId coordinator, NodeId subordinate, sim::TimePoint at) {
+  ++link_ups_;
+  const auto it = open_outages_.find(std::make_pair(coordinator, subordinate));
+  if (it != open_outages_.end()) {
+    const sim::Duration outage = at - it->second;
+    outages_.push_back(LinkOutage{coordinator, subordinate, it->second, outage});
+    reconnect_times_.add(outage);
+    open_outages_.erase(it);
+    awaiting_delivery_ = true;
+    last_repair_ = at;
+  }
+}
+
+PdrBucket Metrics::count_between(sim::TimePoint t0, sim::TimePoint t1) const {
+  PdrBucket out;
+  t0 = sim::max(t0, sim::TimePoint::origin());
+  if (t1 <= t0) return out;
+  const std::size_t lo = bucket_index(t0);
+  const std::size_t hi = bucket_index(t1 - sim::Duration::ns(1));
+  for (const auto& [node, series] : per_node_) {
+    const std::size_t end = std::min(hi + 1, series.size());
+    for (std::size_t i = lo; i < end; ++i) {
+      out.sent += series[i].sent;
+      out.acked += series[i].acked;
+    }
+  }
+  return out;
 }
 
 double Metrics::pdr_of(NodeId producer) const {

@@ -58,7 +58,17 @@ class Metrics {
   void on_sent(NodeId producer, sim::TimePoint at);
   /// `sent_at` attributes the ack to the request's bucket.
   void on_acked(NodeId producer, sim::TimePoint sent_at, sim::Duration rtt);
-  void on_conn_loss(NodeId node, sim::TimePoint at);
+  /// `injected` attributes the loss to a fault-injection window (vs. an
+  /// emergent shading loss).
+  void on_conn_loss(NodeId node, sim::TimePoint at, bool injected = false);
+
+  // --- recovery layer (fault injection) ------------------------------------
+  /// Link lifecycle, reported once per link from the coordinator side. Every
+  /// down is paired with the next up of the same (coordinator, subordinate)
+  /// pair into a reconnect-time sample; each up also arms the repair-to-
+  /// first-delivery clock.
+  void on_link_down(NodeId coordinator, NodeId subordinate, sim::TimePoint at);
+  void on_link_up(NodeId coordinator, NodeId subordinate, sim::TimePoint at);
 
   [[nodiscard]] std::uint64_t total_sent() const { return total_sent_; }
   [[nodiscard]] std::uint64_t total_acked() const { return total_acked_; }
@@ -81,6 +91,31 @@ class Metrics {
     return conn_losses_;
   }
 
+  /// One completed outage: link went down, then came back up.
+  struct LinkOutage {
+    NodeId coordinator{kInvalidNode};
+    NodeId subordinate{kInvalidNode};
+    sim::TimePoint down_at;
+    sim::Duration outage;
+  };
+
+  [[nodiscard]] const std::vector<LinkOutage>& outages() const { return outages_; }
+  /// Down-to-up durations of all completed outages (time-to-reconnect).
+  [[nodiscard]] const RttHistogram& reconnect_times() const { return reconnect_times_; }
+  /// Link-up to next end-to-end delivery (time-to-first-delivery after repair).
+  [[nodiscard]] const RttHistogram& repair_to_delivery() const {
+    return repair_to_delivery_;
+  }
+  [[nodiscard]] std::uint64_t link_downs() const { return link_downs_; }
+  [[nodiscard]] std::uint64_t link_ups() const { return link_ups_; }
+  [[nodiscard]] std::uint64_t losses_injected() const { return losses_injected_; }
+  [[nodiscard]] std::uint64_t losses_emergent() const { return losses_emergent_; }
+
+  /// Aggregate sent/acked over the buckets covering [t0, t1) — the sliding
+  /// PDR windows around fault events. Bucket granularity; t0 is clamped to
+  /// the origin.
+  [[nodiscard]] PdrBucket count_between(sim::TimePoint t0, sim::TimePoint t1) const;
+
  private:
   [[nodiscard]] std::size_t bucket_index(sim::TimePoint t) const {
     return static_cast<std::size_t>(t.since_origin() / bucket_width_);
@@ -93,6 +128,17 @@ class Metrics {
   std::uint64_t total_sent_{0};
   std::uint64_t total_acked_{0};
   std::vector<std::pair<sim::TimePoint, NodeId>> conn_losses_;
+
+  std::map<std::pair<NodeId, NodeId>, sim::TimePoint> open_outages_;
+  std::vector<LinkOutage> outages_;
+  RttHistogram reconnect_times_;
+  RttHistogram repair_to_delivery_;
+  bool awaiting_delivery_{false};
+  sim::TimePoint last_repair_;
+  std::uint64_t link_downs_{0};
+  std::uint64_t link_ups_{0};
+  std::uint64_t losses_injected_{0};
+  std::uint64_t losses_emergent_{0};
 };
 
 }  // namespace mgap::testbed

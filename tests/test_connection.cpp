@@ -330,6 +330,79 @@ TEST_F(ConnectionTest, TxSpaceSignalledAfterDrain) {
   EXPECT_TRUE(a.l2cap_send(c, std::vector<std::uint8_t>(100, 2)));
 }
 
+TEST_F(ConnectionTest, SupervisionBoundaryEventDoesNotFire) {
+  // The supervision check is strictly greater-than: with timeout = 2 s and
+  // interval = 500 ms, the missed event exactly 4 intervals after the last
+  // valid rx must NOT fire; the one after it (timeout + 1 interval) must.
+  world_.channel_model() = phy::ChannelModel{1.0};  // jammed from the start
+  Controller& a = add(1);
+  Controller& b = add(2);
+  sim::TimePoint closed_at;
+  Controller::HostCallbacks cb;
+  cb.on_close = [&](Connection&, DisconnectReason r) {
+    EXPECT_EQ(r, DisconnectReason::kSupervisionTimeout);
+    closed_at = sim_.now();
+  };
+  a.set_host(std::move(cb));
+  const sim::TimePoint anchor0 = sim::TimePoint::origin() + sim::Duration::ms(10);
+  Connection& c = world_.open_connection(
+      a, b, params(sim::Duration::ms(500), sim::Duration::sec(2)), anchor0);
+
+  // Just past the boundary event: still open (delta == timeout, not > it).
+  sim_.run_until(anchor0 + sim::Duration::ms(2100));
+  EXPECT_TRUE(c.is_open());
+  run_for(sim::Duration::sec(2));
+  EXPECT_FALSE(c.is_open());
+  EXPECT_EQ(closed_at - anchor0, sim::Duration::ms(2500));
+}
+
+TEST_F(ConnectionTest, SupervisionTimeoutDuringInFlightRetransmission) {
+  // An SDU stuck in retransmission when the link dies must not leak pool
+  // bytes or get delivered after the close.
+  Controller& a = add(1);
+  Controller& b = add(2);
+  int rx = 0;
+  Controller::HostCallbacks cb;
+  cb.on_sdu = [&](Connection&, std::vector<std::uint8_t>, sim::TimePoint) { ++rx; };
+  b.set_host(std::move(cb));
+  Connection& c = world_.open_connection(a, b, params(), sim::TimePoint::origin() +
+                                                             sim::Duration::ms(10));
+  run_for(sim::Duration::ms(100));
+  world_.channel_model() = phy::ChannelModel{1.0};
+  ASSERT_TRUE(a.l2cap_send(c, std::vector<std::uint8_t>(100, 0x5A)));
+  EXPECT_GT(a.pool_used(), 0u);
+  run_for(sim::Duration::sec(4));  // > supervision_timeout of 2 s
+
+  EXPECT_FALSE(c.is_open());
+  EXPECT_EQ(c.link_stats().conn_losses, 1u);
+  EXPECT_EQ(a.pool_used(), 0u);  // in-flight SDU reclaimed on close
+  world_.channel_model() = phy::ChannelModel{0.0};
+  run_for(sim::Duration::sec(2));
+  EXPECT_EQ(rx, 0);  // never delivered post-mortem
+}
+
+TEST_F(ConnectionTest, RadioOffBlocksGapAndStarvesConnections) {
+  // Crash-fault primitive: a powered-off controller grants no event slots, so
+  // its peers lose connections via the natural supervision timeout, and it
+  // neither advertises nor initiates until powered back on.
+  Controller& a = add(1);
+  Controller& b = add(2);
+  Connection& c = world_.open_connection(a, b, params(), sim::TimePoint::origin() +
+                                                             sim::Duration::ms(10));
+  run_for(sim::Duration::sec(1));
+  ASSERT_TRUE(c.is_open());
+  b.set_radio_on(false);
+  EXPECT_FALSE(b.radio_on());
+  b.start_advertising();
+  EXPECT_FALSE(b.is_advertising());
+  run_for(sim::Duration::sec(3));
+  EXPECT_FALSE(c.is_open());
+  EXPECT_EQ(c.link_stats().conn_losses, 1u);
+  b.set_radio_on(true);
+  b.start_advertising();
+  EXPECT_TRUE(b.is_advertising());
+}
+
 // Property sweep: across channel PERs, everything sent is eventually
 // delivered exactly once and LL PDR tracks 1 - PER.
 class ConnectionPerSweep : public ::testing::TestWithParam<double> {};

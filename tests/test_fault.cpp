@@ -1,0 +1,415 @@
+// Fault-injection subsystem tests: spec parsing and round-tripping, chaos
+// sampling determinism, the injector's fault mechanics against a live
+// Experiment (crash/reboot, blackout, interference, buffer pressure), and
+// the campaign determinism contract with fault axes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/writers.hpp"
+#include "fault/injector.hpp"
+#include "fault/spec.hpp"
+#include "sim/simulator.hpp"
+#include "testbed/config_file.hpp"
+#include "testbed/experiment.hpp"
+
+namespace mgap::fault {
+namespace {
+
+TEST(FaultSpec, ParsesCrash) {
+  const FaultEvent ev = parse_fault_event("crash node=3 at=30s reboot_after=5s");
+  EXPECT_EQ(ev.kind, FaultKind::kCrash);
+  EXPECT_EQ(ev.node, 3u);
+  EXPECT_EQ(ev.at, sim::TimePoint::origin() + sim::Duration::sec(30));
+  EXPECT_EQ(ev.duration, sim::Duration::sec(5));
+}
+
+TEST(FaultSpec, CrashWithoutRebootIsPermanent) {
+  const FaultEvent ev = parse_fault_event("crash node=7 at=1m");
+  EXPECT_EQ(ev.duration, sim::Duration{});
+}
+
+TEST(FaultSpec, ParsesLinkFaults) {
+  const FaultEvent b = parse_fault_event("blackout link=2-5 at=60s for=3s");
+  EXPECT_EQ(b.kind, FaultKind::kBlackout);
+  EXPECT_EQ(b.node, 2u);
+  EXPECT_EQ(b.peer, 5u);
+  EXPECT_EQ(b.duration, sim::Duration::sec(3));
+  EXPECT_DOUBLE_EQ(b.per, 1.0);
+
+  const FaultEvent a = parse_fault_event("attenuate link=1-2 at=10s for=5s per=0.4");
+  EXPECT_EQ(a.kind, FaultKind::kAttenuate);
+  EXPECT_DOUBLE_EQ(a.per, 0.4);
+}
+
+TEST(FaultSpec, ParsesChannelClockAndPressureFaults) {
+  const FaultEvent i = parse_fault_event("interfere channels=10-14 at=90s for=5s per=0.95");
+  EXPECT_EQ(i.kind, FaultKind::kInterfere);
+  EXPECT_EQ(i.chan_lo, 10);
+  EXPECT_EQ(i.chan_hi, 14);
+  EXPECT_DOUBLE_EQ(i.per, 0.95);
+
+  const FaultEvent d = parse_fault_event("clock_drift node=4 at=20s ppm=120 for=30s");
+  EXPECT_EQ(d.kind, FaultKind::kClockDrift);
+  EXPECT_DOUBLE_EQ(d.ppm, 120.0);
+
+  const FaultEvent s = parse_fault_event("clock_step node=4 at=20s step=40ms");
+  EXPECT_EQ(s.kind, FaultKind::kClockStep);
+  EXPECT_EQ(s.step, sim::Duration::ms(40));
+
+  const FaultEvent p = parse_fault_event("pressure node=2 at=15s for=10s bytes=4096");
+  EXPECT_EQ(p.kind, FaultKind::kPressure);
+  EXPECT_EQ(p.bytes, 4096u);
+}
+
+TEST(FaultSpec, StrRoundTrips) {
+  const std::vector<std::string> specs = {
+      "crash node=3 at=30s reboot_after=5s",
+      "crash node=7 at=60s",
+      "blackout link=2-5 at=60s for=3s",
+      "attenuate link=1-2 at=10s for=5s per=0.4",
+      "interfere channels=10-14 at=90s for=5s per=0.95",
+      "clock_drift node=4 at=20s ppm=120 for=30s",
+      "clock_step node=4 at=20s step=40ms",
+      "pressure node=2 at=15s for=10s bytes=4096",
+  };
+  for (const std::string& text : specs) {
+    const FaultEvent once = parse_fault_event(text);
+    const FaultEvent twice = parse_fault_event(once.str());
+    EXPECT_EQ(once.str(), twice.str()) << text;
+  }
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_fault_event(""), std::runtime_error);
+  EXPECT_THROW(parse_fault_event("meteor node=1 at=3s"), std::runtime_error);
+  EXPECT_THROW(parse_fault_event("crash at=30s"), std::runtime_error);       // no node
+  EXPECT_THROW(parse_fault_event("crash node=3"), std::runtime_error);       // no at
+  EXPECT_THROW(parse_fault_event("crash node=x at=30s"), std::runtime_error);
+  EXPECT_THROW(parse_fault_event("crash node=3 at=banana"), std::runtime_error);
+  EXPECT_THROW(parse_fault_event("crash node=3 at=30s color=red"), std::runtime_error);
+  EXPECT_THROW(parse_fault_event("blackout link=25 at=1s for=1s"), std::runtime_error);
+  EXPECT_THROW(parse_fault_event("blackout link=2-5 at=1s"), std::runtime_error);
+  EXPECT_THROW(parse_fault_event("attenuate link=1-2 at=1s for=1s per=1.5"),
+               std::runtime_error);
+  EXPECT_THROW(parse_fault_event("interfere channels=14-10 at=1s for=1s"),
+               std::runtime_error);
+  EXPECT_THROW(parse_fault_event("interfere channels=0-40 at=1s for=1s"),
+               std::runtime_error);
+  EXPECT_THROW(parse_fault_event("pressure node=2 at=1s for=1s"), std::runtime_error);
+}
+
+TEST(FaultSpec, KindListRoundTrips) {
+  const auto kinds = parse_kind_list("crash+blackout+pressure");
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(kinds[0], FaultKind::kCrash);
+  EXPECT_EQ(kinds[2], FaultKind::kPressure);
+  EXPECT_EQ(render_kind_list(kinds), "crash+blackout+pressure");
+  EXPECT_THROW(parse_kind_list("crash+meteor"), std::runtime_error);
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  static std::vector<std::string> sample_strings(double rate, std::uint64_t seed,
+                                                 std::vector<FaultKind> kinds = {}) {
+    ChaosConfig cfg;
+    cfg.rate_per_min = rate;
+    cfg.kinds = std::move(kinds);
+    sim::Simulator sim{seed};
+    sim::Rng rng = sim.make_rng();
+    const std::vector<NodeId> nodes{1, 2, 3, 4, 5};
+    const std::vector<std::pair<NodeId, NodeId>> edges{{2, 1}, {3, 1}, {4, 1}, {5, 1}};
+    std::vector<std::string> out;
+    for (const FaultEvent& ev :
+         sample_chaos(cfg, nodes, edges, sim::Duration::minutes(10), rng)) {
+      out.push_back(ev.str());
+    }
+    return out;
+  }
+};
+
+TEST_F(ChaosTest, SameSeedSameSequence) {
+  EXPECT_EQ(sample_strings(2.0, 42), sample_strings(2.0, 42));
+  EXPECT_NE(sample_strings(2.0, 42), sample_strings(2.0, 43));
+}
+
+TEST_F(ChaosTest, RateScalesEventCount) {
+  const auto low = sample_strings(0.5, 7);
+  const auto high = sample_strings(4.0, 7);
+  EXPECT_GT(low.size(), 0u);
+  EXPECT_GT(high.size(), 2 * low.size());
+}
+
+TEST_F(ChaosTest, KindFilterRespected) {
+  const auto only_crashes = sample_strings(3.0, 11, {FaultKind::kCrash});
+  ASSERT_GT(only_crashes.size(), 0u);
+  for (const std::string& s : only_crashes) {
+    EXPECT_EQ(s.rfind("crash ", 0), 0u) << s;
+  }
+}
+
+TEST_F(ChaosTest, EventsStayInsideTheHorizonMargins) {
+  ChaosConfig cfg;
+  cfg.rate_per_min = 6.0;
+  sim::Simulator sim{3};
+  sim::Rng rng = sim.make_rng();
+  const sim::Duration horizon = sim::Duration::minutes(5);
+  const auto events = sample_chaos(cfg, {1, 2, 3}, {{2, 1}, {3, 1}}, horizon, rng);
+  ASSERT_GT(events.size(), 0u);
+  for (const FaultEvent& ev : events) {
+    EXPECT_GE(ev.at, sim::TimePoint::origin() + horizon / 10);
+    EXPECT_LE(ev.at, sim::TimePoint::origin() + (horizon / 10) * 9);
+  }
+}
+
+// --- config-file integration -------------------------------------------------
+
+TEST(FaultConfig, KeysRoundTripThroughConfigFile) {
+  const testbed::ExperimentConfig cfg = testbed::parse_experiment_config(R"(
+topology = star5
+duration = 60s
+fault.0 = crash node=2 at=20s reboot_after=5s
+fault.1 = blackout link=1-3 at=30s for=4s
+chaos_rate = 1.5
+chaos_kinds = crash+pressure
+reconnect_backoff_base = 20ms
+reconnect_backoff_max = 1s
+reconnect_backoff_jitter = 50ms
+)");
+  ASSERT_EQ(cfg.faults.size(), 2u);
+  EXPECT_EQ(cfg.faults.at("fault.0").kind, fault::FaultKind::kCrash);
+  EXPECT_EQ(cfg.faults.at("fault.1").kind, fault::FaultKind::kBlackout);
+  EXPECT_DOUBLE_EQ(cfg.chaos.rate_per_min, 1.5);
+  ASSERT_EQ(cfg.chaos.kinds.size(), 2u);
+  EXPECT_EQ(cfg.reconnect_backoff_base, sim::Duration::ms(20));
+  EXPECT_EQ(cfg.reconnect_backoff_max, sim::Duration::sec(1));
+
+  // render -> parse preserves the fault plan.
+  const testbed::ExperimentConfig again =
+      testbed::parse_experiment_config(testbed::render_experiment_config(cfg));
+  ASSERT_EQ(again.faults.size(), 2u);
+  EXPECT_EQ(again.faults.at("fault.0").str(), cfg.faults.at("fault.0").str());
+  EXPECT_DOUBLE_EQ(again.chaos.rate_per_min, 1.5);
+}
+
+TEST(FaultConfig, NoneClearsASlotAndErrorsNameTheKey) {
+  testbed::ExperimentConfig cfg;
+  testbed::apply_experiment_kv(cfg, "fault.0", "crash node=2 at=10s");
+  EXPECT_EQ(cfg.faults.size(), 1u);
+  testbed::apply_experiment_kv(cfg, "fault.0", "none");
+  EXPECT_TRUE(cfg.faults.empty());
+  try {
+    testbed::apply_experiment_kv(cfg, "fault.3", "crash node=oops at=10s");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("fault.3"), std::string::npos);
+  }
+}
+
+// --- injector integration against a live Experiment --------------------------
+
+testbed::ExperimentConfig star_config(std::uint64_t seed = 1) {
+  testbed::ExperimentConfig cfg;
+  cfg.topology = testbed::Topology::star(5);
+  cfg.duration = sim::Duration::sec(60);
+  cfg.producer_interval = sim::Duration::ms(500);
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(FaultInjection, CrashAndRebootRecovers) {
+  testbed::ExperimentConfig cfg = star_config();
+  cfg.faults["fault.0"] = parse_fault_event("crash node=2 at=20s reboot_after=5s");
+  testbed::Experiment exp{cfg};
+  exp.run();
+  const testbed::ExperimentSummary s = exp.summary();
+
+  EXPECT_EQ(s.faults_injected, 1u);
+  EXPECT_GE(s.losses_injected, 1u);  // node 2's link dies by supervision timeout
+  EXPECT_GE(s.link_ups, 5u);         // 4 initial ups + the reconnect
+  EXPECT_GT(s.reconnect_p50, sim::Duration{});
+  EXPECT_FALSE(exp.statconn(2)->suspended());
+  EXPECT_TRUE(exp.statconn(2)->all_links_up());
+  // Traffic resumed after the reboot.
+  const testbed::PdrBucket after = exp.metrics().count_between(
+      sim::TimePoint::origin() + sim::Duration::sec(30),
+      sim::TimePoint::origin() + sim::Duration::sec(60));
+  EXPECT_GT(after.acked, 0u);
+}
+
+TEST(FaultInjection, PermanentCrashStaysDown) {
+  testbed::ExperimentConfig cfg = star_config();
+  cfg.faults["fault.0"] = parse_fault_event("crash node=2 at=20s");
+  testbed::Experiment exp{cfg};
+  exp.run();
+  const testbed::ExperimentSummary s = exp.summary();
+
+  EXPECT_TRUE(exp.statconn(2)->suspended());
+  EXPECT_FALSE(exp.statconn(2)->all_links_up());
+  EXPECT_GE(s.losses_injected, 1u);
+  // Node 2 stopped producing at the crash; the others kept going.
+  const auto* dead = exp.metrics().timeline_of(2);
+  ASSERT_NE(dead, nullptr);
+  std::uint64_t sent_after_crash = 0;
+  for (std::size_t i = 3; i < dead->size(); ++i) {  // buckets past 30 s
+    sent_after_crash += (*dead)[i].sent;
+  }
+  EXPECT_EQ(sent_after_crash, 0u);
+  const testbed::PdrBucket after = exp.metrics().count_between(
+      sim::TimePoint::origin() + sim::Duration::sec(30),
+      sim::TimePoint::origin() + sim::Duration::sec(60));
+  EXPECT_GT(after.acked, 0u);
+}
+
+TEST(FaultInjection, BlackoutCausesOutageAndReconnect) {
+  testbed::ExperimentConfig cfg = star_config();
+  cfg.faults["fault.0"] = parse_fault_event("blackout link=1-2 at=20s for=5s");
+  testbed::Experiment exp{cfg};
+  exp.run();
+  const testbed::ExperimentSummary s = exp.summary();
+
+  EXPECT_EQ(s.faults_injected, 1u);
+  EXPECT_GE(s.losses_injected, 1u);
+  ASSERT_GE(exp.metrics().outages().size(), 1u);
+  // The link cannot come back before the blackout window ends: the first
+  // outage spans from the supervision timeout (~2 s in) to past the window.
+  const testbed::Metrics::LinkOutage& outage = exp.metrics().outages().front();
+  EXPECT_GE(outage.down_at, sim::TimePoint::origin() + sim::Duration::sec(20));
+  EXPECT_GE(outage.outage, sim::Duration::sec(1));
+  EXPECT_TRUE(exp.statconn(2)->all_links_up());
+  EXPECT_GT(s.repair_to_delivery_p50, sim::Duration{});
+}
+
+TEST(FaultInjection, PressureExhaustsPktbuf) {
+  testbed::ExperimentConfig cfg = star_config();
+  cfg.producer_interval = sim::Duration::ms(200);
+  cfg.faults["fault.0"] = parse_fault_event("pressure node=2 at=20s for=10s bytes=6100");
+  testbed::Experiment exp{cfg};
+  exp.run();
+
+  EXPECT_GT(exp.stack(2).stats().drop_pktbuf, 0u);
+  // Capacity is restored when the window ends: node 2 delivers again later.
+  const testbed::PdrBucket after = exp.metrics().count_between(
+      sim::TimePoint::origin() + sim::Duration::sec(40),
+      sim::TimePoint::origin() + sim::Duration::sec(60));
+  EXPECT_GT(after.acked, 0u);
+}
+
+TEST(FaultInjection, InterferenceDegradesLinkLayerPdr) {
+  testbed::Experiment clean{star_config(5)};
+  clean.run();
+  testbed::ExperimentConfig cfg = star_config(5);
+  cfg.faults["fault.0"] =
+      parse_fault_event("interfere channels=0-36 at=10s for=40s per=0.9");
+  testbed::Experiment noisy{cfg};
+  noisy.run();
+
+  EXPECT_LT(noisy.summary().ll_pdr, clean.summary().ll_pdr - 0.05);
+}
+
+TEST(FaultInjection, RepeatedCrashRebootKeepsCountersConsistent) {
+  testbed::ExperimentConfig cfg = star_config();
+  cfg.duration = sim::Duration::sec(90);
+  cfg.faults["fault.0"] = parse_fault_event("crash node=2 at=15s reboot_after=3s");
+  cfg.faults["fault.1"] = parse_fault_event("crash node=2 at=40s reboot_after=3s");
+  cfg.faults["fault.2"] = parse_fault_event("crash node=2 at=65s reboot_after=3s");
+  testbed::Experiment exp{cfg};
+  exp.run();
+  const testbed::ExperimentSummary s = exp.summary();
+
+  EXPECT_EQ(s.faults_injected, 3u);
+  EXPECT_GE(exp.statconn(2)->reconnects(), 3u);
+  EXPECT_GE(s.losses_injected, 3u);
+  // Every down eventually paired with an up: the star is whole again.
+  EXPECT_TRUE(exp.statconn(2)->all_links_up());
+  EXPECT_EQ(s.link_ups, s.link_downs + 4u);  // +4 initial establishments
+  EXPECT_EQ(exp.metrics().reconnect_times().count(),
+            static_cast<std::uint64_t>(exp.metrics().outages().size()));
+}
+
+TEST(FaultInjection, ChaosModeIsSeedReproducible) {
+  testbed::ExperimentConfig cfg = star_config(9);
+  cfg.chaos.rate_per_min = 2.0;
+  testbed::Experiment a{cfg};
+  a.run();
+  testbed::Experiment b{cfg};
+  b.run();
+
+  EXPECT_GT(a.summary().faults_injected, 0u);
+  EXPECT_EQ(a.summary().faults_injected, b.summary().faults_injected);
+  EXPECT_EQ(a.summary().sent, b.summary().sent);
+  EXPECT_EQ(a.summary().acked, b.summary().acked);
+  EXPECT_EQ(a.summary().conn_losses, b.summary().conn_losses);
+  EXPECT_EQ(a.summary().losses_injected, b.summary().losses_injected);
+
+  testbed::ExperimentConfig other = cfg;
+  other.seed = 10;
+  testbed::Experiment c{other};
+  c.run();
+  EXPECT_NE(a.summary().sent, c.summary().sent);
+}
+
+// --- campaign integration ----------------------------------------------------
+
+TEST(FaultCampaign, ChaosIntensitySweepIsThreadCountInvariant) {
+  // The ISSUE's acceptance shape: crash-chaos intensity x 3 seeds, byte-equal
+  // JSON/CSV for 1 vs N threads, with recovery metrics per cell.
+  const auto spec_text = R"(
+campaign = fault_sweep_fixture
+topology = star5
+duration = 30s
+producer_interval = 500ms
+chaos_kinds = crash
+chaos_rate = 0.5, 1, 2
+seeds = 1..3
+)";
+  campaign::RunnerOptions serial;
+  serial.threads = 1;
+  serial.progress = false;
+  const campaign::CampaignResult r1 =
+      campaign::CampaignRunner{serial}.run(campaign::parse_campaign_spec(spec_text));
+
+  campaign::RunnerOptions parallel;
+  parallel.threads = std::max(2u, std::thread::hardware_concurrency());
+  parallel.progress = false;
+  const campaign::CampaignResult rn =
+      campaign::CampaignRunner{parallel}.run(campaign::parse_campaign_spec(spec_text));
+
+  const std::string json = campaign::to_json(r1);
+  EXPECT_EQ(json, campaign::to_json(rn));
+  EXPECT_EQ(campaign::to_csv(r1), campaign::to_csv(rn));
+  EXPECT_NE(json.find("\"reconnect_p50_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"pdr_post_fault\""), std::string::npos);
+  EXPECT_NE(json.find("\"losses_injected\""), std::string::npos);
+}
+
+TEST(FaultCampaign, FaultSlotSweepsAsAGridAxis) {
+  const auto spec = campaign::parse_campaign_spec(R"(
+campaign = fault_axis_fixture
+topology = star5
+duration = 30s
+fault.0 = none, crash node=2 at=10s reboot_after=3s
+seeds = 1..2
+)");
+  ASSERT_EQ(spec.axes.size(), 1u);
+  const auto grid = campaign::expand_grid(spec);
+  ASSERT_EQ(grid.size(), 2u);
+  EXPECT_TRUE(grid[0].config.faults.empty());
+  ASSERT_EQ(grid[1].config.faults.size(), 1u);
+
+  campaign::RunnerOptions options;
+  options.progress = false;
+  const campaign::CampaignResult result = campaign::CampaignRunner{options}.run(spec);
+  ASSERT_EQ(result.cells.size(), 4u);
+  EXPECT_EQ(result.cells[0].summary.faults_injected, 0u);
+  EXPECT_EQ(result.cells[2].summary.faults_injected, 1u);
+  EXPECT_GE(result.cells[2].summary.losses_injected, 1u);
+}
+
+}  // namespace
+}  // namespace mgap::fault
