@@ -4,12 +4,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "app/coap.hpp"
 #include "ble/channel_selection.hpp"
 #include "ble/world.hpp"
 #include "net/checksum.hpp"
 #include "net/sixlowpan.hpp"
 #include "net/udp.hpp"
+#include "obs/recorder.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -101,6 +104,55 @@ static void BM_ConnectionEventProcessing(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(simu.events_fired()));
 }
 BENCHMARK(BM_ConnectionEventProcessing);
+
+// Trace-emission overhead. The hot paths guard every string trace with
+// tracing(cat) and every typed event with recorder->wants(type), so the
+// disabled configuration pays one predictable branch per site. Before the
+// lazy-formatter rework, sites like BleWorld::open_connection built their
+// snprintf message unconditionally — roughly two orders of magnitude more
+// per call than the guard (compare the two benchmarks below), multiplied by
+// every connection event of a 24 h campaign.
+static void BM_TraceDisabledLazyGuard(benchmark::State& state) {
+  sim::Simulator simu{1};
+  ble::BleWorld world{simu, phy::ChannelModel{0.0}};  // no tracer attached
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    world.trace_lazy(sim::TraceCat::kGap, 1, [&] {
+      char msg[96];
+      std::snprintf(msg, sizeof msg, "open conn=%llu interval=%dus",
+                    static_cast<unsigned long long>(++n), 75000);
+      return std::string{msg};
+    });
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceDisabledLazyGuard);
+
+static void BM_TraceDisabledEagerFormat(benchmark::State& state) {
+  // What every call used to cost: format first, ask questions later.
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    char msg[96];
+    std::snprintf(msg, sizeof msg, "open conn=%llu interval=%dus",
+                  static_cast<unsigned long long>(++n), 75000);
+    std::string s{msg};
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceDisabledEagerFormat);
+
+static void BM_RecorderDisabledWants(benchmark::State& state) {
+  // The typed-event guard on a recorder with no sinks: the per-PDU cost the
+  // connection engine pays when tracing is off.
+  obs::Recorder rec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec.wants(obs::EventType::kPduTx));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecorderDisabledWants);
 
 static void BM_TreeExperimentMinute(benchmark::State& state) {
   // Wall-clock cost of one simulated minute of the full 15-node experiment.

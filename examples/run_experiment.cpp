@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
 
 #include "testbed/config_file.hpp"
 #include "testbed/report.hpp"
@@ -37,14 +38,22 @@ int main(int argc, char** argv) {
   std::printf("# effective experiment description (%s)\n%s\n", argv[1],
               render_experiment_config(cfg).c_str());
 
-  Experiment e{cfg};
-  e.run();
+  // Trace sinks (trace.file / trace.pcap) fail fast with a clear message —
+  // on open (bad path) and on close (failed write) alike.
+  std::optional<Experiment> e;
+  try {
+    e.emplace(cfg);
+    e->run();
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 1;
+  }
 
   // Artifact (ii): raw result summary.
-  const auto s = e.summary();
+  const auto s = e->summary();
   print_summary_header();
   print_summary_row(argv[1], s);
-  print_rtt_quantiles("RTT", e.metrics().rtt());
+  print_rtt_quantiles("RTT", e->metrics().rtt());
   std::printf("pktbuf drops: %llu, link-down drops: %llu\n",
               static_cast<unsigned long long>(s.pktbuf_drops),
               static_cast<unsigned long long>(s.link_down_drops));
@@ -55,11 +64,11 @@ int main(int argc, char** argv) {
     {
       std::ofstream out{prefix + "_pdr_timeline.csv"};
       out << "t_s,sent,acked,pdr\n";
-      const auto timeline = e.metrics().timeline();
+      const auto timeline = e->metrics().timeline();
       for (std::size_t i = 0; i < timeline.size(); ++i) {
         const double t =
             static_cast<double>(static_cast<std::int64_t>(i)) *
-            e.metrics().bucket_width().to_sec_f();
+            e->metrics().bucket_width().to_sec_f();
         out << t << ',' << timeline[i].sent << ',' << timeline[i].acked << ','
             << timeline[i].pdr() << '\n';
       }
@@ -67,7 +76,7 @@ int main(int argc, char** argv) {
     {
       std::ofstream out{prefix + "_rtt_cdf.csv"};
       out << "rtt_ms,cdf\n";
-      for (const auto& [rtt, frac] : e.metrics().rtt().cdf()) {
+      for (const auto& [rtt, frac] : e->metrics().rtt().cdf()) {
         out << rtt.to_ms_f() << ',' << frac << '\n';
       }
     }

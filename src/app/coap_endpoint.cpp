@@ -1,10 +1,25 @@
 #include "app/coap_endpoint.hpp"
 
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 
 namespace mgap::app {
 
 namespace {
+
+void record_coap(net::IpStack& stack, sim::TimePoint at, std::uint64_t token,
+                 obs::CoapPhase phase, std::uint32_t a) {
+  obs::Recorder* rec = stack.recorder();
+  if (rec == nullptr || !rec->wants(obs::EventType::kCoapTxn)) return;
+  obs::Event e;
+  e.at = at;
+  e.type = obs::EventType::kCoapTxn;
+  e.flags = static_cast<std::uint16_t>(phase);
+  e.node = stack.node();
+  e.id = token;
+  e.a = a;
+  rec->record(e);
+}
 
 std::uint64_t token_to_u64(const std::vector<std::uint8_t>& token) {
   std::uint64_t v = 0;
@@ -99,6 +114,8 @@ bool CoapClient::get(const net::Ipv6Addr& dst, std::string_view path,
   p.cb = std::move(cb);
   pending_[token_id] = std::move(p);
   ++requests_sent_;
+  record_coap(stack_, sim_.now(), token_id, obs::CoapPhase::kSentNon,
+              static_cast<std::uint32_t>(req.payload.size()));
   return stack_.udp_send(dst, local_port_, kCoapPort, coap_encode(req));
 }
 
@@ -128,6 +145,8 @@ bool CoapClient::con_get(const net::Ipv6Addr& dst, std::string_view path,
   const auto wire = p.wire;
   pending_[token_id] = std::move(p);
   ++requests_sent_;
+  record_coap(stack_, sim_.now(), token_id, obs::CoapPhase::kSentCon,
+              static_cast<std::uint32_t>(req.payload.size()));
   const bool ok = stack_.udp_send(dst, local_port_, kCoapPort, wire);
   arm_retransmission(token_id);
   return ok;
@@ -146,6 +165,7 @@ void CoapClient::on_retransmit_timer(std::uint64_t token_id) {
   Pending& p = it->second;
   if (p.attempts > con_params_.max_retransmit) {
     ++con_timeouts_;
+    record_coap(stack_, sim_.now(), token_id, obs::CoapPhase::kTimeout, p.attempts);
     TimeoutCb cb = std::move(p.on_timeout);
     pending_.erase(it);
     if (cb) cb();
@@ -153,6 +173,7 @@ void CoapClient::on_retransmit_timer(std::uint64_t token_id) {
   }
   ++p.attempts;
   ++retransmissions_;
+  record_coap(stack_, sim_.now(), token_id, obs::CoapPhase::kRetransmit, p.attempts);
   p.timeout = p.timeout * 2;  // binary exponential backoff
   (void)stack_.udp_send(p.dst, local_port_, kCoapPort, p.wire);
   arm_retransmission(token_id);
@@ -170,6 +191,8 @@ void CoapClient::on_datagram(const net::Ipv6Addr& /*src*/, std::uint16_t /*src_p
   }
   ++responses_rx_;
   const sim::Duration rtt = at - it->second.sent;
+  record_coap(stack_, at, it->first, obs::CoapPhase::kResponse,
+              static_cast<std::uint32_t>(rtt.count_us()));
   if (it->second.timer.valid()) sim_.cancel(it->second.timer);
   auto cb = std::move(it->second.cb);
   pending_.erase(it);

@@ -8,6 +8,7 @@
 
 #include "ble/controller.hpp"
 #include "ble/world.hpp"
+#include "obs/recorder.hpp"
 #include "phy/ble_phy.hpp"
 #include "sim/simulator.hpp"
 
@@ -25,6 +26,7 @@ Connection::Connection(sim::Simulator& sim, BleWorld& world, ConnId id, Controll
       sub_{sub},
       params_{params},
       config_{config},
+      access_address_{access_address},
       chmap_{chmap},
       chan_sel_{params.csa, access_address,
                 static_cast<std::uint8_t>(5 + access_address % 12)},
@@ -181,6 +183,20 @@ void Connection::on_conn_event(sim::TimePoint anchor) {
     if (synced) last_sub_sync_ = anchor;
   } else if (!sub_intentional_skip_) {
     ++stats_.events_missed;
+    if (obs::Recorder* rec = world_.recorder();
+        rec != nullptr && rec->wants(obs::EventType::kConnEventMissed)) {
+      obs::Event e;
+      e.at = anchor;
+      e.type = obs::EventType::kConnEventMissed;
+      e.chan = channel;
+      e.flags = static_cast<std::uint16_t>(
+          (coord_granted_ ? obs::kEvCoordGranted : 0) |
+          (sub_granted_ ? obs::kEvSubGranted : 0));
+      e.node = coord_.id();
+      e.id = id_;
+      e.b = event_counter_;
+      rec->record(e);
+    }
     // A transmitting coordinator whose subordinate is shaded away burns a
     // data-PDU attempt without delivery — this is the per-channel-even link
     // degradation of Figure 12.
@@ -235,6 +251,8 @@ bool Connection::run_exchange(sim::TimePoint anchor, std::uint8_t channel) {
   wend = wend - phy::kIfs;
 
   const phy::ChannelModel& cm = world_.channel_model();
+  obs::Recorder* rec = world_.recorder();
+  const bool rec_pdu = rec != nullptr && rec->wants(obs::EventType::kPduTx);
   // Pairwise link quality (mobility extension): 0 in the paper's fixed grid.
   const double link_per = world_.link_per(coord_.id(), sub_.id());
   sim::TimePoint t = anchor;
@@ -266,8 +284,25 @@ bool Connection::run_exchange(sim::TimePoint anchor, std::uint8_t channel) {
     sub_.activity().data_bytes_rx += c_len;
     const bool c2s_ok = cm.deliver(channel, rng_) && !rng_.chance(link_per);
     afh_note(channel, c2s_ok);
+    if (rec_pdu && c_has) {
+      obs::Event e;
+      e.at = t;
+      e.type = obs::EventType::kPduTx;
+      e.chan = channel;
+      e.flags = static_cast<std::uint16_t>((c2s_ok ? obs::kPduCrcOk : 0) |
+                                           (coord_retry_ ? obs::kPduRetrans : 0));
+      e.node = coord_.id();
+      e.id = id_;
+      e.a = access_address_;
+      e.b = static_cast<std::uint32_t>(
+          phy::ll_airtime(c_len, params_.phy).count_ns());
+      rec->record(e, coord_q_.front().payload);
+    }
     if (!c2s_ok) {
-      if (c_has) ++stats_.pdu_retrans;
+      if (c_has) {
+        ++stats_.pdu_retrans;
+        coord_retry_ = true;
+      }
       aborted = true;  // CRC error closes the connection event (section 5.2)
       break;
     }
@@ -285,11 +320,32 @@ bool Connection::run_exchange(sim::TimePoint anchor, std::uint8_t channel) {
     coord_.activity().data_bytes_rx += s_len;
     const bool s2c_ok = cm.deliver(channel, rng_) && !rng_.chance(link_per);
     afh_note(channel, s2c_ok);
+    if (rec_pdu && s_has) {
+      obs::Event e;
+      e.at = t + phy::ll_airtime(c_len, params_.phy) + phy::kIfs;
+      e.type = obs::EventType::kPduTx;
+      e.chan = channel;
+      e.flags = static_cast<std::uint16_t>(
+          obs::kPduSubToCoord | (s2c_ok ? obs::kPduCrcOk : 0) |
+          (sub_retry_ ? obs::kPduRetrans : 0));
+      e.node = sub_.id();
+      e.id = id_;
+      e.a = access_address_;
+      e.b = static_cast<std::uint32_t>(
+          phy::ll_airtime(s_len, params_.phy).count_ns());
+      rec->record(e, sub_q_.front().payload);
+    }
     if (!s2c_ok) {
       // The reply carried both the subordinate's data and the ack for the
       // coordinator's PDU: both sides retransmit next event.
-      if (c_has) ++stats_.pdu_retrans;
-      if (s_has) ++stats_.pdu_retrans;
+      if (c_has) {
+        ++stats_.pdu_retrans;
+        coord_retry_ = true;
+      }
+      if (s_has) {
+        ++stats_.pdu_retrans;
+        sub_retry_ = true;
+      }
       aborted = true;
       break;
     }
@@ -303,6 +359,7 @@ bool Connection::run_exchange(sim::TimePoint anchor, std::uint8_t channel) {
       LlPdu pdu = std::move(coord_q_.front());
       coord_q_.pop_front();
       coord_.pool_free(pdu.payload.size());
+      coord_retry_ = false;
       ++stats_.pdu_ok;
       ++stats_.chan_ok[channel];
       deliver_later(Role::kSubordinate, std::move(pdu), done);
@@ -311,6 +368,7 @@ bool Connection::run_exchange(sim::TimePoint anchor, std::uint8_t channel) {
       LlPdu pdu = std::move(sub_q_.front());
       sub_q_.pop_front();
       sub_.pool_free(pdu.payload.size());
+      sub_retry_ = false;
       ++stats_.pdu_ok;
       ++stats_.chan_ok[channel];
       deliver_later(Role::kCoordinator, std::move(pdu), done);
@@ -329,6 +387,19 @@ bool Connection::run_exchange(sim::TimePoint anchor, std::uint8_t channel) {
     ++stats_.events_aborted;
   } else {
     ++stats_.events_ok;
+  }
+  if (rec != nullptr && rec->wants(obs::EventType::kConnEvent)) {
+    obs::Event e;
+    e.at = anchor;
+    e.type = obs::EventType::kConnEvent;
+    e.chan = channel;
+    e.flags = static_cast<std::uint16_t>((aborted ? obs::kEvAborted : 0) |
+                                         (sub_synced ? obs::kEvSynced : 0));
+    e.node = coord_.id();
+    e.id = id_;
+    e.a = pairs;
+    e.b = event_counter_;
+    rec->record(e);
   }
   // Backpressure release: freed buffer space lets the host hand the next IP
   // packets down. Scheduled at the end of the exchange to keep causality.
@@ -351,7 +422,7 @@ void Connection::terminate(DisconnectReason reason) {
   if (!open_) return;
   open_ = false;
   if (reason == DisconnectReason::kSupervisionTimeout) ++stats_.conn_losses;
-  if (world_.tracing()) {
+  world_.trace_lazy(sim::TraceCat::kLinkLayer, coord_.id(), [&] {
     char msg[96];
     std::snprintf(msg, sizeof msg, "conn %llu closed reason=%s missed=%llu",
                   static_cast<unsigned long long>(id_),
@@ -359,7 +430,21 @@ void Connection::terminate(DisconnectReason reason) {
                   : reason == DisconnectReason::kLocalClose       ? "local"
                                                                   : "peer",
                   static_cast<unsigned long long>(stats_.events_missed));
-    world_.trace(sim::TraceCat::kLinkLayer, coord_.id(), msg);
+    return std::string{msg};
+  });
+  if (obs::Recorder* rec = world_.recorder();
+      rec != nullptr && rec->wants(obs::EventType::kConnClose)) {
+    obs::Event e;
+    e.at = sim_.now();
+    e.type = obs::EventType::kConnClose;
+    e.flags = static_cast<std::uint16_t>(reason);
+    e.node = coord_.id();
+    e.id = id_;
+    e.a = sub_.id();
+    e.b = stats_.events_missed > 0xFFFFFFFFull
+              ? 0xFFFFFFFFu
+              : static_cast<std::uint32_t>(stats_.events_missed);
+    rec->record(e);
   }
   sim_.cancel(next_event_);
   coord_.scheduler().release(id_);

@@ -83,6 +83,7 @@ class Connection {
   [[nodiscard]] Role role_of(const Controller& c) const;
   [[nodiscard]] Controller& peer_of(const Controller& c) const;
   [[nodiscard]] const ConnParams& params() const { return params_; }
+  [[nodiscard]] std::uint32_t access_address() const { return access_address_; }
   [[nodiscard]] const ChannelMap& channel_map() const { return chmap_; }
   [[nodiscard]] L2capCoc& coc() { return coc_; }
   [[nodiscard]] LinkStats& link_stats() { return stats_; }
@@ -134,10 +135,15 @@ class Connection {
   Controller& sub_;
   ConnParams params_;
   ConnectionConfig config_;
+  std::uint32_t access_address_;
   ChannelMap chmap_;
   ChannelSelection chan_sel_;
   LinkStats& stats_;
   sim::Rng rng_;
+
+  // Head-of-queue PDU already failed at least once (kPduRetrans flagging).
+  bool coord_retry_{false};
+  bool sub_retry_{false};
 
   bool open_{false};
   sim::TimePoint anchor_;

@@ -3,13 +3,30 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/recorder.hpp"
+
 namespace mgap::ble {
+
+void RadioScheduler::record_claim(sim::TimePoint start, sim::TimePoint end,
+                                  std::uint64_t owner, bool granted) const {
+  obs::Event e;
+  e.at = start;
+  e.type = obs::EventType::kRadioClaim;
+  e.flags = granted ? obs::kClaimGranted : 0;
+  e.node = node_;
+  e.id = owner;
+  e.a = static_cast<std::uint32_t>((end - start).count_ns());
+  recorder_->record(e);
+}
 
 bool RadioScheduler::try_claim(sim::TimePoint start, sim::TimePoint end, std::uint64_t owner) {
   assert(start < end);
+  const bool want_event =
+      recorder_ != nullptr && recorder_->wants(obs::EventType::kRadioClaim);
   for (const Claim& c : claims_) {
     if (start < c.end && c.start < end) {
       ++denied_;
+      if (want_event) record_claim(start, end, owner, false);
       return false;
     }
   }
@@ -17,6 +34,7 @@ bool RadioScheduler::try_claim(sim::TimePoint start, sim::TimePoint end, std::ui
                               [](sim::TimePoint t, const Claim& c) { return t < c.start; });
   claims_.insert(pos, Claim{start, end, owner});
   ++granted_;
+  if (want_event) record_claim(start, end, owner, true);
   return true;
 }
 

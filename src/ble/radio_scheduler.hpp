@@ -13,12 +13,25 @@
 #include <limits>
 #include <vector>
 
+#include "sim/ids.hpp"
 #include "sim/time.hpp"
+
+namespace mgap::obs {
+class Recorder;
+}
 
 namespace mgap::ble {
 
 class RadioScheduler {
  public:
+  /// Attaches the typed event recorder: every claim outcome is emitted as an
+  /// obs kRadioClaim, timestamped at the *window start* — exactly what the
+  /// offline shading analyzer needs. Null detaches.
+  void set_recorder(obs::Recorder* recorder, NodeId node) {
+    recorder_ = recorder;
+    node_ = node;
+  }
+
   /// Attempts to reserve [start, end) for `owner`. Returns false (and leaves
   /// the table unchanged) when the span overlaps any existing claim.
   bool try_claim(sim::TimePoint start, sim::TimePoint end, std::uint64_t owner);
@@ -55,9 +68,14 @@ class RadioScheduler {
     sim::TimePoint end;
     std::uint64_t owner;
   };
+  void record_claim(sim::TimePoint start, sim::TimePoint end, std::uint64_t owner,
+                    bool granted) const;
+
   std::vector<Claim> claims_;  // sorted by start
   std::uint64_t granted_{0};
   std::uint64_t denied_{0};
+  obs::Recorder* recorder_{nullptr};
+  NodeId node_{kInvalidNode};
 };
 
 }  // namespace mgap::ble

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdio>
 
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 
 namespace mgap::ble {
@@ -17,7 +18,15 @@ Controller& BleWorld::add_node(NodeId id, double drift_ppm, ControllerConfig con
                                                 std::move(config)));
   Controller& ref = *nodes_.back();
   by_id_[id] = &ref;
+  ref.scheduler().set_recorder(recorder_, id);
   return ref;
+}
+
+void BleWorld::set_recorder(obs::Recorder* recorder) {
+  recorder_ = recorder;
+  for (const auto& node : nodes_) {
+    node->scheduler().set_recorder(recorder, node->id());
+  }
 }
 
 Controller* BleWorld::find(NodeId id) const {
@@ -38,12 +47,22 @@ Connection& BleWorld::open_connection(Controller& coord, Controller& sub,
       sim_, *this, id, coord, sub, params, first_anchor, access_address, default_chmap_,
       stats, coord.config().conn, sim_.make_rng()));
   Connection& conn = *connections_.back();
-  if (tracing()) {
+  trace_lazy(sim::TraceCat::kGap, coord.id(), [&] {
     char msg[96];
     std::snprintf(msg, sizeof msg, "conn %llu open coord=%u sub=%u itvl=%s",
                   static_cast<unsigned long long>(id), coord.id(), sub.id(),
                   params.interval.str().c_str());
-    trace(sim::TraceCat::kGap, coord.id(), msg);
+    return std::string{msg};
+  });
+  if (recorder_ != nullptr && recorder_->wants(obs::EventType::kConnOpen)) {
+    obs::Event e;
+    e.at = sim_.now();
+    e.type = obs::EventType::kConnOpen;
+    e.node = coord.id();
+    e.id = id;
+    e.a = sub.id();
+    e.b = static_cast<std::uint32_t>(params.interval.count_us());
+    recorder_->record(e);
   }
   conn.start();
   coord.notify_open(conn);

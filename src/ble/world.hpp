@@ -23,6 +23,10 @@ namespace mgap::sim {
 class Simulator;
 }
 
+namespace mgap::obs {
+class Recorder;
+}
+
 namespace mgap::ble {
 
 class BleWorld {
@@ -85,9 +89,26 @@ class BleWorld {
     if (tracer_ != nullptr) tracer_->emit(sim_.now(), cat, node, std::move(msg));
   }
   [[nodiscard]] bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+  /// Category-aware guard: false also when the sink's mask excludes `cat`, so
+  /// callers skip the formatting work entirely.
+  [[nodiscard]] bool tracing(sim::TraceCat cat) const {
+    return tracer_ != nullptr && tracer_->enabled(cat);
+  }
+  /// Lazy emission: `format` (returning std::string) runs only when a sink is
+  /// subscribed to `cat` — the hot-path-safe way to trace.
+  template <typename Fn>
+  void trace_lazy(sim::TraceCat cat, NodeId node, Fn&& format) {
+    if (tracing(cat)) tracer_->emit(sim_.now(), cat, node, format());
+  }
+
+  /// Optional typed binary event recorder (obs subsystem); null disables.
+  /// Propagates to every controller's radio scheduler, present and future.
+  void set_recorder(obs::Recorder* recorder);
+  [[nodiscard]] obs::Recorder* recorder() const { return recorder_; }
 
  private:
   sim::Tracer* tracer_{nullptr};
+  obs::Recorder* recorder_{nullptr};
   LinkPerFn link_per_;
   sim::Simulator& sim_;
   phy::ChannelModel channel_model_;

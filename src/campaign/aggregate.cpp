@@ -36,6 +36,7 @@ ConfigAggregate aggregate_config(std::size_t config_index,
   agg.config_index = config_index;
   std::vector<double> sent, coap_pdr, ll_pdr, losses, reconnects, drops, p50, p99;
   std::vector<double> injected, reconnect_p50, repair_p50, pdr_post;
+  std::map<std::string, std::vector<double>> counter_samples;
   for (const CellResult& cell : cells) {
     if (cell.config_index != config_index) continue;
     const testbed::ExperimentSummary& s = cell.summary;
@@ -51,6 +52,7 @@ ConfigAggregate aggregate_config(std::size_t config_index,
     reconnect_p50.push_back(s.reconnect_p50.to_ms_f());
     repair_p50.push_back(s.repair_to_delivery_p50.to_ms_f());
     pdr_post.push_back(s.pdr_post_fault);
+    for (const auto& [name, v] : s.counters) counter_samples[name].push_back(v);
     agg.pooled_rtt.merge(cell.rtt);
   }
   agg.sent = stat_of(sent);
@@ -65,6 +67,9 @@ ConfigAggregate aggregate_config(std::size_t config_index,
   agg.reconnect_p50_ms = stat_of(reconnect_p50);
   agg.repair_p50_ms = stat_of(repair_p50);
   agg.pdr_post_fault = stat_of(pdr_post);
+  for (const auto& [name, samples] : counter_samples) {
+    agg.counters[name] = stat_of(samples);
+  }
   return agg;
 }
 

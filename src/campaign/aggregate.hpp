@@ -7,6 +7,8 @@
 // histograms for cross-seed quantiles.
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "testbed/experiment.hpp"
@@ -61,6 +63,10 @@ struct ConfigAggregate {
   /// across-replication distribution (vs. the mean-of-per-seed-quantiles
   /// reported in rtt_p50_ms / rtt_p99_ms).
   testbed::RttHistogram pooled_rtt;
+  /// Observability counters (ExperimentSummary::counters) aggregated by name
+  /// across seeds. std::map keeps the name order — and thus the JSON/CSV
+  /// column order — deterministic.
+  std::map<std::string, Stat> counters;
 };
 
 /// Aggregates the cells of configuration `config_index`. `cells` may contain

@@ -16,6 +16,22 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+/// Per-cell trace path: "traces/run.mgt" -> "traces/run.cfg2.seed7.mgt".
+/// Derived purely from (config_index, seed) — never from worker identity or
+/// completion order — so a campaign's trace set is byte-identical across
+/// --threads values and cells cannot clobber each other's files.
+std::string cell_trace_path(const std::string& base, std::size_t config_index,
+                            std::uint64_t seed) {
+  const std::string tag =
+      ".cfg" + std::to_string(config_index) + ".seed" + std::to_string(seed);
+  const std::size_t slash = base.find_last_of('/');
+  const std::size_t dot = base.find_last_of('.');
+  const bool has_ext =
+      dot != std::string::npos && (slash == std::string::npos || dot > slash);
+  if (!has_ext) return base + tag;
+  return base.substr(0, dot) + tag + base.substr(dot);
+}
+
 /// Per-worker deques of cell indices. A worker pops from the front of its own
 /// deque and, when empty, steals from the back of the longest victim — the
 /// classic split that keeps contention off the hot path while long cells
@@ -104,6 +120,12 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
 
     testbed::ExperimentConfig cfg = result.configs[config_index].config;
     cfg.seed = seed;
+    if (!cfg.trace_file.empty()) {
+      cfg.trace_file = cell_trace_path(cfg.trace_file, config_index, seed);
+    }
+    if (!cfg.trace_pcap.empty()) {
+      cfg.trace_pcap = cell_trace_path(cfg.trace_pcap, config_index, seed);
+    }
     testbed::Experiment experiment{cfg};
     experiment.run();
 

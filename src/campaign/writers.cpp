@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -46,6 +47,17 @@ void json_stat(std::ostringstream& out, const char* name, const Stat& s,
 
 void csv_stat(std::ostringstream& out, const Stat& s) {
   out << "," << json_double(s.mean) << "," << json_double(s.ci95);
+}
+
+/// Sorted union of observability counter names across all aggregates. The
+/// CSV needs one fixed column set even when configs differ (e.g. a radio
+/// axis where only BLE cells report radio.* counters).
+std::vector<std::string> counter_columns(const CampaignResult& result) {
+  std::set<std::string> names;
+  for (const ConfigAggregate& agg : result.aggregates) {
+    for (const auto& [name, stat] : agg.counters) names.insert(name);
+  }
+  return {names.begin(), names.end()};
 }
 
 }  // namespace
@@ -101,8 +113,14 @@ std::string to_json(const CampaignResult& result) {
           << json_double(s.repair_to_delivery_p50.to_ms_f())
           << ", \"pdr_pre_fault\": " << json_double(s.pdr_pre_fault)
           << ", \"pdr_during_fault\": " << json_double(s.pdr_during_fault)
-          << ", \"pdr_post_fault\": " << json_double(s.pdr_post_fault) << "}"
-          << (j + 1 < n_seeds ? "," : "") << "\n";
+          << ", \"pdr_post_fault\": " << json_double(s.pdr_post_fault)
+          << ", \"counters\": {";
+      std::size_t c = 0;
+      for (const auto& [name, v] : s.counters) {
+        if (c++ != 0) out << ", ";
+        out << "\"" << json_escape(name) << "\": " << json_double(v);
+      }
+      out << "}}" << (j + 1 < n_seeds ? "," : "") << "\n";
     }
     out << "      ],\n";
     out << "      \"aggregate\": {\n";
@@ -119,6 +137,15 @@ std::string to_json(const CampaignResult& result) {
     json_stat(out, "reconnect_p50_ms", agg.reconnect_p50_ms);
     json_stat(out, "repair_p50_ms", agg.repair_p50_ms);
     json_stat(out, "pdr_post_fault", agg.pdr_post_fault);
+    out << "        \"counters\": {";
+    std::size_t c = 0;
+    for (const auto& [name, stat] : agg.counters) {
+      if (c++ != 0) out << ", ";
+      out << "\"" << json_escape(name) << "\": {\"mean\": " << json_double(stat.mean)
+          << ", \"stddev\": " << json_double(stat.stddev)
+          << ", \"ci95\": " << json_double(stat.ci95) << ", \"n\": " << stat.n << "}";
+    }
+    out << "},\n";
     out << "        \"pooled_rtt\": {\"count\": " << agg.pooled_rtt.count()
         << ", \"p50_ms\": " << json_double(agg.pooled_rtt.quantile(0.50).to_ms_f())
         << ", \"p90_ms\": " << json_double(agg.pooled_rtt.quantile(0.90).to_ms_f())
@@ -135,6 +162,7 @@ std::string to_json(const CampaignResult& result) {
 
 std::string to_csv(const CampaignResult& result) {
   std::ostringstream out;
+  const std::vector<std::string> counter_cols = counter_columns(result);
   out << "config_index";
   // Axis columns come from the first config's assignment keys (identical for
   // every config by construction).
@@ -150,7 +178,11 @@ std::string to_csv(const CampaignResult& result) {
          "losses_injected_mean,losses_injected_ci95,reconnect_p50_ms_mean,"
          "reconnect_p50_ms_ci95,repair_p50_ms_mean,repair_p50_ms_ci95,"
          "pdr_post_fault_mean,pdr_post_fault_ci95,pooled_rtt_p50_ms,"
-         "pooled_rtt_p99_ms\n";
+         "pooled_rtt_p99_ms";
+  for (const std::string& name : counter_cols) {
+    out << "," << name << "_mean," << name << "_ci95";
+  }
+  out << "\n";
   for (std::size_t i = 0; i < result.configs.size(); ++i) {
     const ConfigAggregate& agg = result.aggregates[i];
     out << i;
@@ -171,7 +203,12 @@ std::string to_csv(const CampaignResult& result) {
     csv_stat(out, agg.repair_p50_ms);
     csv_stat(out, agg.pdr_post_fault);
     out << "," << json_double(agg.pooled_rtt.quantile(0.50).to_ms_f()) << ","
-        << json_double(agg.pooled_rtt.quantile(0.99).to_ms_f()) << "\n";
+        << json_double(agg.pooled_rtt.quantile(0.99).to_ms_f());
+    for (const std::string& name : counter_cols) {
+      const auto it = agg.counters.find(name);
+      csv_stat(out, it == agg.counters.end() ? Stat{} : it->second);
+    }
+    out << "\n";
   }
   return out.str();
 }

@@ -5,6 +5,8 @@
 
 #include "ble/connection.hpp"
 #include "ble/controller.hpp"
+#include "ble/world.hpp"
+#include "obs/recorder.hpp"
 
 namespace mgap::fault {
 
@@ -90,17 +92,38 @@ double FaultInjector::windowed_link_per(NodeId a, NodeId b) const {
 }
 
 void FaultInjector::trace(const InjectedFault& f, const char* phase) {
-  if (world_ == nullptr || !world_->tracing()) return;
-  char msg[160];
-  std::snprintf(msg, sizeof msg, "%s %s", phase, f.event.str().c_str());
-  world_->trace(sim::TraceCat::kFault,
-                f.event.node == kInvalidNode ? 0 : f.event.node, msg);
+  if (world_ == nullptr) return;
+  world_->trace_lazy(sim::TraceCat::kFault,
+                     f.event.node == kInvalidNode ? 0 : f.event.node, [&] {
+                       char msg[160];
+                       std::snprintf(msg, sizeof msg, "%s %s", phase,
+                                     f.event.str().c_str());
+                       return std::string{msg};
+                     });
+}
+
+void FaultInjector::record_fault(const InjectedFault& f, std::size_t index,
+                                 bool begin) {
+  if (world_ == nullptr) return;
+  obs::Recorder* rec = world_->recorder();
+  const auto type = begin ? obs::EventType::kFaultBegin : obs::EventType::kFaultEnd;
+  if (rec == nullptr || !rec->wants(type)) return;
+  obs::Event e;
+  e.at = sim_.now();
+  e.type = type;
+  e.chan = f.event.chan_lo;
+  e.flags = static_cast<std::uint16_t>(f.event.kind);
+  e.node = f.event.node == kInvalidNode ? 0 : f.event.node;
+  e.id = index;
+  e.a = f.event.peer == kInvalidNode ? 0 : f.event.peer;
+  rec->record(e);
 }
 
 void FaultInjector::begin_fault(std::size_t index) {
   InjectedFault& f = timeline_[index];
   const FaultEvent& ev = f.event;
   trace(f, "begin");
+  record_fault(f, index, true);
 
   switch (ev.kind) {
     case FaultKind::kCrash: {
@@ -154,6 +177,7 @@ void FaultInjector::end_fault(std::size_t index) {
   InjectedFault& f = timeline_[index];
   const FaultEvent& ev = f.event;
   trace(f, "end");
+  record_fault(f, index, false);
 
   switch (ev.kind) {
     case FaultKind::kCrash: {

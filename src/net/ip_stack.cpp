@@ -2,9 +2,50 @@
 
 #include <cassert>
 
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 
 namespace mgap::net {
+
+void IpStack::record_pktbuf_drop(bool rx_path) {
+  if (recorder_ == nullptr || !recorder_->wants(obs::EventType::kPktbufDrop)) return;
+  obs::Event e;
+  e.at = sim_.now();
+  e.type = obs::EventType::kPktbufDrop;
+  e.flags = rx_path ? obs::kPktbufRx : 0;
+  e.node = node_;
+  e.a = static_cast<std::uint32_t>(pktbuf_.used());
+  e.b = static_cast<std::uint32_t>(pktbuf_.capacity());
+  recorder_->record(e);
+}
+
+void IpStack::note_pktbuf_water() {
+  if (recorder_ == nullptr || pktbuf_.high_water() <= reported_water_ ||
+      !recorder_->wants(obs::EventType::kPktbufWater)) {
+    return;
+  }
+  reported_water_ = pktbuf_.high_water();
+  obs::Event e;
+  e.at = sim_.now();
+  e.type = obs::EventType::kPktbufWater;
+  e.node = node_;
+  e.a = static_cast<std::uint32_t>(reported_water_);
+  e.b = static_cast<std::uint32_t>(pktbuf_.capacity());
+  recorder_->record(e);
+}
+
+void IpStack::record_ip_packet(std::uint16_t direction,
+                               std::span<const std::uint8_t> packet,
+                               sim::TimePoint at) {
+  if (recorder_ == nullptr || !recorder_->wants(obs::EventType::kIpPacket)) return;
+  obs::Event e;
+  e.at = at;
+  e.type = obs::EventType::kIpPacket;
+  e.flags = direction;
+  e.node = node_;
+  e.a = static_cast<std::uint32_t>(packet.size());
+  recorder_->record(e, packet);
+}
 
 IpStack::IpStack(sim::Simulator& sim, NodeId node, Netif& netif, IpStackConfig config)
     : sim_{sim},
@@ -34,7 +75,9 @@ bool IpStack::udp_send(const Ipv6Addr& dst, std::uint16_t src_port, std::uint16_
   h.next_header = kProtoUdp;
   h.hop_limit = kDefaultHopLimit;
   ++stats_.udp_sent;
-  return output(ipv6_encode(h, udp));
+  std::vector<std::uint8_t> packet = ipv6_encode(h, udp);
+  record_ip_packet(obs::kIpTx, packet, sim_.now());
+  return output(std::move(packet));
 }
 
 bool IpStack::output(std::vector<std::uint8_t> packet) {
@@ -67,8 +110,10 @@ bool IpStack::output(std::vector<std::uint8_t> packet) {
     if (!pktbuf_.alloc(frame.size() + config_.pkt_overhead)) {
       // The shared packet buffer overflows: the section 5.2 loss mechanism.
       ++stats_.drop_pktbuf;
+      record_pktbuf_drop(false);
       return false;
     }
+    note_pktbuf_water();
     pending_[*next_hop].push_back(Pending{std::move(frame)});
   }
   try_drain(*next_hop);
@@ -123,8 +168,10 @@ void IpStack::on_frame(NodeId src, std::vector<std::uint8_t> frame, sim::TimePoi
   const std::size_t rx_charge = frame.size() + config_.pkt_overhead;
   if (!pktbuf_.alloc(rx_charge)) {
     ++stats_.drop_pktbuf;
+    record_pktbuf_drop(true);
     return;
   }
+  note_pktbuf_water();
   struct Release {
     Pktbuf& buf;
     std::size_t n;
@@ -155,6 +202,7 @@ void IpStack::handle_packet(std::vector<std::uint8_t> packet, sim::TimePoint at)
     return;
   }
   if (h->dst == address() || h->dst == link_local()) {
+    record_ip_packet(obs::kIpRx, packet, at);
     deliver_local(*h, packet, at);
     return;
   }
@@ -163,6 +211,7 @@ void IpStack::handle_packet(std::vector<std::uint8_t> packet, sim::TimePoint at)
     ++stats_.drop_hop_limit;
     return;
   }
+  record_ip_packet(obs::kIpForward, packet, at);
   if (output(std::move(packet))) ++stats_.forwarded;
 }
 

@@ -28,6 +28,10 @@ namespace mgap::sim {
 class Simulator;
 }
 
+namespace mgap::obs {
+class Recorder;
+}
+
 namespace mgap::net {
 
 struct IpStackConfig {
@@ -89,6 +93,12 @@ class IpStack {
   /// Dropped frames count as drop_link_down.
   void purge();
 
+  /// Optional typed event recorder (obs): IPv6 packet events, pktbuf drops
+  /// and high-watermarks. Null disables. Shared with the layers above (the
+  /// CoAP endpoints reach it through here).
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+  [[nodiscard]] obs::Recorder* recorder() const { return recorder_; }
+
  private:
   void on_frame(NodeId src, std::vector<std::uint8_t> frame, sim::TimePoint at);
   void handle_packet(std::vector<std::uint8_t> packet, sim::TimePoint at);
@@ -97,7 +107,13 @@ class IpStack {
   bool output(std::vector<std::uint8_t> packet);
   void try_drain(NodeId next_hop);
   void flush_neighbor(NodeId neighbor);
+  void record_pktbuf_drop(bool rx_path);
+  void note_pktbuf_water();
+  void record_ip_packet(std::uint16_t direction, std::span<const std::uint8_t> packet,
+                        sim::TimePoint at);
 
+  obs::Recorder* recorder_{nullptr};
+  std::size_t reported_water_{0};
   sim::Simulator& sim_;
   NodeId node_;
   Netif& netif_;

@@ -1,0 +1,225 @@
+#include "obs/analyzer.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mgap::obs {
+
+namespace {
+
+struct ClaimWindow {
+  sim::TimePoint start;
+  sim::TimePoint end;
+  std::uint64_t owner;
+};
+
+void format_fixed(std::ostringstream& os, double v, int digits) {
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << v;
+}
+
+}  // namespace
+
+std::string owner_name(std::uint64_t owner) {
+  if ((owner & kAdvOwnerBit) != 0) {
+    return "adv/scan(node " + std::to_string(owner & ~kAdvOwnerBit) + ")";
+  }
+  return "conn " + std::to_string(owner);
+}
+
+Analysis analyze(std::span<const Event> events) {
+  Analysis a;
+  a.events = events.size();
+  // Radio claims carry the *window* start as their timestamp, which is in the
+  // future relative to when the claim was made, so the stream is not sorted by
+  // it. Collect grants and denials per node first, match overlaps afterwards.
+  std::map<NodeId, std::vector<ClaimWindow>> granted_windows;
+  std::map<NodeId, std::vector<ClaimWindow>> denied_windows;
+  bool have_time = false;
+
+  for (const Event& e : events) {
+    if (!have_time) {
+      a.first = e.at;
+      a.last = e.at;
+      have_time = true;
+    } else {
+      a.first = sim::min(a.first, e.at);
+      a.last = sim::max(a.last, e.at);
+    }
+
+    switch (e.type) {
+      case EventType::kConnOpen: {
+        ConnTimeline& c = a.connections[e.id];
+        c.conn = e.id;
+        c.coordinator = e.node;
+        c.subordinate = e.a;
+        c.interval_us = e.b;
+        c.opened_at = e.at;
+        break;
+      }
+      case EventType::kConnClose: {
+        ConnTimeline& c = a.connections[e.id];
+        c.conn = e.id;
+        c.closed = true;
+        c.closed_at = e.at;
+        c.close_reason = e.flags;
+        break;
+      }
+      case EventType::kConnEvent: {
+        ConnTimeline& c = a.connections[e.id];
+        c.conn = e.id;
+        ++c.events_run;
+        if ((e.flags & kEvAborted) != 0) ++c.events_aborted;
+        break;
+      }
+      case EventType::kConnEventMissed: {
+        ConnTimeline& c = a.connections[e.id];
+        c.conn = e.id;
+        ++c.events_missed;
+        break;
+      }
+      case EventType::kPduTx: {
+        NodeActivity& n = a.nodes[e.node];
+        ++n.pdus;
+        n.airtime_ns += e.b;
+        if ((e.flags & kPduCrcOk) == 0) ++n.crc_errors;
+        break;
+      }
+      case EventType::kRadioClaim: {
+        NodeActivity& n = a.nodes[e.node];
+        const sim::TimePoint end = e.at + sim::Duration::ns(e.a);
+        if ((e.flags & kClaimGranted) != 0) {
+          ++n.claims_granted;
+          n.granted_ns += e.a;
+          granted_windows[e.node].push_back(ClaimWindow{e.at, end, e.id});
+        } else {
+          ++n.claims_denied;
+          denied_windows[e.node].push_back(ClaimWindow{e.at, end, e.id});
+        }
+        break;
+      }
+      case EventType::kPktbufDrop: {
+        NodeActivity& n = a.nodes[e.node];
+        ++n.pktbuf_drops;
+        if (e.b > n.pktbuf_capacity) n.pktbuf_capacity = e.b;
+        break;
+      }
+      case EventType::kPktbufWater: {
+        NodeActivity& n = a.nodes[e.node];
+        if (e.a > n.pktbuf_high_water) n.pktbuf_high_water = e.a;
+        if (e.b > n.pktbuf_capacity) n.pktbuf_capacity = e.b;
+        break;
+      }
+      case EventType::kIpPacket:
+        break;
+      case EventType::kCoapTxn:
+        switch (static_cast<CoapPhase>(e.flags)) {
+          case CoapPhase::kSentNon:
+          case CoapPhase::kSentCon: ++a.coap_sent; break;
+          case CoapPhase::kResponse: ++a.coap_responses; break;
+          case CoapPhase::kRetransmit: ++a.coap_retransmits; break;
+          case CoapPhase::kTimeout: ++a.coap_timeouts; break;
+        }
+        break;
+      case EventType::kFaultBegin: ++a.faults; break;
+      case EventType::kFaultEnd: break;
+    }
+  }
+
+  // Shading: a denied window on a node overlapping a granted window held by a
+  // different owner. Granted windows on one node never overlap each other
+  // (scheduler invariant), so sorted by start their ends are sorted too and a
+  // binary search bounds each scan.
+  for (auto& [node, denials] : denied_windows) {
+    auto g_it = granted_windows.find(node);
+    if (g_it == granted_windows.end()) continue;
+    std::vector<ClaimWindow>& grants = g_it->second;
+    std::sort(grants.begin(), grants.end(),
+              [](const ClaimWindow& x, const ClaimWindow& y) {
+                return x.start < y.start;
+              });
+    std::sort(denials.begin(), denials.end(),
+              [](const ClaimWindow& x, const ClaimWindow& y) {
+                return x.start < y.start;
+              });
+    for (const ClaimWindow& d : denials) {
+      auto first = std::partition_point(
+          grants.begin(), grants.end(),
+          [&d](const ClaimWindow& g) { return g.end <= d.start; });
+      for (auto it = first; it != grants.end() && it->start < d.end; ++it) {
+        if (it->owner == d.owner) continue;
+        const sim::TimePoint lo = sim::max(it->start, d.start);
+        const sim::TimePoint hi = sim::min(it->end, d.end);
+        if (hi > lo) {
+          a.overlaps.push_back(
+              ShadingOverlap{node, d.owner, it->owner, d.start, (hi - lo).count_ns()});
+        }
+      }
+    }
+  }
+  std::sort(a.overlaps.begin(), a.overlaps.end(),
+            [](const ShadingOverlap& x, const ShadingOverlap& y) {
+              if (x.at != y.at) return x.at < y.at;
+              if (x.node != y.node) return x.node < y.node;
+              return x.victim < y.victim;
+            });
+  return a;
+}
+
+std::string render_report(const Analysis& a) {
+  std::ostringstream os;
+  os << "trace: " << a.events << " events";
+  if (a.events > 0) {
+    os << ", span " << a.first.str() << " .. " << a.last.str();
+  }
+  os << "\n";
+
+  os << "\nconnections (" << a.connections.size() << "):\n";
+  for (const auto& [id, c] : a.connections) {
+    os << "  conn " << id << ": node " << c.coordinator << " -> node "
+       << c.subordinate;
+    if (c.interval_us > 0) os << ", interval " << c.interval_us << "us";
+    os << ", opened " << c.opened_at.str();
+    if (c.closed) {
+      os << ", closed " << c.closed_at.str() << " (reason " << c.close_reason
+         << ")";
+    } else {
+      os << ", still open";
+    }
+    os << "\n    events: " << c.events_run << " run, " << c.events_missed
+       << " missed, " << c.events_aborted << " crc-aborted\n";
+  }
+
+  os << "\nshading overlaps (" << a.overlaps.size() << "):\n";
+  for (const ShadingOverlap& s : a.overlaps) {
+    os << "  " << s.at.str() << " node " << s.node << ": "
+       << owner_name(s.victim) << " shaded by " << owner_name(s.blocker)
+       << " for " << sim::Duration::ns(s.overlap_ns).str() << "\n";
+  }
+
+  const sim::Duration span = a.span();
+  os << "\nper-node radio/buffers:\n";
+  for (const auto& [node, n] : a.nodes) {
+    os << "  node " << node << ": duty ";
+    format_fixed(os, 100.0 * n.duty_cycle(span), 3);
+    os << "% (" << sim::Duration::ns(n.granted_ns).str() << " claimed, "
+       << n.claims_granted << " granted / " << n.claims_denied
+       << " denied), airtime " << sim::Duration::ns(n.airtime_ns).str() << " ("
+       << n.pdus << " pdus, " << n.crc_errors << " crc errors)";
+    if (n.pktbuf_capacity > 0 || n.pktbuf_high_water > 0 || n.pktbuf_drops > 0) {
+      os << ", pktbuf high-water " << n.pktbuf_high_water;
+      if (n.pktbuf_capacity > 0) os << "/" << n.pktbuf_capacity;
+      os << " (" << n.pktbuf_drops << " drops)";
+    }
+    os << "\n";
+  }
+
+  os << "\ncoap: " << a.coap_sent << " sent, " << a.coap_responses
+     << " responses, " << a.coap_retransmits << " retransmits, "
+     << a.coap_timeouts << " timeouts\n";
+  if (a.faults > 0) os << "faults injected: " << a.faults << "\n";
+  return os.str();
+}
+
+}  // namespace mgap::obs

@@ -1,0 +1,100 @@
+#pragma once
+// Offline trace analysis: reconstructs per-link connection-event timelines
+// from a `.mgt` event stream and detects *shading* — two connections on one
+// node claiming the radio for overlapping windows, so one link silently
+// misses its anchor points (the paper's section 6.1 / Figure 11 effect) —
+// without any live instrumentation beyond the recorded events.
+//
+// Also derives radio duty-cycle and airtime per node, pktbuf high-watermarks,
+// and CoAP transaction outcomes, i.e. the numbers the paper reads off its
+// testbed dumps, but from a replayable file.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "sim/ids.hpp"
+#include "sim/time.hpp"
+
+namespace mgap::obs {
+
+/// Radio-claim owner ids with bit 63 set denote the node's advertising /
+/// scanning machinery rather than a connection (ble::Controller convention).
+inline constexpr std::uint64_t kAdvOwnerBit = 1ULL << 63;
+
+/// Renders an owner id as "conn N" or "adv/scan(node N)".
+[[nodiscard]] std::string owner_name(std::uint64_t owner);
+
+/// Lifecycle and event counts of one connection, rebuilt from the trace.
+struct ConnTimeline {
+  std::uint64_t conn{0};
+  NodeId coordinator{0};
+  NodeId subordinate{0};
+  std::uint32_t interval_us{0};
+  sim::TimePoint opened_at;
+  sim::TimePoint closed_at;
+  bool closed{false};
+  std::uint16_t close_reason{0};  // ble::DisconnectReason value
+  std::uint64_t events_run{0};
+  std::uint64_t events_missed{0};
+  std::uint64_t events_aborted{0};  // ran but CRC-aborted
+};
+
+/// One detected shading conflict: on `node`, `victim`'s radio claim was
+/// denied while `blocker` held an overlapping granted window.
+struct ShadingOverlap {
+  NodeId node{0};
+  std::uint64_t victim{0};
+  std::uint64_t blocker{0};
+  sim::TimePoint at;             // start of the denied window
+  std::int64_t overlap_ns{0};    // how much of it the blocker covered
+};
+
+/// Per-node radio / buffer activity derived from the trace.
+struct NodeActivity {
+  std::int64_t granted_ns{0};    // radio-claim time granted
+  std::uint64_t claims_granted{0};
+  std::uint64_t claims_denied{0};
+  std::int64_t airtime_ns{0};    // from kPduTx airtime
+  std::uint64_t pdus{0};
+  std::uint64_t crc_errors{0};
+  std::uint32_t pktbuf_high_water{0};
+  std::uint32_t pktbuf_capacity{0};
+  std::uint64_t pktbuf_drops{0};
+
+  /// Fraction of the trace span the radio was claimed.
+  [[nodiscard]] double duty_cycle(sim::Duration span) const {
+    return span.count_ns() > 0
+               ? static_cast<double>(granted_ns) /
+                     static_cast<double>(span.count_ns())
+               : 0.0;
+  }
+};
+
+struct Analysis {
+  sim::TimePoint first;
+  sim::TimePoint last;
+  std::uint64_t events{0};
+  std::map<std::uint64_t, ConnTimeline> connections;
+  std::vector<ShadingOverlap> overlaps;
+  std::map<NodeId, NodeActivity> nodes;
+  std::uint64_t coap_sent{0};
+  std::uint64_t coap_responses{0};
+  std::uint64_t coap_retransmits{0};
+  std::uint64_t coap_timeouts{0};
+  std::uint64_t faults{0};
+
+  [[nodiscard]] sim::Duration span() const { return last - first; }
+};
+
+/// Single pass over an event stream (trace order).
+[[nodiscard]] Analysis analyze(std::span<const Event> events);
+
+/// Human-readable report: connection timelines, shading overlaps (Fig 11),
+/// per-node duty cycle / airtime / pktbuf high-watermarks, CoAP outcomes.
+[[nodiscard]] std::string render_report(const Analysis& a);
+
+}  // namespace mgap::obs

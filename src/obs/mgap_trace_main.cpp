@@ -1,0 +1,199 @@
+// mgap_trace: offline tool over `.mgt` traces and PCAPNG captures.
+//
+//   mgap_trace validate <file>            structural check (.mgt or .pcapng)
+//   mgap_trace analyze <file.mgt>         timelines, shading, duty cycle
+//   mgap_trace dump <file.mgt> [--limit N]  one line per event
+//   mgap_trace pcap <in.mgt> <out.pcapng>   re-export packets offline
+//
+// `--validate <file>` is accepted as an alias of the validate subcommand.
+// Exit codes: 0 ok, 1 invalid/failed, 2 usage error.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/analyzer.hpp"
+#include "obs/mgt.hpp"
+#include "obs/pcapng.hpp"
+#include "obs/recorder.hpp"
+
+namespace {
+
+using namespace mgap;
+
+int usage() {
+  std::cerr << "usage: mgap_trace <command> [args]\n"
+               "  validate <file>             check .mgt / .pcapng structure\n"
+               "  analyze <file.mgt>          connection timelines, shading "
+               "overlaps, duty cycle\n"
+               "  dump <file.mgt> [--limit N] print events\n"
+               "  pcap <in.mgt> <out.pcapng>  export packets to PCAPNG\n";
+  return 2;
+}
+
+std::ifstream open_input(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in.is_open()) {
+    std::cerr << "mgap_trace: cannot open " << path << "\n";
+  }
+  return in;
+}
+
+int cmd_validate(const std::string& path) {
+  std::ifstream in = open_input(path);
+  if (!in.is_open()) return 1;
+
+  std::uint8_t magic[4] = {0, 0, 0, 0};
+  in.read(reinterpret_cast<char*>(magic), 4);
+  if (in.gcount() != 4) {
+    std::cerr << path << ": too short to identify\n";
+    return 1;
+  }
+  in.clear();
+  in.seekg(0);
+
+  if (std::memcmp(magic, obs::kMgtMagic, 4) == 0) {
+    const obs::MgtValidation v = obs::validate_mgt(in);
+    if (!v.ok) {
+      std::cerr << path << ": INVALID: " << v.error << "\n";
+      return 1;
+    }
+    std::cout << path << ": valid .mgt trace, " << v.records << " records, "
+              << v.payload_bytes << " payload bytes\n";
+    return 0;
+  }
+  // PCAPNG SHB type 0x0A0D0D0A, stored little-endian.
+  if (magic[0] == 0x0A && magic[1] == 0x0D && magic[2] == 0x0D && magic[3] == 0x0A) {
+    const obs::PcapngValidation v = obs::validate_pcapng(in);
+    if (!v.ok) {
+      std::cerr << path << ": INVALID: " << v.error << "\n";
+      return 1;
+    }
+    std::cout << path << ": valid pcapng, " << v.blocks << " blocks, "
+              << v.interfaces << " interfaces, " << v.packets << " packets\n";
+    return 0;
+  }
+  std::cerr << path << ": not a .mgt trace or pcapng capture\n";
+  return 1;
+}
+
+std::vector<obs::MgtRecord> read_trace(const std::string& path, bool& ok) {
+  ok = false;
+  std::ifstream in = open_input(path);
+  if (!in.is_open()) return {};
+  try {
+    obs::MgtReader reader{in};
+    auto records = reader.read_all();
+    ok = true;
+    return records;
+  } catch (const std::exception& e) {
+    std::cerr << path << ": " << e.what() << "\n";
+    return {};
+  }
+}
+
+int cmd_analyze(const std::string& path) {
+  bool ok = false;
+  const auto records = read_trace(path, ok);
+  if (!ok) return 1;
+  std::vector<obs::Event> events;
+  events.reserve(records.size());
+  for (const auto& r : records) events.push_back(r.event);
+  const obs::Analysis a = obs::analyze(events);
+  std::cout << render_report(a);
+  return 0;
+}
+
+int cmd_dump(const std::string& path, std::uint64_t limit) {
+  bool ok = false;
+  const auto records = read_trace(path, ok);
+  if (!ok) return 1;
+  std::uint64_t printed = 0;
+  for (const auto& r : records) {
+    if (limit > 0 && printed >= limit) {
+      std::cout << "... (" << records.size() - printed << " more)\n";
+      break;
+    }
+    const obs::Event& e = r.event;
+    std::cout << e.at.str() << " " << to_string(e.type) << " node=" << e.node
+              << " id=" << e.id;
+    if (e.chan != obs::kNoChannel) {
+      std::cout << " chan=" << static_cast<unsigned>(e.chan);
+    }
+    std::cout << " flags=0x" << std::hex << e.flags << std::dec << " a=" << e.a
+              << " b=" << e.b;
+    if (!r.payload.empty()) std::cout << " payload=" << r.payload.size() << "B";
+    std::cout << "\n";
+    ++printed;
+  }
+  return 0;
+}
+
+int cmd_pcap(const std::string& in_path, const std::string& out_path) {
+  bool ok = false;
+  const auto records = read_trace(in_path, ok);
+  if (!ok) return 1;
+  try {
+    std::ofstream out = obs::open_trace_file(out_path);
+    obs::PcapngWriter writer{out};
+    for (const auto& r : records) {
+      if (r.payload.empty()) continue;
+      if (r.event.type == obs::EventType::kPduTx) {
+        const auto capture =
+            obs::ble_ll_capture(r.event.chan, r.event.a, r.payload,
+                                (r.event.flags & obs::kPduCrcOk) != 0);
+        writer.write_packet(writer.ble_interface(), r.event.at, capture);
+      } else if (r.event.type == obs::EventType::kIpPacket) {
+        writer.write_packet(writer.ip_interface(r.event.node), r.event.at,
+                            r.payload);
+      }
+    }
+    out.flush();
+    if (!writer.ok() || !out) {
+      std::cerr << "mgap_trace: write failed: " << out_path << "\n";
+      return 1;
+    }
+    std::cout << out_path << ": " << writer.packets_written() << " packets\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "mgap_trace: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+
+  const std::string& cmd = args[0];
+  if (cmd == "validate" || cmd == "--validate") {
+    if (args.size() != 2) return usage();
+    return cmd_validate(args[1]);
+  }
+  if (cmd == "analyze") {
+    if (args.size() != 2) return usage();
+    return cmd_analyze(args[1]);
+  }
+  if (cmd == "dump") {
+    std::uint64_t limit = 0;
+    if (args.size() == 4 && args[2] == "--limit") {
+      try {
+        limit = std::stoull(args[3]);
+      } catch (const std::exception&) {
+        return usage();
+      }
+    } else if (args.size() != 2) {
+      return usage();
+    }
+    return cmd_dump(args[1], limit);
+  }
+  if (cmd == "pcap") {
+    if (args.size() != 3) return usage();
+    return cmd_pcap(args[1], args[2]);
+  }
+  return usage();
+}

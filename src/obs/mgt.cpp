@@ -1,0 +1,148 @@
+#include "obs/mgt.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace mgap::obs {
+
+namespace {
+
+void put_u16(std::string& buf, std::uint16_t v) {
+  buf.push_back(static_cast<char>(v & 0xFF));
+  buf.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::string& buf, std::uint32_t v) {
+  put_u16(buf, static_cast<std::uint16_t>(v & 0xFFFF));
+  put_u16(buf, static_cast<std::uint16_t>(v >> 16));
+}
+
+void put_u64(std::string& buf, std::uint64_t v) {
+  put_u32(buf, static_cast<std::uint32_t>(v & 0xFFFFFFFF));
+  put_u32(buf, static_cast<std::uint32_t>(v >> 32));
+}
+
+[[nodiscard]] std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+[[nodiscard]] std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+[[nodiscard]] std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+MgtWriter::MgtWriter(std::ostream& out) : out_{out} {
+  std::string header;
+  header.reserve(kMgtHeaderSize);
+  for (const std::uint8_t c : kMgtMagic) header.push_back(static_cast<char>(c));
+  put_u16(header, kMgtVersion);
+  put_u16(header, 0);  // flags, reserved
+  put_u64(header, 1);  // timestamp resolution: 1 ns per tick
+  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+}
+
+void MgtWriter::write(const Event& e, std::span<const std::uint8_t> payload) {
+  const std::size_t n = payload.size() < kMgtMaxPayload ? payload.size() : kMgtMaxPayload;
+  std::string buf;
+  buf.reserve(kMgtRecordFixed + n);
+  put_u16(buf, static_cast<std::uint16_t>(kMgtRecordFixed + n));
+  put_u64(buf, static_cast<std::uint64_t>(e.at.count_ns()));
+  buf.push_back(static_cast<char>(e.type));
+  buf.push_back(static_cast<char>(e.chan));
+  put_u16(buf, e.flags);
+  put_u32(buf, e.node);
+  put_u64(buf, e.id);
+  put_u32(buf, e.a);
+  put_u32(buf, e.b);
+  buf.append(reinterpret_cast<const char*>(payload.data()), n);
+  out_.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  ++records_;
+}
+
+bool MgtWriter::ok() const { return out_.good(); }
+
+MgtReader::MgtReader(std::istream& in) : in_{in} {
+  std::uint8_t header[kMgtHeaderSize];
+  in_.read(reinterpret_cast<char*>(header), kMgtHeaderSize);
+  if (in_.gcount() != static_cast<std::streamsize>(kMgtHeaderSize)) {
+    throw std::runtime_error{"mgt: file shorter than header"};
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (header[i] != kMgtMagic[i]) throw std::runtime_error{"mgt: bad magic"};
+  }
+  const std::uint16_t version = get_u16(header + 4);
+  if (version != kMgtVersion) {
+    throw std::runtime_error{"mgt: unsupported version " + std::to_string(version)};
+  }
+  if (get_u64(header + 8) != 1) {
+    throw std::runtime_error{"mgt: unsupported timestamp resolution"};
+  }
+}
+
+bool MgtReader::next(MgtRecord& out) {
+  std::uint8_t len_buf[2];
+  in_.read(reinterpret_cast<char*>(len_buf), 2);
+  if (in_.gcount() == 0) return false;  // clean end of stream
+  if (in_.gcount() != 2) throw std::runtime_error{"mgt: truncated record length"};
+  const std::uint16_t len = get_u16(len_buf);
+  if (len < kMgtRecordFixed) throw std::runtime_error{"mgt: record shorter than header"};
+
+  std::uint8_t fixed[kMgtRecordFixed - 2];
+  in_.read(reinterpret_cast<char*>(fixed), sizeof fixed);
+  if (in_.gcount() != static_cast<std::streamsize>(sizeof fixed)) {
+    throw std::runtime_error{"mgt: truncated record"};
+  }
+  out.event.at = sim::TimePoint::from_ns(static_cast<std::int64_t>(get_u64(fixed)));
+  out.event.type = static_cast<EventType>(fixed[8]);
+  out.event.chan = fixed[9];
+  out.event.flags = get_u16(fixed + 10);
+  out.event.node = get_u32(fixed + 12);
+  out.event.id = get_u64(fixed + 16);
+  out.event.a = get_u32(fixed + 24);
+  out.event.b = get_u32(fixed + 28);
+
+  const std::size_t payload_len = len - kMgtRecordFixed;
+  out.payload.resize(payload_len);
+  if (payload_len > 0) {
+    in_.read(reinterpret_cast<char*>(out.payload.data()),
+             static_cast<std::streamsize>(payload_len));
+    if (in_.gcount() != static_cast<std::streamsize>(payload_len)) {
+      throw std::runtime_error{"mgt: truncated payload"};
+    }
+  }
+  return true;
+}
+
+std::vector<MgtRecord> MgtReader::read_all() {
+  std::vector<MgtRecord> out;
+  MgtRecord rec;
+  while (next(rec)) out.push_back(std::move(rec));
+  return out;
+}
+
+MgtValidation validate_mgt(std::istream& in) {
+  MgtValidation v;
+  try {
+    MgtReader reader{in};
+    MgtRecord rec;
+    while (reader.next(rec)) {
+      ++v.records;
+      v.payload_bytes += rec.payload.size();
+    }
+    v.ok = true;
+  } catch (const std::exception& e) {
+    v.error = e.what();
+  }
+  return v;
+}
+
+}  // namespace mgap::obs

@@ -1,0 +1,83 @@
+#pragma once
+// The `.mgt` on-disk trace format: a 16-byte file header followed by
+// length-prefixed records, everything little-endian regardless of host.
+//
+//   header:  magic "MGT1" (4) | version u16 | flags u16 | tsresol_ns u64
+//   record:  len u16 (total, incl. itself)
+//            | t_ns i64 | type u8 | chan u8 | flags u16 | node u32
+//            | id u64 | a u32 | b u32          (= 32-byte fixed body)
+//            | payload bytes (len - 34)
+//
+// The length prefix makes records skippable: a reader that does not know a
+// type (or wants to ignore payloads) seeks past it. All values come from the
+// deterministic simulation — the same (config, seed) produces byte-identical
+// files on any host and thread count.
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace mgap::obs {
+
+inline constexpr std::uint8_t kMgtMagic[4] = {'M', 'G', 'T', '1'};
+inline constexpr std::uint16_t kMgtVersion = 1;
+inline constexpr std::size_t kMgtHeaderSize = 16;
+inline constexpr std::size_t kMgtRecordFixed = 34;  // len prefix + fixed body
+/// Payload bytes beyond this are truncated on write (snap length).
+inline constexpr std::size_t kMgtMaxPayload = 1024;
+
+/// Streams records into `out` (non-owning). The header is written on
+/// construction; the stream's failbit is the error channel — check ok().
+class MgtWriter {
+ public:
+  explicit MgtWriter(std::ostream& out);
+
+  void write(const Event& e, std::span<const std::uint8_t> payload = {});
+
+  [[nodiscard]] std::uint64_t records_written() const { return records_; }
+  [[nodiscard]] bool ok() const;
+
+ private:
+  std::ostream& out_;
+  std::uint64_t records_{0};
+};
+
+/// One decoded record: the event plus its (possibly empty) payload blob.
+struct MgtRecord {
+  Event event;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Pull reader over an istream. Validates the header on construction
+/// (throws std::runtime_error on a foreign or corrupt file).
+class MgtReader {
+ public:
+  explicit MgtReader(std::istream& in);
+
+  /// False at end of stream; throws std::runtime_error on a truncated or
+  /// corrupt record.
+  [[nodiscard]] bool next(MgtRecord& out);
+
+  /// Reads every remaining record.
+  [[nodiscard]] std::vector<MgtRecord> read_all();
+
+ private:
+  std::istream& in_;
+};
+
+/// Result of a structural validation pass (mgap_trace --validate).
+struct MgtValidation {
+  bool ok{false};
+  std::string error;  // empty when ok
+  std::uint64_t records{0};
+  std::uint64_t payload_bytes{0};
+};
+
+/// Walks a whole file checking header magic, version, and record framing.
+[[nodiscard]] MgtValidation validate_mgt(std::istream& in);
+
+}  // namespace mgap::obs

@@ -1,0 +1,258 @@
+#include "obs/pcapng.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace mgap::obs {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& buf, std::uint16_t v) {
+  buf.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  buf.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  put_u16(buf, static_cast<std::uint16_t>(v & 0xFFFF));
+  put_u16(buf, static_cast<std::uint16_t>(v >> 16));
+}
+
+void pad4(std::vector<std::uint8_t>& buf) {
+  while (buf.size() % 4 != 0) buf.push_back(0);
+}
+
+/// Patches the two total-length fields and returns the finished block.
+std::vector<std::uint8_t> finish_block(std::vector<std::uint8_t> block) {
+  pad4(block);
+  const auto total = static_cast<std::uint32_t>(block.size() + 4);
+  block[4] = static_cast<std::uint8_t>(total & 0xFF);
+  block[5] = static_cast<std::uint8_t>((total >> 8) & 0xFF);
+  block[6] = static_cast<std::uint8_t>((total >> 16) & 0xFF);
+  block[7] = static_cast<std::uint8_t>(total >> 24);
+  put_u32(block, total);
+  return block;
+}
+
+std::uint32_t read_u32(std::istream& in, bool& ok) {
+  std::uint8_t b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  ok = in.gcount() == 4;
+  return ok ? (static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+               (static_cast<std::uint32_t>(b[2]) << 16) |
+               (static_cast<std::uint32_t>(b[3]) << 24))
+            : 0;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> pcapng_shb() {
+  std::vector<std::uint8_t> block;
+  put_u32(block, kPcapngShbType);
+  put_u32(block, 0);  // total length, patched by finish_block
+  put_u32(block, kPcapngByteOrderMagic);
+  put_u16(block, 1);  // major
+  put_u16(block, 0);  // minor
+  put_u32(block, 0xFFFFFFFF);  // section length -1 (unknown)
+  put_u32(block, 0xFFFFFFFF);
+  return finish_block(std::move(block));
+}
+
+std::vector<std::uint8_t> pcapng_idb(std::uint16_t linktype, const std::string& name) {
+  std::vector<std::uint8_t> block;
+  put_u32(block, kPcapngIdbType);
+  put_u32(block, 0);
+  put_u16(block, linktype);
+  put_u16(block, 0);  // reserved
+  put_u32(block, 0);  // snaplen: no limit
+  // if_name (2)
+  put_u16(block, 2);
+  put_u16(block, static_cast<std::uint16_t>(name.size()));
+  for (const char c : name) block.push_back(static_cast<std::uint8_t>(c));
+  pad4(block);
+  // if_tsresol (9): 10^-9 s per tick
+  put_u16(block, 9);
+  put_u16(block, 1);
+  block.push_back(9);
+  pad4(block);
+  // opt_endofopt
+  put_u16(block, 0);
+  put_u16(block, 0);
+  return finish_block(std::move(block));
+}
+
+std::vector<std::uint8_t> pcapng_epb(std::uint32_t interface_id, sim::TimePoint at,
+                                     std::span<const std::uint8_t> data) {
+  const auto ts = static_cast<std::uint64_t>(at.count_ns());
+  std::vector<std::uint8_t> block;
+  block.reserve(32 + data.size() + 4);
+  put_u32(block, kPcapngEpbType);
+  put_u32(block, 0);
+  put_u32(block, interface_id);
+  put_u32(block, static_cast<std::uint32_t>(ts >> 32));
+  put_u32(block, static_cast<std::uint32_t>(ts & 0xFFFFFFFF));
+  put_u32(block, static_cast<std::uint32_t>(data.size()));  // captured
+  put_u32(block, static_cast<std::uint32_t>(data.size()));  // original
+  block.insert(block.end(), data.begin(), data.end());
+  return finish_block(std::move(block));
+}
+
+std::uint32_t ble_crc24(std::span<const std::uint8_t> data, std::uint32_t init) {
+  std::uint32_t crc = init & 0xFFFFFF;
+  for (const std::uint8_t byte : data) {
+    for (int bit = 0; bit < 8; ++bit) {
+      const std::uint32_t in = ((byte >> bit) ^ (crc >> 23)) & 1;
+      crc = (crc << 1) & 0xFFFFFF;
+      if (in != 0) crc ^= 0x00065B;
+    }
+  }
+  return crc;
+}
+
+std::uint8_t rf_channel(std::uint8_t data_channel) {
+  if (data_channel <= 10) return static_cast<std::uint8_t>(data_channel + 1);
+  if (data_channel <= 36) return static_cast<std::uint8_t>(data_channel + 2);
+  return data_channel;  // 37..39: already an advertising RF channel
+}
+
+std::vector<std::uint8_t> ble_ll_capture(std::uint8_t data_channel,
+                                         std::uint32_t access_address,
+                                         std::span<const std::uint8_t> payload,
+                                         bool crc_ok) {
+  std::vector<std::uint8_t> pkt;
+  pkt.reserve(10 + 4 + 2 + payload.size() + 3);
+  // DLT 256 pseudo-header.
+  pkt.push_back(rf_channel(data_channel));
+  pkt.push_back(0xCE);  // signal power: -50 dBm
+  pkt.push_back(0x9C);  // noise power: -100 dBm
+  pkt.push_back(0);     // access-address offenses
+  put_u32(pkt, access_address);  // reference access address
+  // Flags: dewhitened | reference AA valid | CRC checked | CRC valid when ok.
+  put_u16(pkt, static_cast<std::uint16_t>(0x0001 | 0x0010 | 0x0400 |
+                                          (crc_ok ? 0x0800 : 0x0000)));
+  // On-air packet: access address, LL data header (LLID=2: start/complete),
+  // payload, CRC24.
+  put_u32(pkt, access_address);
+  const std::size_t header_at = pkt.size();
+  pkt.push_back(0x02);
+  pkt.push_back(static_cast<std::uint8_t>(payload.size()));
+  pkt.insert(pkt.end(), payload.begin(), payload.end());
+  std::uint32_t crc = ble_crc24(
+      std::span<const std::uint8_t>{pkt.data() + header_at, pkt.size() - header_at});
+  if (!crc_ok) crc ^= 0xFFFFFF;  // a corrupted trailer marks the lost PDU
+  pkt.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+  pkt.push_back(static_cast<std::uint8_t>((crc >> 8) & 0xFF));
+  pkt.push_back(static_cast<std::uint8_t>((crc >> 16) & 0xFF));
+  return pkt;
+}
+
+PcapngWriter::PcapngWriter(std::ostream& out) : out_{out} {
+  const auto shb = pcapng_shb();
+  out_.write(reinterpret_cast<const char*>(shb.data()),
+             static_cast<std::streamsize>(shb.size()));
+}
+
+std::uint32_t PcapngWriter::add_interface(std::uint16_t linktype,
+                                          const std::string& name) {
+  const auto idb = pcapng_idb(linktype, name);
+  out_.write(reinterpret_cast<const char*>(idb.data()),
+             static_cast<std::streamsize>(idb.size()));
+  return next_interface_++;
+}
+
+std::uint32_t PcapngWriter::ble_interface() {
+  if (ble_interface_ < 0) {
+    ble_interface_ =
+        static_cast<std::int32_t>(add_interface(kLinktypeBleLlWithPhdr, "ble-ll"));
+  }
+  return static_cast<std::uint32_t>(ble_interface_);
+}
+
+std::uint32_t PcapngWriter::ip_interface(NodeId node) {
+  auto it = ip_interfaces_.find(node);
+  if (it == ip_interfaces_.end()) {
+    const std::uint32_t id =
+        add_interface(kLinktypeIpv6, "node" + std::to_string(node) + "-ipv6");
+    it = ip_interfaces_.emplace(node, id).first;
+  }
+  return it->second;
+}
+
+void PcapngWriter::write_packet(std::uint32_t interface_id, sim::TimePoint at,
+                                std::span<const std::uint8_t> data) {
+  const auto epb = pcapng_epb(interface_id, at, data);
+  out_.write(reinterpret_cast<const char*>(epb.data()),
+             static_cast<std::streamsize>(epb.size()));
+  ++packets_;
+}
+
+bool PcapngWriter::ok() const { return out_.good(); }
+
+PcapngValidation validate_pcapng(std::istream& in) {
+  PcapngValidation v;
+  bool ok = false;
+  const std::uint32_t first_type = read_u32(in, ok);
+  if (!ok) {
+    v.error = "pcapng: file shorter than a block header";
+    return v;
+  }
+  if (first_type != kPcapngShbType) {
+    v.error = "pcapng: first block is not a Section Header Block";
+    return v;
+  }
+  bool first = true;
+  std::uint32_t type = first_type;
+  while (true) {
+    const std::uint32_t total_len = read_u32(in, ok);
+    if (!ok) {
+      v.error = "pcapng: truncated block length";
+      return v;
+    }
+    if (total_len < 12 || total_len % 4 != 0) {
+      v.error = "pcapng: bad block length " + std::to_string(total_len);
+      return v;
+    }
+    std::vector<std::uint8_t> body(total_len - 12);
+    in.read(reinterpret_cast<char*>(body.data()),
+            static_cast<std::streamsize>(body.size()));
+    if (in.gcount() != static_cast<std::streamsize>(body.size())) {
+      v.error = "pcapng: truncated block body";
+      return v;
+    }
+    const std::uint32_t trailer = read_u32(in, ok);
+    if (!ok || trailer != total_len) {
+      v.error = "pcapng: trailing length mismatch";
+      return v;
+    }
+    if (first) {
+      if (body.size() < 8) {
+        v.error = "pcapng: SHB too short";
+        return v;
+      }
+      const std::uint32_t magic = static_cast<std::uint32_t>(body[0]) |
+                                  (static_cast<std::uint32_t>(body[1]) << 8) |
+                                  (static_cast<std::uint32_t>(body[2]) << 16) |
+                                  (static_cast<std::uint32_t>(body[3]) << 24);
+      if (magic != kPcapngByteOrderMagic) {
+        v.error = "pcapng: bad byte-order magic";
+        return v;
+      }
+      first = false;
+    }
+    ++v.blocks;
+    if (type == kPcapngIdbType) ++v.interfaces;
+    if (type == kPcapngEpbType) {
+      if (v.interfaces == 0) {
+        v.error = "pcapng: packet block before any interface block";
+        return v;
+      }
+      ++v.packets;
+    }
+    type = read_u32(in, ok);
+    if (!ok) break;  // clean end of file
+  }
+  v.ok = true;
+  return v;
+}
+
+}  // namespace mgap::obs

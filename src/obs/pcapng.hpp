@@ -1,0 +1,103 @@
+#pragma once
+// PCAPNG capture writer so traces open in Wireshark.
+//
+// Two kinds of interfaces are emitted:
+//   * one LINKTYPE_BLUETOOTH_LE_LL_WITH_PHDR (256) interface carrying every
+//     BLE data PDU with the 10-byte pseudo-header (RF channel, reference
+//     access address, CRC-checked/valid flags) followed by the on-air packet
+//     (access address | LL header | payload | CRC24), and
+//   * one LINKTYPE_IPV6 (229) interface per node carrying the decompressed
+//     IPv6/UDP packets as the stack saw them.
+//
+// Interfaces are registered lazily (an IDB may precede its first EPB anywhere
+// in the section), timestamps use if_tsresol = 9 (nanoseconds), and all
+// content derives from the simulation, so files are byte-reproducible.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/ids.hpp"
+#include "sim/time.hpp"
+
+namespace mgap::obs {
+
+inline constexpr std::uint32_t kPcapngShbType = 0x0A0D0D0A;
+inline constexpr std::uint32_t kPcapngByteOrderMagic = 0x1A2B3C4D;
+inline constexpr std::uint32_t kPcapngIdbType = 0x00000001;
+inline constexpr std::uint32_t kPcapngEpbType = 0x00000006;
+inline constexpr std::uint16_t kLinktypeBleLlWithPhdr = 256;
+inline constexpr std::uint16_t kLinktypeIpv6 = 229;
+
+// --- block construction (exposed for golden-byte tests) ---------------------
+
+[[nodiscard]] std::vector<std::uint8_t> pcapng_shb();
+[[nodiscard]] std::vector<std::uint8_t> pcapng_idb(std::uint16_t linktype,
+                                                   const std::string& name);
+[[nodiscard]] std::vector<std::uint8_t> pcapng_epb(std::uint32_t interface_id,
+                                                   sim::TimePoint at,
+                                                   std::span<const std::uint8_t> data);
+
+/// BLE CRC24 (poly 0x00065B, per-connection init; the spec's LFSR, bits
+/// processed LSB first). Used to give exported PDUs a valid trailer.
+[[nodiscard]] std::uint32_t ble_crc24(std::span<const std::uint8_t> data,
+                                      std::uint32_t init = 0x555555);
+
+/// Maps a data-channel index (0..36) to the RF channel number (spec Vol 6
+/// Part A: data 0..10 -> RF 1..11, data 11..36 -> RF 13..38).
+[[nodiscard]] std::uint8_t rf_channel(std::uint8_t data_channel);
+
+/// Builds the DLT-256 capture record for one LL data PDU: 10-byte
+/// pseudo-header + access address + LL header (LLID=2) + payload + CRC24.
+/// `crc_ok=false` corrupts the CRC so Wireshark flags the packet, mirroring
+/// the simulated CRC failure.
+[[nodiscard]] std::vector<std::uint8_t> ble_ll_capture(
+    std::uint8_t data_channel, std::uint32_t access_address,
+    std::span<const std::uint8_t> payload, bool crc_ok);
+
+// --- streaming writer -------------------------------------------------------
+
+class PcapngWriter {
+ public:
+  /// Writes the Section Header Block immediately.
+  explicit PcapngWriter(std::ostream& out);
+
+  /// Registers an interface, returning its id for write_packet().
+  std::uint32_t add_interface(std::uint16_t linktype, const std::string& name);
+
+  /// The shared BLE link-layer interface (created on first use).
+  std::uint32_t ble_interface();
+  /// The per-node IPv6 interface (created on first use).
+  std::uint32_t ip_interface(NodeId node);
+
+  void write_packet(std::uint32_t interface_id, sim::TimePoint at,
+                    std::span<const std::uint8_t> data);
+
+  [[nodiscard]] std::uint64_t packets_written() const { return packets_; }
+  [[nodiscard]] bool ok() const;
+
+ private:
+  std::ostream& out_;
+  std::uint32_t next_interface_{0};
+  std::int32_t ble_interface_{-1};
+  std::map<NodeId, std::uint32_t> ip_interfaces_;
+  std::uint64_t packets_{0};
+};
+
+/// Result of a structural validation pass (mgap_trace --validate).
+struct PcapngValidation {
+  bool ok{false};
+  std::string error;  // empty when ok
+  std::uint64_t blocks{0};
+  std::uint64_t interfaces{0};
+  std::uint64_t packets{0};
+};
+
+/// Walks the file: SHB magic + byte order first, then every block's framing
+/// (length >= 12, multiple of 4, trailing length equal to leading).
+[[nodiscard]] PcapngValidation validate_pcapng(std::istream& in);
+
+}  // namespace mgap::obs

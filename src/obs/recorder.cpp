@@ -1,0 +1,75 @@
+#include "obs/recorder.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+namespace mgap::obs {
+
+std::ofstream open_trace_file(const std::string& path) {
+  if (path.empty()) {
+    throw std::runtime_error{"trace: empty output path"};
+  }
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    throw std::runtime_error{"trace: output path is a directory: " + path};
+  }
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out.is_open()) {
+    throw std::runtime_error{"trace: cannot open output file: " + path};
+  }
+  return out;
+}
+
+void Recorder::open_mgt(const std::string& path) {
+  mgt_out_ = open_trace_file(path);
+  mgt_path_ = path;
+  mgt_writer_ = std::make_unique<MgtWriter>(mgt_out_);
+  refresh_active();
+}
+
+void Recorder::open_pcap(const std::string& path) {
+  pcap_out_ = open_trace_file(path);
+  pcap_path_ = path;
+  pcap_writer_ = std::make_unique<PcapngWriter>(pcap_out_);
+  refresh_active();
+}
+
+void Recorder::record(const Event& e, std::span<const std::uint8_t> payload) {
+  if (!wants(e.type)) return;
+  ++events_;
+  if (collect_) collected_events_.push_back(e);
+  if (mgt_writer_) mgt_writer_->write(e, payload);
+  if (pcap_writer_ && !payload.empty()) {
+    if (e.type == EventType::kPduTx) {
+      const auto capture = ble_ll_capture(e.chan, e.a, payload,
+                                          (e.flags & kPduCrcOk) != 0);
+      pcap_writer_->write_packet(pcap_writer_->ble_interface(), e.at, capture);
+    } else if (e.type == EventType::kIpPacket) {
+      pcap_writer_->write_packet(pcap_writer_->ip_interface(e.node), e.at, payload);
+    }
+  }
+}
+
+void Recorder::close() {
+  if (mgt_writer_) {
+    const bool write_ok = mgt_writer_->ok();
+    mgt_writer_.reset();
+    mgt_out_.flush();
+    if (!write_ok || !mgt_out_) {
+      throw std::runtime_error{"trace: write failed: " + mgt_path_};
+    }
+    mgt_out_.close();
+  }
+  if (pcap_writer_) {
+    const bool write_ok = pcap_writer_->ok();
+    pcap_writer_.reset();
+    pcap_out_.flush();
+    if (!write_ok || !pcap_out_) {
+      throw std::runtime_error{"trace: write failed: " + pcap_path_};
+    }
+    pcap_out_.close();
+  }
+  refresh_active();
+}
+
+}  // namespace mgap::obs

@@ -1,0 +1,50 @@
+#include "obs/registry.hpp"
+
+namespace mgap::obs {
+
+void Registry::count(std::string_view name, NodeId node, double v) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string{name}, std::map<NodeId, double>{}).first;
+  }
+  it->second[node] += v;
+}
+
+void Registry::gauge_max(std::string_view name, NodeId node, double v) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string{name}, std::map<NodeId, double>{}).first;
+  }
+  auto [node_it, inserted] = it->second.emplace(node, v);
+  if (!inserted && v > node_it->second) node_it->second = v;
+}
+
+std::map<std::string, double> Registry::totals() const {
+  std::map<std::string, double> out;
+  for (const auto& [name, nodes] : counters_) {
+    double sum = 0.0;
+    for (const auto& [node, v] : nodes) sum += v;
+    out[name] = sum;
+  }
+  for (const auto& [name, nodes] : gauges_) {
+    double peak = 0.0;
+    for (const auto& [node, v] : nodes) {
+      if (v > peak) peak = v;
+    }
+    out[name] = peak;
+  }
+  return out;
+}
+
+std::map<NodeId, double> Registry::per_node(std::string_view name) const {
+  if (const auto it = counters_.find(name); it != counters_.end()) return it->second;
+  if (const auto it = gauges_.find(name); it != gauges_.end()) return it->second;
+  return {};
+}
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+}
+
+}  // namespace mgap::obs

@@ -1,0 +1,41 @@
+#pragma once
+// Per-node counter/gauge registry.
+//
+// Experiments register what happened (drops, claim denials, airtime,
+// high-watermarks) by name; the campaign layer folds the totals into its
+// JSON/CSV outputs so observability metrics aggregate across seeds exactly
+// like PDR or latency. Deterministic by construction: std::map keeps names
+// and nodes sorted, values derive only from simulation state.
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "sim/ids.hpp"
+
+namespace mgap::obs {
+
+class Registry {
+ public:
+  /// Adds `v` to the named per-node counter (totals sum across nodes).
+  void count(std::string_view name, NodeId node, double v = 1.0);
+
+  /// Raises the named per-node gauge to at least `v` (totals take the max
+  /// across nodes — right for high-watermarks and peaks).
+  void gauge_max(std::string_view name, NodeId node, double v);
+
+  /// One value per metric name: counters summed over nodes, gauges maxed.
+  [[nodiscard]] std::map<std::string, double> totals() const;
+
+  /// Per-node breakdown of one metric (empty map when unknown).
+  [[nodiscard]] std::map<NodeId, double> per_node(std::string_view name) const;
+
+  [[nodiscard]] bool empty() const { return counters_.empty() && gauges_.empty(); }
+  void clear();
+
+ private:
+  std::map<std::string, std::map<NodeId, double>, std::less<>> counters_;
+  std::map<std::string, std::map<NodeId, double>, std::less<>> gauges_;
+};
+
+}  // namespace mgap::obs

@@ -1,5 +1,7 @@
 #include "sim/trace.hpp"
 
+#include <stdexcept>
+
 namespace mgap::sim {
 
 std::string_view to_string(TraceCat cat) {
@@ -13,6 +15,52 @@ std::string_view to_string(TraceCat cat) {
     case TraceCat::kFault: return "fault";
   }
   return "?";
+}
+
+std::optional<TraceCat> trace_cat_from_string(std::string_view name) {
+  for (std::size_t i = 0; i < kTraceCatCount; ++i) {
+    const auto cat = static_cast<TraceCat>(i);
+    if (name == to_string(cat)) return cat;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t parse_trace_cat_mask(std::string_view list) {
+  auto trim = [](std::string_view s) {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+    return s;
+  };
+  if (trim(list) == "all") return kAllTraceCats;
+  std::uint32_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const auto comma = list.find(',', pos);
+    const std::string_view token =
+        trim(list.substr(pos, comma == std::string_view::npos ? std::string_view::npos
+                                                              : comma - pos));
+    pos = comma == std::string_view::npos ? list.size() + 1 : comma + 1;
+    if (token.empty()) continue;
+    const auto cat = trace_cat_from_string(token);
+    if (!cat) {
+      throw std::runtime_error{"trace: unknown category '" + std::string(token) + "'"};
+    }
+    mask |= trace_cat_bit(*cat);
+  }
+  if (mask == 0) throw std::runtime_error{"trace: empty category list"};
+  return mask;
+}
+
+std::string render_trace_cat_mask(std::uint32_t mask) {
+  if ((mask & kAllTraceCats) == kAllTraceCats) return "all";
+  std::string out;
+  for (std::size_t i = 0; i < kTraceCatCount; ++i) {
+    const auto cat = static_cast<TraceCat>(i);
+    if ((mask & trace_cat_bit(cat)) == 0) continue;
+    if (!out.empty()) out += ',';
+    out += to_string(cat);
+  }
+  return out;
 }
 
 }  // namespace mgap::sim

@@ -2,9 +2,14 @@
 // Event tracing, mirroring the paper's per-node STDIO event dump (section 4.2):
 // compact, ordered records that downstream analysis consumes. Sinks subscribe
 // by category; the default build keeps tracing disabled for speed.
+//
+// The string-record Tracer below is the human-readable channel (tests, ad-hoc
+// debugging). The hot paths additionally emit *typed* binary events through
+// obs::Recorder (src/obs/), which shares this header's category vocabulary.
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,7 +28,24 @@ enum class TraceCat : std::uint8_t {
   kFault,       // injected fault begin/end
 };
 
+inline constexpr std::size_t kTraceCatCount = 7;
+
+/// Bit mask with every category subscribed.
+inline constexpr std::uint32_t kAllTraceCats = (1u << kTraceCatCount) - 1;
+
+[[nodiscard]] constexpr std::uint32_t trace_cat_bit(TraceCat cat) {
+  return 1u << static_cast<std::uint32_t>(cat);
+}
+
 [[nodiscard]] std::string_view to_string(TraceCat cat);
+[[nodiscard]] std::optional<TraceCat> trace_cat_from_string(std::string_view name);
+
+/// Parses a comma-separated category list ("ll,net,app", or "all") into a
+/// subscribe mask. Throws std::runtime_error naming the offending token.
+[[nodiscard]] std::uint32_t parse_trace_cat_mask(std::string_view list);
+
+/// Renders a mask back to the comma-separated list form ("all" when full).
+[[nodiscard]] std::string render_trace_cat_mask(std::uint32_t mask);
 
 struct TraceRecord {
   TimePoint at;
@@ -38,10 +60,18 @@ class Tracer {
 
   void set_sink(Sink sink) { sink_ = std::move(sink); }
   void enable(bool on) { enabled_ = on; }
+  /// Sinks subscribe by category: records outside `mask` are dropped before
+  /// any formatting work happens (see World::trace's lazy overload).
+  void set_categories(std::uint32_t mask) { mask_ = mask; }
+  [[nodiscard]] std::uint32_t categories() const { return mask_; }
+
   [[nodiscard]] bool enabled() const { return enabled_ && sink_ != nullptr; }
+  [[nodiscard]] bool enabled(TraceCat cat) const {
+    return enabled() && (mask_ & trace_cat_bit(cat)) != 0;
+  }
 
   void emit(TimePoint at, TraceCat cat, std::uint32_t node, std::string msg) {
-    if (enabled()) sink_(TraceRecord{at, cat, node, std::move(msg)});
+    if (enabled(cat)) sink_(TraceRecord{at, cat, node, std::move(msg)});
   }
 
   /// Convenience sink that stores records in memory (used by tests).
@@ -51,6 +81,7 @@ class Tracer {
 
  private:
   Sink sink_;
+  std::uint32_t mask_{kAllTraceCats};
   bool enabled_{false};
 };
 

@@ -171,6 +171,17 @@ void apply_experiment_kv(ExperimentConfig& cfg, const std::string& key,
     const auto d = parse_duration(value);
     if (!d) throw std::runtime_error{"config: bad reconnect_backoff_jitter"};
     cfg.reconnect_backoff_jitter = *d;
+  } else if (key == "trace.file") {
+    // "none"/"off" clears the sink so a campaign axis can disable tracing.
+    cfg.trace_file = (value == "none" || value == "off") ? std::string{} : value;
+  } else if (key == "trace.pcap") {
+    cfg.trace_pcap = (value == "none" || value == "off") ? std::string{} : value;
+  } else if (key == "trace.categories") {
+    try {
+      cfg.trace_categories = sim::parse_trace_cat_mask(value);
+    } catch (const std::exception& e) {
+      throw std::runtime_error{"config: trace.categories: " + std::string(e.what())};
+    }
   } else {
     throw std::runtime_error{"config: unknown key '" + key + "'"};
   }
@@ -261,6 +272,13 @@ std::string render_experiment_config(const ExperimentConfig& config) {
   out << "reconnect_backoff_max = " << config.reconnect_backoff_max.str() << "\n";
   out << "reconnect_backoff_jitter = " << config.reconnect_backoff_jitter.str()
       << "\n";
+  // Trace keys render only when set, keeping untraced configs byte-stable.
+  if (!config.trace_file.empty()) out << "trace.file = " << config.trace_file << "\n";
+  if (!config.trace_pcap.empty()) out << "trace.pcap = " << config.trace_pcap << "\n";
+  if (config.trace_categories != sim::kAllTraceCats) {
+    out << "trace.categories = " << sim::render_trace_cat_mask(config.trace_categories)
+        << "\n";
+  }
   return out.str();
 }
 

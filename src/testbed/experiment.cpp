@@ -7,6 +7,11 @@ namespace mgap::testbed {
 
 Experiment::Experiment(ExperimentConfig config)
     : config_{std::move(config)}, sim_{config_.seed}, metrics_{config_.metrics_bucket} {
+  // Sinks open before any node exists, so even setup-time events are caught
+  // and bad paths abort the experiment up front (not after an hour of sim).
+  if (!config_.trace_file.empty()) recorder_.open_mgt(config_.trace_file);
+  if (!config_.trace_pcap.empty()) recorder_.open_pcap(config_.trace_pcap);
+  recorder_.set_categories(config_.trace_categories);
   if (config_.radio == ExperimentConfig::Radio::kBle) {
     build_ble();
   } else {
@@ -23,6 +28,7 @@ void Experiment::build_ble() {
   phy::ChannelModel cm{config_.base_per};
   if (config_.jam_channel_22) cm.jam(22);
   ble_world_ = std::make_unique<ble::BleWorld>(sim_, cm);
+  ble_world_->set_recorder(&recorder_);  // before add_node: schedulers inherit it
   if (config_.exclude_channel_22) {
     ble::ChannelMap map = ble::ChannelMap::all();
     map.exclude(22);
@@ -45,6 +51,7 @@ void Experiment::build_ble() {
     net::IpStackConfig ip_cfg;
     ip_cfg.compression = config_.compression;
     node.stack = std::make_unique<net::IpStack>(sim_, id, *node.ble_netif, ip_cfg);
+    node.stack->set_recorder(&recorder_);
 
     core::StatconnConfig sc_cfg;
     sc_cfg.policy = config_.policy;
@@ -102,6 +109,7 @@ void Experiment::build_154() {
     net::IpStackConfig ip_cfg;
     ip_cfg.compression = config_.compression;
     node.stack = std::make_unique<net::IpStack>(sim_, id, *node.netif154, ip_cfg);
+    node.stack->set_recorder(&recorder_);
     nodes_.emplace(id, std::move(node));
   }
 }
@@ -199,6 +207,7 @@ void Experiment::run() {
     if (node.producer) node.producer->stop();
   }
   sim_.run_until(sim::TimePoint::origin() + config_.duration + config_.drain);
+  recorder_.close();  // flush + surface any sink failure before results count
 }
 
 void Experiment::run_until(sim::TimePoint t) {
@@ -296,6 +305,26 @@ ExperimentSummary Experiment::summary() const {
     s.pdr_during_fault = during.pdr();
     s.pdr_post_fault = post.pdr();
   }
+
+  // Observability registry: per-node counters/gauges folded to totals. The
+  // names are stable API — campaign CSV columns derive from them.
+  obs::Registry reg;
+  for (const auto& [id, node] : nodes_) {
+    const net::Pktbuf& buf = node.stack->pktbuf();
+    reg.gauge_max("pktbuf.high_water", id, static_cast<double>(buf.high_water()));
+    reg.count("pktbuf.failed_allocs", id, static_cast<double>(buf.failed_allocs()));
+  }
+  if (ble_world_) {
+    for (const auto& ctrl : ble_world_->nodes()) {
+      const ble::RadioScheduler& sched = ctrl->scheduler();
+      reg.count("radio.claims_granted", ctrl->id(),
+                static_cast<double>(sched.granted()));
+      reg.count("radio.claims_denied", ctrl->id(),
+                static_cast<double>(sched.denied()));
+    }
+  }
+  reg.count("trace.events", 0, static_cast<double>(recorder_.events_recorded()));
+  s.counters = reg.totals();
   return s;
 }
 

@@ -18,7 +18,10 @@
 #include "fault/spec.hpp"
 #include "ieee802154/mac.hpp"
 #include "net/ip_stack.hpp"
+#include "obs/recorder.hpp"
+#include "obs/registry.hpp"
 #include "phy/channel_model.hpp"
+#include "sim/trace.hpp"
 #include "sim/simulator.hpp"
 #include "testbed/metrics.hpp"
 #include "testbed/netif154.hpp"
@@ -70,6 +73,13 @@ struct ExperimentConfig {
   sim::Duration reconnect_backoff_base{sim::Duration::ms(10)};
   sim::Duration reconnect_backoff_max{sim::Duration::ms(640)};
   sim::Duration reconnect_backoff_jitter{sim::Duration::ms(20)};
+
+  // Observability (src/obs/). Empty paths leave the corresponding sink off;
+  // bad paths (directories, unwritable locations) fail construction with a
+  // clear error rather than silently producing no trace.
+  std::string trace_file;  // typed binary event trace (.mgt)
+  std::string trace_pcap;  // PCAPNG capture (BLE LL + per-node IPv6)
+  std::uint32_t trace_categories{sim::kAllTraceCats};
 };
 
 struct ExperimentSummary {
@@ -99,6 +109,11 @@ struct ExperimentSummary {
   double pdr_pre_fault{1.0};          // sliding windows around fault events
   double pdr_during_fault{1.0};
   double pdr_post_fault{1.0};
+
+  /// Observability totals from the obs::Registry (pktbuf watermarks, radio
+  /// claim outcomes, recorded trace events). Campaign writers fold these into
+  /// JSON/CSV next to the fixed fields above.
+  std::map<std::string, double> counters;
 };
 
 class Experiment {
@@ -128,6 +143,9 @@ class Experiment {
   /// Non-null when faults or chaos mode are configured.
   [[nodiscard]] fault::FaultInjector* injector() { return injector_.get(); }
   [[nodiscard]] const Consumer& consumer() const { return *consumer_; }
+  /// The typed-event recorder every layer reports into. Sinks follow the
+  /// trace_* config keys; run() closes them after the drain.
+  [[nodiscard]] obs::Recorder& recorder() { return recorder_; }
 
   [[nodiscard]] ExperimentSummary summary() const;
 
@@ -151,6 +169,7 @@ class Experiment {
 
   ExperimentConfig config_;
   sim::Simulator sim_;
+  obs::Recorder recorder_;
   Metrics metrics_;
   std::unique_ptr<ble::BleWorld> ble_world_;
   std::unique_ptr<ieee802154::Network154> net154_;
