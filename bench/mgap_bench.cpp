@@ -1,0 +1,231 @@
+// mgap_bench — machine-readable performance regression harness.
+//
+//   mgap_bench [--out DIR] [--quick] [event_queue] [campaign]
+//
+// Emits BENCH_event_queue.json and BENCH_campaign.json (both by default).
+// The event-queue suite drives the simulator-core hot path at 10k/30k/100k
+// live events: near-constant ns/op across sizes is the contract — the
+// pre-slot-map implementation erased from the front of a sorted vector on
+// every pop/cancel, so its ns/op grew linearly with the live-event count
+// (quadratic total time) and a 24 h campaign spent most of its wall clock
+// inside the queue. The campaign suite times a fig15-style multi-seed sweep
+// end-to-end and fingerprints its JSON output (FNV-1a) so CI catches both
+// wall-clock regressions and cross-build nondeterminism.
+//
+// CI compares the committed baselines against a fresh run and fails when the
+// 100k-event case regresses more than 2x (scaling-normalized, so a slower
+// runner does not false-positive) or the campaign fingerprint moves.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/writers.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "testbed/topology.hpp"
+
+using namespace mgap;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+struct Case {
+  std::string name;
+  std::size_t n;
+  std::uint64_t ops;
+  double seconds;
+  [[nodiscard]] double ns_per_op() const {
+    return ops == 0 ? 0.0 : seconds * 1e9 / static_cast<double>(ops);
+  }
+};
+
+/// Schedule n events at uniform random times, then drain — the exact workload
+/// that was quadratic before the slot-map rewrite.
+Case bench_schedule_drain(std::size_t n) {
+  sim::Rng rng{1, 1};
+  sim::EventQueue q;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    q.schedule(sim::TimePoint::from_ns(static_cast<std::int64_t>(rng.next_u64() % 1'000'000)),
+               [] {});
+  }
+  while (!q.empty()) q.pop();
+  return Case{"schedule_drain", n, static_cast<std::uint64_t>(2 * n), seconds_since(t0)};
+}
+
+/// n live timers, each cancelled and re-armed repeatedly — the supervision
+/// timer pattern of the BLE connection-event loop.
+Case bench_cancel_rearm(std::size_t n, std::size_t rounds) {
+  sim::Rng rng{2, 1};
+  sim::EventQueue q;
+  std::vector<sim::EventId> timers(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    timers[i] = q.schedule(sim::TimePoint::from_ns(static_cast<std::int64_t>(i)), [] {});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      q.cancel(timers[i]);
+      timers[i] = q.schedule(
+          sim::TimePoint::from_ns(static_cast<std::int64_t>(rng.next_u64() % 1'000'000)), [] {});
+    }
+  }
+  const Case c{"cancel_rearm", n, static_cast<std::uint64_t>(2 * n * rounds),
+               seconds_since(t0)};
+  while (!q.empty()) q.pop();
+  return c;
+}
+
+/// Steady state at n live events: pop one, schedule one — the DES main loop.
+Case bench_steady_churn(std::size_t n, std::size_t ops) {
+  sim::Rng rng{3, 1};
+  sim::EventQueue q;
+  for (std::size_t i = 0; i < n; ++i) {
+    q.schedule(sim::TimePoint::from_ns(static_cast<std::int64_t>(rng.next_u64() % 1'000'000)),
+               [] {});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ops; ++i) {
+    const auto fired = q.pop();
+    q.schedule(fired.at + sim::Duration::us(static_cast<std::int64_t>(rng.next_u64() % 1000)),
+               [] {});
+  }
+  const Case c{"steady_churn", n, static_cast<std::uint64_t>(2 * ops), seconds_since(t0)};
+  return c;
+}
+
+int run_event_queue(const std::string& out_dir, bool quick) {
+  const std::size_t scale = quick ? 10 : 1;
+  const std::size_t sizes[] = {10'000, 30'000, 100'000};
+  // Discarded warm-up so the first measured case does not eat the cold-cache
+  // cost and skew the scaling ratio.
+  (void)bench_schedule_drain(sizes[0]);
+  std::vector<Case> cases;
+  for (const std::size_t n : sizes) {
+    cases.push_back(bench_schedule_drain(n));
+    cases.push_back(bench_cancel_rearm(n, 20 / scale + 1));
+    cases.push_back(bench_steady_churn(n, 500'000 / scale));
+  }
+
+  double small = 0.0;
+  double large = 0.0;
+  std::string json = "{\n  \"bench\": \"event_queue\",\n  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Case& c = cases[i];
+    if (c.name == "schedule_drain" && c.n == sizes[0]) small = c.ns_per_op();
+    if (c.name == "schedule_drain" && c.n == sizes[2]) large = c.ns_per_op();
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "    {\"name\": \"%s\", \"n\": %zu, \"ops\": %" PRIu64
+                  ", \"seconds\": %.6f, \"ns_per_op\": %.1f}%s\n",
+                  c.name.c_str(), c.n, c.ops, c.seconds, c.ns_per_op(),
+                  i + 1 < cases.size() ? "," : "");
+    json += line;
+  }
+  // The headline number: ns/op growth from 10k to 100k live events. ~1 for a
+  // real heap; ~10 (linear in n) for the old sorted-vector side table.
+  char tail[128];
+  std::snprintf(tail, sizeof tail,
+                "  ],\n  \"scaling_ratio_10k_to_100k\": %.2f\n}\n",
+                small > 0 ? large / small : 0.0);
+  json += tail;
+  campaign::write_file(out_dir + "/BENCH_event_queue.json", json);
+  std::printf("event_queue: schedule_drain %.0f ns/op @10k -> %.0f ns/op @100k "
+              "(ratio %.2f)\n",
+              small, large, small > 0 ? large / small : 0.0);
+  return 0;
+}
+
+int run_campaign(const std::string& out_dir, bool quick) {
+  // A fig15-style cell grid: static vs randomized connection intervals, three
+  // replication seeds, full-rate simulation (no MGAP_TIME_SCALE dependence so
+  // the JSON fingerprint is reproducible everywhere).
+  campaign::CampaignSpec spec;
+  spec.name = "bench_campaign";
+  spec.base.topology = testbed::Topology::tree15();
+  spec.base.duration = sim::Duration::minutes(quick ? 2 : 10);
+  spec.base.producer_interval = sim::Duration::sec(1);
+  spec.base.producer_jitter = sim::Duration::ms(500);
+  spec.seeds = {1, 2, 3};
+  spec.axes.push_back({"conn_interval", {"75ms", "65:85ms"}});
+
+  campaign::RunnerOptions options;
+  options.progress = false;
+  const auto t0 = std::chrono::steady_clock::now();
+  const campaign::CampaignResult result = campaign::CampaignRunner{options}.run(spec);
+  const double wall = seconds_since(t0);
+
+  const std::string result_json = campaign::to_json(result);
+  const std::uint64_t fingerprint = fnv1a(result_json);
+  const double sim_seconds = static_cast<double>(result.cells.size()) *
+                             static_cast<double>(spec.base.duration.count_ns()) * 1e-9;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"bench\": \"campaign\",\n"
+                "  \"cells\": %zu,\n"
+                "  \"sim_seconds\": %.0f,\n"
+                "  \"wall_seconds\": %.3f,\n"
+                "  \"sim_per_wall\": %.1f,\n"
+                "  \"result_json_fnv1a\": \"%016" PRIx64 "\"\n"
+                "}\n",
+                result.cells.size(), sim_seconds, wall,
+                wall > 0 ? sim_seconds / wall : 0.0, fingerprint);
+  campaign::write_file(out_dir + "/BENCH_campaign.json", std::string{buf});
+  std::printf("campaign: %zu cells, %.0f sim-s in %.2f wall-s (%.0fx real time), "
+              "fingerprint %016" PRIx64 "\n",
+              result.cells.size(), sim_seconds, wall,
+              wall > 0 ? sim_seconds / wall : 0.0, fingerprint);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  bool quick = false;
+  bool want_event_queue = false;
+  bool want_campaign = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "event_queue") == 0) {
+      want_event_queue = true;
+    } else if (std::strcmp(argv[i], "campaign") == 0) {
+      want_campaign = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out DIR] [--quick] [event_queue] [campaign]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!want_event_queue && !want_campaign) {
+    want_event_queue = true;
+    want_campaign = true;
+  }
+  int rc = 0;
+  if (want_event_queue) rc |= run_event_queue(out_dir, quick);
+  if (want_campaign) rc |= run_campaign(out_dir, quick);
+  return rc;
+}

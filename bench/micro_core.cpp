@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <vector>
 
 #include "app/coap.hpp"
 #include "ble/channel_selection.hpp"
@@ -33,6 +34,27 @@ static void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_EventQueueScheduleAndPop);
+
+static void BM_EventQueueCancelRearm(benchmark::State& state) {
+  // The supervision-timer pattern at a realistic live-event population:
+  // cancel + reschedule against `range(0)` standing events. O(1) cancel means
+  // this stays flat as the population grows.
+  const auto standing = static_cast<std::size_t>(state.range(0));
+  sim::EventQueue q;
+  std::vector<sim::EventId> timers(standing);
+  for (std::size_t i = 0; i < standing; ++i) {
+    timers[i] = q.schedule(sim::TimePoint::from_ns(static_cast<std::int64_t>(i + 1)), [] {});
+  }
+  std::size_t cursor = 0;
+  std::int64_t t = static_cast<std::int64_t>(standing);
+  for (auto _ : state) {
+    q.cancel(timers[cursor]);
+    timers[cursor] = q.schedule(sim::TimePoint::from_ns(++t), [] {});
+    cursor = (cursor + 1) % standing;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueCancelRearm)->Arg(1'000)->Arg(100'000);
 
 static void BM_RngNextU64(benchmark::State& state) {
   sim::Rng rng{42, 1};

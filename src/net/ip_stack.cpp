@@ -54,6 +54,9 @@ IpStack::IpStack(sim::Simulator& sim, NodeId node, Netif& netif, IpStackConfig c
       config_{config},
       pktbuf_{config.pktbuf_bytes},
       nib_{config.nib_capacity} {
+  // In-flight reassembly buffers live in the shared pool (GNRC semantics);
+  // without this the reassembler would be a hidden unbounded side heap.
+  reasm_.bind_pool(&pktbuf_, config.pkt_overhead);
   netif_.set_rx([this](NodeId src, std::vector<std::uint8_t> frame, sim::TimePoint at) {
     on_frame(src, std::move(frame), at);
   });
@@ -141,7 +144,7 @@ void IpStack::purge() {
     }
     queue.clear();
   }
-  reasm_ = SixloReassembler{};
+  reasm_.clear();
 }
 
 void IpStack::flush_neighbor(NodeId neighbor) {

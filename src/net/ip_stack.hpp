@@ -76,6 +76,7 @@ class IpStack {
   [[nodiscard]] RoutingTable& routes() { return routes_; }
   [[nodiscard]] Nib& nib() { return nib_; }
   [[nodiscard]] Pktbuf& pktbuf() { return pktbuf_; }
+  [[nodiscard]] const SixloReassembler& reassembler() const { return reasm_; }
   [[nodiscard]] const IpStats& stats() const { return stats_; }
 
   void udp_bind(std::uint16_t port, UdpHandler handler);

@@ -4,6 +4,7 @@
 // (section 4.2); exhausting it is the dominant loss mechanism under high
 // network load (section 5.2).
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 
@@ -26,8 +27,18 @@ class Pktbuf {
     return true;
   }
 
+  /// Releases `n` bytes. Freeing more than is allocated is a double-free (or
+  /// a mismatched charge) upstream: silently clamping would inflate headroom
+  /// and mask the section 5.2 loss mechanism, so it asserts in debug builds
+  /// and is counted (and clamped) in release builds.
   void free(std::size_t n) {
-    used_ = n > used_ ? 0 : used_ - n;
+    if (n > used_) {
+      assert(false && "Pktbuf::free underflow: releasing more than allocated");
+      ++underflows_;
+      used_ = 0;
+      return;
+    }
+    used_ -= n;
   }
 
   /// Takes as much of `want` as currently fits and returns the amount taken
@@ -45,6 +56,9 @@ class Pktbuf {
   [[nodiscard]] std::size_t high_water() const { return high_water_; }
   [[nodiscard]] std::uint64_t failed_allocs() const { return failed_; }
   [[nodiscard]] std::uint64_t allocs() const { return allocs_; }
+  /// Accounting-bug canary: times free() was asked to release more than the
+  /// pool held. Always 0 in a correct stack; surfaced via obs::Registry.
+  [[nodiscard]] std::uint64_t underflows() const { return underflows_; }
 
  private:
   std::size_t capacity_;
@@ -52,6 +66,7 @@ class Pktbuf {
   std::size_t high_water_{0};
   std::uint64_t failed_{0};
   std::uint64_t allocs_{0};
+  std::uint64_t underflows_{0};
 };
 
 }  // namespace mgap::net

@@ -328,10 +328,29 @@ std::vector<std::vector<std::uint8_t>> sixlo_fragment(std::span<const std::uint8
   return out;
 }
 
+std::size_t SixloReassembler::evict_expired(sim::TimePoint now) {
+  std::size_t dropped = 0;
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    if (now - it->second.started > timeout_) {
+      release(it->second);
+      it = in_flight_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  evicted_ += dropped;
+  return dropped;
+}
+
+void SixloReassembler::clear() {
+  for (const auto& [key, dg] : in_flight_) release(dg);
+  in_flight_.clear();
+}
+
 std::optional<std::vector<std::uint8_t>> SixloReassembler::feed(
     NodeId l2_src, std::span<const std::uint8_t> fragment, sim::TimePoint now) {
-  // Evict expired datagrams.
-  std::erase_if(in_flight_, [&](const auto& kv) { return now - kv.second.started > timeout_; });
+  evict_expired(now);
 
   if (fragment.size() < 4) return std::nullopt;
   const bool first = (fragment[0] & kDispatchFrag1Mask) == kDispatchFrag1;
@@ -350,12 +369,23 @@ std::optional<std::vector<std::uint8_t>> SixloReassembler::feed(
   const std::span<const std::uint8_t> data = fragment.subspan(header);
   if (offset + data.size() > size) return std::nullopt;
 
-  auto& dg = in_flight_[{l2_src, tag}];
-  if (dg.data.empty()) {
-    dg.data.resize(size);
-    dg.have.assign(size, false);
-    dg.started = now;
+  auto it = in_flight_.find({l2_src, tag});
+  if (it == in_flight_.end()) {
+    // New datagram: the whole reassembly buffer is charged to the shared
+    // pool up front, like GNRC's pktbuf-resident fragment buffers.
+    const std::size_t charge = pool_ != nullptr ? size + pool_overhead_ : 0;
+    if (pool_ != nullptr && !pool_->alloc(charge)) {
+      ++pool_denied_;
+      return std::nullopt;
+    }
+    it = in_flight_.emplace(std::make_pair(l2_src, tag), Datagram{}).first;
+    Datagram& fresh = it->second;
+    fresh.data.resize(size);
+    fresh.have.assign(size, false);
+    fresh.pool_charge = charge;
+    fresh.started = now;
   }
+  Datagram& dg = it->second;
   if (dg.data.size() != size) return std::nullopt;  // tag reuse mismatch
 
   for (std::size_t i = 0; i < data.size(); ++i) {
@@ -367,7 +397,8 @@ std::optional<std::vector<std::uint8_t>> SixloReassembler::feed(
   }
   if (dg.received == size) {
     std::vector<std::uint8_t> done = std::move(dg.data);
-    in_flight_.erase({l2_src, tag});
+    release(dg);
+    in_flight_.erase(it);
     return done;
   }
   return std::nullopt;

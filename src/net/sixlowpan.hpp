@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "net/pktbuf.hpp"
 #include "sim/ids.hpp"
 #include "sim/time.hpp"
 
@@ -41,28 +42,67 @@ enum class CompressionMode : std::uint8_t {
 
 [[nodiscard]] bool sixlo_is_fragment(std::span<const std::uint8_t> frame);
 
-/// Per-node fragment reassembly with a timeout-based eviction.
+/// Per-node fragment reassembly with timeout-based eviction. When bound to
+/// the node's shared Pktbuf, each in-flight datagram charges its full size
+/// (plus the per-packet overhead) against the pool — GNRC holds reassembly
+/// buffers in the pktbuf, so under fragment loss the reassembler competes
+/// with queued traffic instead of growing an invisible side heap. The charge
+/// is released on completion, eviction, and clear().
 class SixloReassembler {
  public:
   explicit SixloReassembler(sim::Duration timeout = sim::Duration::sec(5))
       : timeout_{timeout} {}
 
+  SixloReassembler(const SixloReassembler&) = delete;
+  SixloReassembler& operator=(const SixloReassembler&) = delete;
+  ~SixloReassembler() { clear(); }
+
+  /// Binds the shared packet buffer; `overhead` is charged per datagram on
+  /// top of its raw size (pktsnip bookkeeping, mirroring IpStackConfig).
+  void bind_pool(Pktbuf* pool, std::size_t overhead) {
+    pool_ = pool;
+    pool_overhead_ = overhead;
+  }
+
   /// Feeds one fragment; returns the completed encoded frame when the last
-  /// piece arrives.
+  /// piece arrives. Expired datagrams are evicted first, so in_flight_ stays
+  /// bounded as long as fragments keep arriving.
   std::optional<std::vector<std::uint8_t>> feed(NodeId l2_src,
                                                 std::span<const std::uint8_t> fragment,
                                                 sim::TimePoint now);
 
+  /// Drops in-flight datagrams older than the timeout, releasing their pool
+  /// charge; returns how many were dropped. feed() calls this on every
+  /// fragment; owners with no inbound traffic may call it directly.
+  std::size_t evict_expired(sim::TimePoint now);
+
+  /// Drops everything in flight, releasing pool charges (node reboot).
+  void clear();
+
   [[nodiscard]] std::size_t pending() const { return in_flight_.size(); }
+  /// Datagrams dropped by timeout since construction.
+  [[nodiscard]] std::uint64_t evicted() const { return evicted_; }
+  /// First fragments refused because the pool could not hold the datagram.
+  [[nodiscard]] std::uint64_t pool_denied() const { return pool_denied_; }
 
  private:
   struct Datagram {
     std::vector<std::uint8_t> data;
     std::vector<bool> have;  // per byte
     std::size_t received{0};
+    std::size_t pool_charge{0};
     sim::TimePoint started;
   };
+
+  void release(const Datagram& dg) {
+    if (pool_ != nullptr && dg.pool_charge > 0) pool_->free(dg.pool_charge);
+  }
+
   sim::Duration timeout_;
+  Pktbuf* pool_{nullptr};
+  std::size_t pool_overhead_{0};
+  std::uint64_t evicted_{0};
+  std::uint64_t pool_denied_{0};
   std::map<std::pair<NodeId, std::uint16_t>, Datagram> in_flight_;
 };
 

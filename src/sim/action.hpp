@@ -1,0 +1,107 @@
+#pragma once
+// Small-buffer move-only callable for event actions.
+//
+// std::function heap-allocates as soon as the capture outgrows the library's
+// tiny inline buffer (16 B on libstdc++) and requires copyable callables.
+// Event actions are created millions of times per simulated hour, invoked
+// exactly once, and overwhelmingly capture a couple of pointers — so Action
+// keeps up to kInlineBytes of callable inline (no allocation, no virtual
+// dispatch) and only falls back to one heap allocation for oversized
+// captures. Move-only, which additionally lets actions own move-only
+// resources (packet payloads, unique_ptr state) that std::function rejects.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mgap::sim {
+
+class Action {
+ public:
+  /// Inline capture budget: comfortably fits `this` + a TimePoint + a couple
+  /// of scalars, so the connection-event re-arm and supervision/backoff timer
+  /// lambdas never allocate.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  Action() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Action> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  Action(F&& f) {  // NOLINT(google-explicit-constructor): callable wrapper
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(&storage_)) Fn(std::forward<F>(f));
+      call_ = [](void* s) { (*std::launder(static_cast<Fn*>(s)))(); };
+      manage_ = [](Op op, void* s, void* to) {
+        Fn* self = std::launder(static_cast<Fn*>(s));
+        if (op == Op::kRelocate) ::new (to) Fn(std::move(*self));
+        self->~Fn();
+      };
+    } else {
+      ::new (static_cast<void*>(&storage_)) Fn*(new Fn(std::forward<F>(f)));
+      call_ = [](void* s) { (**std::launder(static_cast<Fn**>(s)))(); };
+      manage_ = [](Op op, void* s, void* to) {
+        Fn** self = std::launder(static_cast<Fn**>(s));
+        if (op == Op::kRelocate) {
+          ::new (to) Fn*(*self);  // ownership moves with the pointer
+        } else {
+          delete *self;
+        }
+      };
+    }
+  }
+
+  Action(Action&& other) noexcept { move_from(other); }
+
+  Action& operator=(Action&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  Action(const Action&) = delete;
+  Action& operator=(const Action&) = delete;
+
+  ~Action() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return call_ != nullptr; }
+
+  void operator()() {
+    assert(call_ != nullptr);
+    call_(&storage_);
+  }
+
+  void reset() {
+    if (manage_ != nullptr) manage_(Op::kDestroy, &storage_, nullptr);
+    call_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  enum class Op : std::uint8_t { kRelocate, kDestroy };
+  using Call = void (*)(void*);
+  using Manage = void (*)(Op, void* self, void* to);
+
+  void move_from(Action& other) noexcept {
+    if (other.manage_ != nullptr) {
+      other.manage_(Op::kRelocate, &other.storage_, &storage_);
+      call_ = other.call_;
+      manage_ = other.manage_;
+      other.call_ = nullptr;
+      other.manage_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  Call call_{nullptr};
+  Manage manage_{nullptr};
+};
+
+}  // namespace mgap::sim

@@ -1,43 +1,59 @@
 #pragma once
-// Cancellable discrete-event queue.
+// Cancellable discrete-event queue: a slot-map of event records indexed by an
+// implicit 4-ary min-heap.
 //
-// A binary heap of (time, sequence) keyed events. Cancellation is lazy: a
-// cancelled event stays in the heap as a tombstone and is skipped on pop,
-// which keeps cancel() O(1) — important because supervision timers are
-// re-armed on every successful connection event.
+// schedule() places the action in a generation-tagged slot (free-list
+// recycling) and pushes a (time, sequence, slot) key onto the heap; events at
+// the same instant fire in scheduling order via the sequence tie-break.
+// cancel() is O(1): it validates the generation tag, releases the action, and
+// leaves the heap key behind as a tombstone; tombstones are swept as soon as
+// they reach the top, so the earliest live event is always directly readable
+// (next_time() stays const and mutation-free). pop() is O(log n) — the heap
+// never holds more than one key per live-or-tombstoned slot, so the total
+// sweep work is paid for once per cancel.
+//
+// A slot is recycled only after its heap key is gone, and recycling bumps the
+// slot's generation, so a stale EventId of an already-fired or
+// already-cancelled event can never touch an unrelated event that happens to
+// reuse its slot — important for the supervision-timer re-arm loop, which
+// cancels and reschedules on every successful connection event.
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/action.hpp"
 #include "sim/time.hpp"
 
 namespace mgap::sim {
 
 /// Opaque handle identifying a scheduled event; may be used to cancel it.
+/// Generation-tagged: a handle kept past its event's firing or cancellation
+/// goes permanently stale and is rejected by cancel().
 class EventId {
  public:
   constexpr EventId() = default;
-  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  [[nodiscard]] constexpr bool valid() const { return slot_ != kInvalidSlot; }
   friend constexpr bool operator==(EventId, EventId) = default;
 
  private:
   friend class EventQueue;
-  constexpr explicit EventId(std::uint64_t seq) : seq_{seq} {}
-  std::uint64_t seq_{0};
+  static constexpr std::uint32_t kInvalidSlot = 0xFFFFFFFFu;
+  constexpr EventId(std::uint32_t slot, std::uint32_t gen) : slot_{slot}, gen_{gen} {}
+  std::uint32_t slot_{kInvalidSlot};
+  std::uint32_t gen_{0};
 };
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = sim::Action;
 
   /// Schedules `action` to fire at absolute time `at`. Events scheduled for
   /// the same instant fire in scheduling order (FIFO).
   EventId schedule(TimePoint at, Action action);
 
-  /// Cancels a pending event. Cancelling an already-fired or already-cancelled
-  /// event is a harmless no-op; returns whether something was cancelled.
+  /// Cancels a pending event in O(1). Cancelling an already-fired,
+  /// already-cancelled, or default-constructed id is a harmless no-op;
+  /// returns whether something was cancelled.
   bool cancel(EventId id);
 
   [[nodiscard]] bool empty() const { return live_count_ == 0; }
@@ -55,31 +71,43 @@ class EventQueue {
 
   /// Total number of events ever executed through pop(); for stats.
   [[nodiscard]] std::uint64_t fired_count() const { return fired_count_; }
+  /// Total number of events ever removed through cancel(); for stats.
+  [[nodiscard]] std::uint64_t cancelled_count() const { return cancelled_count_; }
+  /// Slots currently allocated (live events + unswept tombstones + free list).
+  [[nodiscard]] std::size_t slot_capacity() const { return slots_.size(); }
 
  private:
-  struct Entry {
+  struct Record {
+    Action action;
+    std::uint32_t gen{0};
+    bool live{false};
+  };
+  struct Key {
     TimePoint at;
-    std::uint64_t seq;
-    // Ordered as a max-heap by default; invert for earliest-first.
-    friend bool operator<(const Entry& a, const Entry& b) {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+    std::uint64_t seq;   // FIFO tie-break at equal timestamps
+    std::uint32_t slot;  // index into slots_
   };
 
-  void drop_tombstones();
+  static bool earlier(const Key& a, const Key& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
 
-  std::priority_queue<Entry> heap_;
-  // seq -> action for live events; erased on cancel/fire.
-  std::vector<std::pair<std::uint64_t, Action>> actions_;  // assoc via sorted find
-  std::uint64_t next_seq_{1};
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void heap_remove_top();
+  /// Pops dead keys off the top until the minimum is live (or the heap is
+  /// empty), returning their slots to the free list. Called from the mutating
+  /// side only — cancel() and pop() — which is what keeps next_time() const.
+  void sweep_tombstones();
+
+  std::vector<Key> heap_;  // implicit 4-ary min-heap over (at, seq)
+  std::vector<Record> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_{0};
   std::size_t live_count_{0};
   std::uint64_t fired_count_{0};
-
-  // actions_ is keyed by seq which is strictly increasing, so it stays sorted
-  // by construction; lookup is binary search.
-  Action* find_action(std::uint64_t seq);
-  void erase_action(std::uint64_t seq);
+  std::uint64_t cancelled_count_{0};
 };
 
 }  // namespace mgap::sim

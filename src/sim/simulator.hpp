@@ -43,6 +43,8 @@ class Simulator {
   std::uint64_t run() { return run_until(TimePoint::from_ns(std::numeric_limits<std::int64_t>::max())); }
 
   [[nodiscard]] std::uint64_t events_fired() const { return queue_.fired_count(); }
+  [[nodiscard]] std::uint64_t events_cancelled() const { return queue_.cancelled_count(); }
+  [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
   [[nodiscard]] bool idle() const { return queue_.empty(); }
 
  private:

@@ -313,6 +313,15 @@ ExperimentSummary Experiment::summary() const {
     const net::Pktbuf& buf = node.stack->pktbuf();
     reg.gauge_max("pktbuf.high_water", id, static_cast<double>(buf.high_water()));
     reg.count("pktbuf.failed_allocs", id, static_cast<double>(buf.failed_allocs()));
+    // Accounting-bug canaries appear only when nonzero: registering them
+    // unconditionally would add a column to every campaign CSV, and a healthy
+    // run must stay byte-identical to one produced before these existed.
+    if (buf.underflows() > 0) {
+      reg.count("pktbuf.underflows", id, static_cast<double>(buf.underflows()));
+    }
+    if (const std::uint64_t ev = node.stack->reassembler().evicted(); ev > 0) {
+      reg.count("sixlo.reasm_evicted", id, static_cast<double>(ev));
+    }
   }
   if (ble_world_) {
     for (const auto& ctrl : ble_world_->nodes()) {

@@ -125,6 +125,39 @@ TEST(ExperimentIntegration, DeterministicUnderSameSeed) {
   EXPECT_EQ(a.summary().rtt_p50, b.summary().rtt_p50);
 }
 
+TEST(ExperimentIntegration, GoldenMetricsPinSimulationOrder) {
+  // Cross-build determinism guard for the simulator core. These exact values
+  // were captured from the event-queue implementation that predates the
+  // slot-map rewrite; the rewrite (and any future scheduler change) must
+  // reproduce them bit-for-bit — same event order, same RNG draws, same
+  // metrics. A legitimate model change that moves them should update this
+  // golden deliberately, in its own commit.
+  ExperimentConfig cfg;
+  cfg.topology = Topology::tree15();
+  cfg.duration = sim::Duration::minutes(2);
+  cfg.seed = 42;
+  cfg.producer_interval = sim::Duration::sec(1);
+  cfg.producer_jitter = sim::Duration::ms(500);
+  Experiment e{cfg};
+  e.run();
+  const auto& s = e.summary();
+  EXPECT_EQ(s.sent, 1647u);
+  EXPECT_EQ(s.acked, 1647u);
+  EXPECT_EQ(s.rtt_p50.count_ns(), 209'080'004);
+  EXPECT_EQ(s.rtt_p99.count_ns(), 368'473'491);
+  EXPECT_EQ(s.conn_losses, 0u);
+  EXPECT_EQ(s.reconnects, 0u);
+  EXPECT_EQ(s.pktbuf_drops, 0u);
+  ASSERT_TRUE(s.counters.contains("pktbuf.high_water"));
+  EXPECT_EQ(s.counters.at("pktbuf.high_water"), 602.0);
+  ASSERT_TRUE(s.counters.contains("radio.claims_granted"));
+  EXPECT_EQ(s.counters.at("radio.claims_granted"), 48548.0);
+  // Accounting canaries must not appear in a healthy run (their presence
+  // would also change campaign CSV columns).
+  EXPECT_FALSE(s.counters.contains("pktbuf.underflows"));
+  EXPECT_FALSE(s.counters.contains("sixlo.reasm_evicted"));
+}
+
 TEST(ExperimentIntegration, SeedsChangeTheNoise) {
   Experiment a{short_tree(1)};
   a.run();

@@ -193,6 +193,26 @@ TEST(Pktbuf, AllocFreeAccounting) {
   buf.free(40);
   EXPECT_TRUE(buf.alloc(30));
   EXPECT_EQ(buf.used(), 90u);
+  EXPECT_EQ(buf.underflows(), 0u);
+}
+
+TEST(Pktbuf, FreeUnderflowIsCountedNotSilentlyClamped) {
+  Pktbuf buf{100};
+  EXPECT_TRUE(buf.alloc(10));
+#ifdef NDEBUG
+  // Release builds: the double-free is clamped (a byte pool must never go
+  // negative) but leaves a visible canary instead of silently inflating
+  // headroom and skewing the section 5.2 loss mechanism.
+  buf.free(20);
+  EXPECT_EQ(buf.used(), 0u);
+  EXPECT_EQ(buf.underflows(), 1u);
+  // Legitimate frees keep working and do not touch the canary.
+  EXPECT_TRUE(buf.alloc(30));
+  buf.free(30);
+  EXPECT_EQ(buf.underflows(), 1u);
+#else
+  EXPECT_DEATH(buf.free(20), "underflow");
+#endif
 }
 
 }  // namespace

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "sim/clock.hpp"
@@ -159,6 +163,157 @@ TEST(EventQueue, SizeTracksLiveEvents) {
   EXPECT_EQ(q.size(), 1u);
   q.pop();
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SameTimeFifoSurvivesInterleavedCancels) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto t = TimePoint::from_ns(50);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(q.schedule(t, [&order, i] { order.push_back(i); }));
+  }
+  // Cancelling every other event must not disturb the FIFO order of the rest.
+  for (int i = 1; i < 10; i += 2) EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8}));
+}
+
+TEST(EventQueue, StaleIdOfRecycledSlotIsRejected) {
+  EventQueue q;
+  int fired = 0;
+  const EventId stale = q.schedule(TimePoint::from_ns(10), [&] { ++fired; });
+  q.pop().action();  // fires; the slot returns to the free list
+  EXPECT_EQ(fired, 1);
+  // The next schedule recycles the slot; the stale handle's generation tag
+  // must not let it cancel the unrelated successor.
+  q.schedule(TimePoint::from_ns(20), [&] { ++fired; });
+  EXPECT_FALSE(q.cancel(stale));
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, StaleIdAfterCancelIsRejectedAcrossEpochs) {
+  EventQueue q;
+  std::vector<EventId> old_epoch;
+  for (int epoch = 0; epoch < 100; ++epoch) {
+    const EventId id = q.schedule(TimePoint::from_ns(epoch), [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));  // immediately stale
+    for (const EventId prior : old_epoch) EXPECT_FALSE(q.cancel(prior));
+    if (epoch % 10 == 0) old_epoch.push_back(id);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.cancelled_count(), 100u);
+}
+
+TEST(EventQueue, CancelHeavyRearmLoop) {
+  // The supervision-timer pattern: every "connection event" cancels its
+  // pending timeout and re-arms it further out. The queue must stay compact
+  // (slot recycling) and fire only the final arm per timer.
+  EventQueue q;
+  constexpr int kTimers = 64;
+  constexpr int kRearms = 200;
+  std::vector<EventId> pending(kTimers);
+  int fired = 0;
+  for (int t = 0; t < kTimers; ++t) {
+    pending[static_cast<std::size_t>(t)] =
+        q.schedule(TimePoint::from_ns(1000 + t), [&] { ++fired; });
+  }
+  for (int r = 1; r <= kRearms; ++r) {
+    for (int t = 0; t < kTimers; ++t) {
+      auto& id = pending[static_cast<std::size_t>(t)];
+      EXPECT_TRUE(q.cancel(id));
+      id = q.schedule(TimePoint::from_ns(1000 + r * 100 + t), [&] { ++fired; });
+    }
+  }
+  EXPECT_EQ(q.size(), static_cast<std::size_t>(kTimers));
+  // Slot recycling keeps the arena at the live working set, not the cancel
+  // history (the old sorted-vector side table kept every live entry forever).
+  EXPECT_LE(q.slot_capacity(), static_cast<std::size_t>(2 * kTimers));
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, kTimers);
+  EXPECT_EQ(q.cancelled_count(), static_cast<std::uint64_t>(kTimers) * kRearms);
+}
+
+TEST(EventQueue, NextTimeIsConstAndSkipsCancelledEarliest) {
+  EventQueue q;
+  const EventId early = q.schedule(TimePoint::from_ns(10), [] {});
+  q.schedule(TimePoint::from_ns(30), [] {});
+  q.cancel(early);
+  const EventQueue& view = q;  // must be safe to share as const
+  EXPECT_EQ(view.next_time(), TimePoint::from_ns(30));
+}
+
+TEST(EventQueue, MoveOnlyActionsAreSupported) {
+  EventQueue q;
+  auto owned = std::make_unique<int>(41);
+  int got = 0;
+  q.schedule(TimePoint::from_ns(1),
+             [owned = std::move(owned), &got] { got = *owned + 1; });
+  q.pop().action();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(EventQueue, LargeCaptureFallsBackToHeapCorrectly) {
+  // Captures beyond Action::kInlineBytes take the heap path; the payload must
+  // survive the queue's internal moves (slot reuse, heap sift) intact.
+  EventQueue q;
+  std::vector<std::uint8_t> payload(1000, 0xA5);
+  std::array<std::uint64_t, 8> big{1, 2, 3, 4, 5, 6, 7, 8};
+  static_assert(sizeof(big) + sizeof(void*) > Action::kInlineBytes);
+  std::size_t seen = 0;
+  q.schedule(TimePoint::from_ns(5),
+             [payload = std::move(payload), big, &seen] { seen = payload.size() + big[7]; });
+  q.schedule(TimePoint::from_ns(1), [] {});
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(seen, 1008u);
+}
+
+TEST(EventQueue, RandomizedChurnMatchesReferenceModel) {
+  // Adversarial interleaving of schedule/cancel/pop against a multimap-based
+  // reference: same fired multiset, same order.
+  EventQueue q;
+  Rng rng{2024, 9};
+  std::multimap<std::pair<std::int64_t, std::uint64_t>, int> reference;
+  std::vector<std::pair<EventId, std::pair<std::int64_t, std::uint64_t>>> live;
+  std::vector<int> fired;
+  std::vector<int> expected;
+  std::uint64_t seq = 0;
+  int next_tag = 0;
+  for (int step = 0; step < 20'000; ++step) {
+    const std::uint64_t roll = rng.next_u64() % 100;
+    if (roll < 50 || q.empty()) {
+      const auto at = static_cast<std::int64_t>(rng.next_u64() % 10'000);
+      const int tag = next_tag++;
+      const EventId id =
+          q.schedule(TimePoint::from_ns(at), [&fired, tag] { fired.push_back(tag); });
+      live.emplace_back(id, std::make_pair(at, seq));
+      reference.emplace(std::make_pair(at, seq), tag);
+      ++seq;
+    } else if (roll < 75 && !live.empty()) {
+      const std::size_t pick = rng.next_u64() % live.size();
+      EXPECT_TRUE(q.cancel(live[pick].first));
+      EXPECT_FALSE(q.cancel(live[pick].first));
+      reference.erase(reference.find(live[pick].second));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const auto it = reference.begin();
+      expected.push_back(it->second);
+      std::erase_if(live, [&](const auto& e) { return e.second == it->first; });
+      reference.erase(it);
+      q.pop().action();
+    }
+    ASSERT_EQ(q.size(), reference.size());
+  }
+  while (!q.empty()) {
+    const auto it = reference.begin();
+    expected.push_back(it->second);
+    reference.erase(it);
+    q.pop().action();
+  }
+  EXPECT_EQ(fired, expected);
 }
 
 TEST(Simulator, RunUntilAdvancesClock) {

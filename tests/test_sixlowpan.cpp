@@ -211,6 +211,77 @@ TEST(SixloFrag, StaleDatagramsExpire) {
   // Much later, the half-finished datagram is gone.
   (void)reasm.feed(2, frags[0], sim::TimePoint::origin() + sim::Duration::sec(60));
   EXPECT_EQ(reasm.pending(), 1u);  // only the new one
+  EXPECT_EQ(reasm.evicted(), 1u);
+}
+
+TEST(SixloFrag, TimedOutDatagramReleasesPoolCharge) {
+  std::vector<std::uint8_t> frame(300, 1);
+  const auto frags = sixlo_fragment(frame, 100, 9);
+  Pktbuf pool{6144};
+  SixloReassembler reasm{sim::Duration::sec(5)};
+  reasm.bind_pool(&pool, 200);
+  (void)reasm.feed(1, frags[0], sim::TimePoint::origin());
+  EXPECT_EQ(pool.used(), 500u);  // 300 B datagram + 200 B overhead, up front
+  EXPECT_EQ(reasm.evict_expired(sim::TimePoint::origin() + sim::Duration::sec(6)), 1u);
+  EXPECT_EQ(reasm.pending(), 0u);
+  EXPECT_EQ(pool.used(), 0u);  // the charge came back...
+  EXPECT_EQ(pool.underflows(), 0u);  // ...exactly once
+  EXPECT_EQ(reasm.evicted(), 1u);
+}
+
+TEST(SixloFrag, CompletionReleasesPoolCharge) {
+  std::vector<std::uint8_t> frame(300);
+  for (std::size_t i = 0; i < frame.size(); ++i) frame[i] = static_cast<std::uint8_t>(i);
+  const auto frags = sixlo_fragment(frame, 116, 3);
+  Pktbuf pool{6144};
+  SixloReassembler reasm;
+  reasm.bind_pool(&pool, 200);
+  std::optional<std::vector<std::uint8_t>> done;
+  for (const auto& f : frags) done = reasm.feed(1, f, sim::TimePoint::origin());
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(*done, frame);
+  EXPECT_EQ(pool.used(), 0u);
+  EXPECT_EQ(pool.underflows(), 0u);
+}
+
+TEST(SixloFrag, PoolExhaustionRefusesNewDatagram) {
+  std::vector<std::uint8_t> frame(300, 7);
+  const auto frags = sixlo_fragment(frame, 100, 4);
+  Pktbuf pool{400};  // too small for 300 + 200 overhead
+  SixloReassembler reasm;
+  reasm.bind_pool(&pool, 200);
+  EXPECT_FALSE(reasm.feed(1, frags[0], sim::TimePoint::origin()).has_value());
+  EXPECT_EQ(reasm.pending(), 0u);  // refused outright, nothing half-charged
+  EXPECT_EQ(reasm.pool_denied(), 1u);
+  EXPECT_EQ(pool.used(), 0u);
+  EXPECT_EQ(pool.failed_allocs(), 1u);
+}
+
+TEST(SixloFrag, InFlightStaysBoundedUnderFragmentLoss) {
+  // A lossy link that always drops the tail fragment: every datagram stays
+  // incomplete. Opportunistic eviction must bound both the map and the pool
+  // charge to the datagrams younger than the timeout.
+  std::vector<std::uint8_t> frame(300, 2);
+  Pktbuf pool{64 * 1024};
+  SixloReassembler reasm{sim::Duration::sec(5)};
+  reasm.bind_pool(&pool, 200);
+  const sim::Duration gap = sim::Duration::sec(1);
+  std::size_t max_pending = 0;
+  for (std::uint16_t tag = 0; tag < 200; ++tag) {
+    const auto frags = sixlo_fragment(frame, 100, tag);
+    const sim::TimePoint now = sim::TimePoint::origin() + gap * tag;
+    for (std::size_t i = 0; i + 1 < frags.size(); ++i) {  // tail always lost
+      (void)reasm.feed(1, frags[i], now);
+    }
+    max_pending = std::max(max_pending, reasm.pending());
+  }
+  // timeout / arrival gap = 5, plus the one just fed.
+  EXPECT_LE(max_pending, 6u);
+  EXPECT_GE(reasm.evicted(), 190u);
+  EXPECT_EQ(pool.used(), reasm.pending() * 500u);
+  EXPECT_EQ(pool.underflows(), 0u);
+  reasm.clear();
+  EXPECT_EQ(pool.used(), 0u);
 }
 
 // Property: fragmentation round-trips for every (size, mtu) combination.
