@@ -1,0 +1,25 @@
+// Fuzz target: the CoAP message parser (RFC 7252). Decode must never crash
+// or hang on arbitrary bytes; whatever it accepts must round-trip through
+// coap_encode (field-for-field, including option list and payload), since
+// the stack forwards decoded messages it did not build itself.
+
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+
+#include "app/coap.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::span<const std::uint8_t> input{data, size};
+  const auto msg = mgap::app::coap_decode(input);
+  if (!msg.has_value()) return 0;
+  if (msg->token.size() > 8) std::abort();  // RFC 7252 3: TKL 9-15 are errors
+  const auto again = mgap::app::coap_decode(mgap::app::coap_encode(*msg));
+  if (!again.has_value()) std::abort();
+  if (again->type != msg->type || again->code != msg->code ||
+      again->message_id != msg->message_id || again->token != msg->token ||
+      again->options != msg->options || again->payload != msg->payload) {
+    std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fuzz target: the experiment-description and campaign-spec parsers — the
+// only components that consume user-authored files. Both must either return
+// a config or throw their documented std::runtime_error; on success,
+// render_experiment_config must produce text the parser accepts again
+// (config files survive a save/load cycle).
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "campaign/spec.hpp"
+#include "testbed/config_file.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text{reinterpret_cast<const char*>(data), size};
+
+  std::optional<mgap::testbed::ExperimentConfig> cfg;
+  try {
+    cfg = mgap::testbed::parse_experiment_config(text);
+  } catch (const std::runtime_error&) {
+  }
+  if (cfg.has_value()) {
+    const std::string rendered = mgap::testbed::render_experiment_config(*cfg);
+    try {
+      (void)mgap::testbed::parse_experiment_config(rendered);
+    } catch (const std::runtime_error&) {
+      std::abort();  // the renderer emitted something the parser rejects
+    }
+  }
+
+  try {
+    (void)mgap::campaign::parse_campaign_spec(text);
+  } catch (const std::runtime_error&) {
+  }
+  try {
+    (void)mgap::campaign::parse_seed_list(text);
+  } catch (const std::runtime_error&) {
+  }
+  return 0;
+}

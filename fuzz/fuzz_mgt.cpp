@@ -1,0 +1,29 @@
+// Fuzz target: the `.mgt` trace reader. validate_mgt must classify any byte
+// stream without throwing; MgtReader throws only its documented
+// std::runtime_error. On files validate_mgt blesses, the reader must decode
+// every record it counted — the two paths may not disagree.
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/mgt.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string bytes{reinterpret_cast<const char*>(data), size};
+
+  std::istringstream vin{bytes};
+  const mgap::obs::MgtValidation v = mgap::obs::validate_mgt(vin);
+
+  std::istringstream rin{bytes};
+  try {
+    mgap::obs::MgtReader reader{rin};
+    const auto records = reader.read_all();
+    if (v.ok && records.size() != v.records) std::abort();
+  } catch (const std::runtime_error&) {
+    if (v.ok) std::abort();  // validator accepted what the reader rejects
+  }
+  return 0;
+}

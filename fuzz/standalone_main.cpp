@@ -1,0 +1,78 @@
+// Standalone driver for the fuzz target bodies when libFuzzer is unavailable
+// (the default GCC build): replays every file in the corpus directories given
+// on the command line, then sweeps seeded random inputs. Not coverage-guided —
+// it exists so the targets compile, link and run everywhere, and so `ctest`
+// exercises the committed corpus as a regression suite. The CI fuzz job
+// rebuilds the same sources with Clang/libFuzzer for the real thing.
+//
+//   MGAP_FUZZ_ITERS  random inputs to sweep (default 2000)
+//   MGAP_FUZZ_SEED   base seed (default 1)
+//   MGAP_FUZZ_LAST   path to persist each input before running it — after an
+//                    abort the file holds the crashing input (minimize it,
+//                    then commit it to the corpus as the regression)
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+std::size_t replay_corpus(const std::string& dir) {
+  std::size_t files = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator{dir, ec}) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in{entry.path(), std::ios::binary};
+    std::vector<char> bytes{std::istreambuf_iterator<char>{in},
+                            std::istreambuf_iterator<char>{}};
+    (void)LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                                 bytes.size());
+    ++files;
+  }
+  if (ec) std::fprintf(stderr, "warning: cannot read corpus dir %s\n", dir.c_str());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t corpus_files = 0;
+  for (int i = 1; i < argc; ++i) corpus_files += replay_corpus(argv[i]);
+
+  const std::uint64_t iters = env_u64("MGAP_FUZZ_ITERS", 2000);
+  const std::uint64_t seed = env_u64("MGAP_FUZZ_SEED", 1);
+  const char* last_path = std::getenv("MGAP_FUZZ_LAST");
+  mgap::sim::Rng rng{seed, 0};
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    // Length distribution biased towards small inputs, with occasional
+    // multi-KB ones to hit length-field edge cases.
+    const auto max_len = static_cast<std::size_t>(
+        rng.uniform_int(0, 9) == 0 ? 4096 : 128);
+    std::vector<std::uint8_t> input(
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(max_len))));
+    for (auto& b : input) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    if (last_path != nullptr) {
+      std::ofstream out{last_path, std::ios::binary | std::ios::trunc};
+      out.write(reinterpret_cast<const char*>(input.data()),
+                static_cast<std::streamsize>(input.size()));
+    }
+    (void)LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::printf("fuzz-smoke ok: %zu corpus files, %llu random inputs\n", corpus_files,
+              static_cast<unsigned long long>(iters));
+  return 0;
+}

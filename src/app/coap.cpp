@@ -124,6 +124,9 @@ std::optional<CoapMessage> coap_decode(std::span<const std::uint8_t> data) {
     const auto delta = decode_ext(cursor, dn);
     const auto len = decode_ext(cursor, ln);
     if (!delta || !len || cursor.size() < *len) return std::nullopt;
+    // Option numbers are 16-bit (RFC 7252 5.4.6); a delta that would wrap
+    // past 65535 cannot come from a conforming encoder.
+    if (*delta > 0xFFFFu - number) return std::nullopt;
     number = static_cast<std::uint16_t>(number + *delta);
     CoapOption opt;
     opt.number = number;

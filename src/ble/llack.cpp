@@ -1,0 +1,25 @@
+#include "ble/llack.hpp"
+
+namespace mgap::ble {
+
+LlAckOutcome LlAckEndpoint::on_rx(LlAckBits rx) {
+  LlAckOutcome outcome;
+  // Receiver half (4.5.9): SN equal to the local NESN identifies new data;
+  // NESN then toggles, which acknowledges the PDU in our next header. A
+  // mismatch is a retransmission of data we already delivered — the payload
+  // is ignored while the unchanged NESN re-acknowledges it.
+  if (rx.sn == nesn_) {
+    outcome.new_data = true;
+    nesn_ = !nesn_;
+  }
+  // Transmitter half: a received NESN different from our SN acknowledges the
+  // outstanding PDU, so SN toggles and the queue may advance. An equal NESN
+  // is a NAK (the peer still expects the same SN): retransmit, same SN.
+  if (rx.nesn != sn_) {
+    outcome.acked = true;
+    sn_ = !sn_;
+  }
+  return outcome;
+}
+
+}  // namespace mgap::ble

@@ -1,0 +1,56 @@
+#pragma once
+// The link layer's 1-bit sequence/acknowledgment scheme (Core spec Vol 6
+// Part B 4.5.9): every data PDU header carries SN (sequence number of this
+// PDU) and NESN (next expected sequence number, i.e. the ack). This is the
+// byte-level machinery behind the acknowledged link that src/ble/connection
+// models at connection-event granularity; it is exposed as its own endpoint
+// state machine so conformance and property tests can pin the exact spec
+// rules (exactly-once, in-order delivery under arbitrary loss and CRC-error
+// schedules) independently of the DES timing model.
+
+#include <cstdint>
+
+namespace mgap::ble {
+
+/// SN/NESN bits of one data PDU header.
+struct LlAckBits {
+  bool sn{false};
+  bool nesn{false};
+  friend bool operator==(const LlAckBits&, const LlAckBits&) = default;
+};
+
+/// What a valid (CRC-passing) reception meant to the local endpoint.
+struct LlAckOutcome {
+  /// rx.sn matched our NESN: this PDU carries new data to deliver upward.
+  /// Otherwise it is a retransmission whose payload must be ignored.
+  bool new_data{false};
+  /// rx.nesn acknowledged our outstanding PDU: advance the TX queue.
+  /// Otherwise the peer NAKed and the same PDU must be retransmitted.
+  bool acked{false};
+};
+
+/// One endpoint of the scheme. Both connection roles run the identical
+/// machine; the spec initializes SN and NESN to 0 on connection setup.
+class LlAckEndpoint {
+ public:
+  /// Header bits for the next transmission (new PDU or retransmission — the
+  /// spec transmits the same SN until the PDU is acknowledged).
+  [[nodiscard]] LlAckBits tx_bits() const { return {sn_, nesn_}; }
+
+  /// Processes the header of a PDU received with a valid CRC and updates
+  /// SN/NESN per 4.5.9. A reception that fails the CRC check must not reach
+  /// this function: the spec discards it with no state change on either bit.
+  LlAckOutcome on_rx(LlAckBits rx);
+
+  [[nodiscard]] bool sn() const { return sn_; }
+  [[nodiscard]] bool nesn() const { return nesn_; }
+
+  /// Connection (re-)establishment: both bits restart at 0.
+  void reset() { *this = LlAckEndpoint{}; }
+
+ private:
+  bool sn_{false};
+  bool nesn_{false};
+};
+
+}  // namespace mgap::ble

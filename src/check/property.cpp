@@ -1,0 +1,209 @@
+#include "check/property.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/rng.hpp"
+
+namespace mgap::check {
+
+std::uint64_t Gen::bits() {
+  if (rng_ != nullptr) {
+    const std::uint64_t v = rng_->next_u64();
+    tape_->push_back(v);
+    return v;
+  }
+  if (pos_ < replay_.size()) return replay_[pos_++];
+  ++pos_;  // reads past the tape count as draws of the minimal value
+  return 0;
+}
+
+std::uint64_t Gen::u64(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::logic_error{"Gen::u64: lo > hi"};
+  const std::uint64_t range = hi - lo;
+  if (range == UINT64_MAX) return bits();
+  return lo + bits() % (range + 1);
+}
+
+std::int64_t Gen::i64(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::logic_error{"Gen::i64: lo > hi"};
+  return lo + static_cast<std::int64_t>(u64(0, static_cast<std::uint64_t>(hi - lo)));
+}
+
+std::size_t Gen::size(std::size_t max) {
+  return static_cast<std::size_t>(u64(0, max));
+}
+
+double Gen::real01() {
+  return static_cast<double>(bits() >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::uint8_t> Gen::bytes(std::size_t max_len) {
+  const std::size_t n = size(max_len);
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  // One tape entry per byte keeps deletion/zeroing mutations aligned with
+  // byte boundaries, which is what makes shrinking effective on codecs.
+  for (std::size_t i = 0; i < n; ++i) out.push_back(byte());
+  return out;
+}
+
+/// The engine's private door into Gen (its only friend): builds generators
+/// in recording or replay mode.
+struct Runner {
+  static Gen recording(sim::Rng* rng, std::vector<std::uint64_t>* tape) {
+    Gen gen;
+    gen.rng_ = rng;
+    gen.tape_ = tape;
+    return gen;
+  }
+  static Gen replaying(std::span<const std::uint64_t> tape) {
+    Gen gen;
+    gen.replay_ = tape;
+    return gen;
+  }
+};
+
+namespace {
+
+struct RunOutcome {
+  bool failed{false};
+  std::string message;
+};
+
+RunOutcome run_once(const std::function<void(Gen&)>& body, Gen& gen) {
+  try {
+    body(gen);
+    return {};
+  } catch (const std::exception& e) {
+    return {true, e.what()};
+  }
+}
+
+RunOutcome replay_tape(const std::function<void(Gen&)>& body,
+                       std::span<const std::uint64_t> tape) {
+  Gen gen = Runner::replaying(tape);
+  return run_once(body, gen);
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 0);
+  return (end != v && *end == '\0') ? parsed : fallback;
+}
+
+/// Greedy tape shrinking: repeatedly apply the cheapest mutation that keeps
+/// the property failing, until a full pass makes no progress or the run
+/// budget is exhausted.
+void shrink(const std::function<void(Gen&)>& body, std::vector<std::uint64_t>& tape,
+            std::string& message, unsigned budget, unsigned& steps) {
+  unsigned runs = 0;
+  bool progress = true;
+  while (progress && runs < budget) {
+    progress = false;
+    // Pass 1: delete spans (big chunks first, then single entries).
+    for (std::size_t span = 8; span >= 1; span /= 2) {
+      for (std::size_t at = 0; at + span <= tape.size() && runs < budget;) {
+        std::vector<std::uint64_t> candidate;
+        candidate.reserve(tape.size() - span);
+        candidate.insert(candidate.end(), tape.begin(),
+                         tape.begin() + static_cast<std::ptrdiff_t>(at));
+        candidate.insert(candidate.end(),
+                         tape.begin() + static_cast<std::ptrdiff_t>(at + span),
+                         tape.end());
+        const RunOutcome out = replay_tape(body, candidate);
+        ++runs;
+        if (out.failed) {
+          tape = std::move(candidate);
+          message = out.message;
+          ++steps;
+          progress = true;  // same position now holds the next span
+        } else {
+          at += 1;
+        }
+      }
+      if (span == 1) break;
+    }
+    // Pass 2: minimize values in place (zero, then halve, then decrement).
+    for (std::size_t at = 0; at < tape.size() && runs < budget; ++at) {
+      for (const std::uint64_t candidate_value :
+           {std::uint64_t{0}, tape[at] / 2, tape[at] - 1}) {
+        if (tape[at] == 0 || candidate_value >= tape[at]) continue;
+        const std::uint64_t saved = tape[at];
+        tape[at] = candidate_value;
+        const RunOutcome out = replay_tape(body, tape);
+        ++runs;
+        if (out.failed) {
+          message = out.message;
+          ++steps;
+          progress = true;
+          break;
+        }
+        tape[at] = saved;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string PropertyResult::report() const {
+  if (ok) return {};
+  std::ostringstream out;
+  out << "property '" << name << "' failed at seed=" << seed << " round="
+      << failing_round << " after " << shrink_steps << " shrink steps:\n  "
+      << message << "\n  minimal tape (" << choices.size() << " draws): [";
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << choices[i];
+  }
+  out << "]\n  reproduce with MGAP_PROP_SEED=" << seed << '\n';
+  return out.str();
+}
+
+PropertyResult check_property(const std::string& name,
+                              const std::function<void(Gen&)>& body,
+                              PropertyConfig cfg) {
+  cfg.seed = env_u64("MGAP_PROP_SEED", cfg.seed);
+  cfg.rounds = static_cast<unsigned>(env_u64("MGAP_PROP_ROUNDS", cfg.rounds));
+
+  PropertyResult result;
+  result.name = name;
+  result.seed = cfg.seed;
+  for (unsigned round = 0; round < cfg.rounds; ++round) {
+    // Stream = round: round R replays identically whatever cfg.rounds is.
+    sim::Rng rng{cfg.seed, round};
+    std::vector<std::uint64_t> tape;
+    Gen gen = Runner::recording(&rng, &tape);
+    const RunOutcome out = run_once(body, gen);
+    ++result.rounds_run;
+    if (out.failed) {
+      result.ok = false;
+      result.failing_round = round;
+      result.message = out.message;
+      shrink(body, tape, result.message, cfg.max_shrink_runs, result.shrink_steps);
+      result.choices = std::move(tape);
+      return result;
+    }
+  }
+  return result;
+}
+
+PropertyResult replay_property(const std::string& name,
+                               const std::function<void(Gen&)>& body,
+                               std::span<const std::uint64_t> tape) {
+  PropertyResult result;
+  result.name = name;
+  result.rounds_run = 1;
+  const RunOutcome out = replay_tape(body, tape);
+  if (out.failed) {
+    result.ok = false;
+    result.message = out.message;
+    result.choices.assign(tape.begin(), tape.end());
+  }
+  return result;
+}
+
+}  // namespace mgap::check

@@ -1,0 +1,120 @@
+#pragma once
+// Deterministic property-based testing engine (no external dependencies).
+//
+// Model: a property is a callable that draws arbitrary data from a Gen and
+// signals failure through PROP_ASSERT (or any thrown exception). The engine
+// runs it for a configurable number of rounds; every round derives its
+// randomness from (seed, round) via sim::Rng, so a failure reproduces from
+// the printed seed and round alone — independent of how many total rounds
+// the failing run used.
+//
+// Every draw the Gen hands out is recorded on a "choice tape" (one u64 per
+// draw, Hypothesis-style). When a round fails, the engine re-executes the
+// property against mutated tapes — deleting spans, zeroing and halving
+// values — and keeps any mutation that still fails. Because generators map
+// smaller tape values to smaller/simpler data, this greedy pass converges on
+// a minimal counterexample, which the report prints alongside the repro
+// seed.
+//
+// Environment knobs (CI scaling without recompiling):
+//   MGAP_PROP_ROUNDS  absolute round count override
+//   MGAP_PROP_SEED    seed override, to reproduce a reported failure
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mgap::sim {
+class Rng;
+}
+
+namespace mgap::check {
+
+/// Thrown by PROP_ASSERT when a property does not hold.
+class PropertyFailure : public std::runtime_error {
+ public:
+  explicit PropertyFailure(const std::string& what) : std::runtime_error{what} {}
+};
+
+/// Source of arbitrary data for property bodies. In recording mode each draw
+/// takes fresh randomness and appends it to the tape; in replay mode draws
+/// consume the tape (and read 0 once it is exhausted, the minimal value).
+class Gen {
+ public:
+  /// Raw 64 random bits (one tape entry).
+  std::uint64_t bits();
+
+  /// Uniform integer in [lo, hi], inclusive. Tape value 0 maps to lo.
+  std::uint64_t u64(std::uint64_t lo, std::uint64_t hi);
+  std::int64_t i64(std::int64_t lo, std::int64_t hi);
+  /// Collection size in [0, max]; shrinks towards 0.
+  std::size_t size(std::size_t max);
+  std::uint8_t byte() { return static_cast<std::uint8_t>(u64(0, 0xFF)); }
+  /// Uniform in [0, 1).
+  double real01();
+  /// True with probability p; shrinks towards false.
+  bool boolean(double p = 0.5) { return real01() >= 1.0 - p; }
+  /// Arbitrary byte string with length in [0, max_len].
+  std::vector<std::uint8_t> bytes(std::size_t max_len);
+  /// One element of a non-empty candidate list; shrinks towards the front.
+  template <typename T>
+  const T& pick(const std::vector<T>& candidates) {
+    if (candidates.empty()) throw std::logic_error{"Gen::pick: empty candidates"};
+    return candidates[static_cast<std::size_t>(u64(0, candidates.size() - 1))];
+  }
+
+ private:
+  friend struct Runner;
+  Gen() = default;
+  sim::Rng* rng_{nullptr};                   // recording mode
+  std::vector<std::uint64_t>* tape_{nullptr};
+  std::span<const std::uint64_t> replay_;    // replay mode
+  std::size_t pos_{0};
+};
+
+struct PropertyConfig {
+  std::uint64_t seed{0x6d676170};  // "mgap"; MGAP_PROP_SEED overrides
+  unsigned rounds{200};            // MGAP_PROP_ROUNDS overrides
+  unsigned max_shrink_runs{2000};  // property executions spent shrinking
+};
+
+struct PropertyResult {
+  bool ok{true};
+  std::string name;
+  std::uint64_t seed{0};
+  unsigned rounds_run{0};
+  unsigned failing_round{0};
+  std::string message;                 // what the minimal counterexample violates
+  std::vector<std::uint64_t> choices;  // minimal tape
+  unsigned shrink_steps{0};            // accepted shrink mutations
+
+  /// Human-readable failure report with repro instructions; empty when ok.
+  [[nodiscard]] std::string report() const;
+};
+
+/// Runs `body` for cfg.rounds rounds; on failure shrinks and returns the
+/// minimal counterexample. Never throws property failures — inspect .ok.
+PropertyResult check_property(const std::string& name,
+                              const std::function<void(Gen&)>& body,
+                              PropertyConfig cfg = {});
+
+/// Runs `body` once against a fixed choice tape (reproducing a report).
+PropertyResult replay_property(const std::string& name,
+                               const std::function<void(Gen&)>& body,
+                               std::span<const std::uint64_t> tape);
+
+}  // namespace mgap::check
+
+/// Fails the enclosing property with a formatted location + message.
+#define PROP_ASSERT(cond, msg)                                                    \
+  do {                                                                            \
+    if (!(cond)) {                                                                \
+      throw ::mgap::check::PropertyFailure{std::string{#cond} + " violated at " + \
+                                           __FILE__ + ":" +                       \
+                                           std::to_string(__LINE__) + ": " +      \
+                                           (msg)};                                \
+    }                                                                             \
+  } while (false)

@@ -1,0 +1,49 @@
+#pragma once
+// Spec-conformance vector corpus: a tiny committed-file format that pins the
+// protocol codecs to published spec data (Bluetooth Core CSA#2 sample data,
+// RFC 6282 IPHC, RFC 4944 fragmentation, RFC 7252 CoAP, CRC24/whitening).
+//
+// File format (`tests/conformance/data/*.vec`):
+//   # comment until end of line
+//   [vector-name]          starts a new vector
+//   key = value            fields of the current vector
+//
+// Values stay strings; typed accessors parse on demand so a bad field names
+// the vector it came from. Hex blobs are contiguous hex digits ("0A0B0C",
+// case-insensitive, "-" for the empty blob).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mgap::check {
+
+class Vector {
+ public:
+  Vector(std::string name, std::map<std::string, std::string> fields)
+      : name_{std::move(name)}, fields_{std::move(fields)} {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool has(const std::string& key) const { return fields_.count(key) > 0; }
+
+  /// Raw field text; throws std::runtime_error naming the vector when absent.
+  [[nodiscard]] const std::string& str(const std::string& key) const;
+  /// Integer field, decimal or 0x-prefixed hex.
+  [[nodiscard]] std::uint64_t u64(const std::string& key) const;
+  /// Hex blob field ("-" = empty).
+  [[nodiscard]] std::vector<std::uint8_t> bytes(const std::string& key) const;
+
+ private:
+  std::string name_;
+  std::map<std::string, std::string> fields_;
+};
+
+/// Parses vector-file text; throws std::runtime_error with the line number on
+/// malformed input.
+[[nodiscard]] std::vector<Vector> parse_vectors(const std::string& text);
+
+/// Loads a corpus file; throws std::runtime_error when unreadable.
+[[nodiscard]] std::vector<Vector> load_vectors(const std::string& path);
+
+}  // namespace mgap::check

@@ -11,15 +11,26 @@ namespace mgap::core {
 namespace {
 // Backoff jitter draws come from a dedicated per-node stream id far above the
 // sequentially assigned component streams, so enabling backoff never shifts
-// the draws of any other component.
+// the draws of any other component. Keyed by the controller's creation index
+// rather than its node id: ids are labels, and a monotone relabeling of the
+// topology must reproduce the run bit-for-bit (pinned by test_metamorphic).
 constexpr std::uint64_t kBackoffStreamBase = 0x0B0FF'0000ULL;
+
+std::uint64_t creation_index(const ble::BleWorld& world, const ble::Controller& ctrl) {
+  const auto& nodes = world.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].get() == &ctrl) return i;
+  }
+  return nodes.size();
+}
 }  // namespace
 
 Statconn::Statconn(NimbleNetif& netif, StatconnConfig config)
     : netif_{netif},
       ctrl_{netif.controller()},
       config_{config},
-      backoff_rng_{ctrl_.world().simulator().make_rng(kBackoffStreamBase + ctrl_.id())} {
+      backoff_rng_{ctrl_.world().simulator().make_rng(
+          kBackoffStreamBase + creation_index(ctrl_.world(), ctrl_))} {
   if (config_.policy.is_randomized()) config_.enforce_unique_intervals = true;
   netif_.add_link_listener(
       [this](ble::Connection& conn, bool up, ble::DisconnectReason reason) {

@@ -1,6 +1,7 @@
 #include "net/sixlowpan.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 #include "net/ipv6.hpp"
@@ -35,7 +36,14 @@ struct AddrComp {
 
 AddrComp compress_addr(const Ipv6Addr& addr, NodeId l2, std::vector<std::uint8_t>& inline_bytes) {
   const bool derivable = addr.node_id() != kInvalidNode && addr.node_id() == l2;
-  if (addr.is_link_local()) {
+  // Stateless modes 1/3 reconstruct the prefix as exactly fe80::/64, so they
+  // are lossless only for such addresses. A raw packet can carry anything in
+  // fe80::/10 (RFC 4291 forbids it, but the forwarder must not rely on that);
+  // those travel with the full 16 bytes inline.
+  constexpr std::array<std::uint8_t, 8> kLinkLocalPrefix{0xFE, 0x80, 0, 0, 0, 0, 0, 0};
+  const bool link_local_exact =
+      std::equal(kLinkLocalPrefix.begin(), kLinkLocalPrefix.end(), addr.bytes().begin());
+  if (link_local_exact) {
     if (derivable) return {false, 3};
     inline_bytes.insert(inline_bytes.end(), addr.bytes().begin() + 8, addr.bytes().end());
     return {false, 1};
@@ -95,7 +103,14 @@ std::vector<std::uint8_t> iphc_encode(std::span<const std::uint8_t> packet, Node
   const bool cid = sc.stateful || dc.stateful;
 
   const bool tf_elided = h->traffic_class == 0 && h->flow_label == 0;
-  const bool udp_nhc = h->next_header == kProtoUdp && payload.size() >= kUdpHeaderLen;
+  // NHC-UDP elides the UDP length field, which the decompressor recomputes
+  // from the carried bytes (RFC 6282 section 4.3.2). Elision is therefore
+  // only lossless when the field already equals the datagram size; a
+  // forwarded datagram with a lying length field must travel uncompressed or
+  // compression would silently rewrite it.
+  const bool udp_nhc =
+      h->next_header == kProtoUdp && payload.size() >= kUdpHeaderLen &&
+      (static_cast<std::size_t>(payload[4]) << 8 | payload[5]) == payload.size();
 
   std::uint8_t hlim_mode = 0;
   if (h->hop_limit == 1) hlim_mode = 1;
@@ -249,6 +264,9 @@ std::optional<std::vector<std::uint8_t>> iphc_decode(std::span<const std::uint8_
     const std::uint8_t cs_lo = cursor[1];
     cursor = cursor.subspan(2);
 
+    // The reconstructed UDP length field is 16-bit; a frame long enough to
+    // overflow it cannot decompress into a valid datagram.
+    if (cursor.size() > 0xFFFFu - kUdpHeaderLen) return std::nullopt;
     const auto udp_len = static_cast<std::uint16_t>(kUdpHeaderLen + cursor.size());
     payload.reserve(udp_len);
     put_u16(payload, sport);
@@ -261,6 +279,8 @@ std::optional<std::vector<std::uint8_t>> iphc_decode(std::span<const std::uint8_
     payload.assign(cursor.begin(), cursor.end());
   }
 
+  // ipv6_encode's 16-bit payload-length field must be able to carry it.
+  if (payload.size() > 0xFFFF) return std::nullopt;
   return ipv6_encode(h, payload);
 }
 
@@ -280,7 +300,14 @@ std::optional<std::vector<std::uint8_t>> sixlo_decode(std::span<const std::uint8
                                                       NodeId l2_src, NodeId l2_dst) {
   if (frame.empty()) return std::nullopt;
   if (frame[0] == kDispatchUncompressed) {
-    return std::vector<std::uint8_t>{frame.begin() + 1, frame.end()};
+    // The dispatch byte promises a complete IPv6 packet; reject anything that
+    // is not one (bad version nibble, truncated, or trailing junk beyond the
+    // header's payload length) instead of handing garbage to the IP layer.
+    const auto packet = frame.subspan(1);
+    const auto h = ipv6_decode(packet);
+    if (!h.has_value()) return std::nullopt;
+    if (packet.size() != kIpv6HeaderLen + h->payload_len) return std::nullopt;
+    return std::vector<std::uint8_t>{packet.begin(), packet.end()};
   }
   if ((frame[0] & kDispatchIphcMask) == kDispatchIphc) {
     return iphc_decode(frame, l2_src, l2_dst);
@@ -367,6 +394,8 @@ std::optional<std::vector<std::uint8_t>> SixloReassembler::feed(
     header = 5;
   }
   const std::span<const std::uint8_t> data = fragment.subspan(header);
+  if (size == 0) return std::nullopt;  // RFC 4944: datagram_size counts the
+                                       // full (nonempty) unfragmented form
   if (offset + data.size() > size) return std::nullopt;
 
   auto it = in_flight_.find({l2_src, tag});

@@ -109,6 +109,32 @@ std::uint32_t ble_crc24(std::span<const std::uint8_t> data, std::uint32_t init) 
   return crc;
 }
 
+void ble_whiten(std::span<std::uint8_t> data, std::uint8_t rf_channel_index) {
+  // Position 0 is set to one, positions 1..6 hold the channel index MSB
+  // first (Vol 6 Part B 3.2, Figure 3.5). Keeping the register as explicit
+  // positions mirrors the figure; each clock shifts right with the x^7 tap
+  // fed back into position 0 and XORed into position 4's input.
+  bool reg[7];
+  reg[0] = true;
+  for (int i = 0; i < 6; ++i) reg[1 + i] = ((rf_channel_index >> (5 - i)) & 1) != 0;
+  for (std::uint8_t& byte : data) {
+    for (int bit = 0; bit < 8; ++bit) {  // on-air bit order: LSB first
+      const bool out = reg[6];
+      if (out) byte ^= static_cast<std::uint8_t>(1U << bit);
+      for (int i = 6; i > 0; --i) reg[i] = reg[i - 1];
+      reg[0] = out;
+      reg[4] = reg[4] != out;  // x^4 tap
+    }
+  }
+}
+
+std::vector<std::uint8_t> ble_whitening_stream(std::uint8_t rf_channel_index,
+                                               std::size_t n) {
+  std::vector<std::uint8_t> zeros(n, 0);
+  ble_whiten(zeros, rf_channel_index);
+  return zeros;
+}
+
 std::uint8_t rf_channel(std::uint8_t data_channel) {
   if (data_channel <= 10) return static_cast<std::uint8_t>(data_channel + 1);
   if (data_channel <= 36) return static_cast<std::uint8_t>(data_channel + 2);

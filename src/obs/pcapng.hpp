@@ -46,6 +46,19 @@ inline constexpr std::uint16_t kLinktypeIpv6 = 229;
 [[nodiscard]] std::uint32_t ble_crc24(std::span<const std::uint8_t> data,
                                       std::uint32_t init = 0x555555);
 
+/// In-place BLE data whitening / de-whitening (spec Vol 6 Part B 3.2): the
+/// 7-bit LFSR x^7 + x^4 + 1 seeded from the RF channel index (position 0
+/// forced to 1), XORed over the PDU bits LSB first. Whitening is an
+/// involution — applying it twice restores the input. The PCAPNG export
+/// emits de-whitened packets (the DLT-256 flags say so); this is the spec
+/// operation itself, pinned by the conformance corpus.
+void ble_whiten(std::span<std::uint8_t> data, std::uint8_t rf_channel_index);
+
+/// First `n` bytes of the whitening keystream for an RF channel (the bytes
+/// ble_whiten() XORs over the PDU), for corpus pinning and diagnostics.
+[[nodiscard]] std::vector<std::uint8_t> ble_whitening_stream(
+    std::uint8_t rf_channel_index, std::size_t n);
+
 /// Maps a data-channel index (0..36) to the RF channel number (spec Vol 6
 /// Part A: data 0..10 -> RF 1..11, data 11..36 -> RF 13..38).
 [[nodiscard]] std::uint8_t rf_channel(std::uint8_t data_channel);

@@ -1,0 +1,102 @@
+// CRC24 and whitening conformance (Core spec Vol 6 Part B 3.1.1 / 3.2):
+// corpus vectors byte-for-byte, plus the structural spec properties — CRC
+// linearity over GF(2), whitening involution, and the LFSR's maximal period.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/vectors.hpp"
+#include "obs/pcapng.hpp"
+#include "sim/rng.hpp"
+
+namespace mgap::obs {
+namespace {
+
+std::vector<check::Vector> corpus(const char* file) {
+  return check::load_vectors(std::string{MGAP_CONFORMANCE_DIR} + "/" + file);
+}
+
+TEST(Crc24Conformance, CorpusMatches) {
+  const auto vectors = corpus("crc24.vec");
+  ASSERT_GE(vectors.size(), 7u);
+  for (const check::Vector& v : vectors) {
+    EXPECT_EQ(ble_crc24(v.bytes("data"), static_cast<std::uint32_t>(v.u64("init"))),
+              v.u64("crc"))
+        << v.name();
+  }
+}
+
+TEST(Crc24Conformance, LinearOverGf2) {
+  // The spec CRC is a pure LFSR (no final xor), so for equal-length inputs
+  // crc(a, init) ^ crc(b, init) == crc(a ^ b, 0).
+  sim::Rng rng{7, 0};
+  for (int i = 0; i < 64; ++i) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 31));
+    std::vector<std::uint8_t> a(n);
+    std::vector<std::uint8_t> b(n);
+    std::vector<std::uint8_t> x(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      a[j] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      b[j] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      x[j] = a[j] ^ b[j];
+    }
+    EXPECT_EQ(ble_crc24(a, 0x555555) ^ ble_crc24(b, 0x555555), ble_crc24(x, 0));
+  }
+}
+
+TEST(WhiteningConformance, KeystreamMatchesCorpus) {
+  const auto vectors = corpus("whitening.vec");
+  std::size_t streams = 0;
+  for (const check::Vector& v : vectors) {
+    if (!v.has("stream")) continue;
+    ++streams;
+    const auto ch = static_cast<std::uint8_t>(v.u64("rf_channel"));
+    EXPECT_EQ(ble_whitening_stream(ch, 8), v.bytes("stream")) << v.name();
+  }
+  EXPECT_GE(streams, 9u);
+}
+
+TEST(WhiteningConformance, WhitenedSampleMatchesCorpus) {
+  for (const check::Vector& v : corpus("whitening.vec")) {
+    if (!v.has("plain")) continue;
+    auto data = v.bytes("plain");
+    ble_whiten(data, static_cast<std::uint8_t>(v.u64("rf_channel")));
+    EXPECT_EQ(data, v.bytes("whitened")) << v.name();
+  }
+}
+
+TEST(WhiteningConformance, Involution) {
+  for (std::uint8_t ch = 0; ch < 40; ++ch) {
+    std::vector<std::uint8_t> data(64);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<std::uint8_t>(i * 31 + ch);
+    }
+    auto copy = data;
+    ble_whiten(copy, ch);
+    EXPECT_NE(copy, data) << "channel " << int{ch} << ": keystream all-zero";
+    ble_whiten(copy, ch);
+    EXPECT_EQ(copy, data) << "channel " << int{ch};
+  }
+}
+
+TEST(WhiteningConformance, MaximalPeriod127Bits) {
+  // x^7 + x^4 + 1 is primitive: any nonzero seed cycles through all 127
+  // states, so the keystream repeats after exactly 127 bits.
+  const auto stream = ble_whitening_stream(23, 127 * 2 / 8 + 1);
+  const auto bit = [&](std::size_t i) {
+    return (stream[i / 8] >> (i % 8)) & 1;
+  };
+  for (std::size_t i = 0; i < 127; ++i) EXPECT_EQ(bit(i), bit(i + 127));
+  bool shorter_period = true;
+  for (std::size_t i = 0; i < 127; ++i) {
+    if (bit(i) != bit((i + 1) % 127)) {  // period 1 check via shift-compare
+      shorter_period = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(shorter_period);
+}
+
+}  // namespace
+}  // namespace mgap::obs

@@ -1,0 +1,52 @@
+// CSA#2 conformance: pins Csa2::channel() to the Core spec sample data
+// (Vol 6 Part B 4.5.8.3 / 3.1.5) committed under data/csa2.vec, so the
+// implementation is checked against the spec rather than against itself.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ble/channel_selection.hpp"
+#include "check/vectors.hpp"
+
+namespace mgap::ble {
+namespace {
+
+ChannelMap map_from_mask(std::uint64_t mask) {
+  ChannelMap map = ChannelMap::all();
+  for (std::uint8_t ch = 0; ch < 37; ++ch) {
+    if ((mask >> ch & 1ULL) == 0) map.exclude(ch);
+  }
+  return map;
+}
+
+TEST(Csa2Conformance, SampleDataChannelIdentifier) {
+  // Spec sample data: the advertising access address has channel id 0x305F.
+  EXPECT_EQ(Csa2{0x8E89BED6}.channel_identifier(), 0x305F);
+}
+
+TEST(Csa2Conformance, CorpusMatchesByteForByte) {
+  const auto vectors =
+      check::load_vectors(std::string{MGAP_CONFORMANCE_DIR} + "/csa2.vec");
+  ASSERT_GT(vectors.size(), 50u);
+  for (const check::Vector& v : vectors) {
+    const auto aa = static_cast<std::uint32_t>(v.u64("access_address"));
+    const ChannelMap map = map_from_mask(v.u64("channel_map"));
+    const auto counter = static_cast<std::uint16_t>(v.u64("event_counter"));
+    const Csa2 csa{aa};
+    EXPECT_EQ(csa.channel(counter, map), v.u64("channel")) << v.name();
+  }
+}
+
+TEST(Csa2Conformance, EveryVectorChannelIsInItsMap) {
+  const auto vectors =
+      check::load_vectors(std::string{MGAP_CONFORMANCE_DIR} + "/csa2.vec");
+  for (const check::Vector& v : vectors) {
+    const std::uint64_t mask = v.u64("channel_map");
+    const std::uint64_t ch = v.u64("channel");
+    EXPECT_TRUE(mask >> ch & 1ULL) << v.name() << ": corpus channel not in map";
+  }
+}
+
+}  // namespace
+}  // namespace mgap::ble

@@ -1,0 +1,122 @@
+// Golden-trace conformance for the `.mgt` format: data/golden_v1.mgt was
+// produced by an independent implementation of the layout in src/obs/mgt.hpp
+// and is committed, so this suite is the backward-compatibility contract —
+// future readers must keep decoding it, and the writer must keep producing
+// these exact bytes for these events.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/mgt.hpp"
+#include "sim/time.hpp"
+
+namespace mgap::obs {
+namespace {
+
+std::string golden_path() {
+  return std::string{MGAP_CONFORMANCE_DIR} + "/golden_v1.mgt";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::uint8_t> iota_payload(std::uint8_t first, std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::uint8_t>(first + i);
+  return out;
+}
+
+sim::TimePoint at_ms(std::int64_t ms) {
+  return sim::TimePoint::from_ns(ms * 1'000'000);
+}
+
+/// The records golden_v1.mgt encodes, in file order.
+std::vector<MgtRecord> golden_records() {
+  std::vector<MgtRecord> r;
+  r.push_back({{at_ms(0), EventType::kConnOpen, kNoChannel, 0, 1, 1, 2, 75000}, {}});
+  r.push_back({{at_ms(75), EventType::kConnEvent, 25, kEvSynced, 1, 1, 2, 0}, {}});
+  r.push_back({{sim::TimePoint::from_ns(75'150'000), EventType::kPduTx, 25,
+                kPduCrcOk | kPduSubToCoord, 2, 1, 0x50123456, 272000},
+               iota_payload(1, 8)});
+  r.push_back({{at_ms(150), EventType::kRadioClaim, kNoChannel, kClaimGranted, 1, 1,
+                3'750'000, 0},
+               {}});
+  r.push_back({{at_ms(200), EventType::kPktbufWater, kNoChannel, 0, 2, 0, 512, 6144}, {}});
+  r.push_back({{at_ms(250), EventType::kPktbufDrop, kNoChannel, kPktbufRx, 2, 0, 6100, 6144},
+               {}});
+  r.push_back({{at_ms(300), EventType::kIpPacket, kNoChannel, kIpTx, 2, 0, 100, 0},
+               iota_payload(0, 16)});
+  r.push_back({{sim::TimePoint::from_ns(300'100'000), EventType::kCoapTxn, kNoChannel,
+                static_cast<std::uint16_t>(CoapPhase::kSentNon), 3, 0xCAFE, 22, 0},
+               {}});
+  r.push_back({{at_ms(375), EventType::kConnEventMissed, 22, kEvCoordGranted, 1, 1, 0, 7},
+               {}});
+  r.push_back({{at_ms(400), EventType::kFaultBegin, 22, 3, 4, 0, 0, 0}, {}});
+  r.push_back({{at_ms(500), EventType::kFaultEnd, 22, 3, 4, 0, 0, 0}, {}});
+  r.push_back({{at_ms(600), EventType::kConnClose, kNoChannel, 2, 1, 1, 2, 6}, {}});
+  return r;
+}
+
+TEST(MgtGolden, GoldenFileValidates) {
+  std::ifstream in{golden_path(), std::ios::binary};
+  ASSERT_TRUE(in.good());
+  const MgtValidation v = validate_mgt(in);
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.records, 12u);
+  EXPECT_EQ(v.payload_bytes, 24u);
+}
+
+TEST(MgtGolden, ReaderDecodesGoldenRecords) {
+  std::ifstream in{golden_path(), std::ios::binary};
+  ASSERT_TRUE(in.good());
+  MgtReader reader{in};
+  const auto records = reader.read_all();
+  const auto expected = golden_records();
+  ASSERT_EQ(records.size(), expected.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].event, expected[i].event) << "record " << i;
+    EXPECT_EQ(records[i].payload, expected[i].payload) << "record " << i;
+  }
+}
+
+TEST(MgtGolden, WriterReproducesGoldenBytes) {
+  std::ostringstream out;
+  MgtWriter writer{out};
+  for (const MgtRecord& r : golden_records()) writer.write(r.event, r.payload);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ(out.str(), slurp(golden_path()));
+}
+
+TEST(MgtGolden, ForeignMagicRejected) {
+  std::string bytes = slurp(golden_path());
+  ASSERT_GE(bytes.size(), 16u);
+  bytes[0] = 'X';
+  std::istringstream in{bytes};
+  EXPECT_THROW(MgtReader{in}, std::runtime_error);
+}
+
+TEST(MgtGolden, TruncatedFinalRecordThrows) {
+  std::string bytes = slurp(golden_path());
+  bytes.pop_back();
+  std::istringstream in{bytes};
+  MgtReader reader{in};
+  EXPECT_THROW(
+      {
+        MgtRecord rec;
+        while (reader.next(rec)) {
+        }
+      },
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mgap::obs

@@ -96,6 +96,22 @@ TEST(Csa2, ChannelIdentifierFormula) {
   EXPECT_EQ(csa.channel_identifier(), 0x1234 ^ 0x5678);
 }
 
+TEST(Csa2, SpecSampleData) {
+  // Core spec Vol 6 Part B 4.5.8.3 sample data: access address 0x8E89BED6
+  // gives channelIdentifier 0x305F; with all 37 data channels used, the
+  // first connection events land on the published unmapped-channel sequence.
+  // The full table (prn_e values, reduced maps) lives in
+  // tests/conformance/data/csa2.vec; this inline slice keeps the spec
+  // numbers visible next to the algorithm's unit tests.
+  const Csa2 csa{0x8E89BED6};
+  EXPECT_EQ(csa.channel_identifier(), 0x305F);
+  const ChannelMap map = ChannelMap::all();
+  constexpr std::array<std::uint8_t, 5> kExpected{25, 20, 6, 21, 34};
+  for (std::uint16_t e = 0; e < kExpected.size(); ++e) {
+    EXPECT_EQ(csa.channel(e, map), kExpected[e]) << "event " << e;
+  }
+}
+
 TEST(Csa2, AlwaysInsideChannelMap) {
   const Csa2 csa{0xDEADBEEF};
   ChannelMap map = ChannelMap::all();

@@ -1,0 +1,85 @@
+// Unit tests for the LL 1-bit SN/NESN scheme (Core spec Vol 6 Part B 4.5.9):
+// the exact per-reception rule table, pinned case by case. The randomized
+// exactly-once property lives in test_property_llack.cpp.
+
+#include <gtest/gtest.h>
+
+#include "ble/llack.hpp"
+
+namespace mgap::ble {
+namespace {
+
+TEST(LlAck, InitialBitsAreZero) {
+  const LlAckEndpoint ep;
+  EXPECT_EQ(ep.tx_bits(), (LlAckBits{false, false}));
+}
+
+TEST(LlAck, NewDataTogglesNesn) {
+  // Peer sends its first PDU: sn=0 matches our nesn=0 -> new data, ack it by
+  // toggling NESN. Our SN is untouched (their nesn=0 equals our sn -> NAK).
+  LlAckEndpoint ep;
+  const LlAckOutcome out = ep.on_rx({false, false});
+  EXPECT_TRUE(out.new_data);
+  EXPECT_FALSE(out.acked);
+  EXPECT_FALSE(ep.sn());
+  EXPECT_TRUE(ep.nesn());
+}
+
+TEST(LlAck, RetransmissionIsNotDeliveredTwice) {
+  LlAckEndpoint ep;
+  EXPECT_TRUE(ep.on_rx({false, false}).new_data);
+  // Same SN again (our ack was lost; the peer retransmitted): old data.
+  EXPECT_FALSE(ep.on_rx({false, false}).new_data);
+  EXPECT_TRUE(ep.nesn());  // unchanged by the retransmission
+}
+
+TEST(LlAck, AckAdvancesSn) {
+  // We transmitted sn=0; the peer's PDU carries nesn=1 (!= our sn): ACK.
+  LlAckEndpoint ep;
+  const LlAckOutcome out = ep.on_rx({false, true});
+  EXPECT_TRUE(out.acked);
+  EXPECT_TRUE(ep.sn());
+}
+
+TEST(LlAck, NakKeepsSnForRetransmission)  {
+  // Peer nesn == our sn: our PDU was not received; retransmit with same SN.
+  LlAckEndpoint ep;
+  const LlAckOutcome out = ep.on_rx({false, false});
+  EXPECT_FALSE(out.acked);
+  EXPECT_FALSE(ep.sn());
+  EXPECT_EQ(ep.tx_bits().sn, false);
+}
+
+TEST(LlAck, BothRulesApplyToOnePdu) {
+  // A single reception can simultaneously deliver new data and ack ours.
+  LlAckEndpoint ep;
+  const LlAckOutcome out = ep.on_rx({false, true});
+  EXPECT_TRUE(out.new_data);
+  EXPECT_TRUE(out.acked);
+  EXPECT_TRUE(ep.sn());
+  EXPECT_TRUE(ep.nesn());
+}
+
+TEST(LlAck, ResetRestartsAtZero) {
+  LlAckEndpoint ep;
+  (void)ep.on_rx({false, true});
+  ep.reset();
+  EXPECT_EQ(ep.tx_bits(), (LlAckBits{false, false}));
+}
+
+TEST(LlAck, LockstepConversationDeliversAlternately) {
+  // Two endpoints in a loss-free alternating exchange: every PDU is new data
+  // and acks the previous one, bits alternating 00,01,11,10,00,...
+  LlAckEndpoint a;
+  LlAckEndpoint b;
+  for (int i = 0; i < 8; ++i) {
+    const LlAckOutcome at_b = b.on_rx(a.tx_bits());
+    EXPECT_TRUE(at_b.new_data) << "round " << i;
+    const LlAckOutcome at_a = a.on_rx(b.tx_bits());
+    EXPECT_TRUE(at_a.new_data) << "round " << i;
+    EXPECT_TRUE(at_a.acked) << "round " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mgap::ble

@@ -1,0 +1,151 @@
+// Simulator-level metamorphic properties: transformations of an experiment
+// that must not change its observable results — rerunning the same seed,
+// monotonically relabeling the node ids, and the MGAP_TIME_SCALE plumbing.
+// These catch nondeterminism (map iteration order, uninitialized state,
+// wall-clock leakage) that unit tests of individual layers cannot see.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+
+#include "check/property.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/report.hpp"
+
+namespace mgap::testbed {
+namespace {
+
+using check::check_property;
+
+ExperimentConfig base_config(std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.topology = Topology::tree15();
+  cfg.duration = sim::Duration::sec(60);
+  cfg.seed = seed;
+  return cfg;
+}
+
+ExperimentSummary run(const ExperimentConfig& cfg) {
+  Experiment e{cfg};
+  e.run();
+  return e.summary();
+}
+
+void expect_identical(const ExperimentSummary& a, const ExperimentSummary& b) {
+  EXPECT_EQ(a.sent, b.sent);
+  EXPECT_EQ(a.acked, b.acked);
+  EXPECT_EQ(a.conn_losses, b.conn_losses);
+  EXPECT_EQ(a.reconnects, b.reconnects);
+  EXPECT_EQ(a.pktbuf_drops, b.pktbuf_drops);
+  EXPECT_EQ(a.rtt_p50, b.rtt_p50);
+  EXPECT_EQ(a.rtt_p99, b.rtt_p99);
+  EXPECT_EQ(a.rtt_max, b.rtt_max);
+  EXPECT_EQ(a.counters, b.counters);
+}
+
+/// Applies a monotone id map to every id-bearing field of a topology. A
+/// monotone relabel preserves creation order (nodes_ is an ordered map and
+/// RNG streams are handed out in that order), so the simulation must be
+/// bit-identical; a non-monotone relabel would legitimately change it.
+Topology relabel(const Topology& t, const std::map<NodeId, NodeId>& m) {
+  Topology out = t;
+  out.nodes.clear();
+  for (const NodeId n : t.nodes) out.nodes.push_back(m.at(n));
+  out.consumer = m.at(t.consumer);
+  out.edges.clear();
+  for (const auto& e : t.edges) {
+    out.edges.push_back({m.at(e.coordinator), m.at(e.subordinate)});
+  }
+  out.parent.clear();
+  for (const auto& [child, par] : t.parent) out.parent[m.at(child)] = m.at(par);
+  return out;
+}
+
+TEST(Metamorphic, RerunWithSameSeedIsBitIdentical) {
+  const auto a = run(base_config(17));
+  const auto b = run(base_config(17));
+  expect_identical(a, b);
+}
+
+TEST(Metamorphic, MonotoneNodeRelabelingIsInvariant) {
+  const ExperimentConfig cfg = base_config(23);
+
+  std::map<NodeId, NodeId> shift;
+  for (const NodeId n : cfg.topology.nodes) shift[n] = n * 7 + 3;
+  ExperimentConfig relabeled = cfg;
+  relabeled.topology = relabel(cfg.topology, shift);
+
+  const auto a = run(cfg);
+  const auto b = run(relabeled);
+  expect_identical(a, b);
+}
+
+TEST(Metamorphic, RandomMonotoneRelabelsAreInvariant) {
+  // Property form: any strictly increasing id map (random gaps) keeps the
+  // headline metrics of a short run identical. Uses few rounds — each round
+  // runs two full experiments.
+  check::PropertyConfig pc;
+  pc.rounds = 3;
+  const auto result = check_property(
+      "relabel-invariance",
+      [](check::Gen& g) {
+        ExperimentConfig cfg = base_config(g.u64(1, 1000));
+        cfg.duration = sim::Duration::sec(30);
+
+        std::map<NodeId, NodeId> m;
+        NodeId next = 0;
+        for (const NodeId n : cfg.topology.nodes) {
+          next += static_cast<NodeId>(g.u64(1, 40));  // strictly increasing
+          m[n] = next;
+        }
+        ExperimentConfig relabeled = cfg;
+        relabeled.topology = relabel(cfg.topology, m);
+
+        const auto a = run(cfg);
+        const auto b = run(relabeled);
+        PROP_ASSERT(a.sent == b.sent, "sent invariant");
+        PROP_ASSERT(a.acked == b.acked, "acked invariant");
+        PROP_ASSERT(a.rtt_p50 == b.rtt_p50, "rtt_p50 invariant");
+        PROP_ASSERT(a.counters == b.counters, "counters invariant");
+      },
+      pc);
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+TEST(Metamorphic, TimeScaleShrinksWithFloorAndRejectsJunk) {
+  ASSERT_EQ(setenv("MGAP_TIME_SCALE", "0.25", 1), 0);
+  EXPECT_EQ(scaled_duration(sim::Duration::sec(400)), sim::Duration::sec(100));
+  // The floor protects short experiments from degenerating.
+  EXPECT_EQ(scaled_duration(sim::Duration::sec(120)), sim::Duration::sec(60));
+  EXPECT_EQ(scaled_duration(sim::Duration::sec(400), sim::Duration::sec(10)),
+            sim::Duration::sec(100));
+
+  // Out-of-range or malformed values run unscaled rather than corrupting the
+  // experiment length.
+  for (const char* junk : {"0", "-1", "1.5", "nan", "inf", "0.5x", "x"}) {
+    ASSERT_EQ(setenv("MGAP_TIME_SCALE", junk, 1), 0);
+    EXPECT_EQ(scaled_duration(sim::Duration::sec(400)), sim::Duration::sec(400))
+        << "MGAP_TIME_SCALE=" << junk;
+  }
+  ASSERT_EQ(unsetenv("MGAP_TIME_SCALE"), 0);
+  EXPECT_EQ(scaled_duration(sim::Duration::sec(400)), sim::Duration::sec(400));
+}
+
+TEST(Metamorphic, TimeScaleDoesNotChangePerSecondBehavior) {
+  // Scaling the duration via the env plumbing equals passing the scaled
+  // duration literally: the scale must only shorten the run, never alter the
+  // simulation inside it.
+  ASSERT_EQ(setenv("MGAP_TIME_SCALE", "0.5", 1), 0);
+  ExperimentConfig scaled = base_config(29);
+  scaled.duration = scaled_duration(sim::Duration::sec(120));
+  ASSERT_EQ(unsetenv("MGAP_TIME_SCALE"), 0);
+
+  ExperimentConfig literal = base_config(29);
+  literal.duration = sim::Duration::sec(60);
+
+  expect_identical(run(scaled), run(literal));
+}
+
+}  // namespace
+}  // namespace mgap::testbed

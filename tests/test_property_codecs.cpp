@@ -1,0 +1,312 @@
+// Randomized round-trip properties for every protocol codec: CoAP, IPv6,
+// UDP, 6LoWPAN (both compression modes, fragmentation + reassembly under
+// arbitrary reordering/duplication), the reassembler's pool-charge
+// conservation, and the `.mgt` trace codec. Each property reproduces from
+// the seed its failure report prints (see src/check/property.hpp).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "app/coap.hpp"
+#include "check/property.hpp"
+#include "net/ipv6.hpp"
+#include "net/pktbuf.hpp"
+#include "net/sixlowpan.hpp"
+#include "net/udp.hpp"
+#include "obs/mgt.hpp"
+#include "sim/time.hpp"
+
+namespace mgap {
+namespace {
+
+using check::check_property;
+
+// --- generators -------------------------------------------------------------
+
+app::CoapMessage gen_coap(check::Gen& g) {
+  app::CoapMessage msg;
+  msg.type = static_cast<app::CoapType>(g.u64(0, 3));
+  msg.code = static_cast<std::uint8_t>(g.u64(0, 0xFF));
+  msg.message_id = static_cast<std::uint16_t>(g.u64(0, 0xFFFF));
+  msg.token = g.bytes(8);
+  // Options must be sorted by number; cumulative deltas cover the plain,
+  // 13-extended and 14-extended encodings, including repeats (delta 0).
+  std::uint16_t number = 0;
+  const std::size_t option_count = g.size(4);
+  for (std::size_t i = 0; i < option_count; ++i) {
+    const auto delta = static_cast<std::uint16_t>(
+        g.pick(std::vector<std::uint64_t>{0, 1, 11, 13, 200, 300}));
+    if (number == 0 && delta == 0) continue;  // option number 0 is reserved
+    if (delta > 0xFFFF - number) break;
+    number = static_cast<std::uint16_t>(number + delta);
+    msg.options.push_back({number, g.bytes(20)});
+  }
+  msg.payload = g.bytes(40);
+  return msg;
+}
+
+net::Ipv6Addr gen_addr(check::Gen& g) {
+  switch (g.u64(0, 2)) {
+    case 0: return net::Ipv6Addr::link_local(static_cast<NodeId>(g.u64(1, 500)));
+    case 1: return net::Ipv6Addr::site(static_cast<NodeId>(g.u64(1, 500)));
+    default: {
+      std::array<std::uint8_t, 16> b{};
+      for (auto& x : b) x = g.byte();
+      b[0] = 0x20;  // global unicast: no elision path applies
+      return net::Ipv6Addr{b};
+    }
+  }
+}
+
+/// A well-formed IPv6 packet; UDP payloads get a real checksummed header so
+/// the IPHC NHC path round-trips through checksum re-elision.
+std::vector<std::uint8_t> gen_ipv6_packet(check::Gen& g) {
+  net::Ipv6Header h;
+  h.traffic_class = static_cast<std::uint8_t>(g.u64(0, 255));
+  h.flow_label = static_cast<std::uint32_t>(g.u64(0, 0xFFFFF));
+  h.hop_limit = static_cast<std::uint8_t>(
+      g.pick(std::vector<std::uint64_t>{1, 64, 255, 7}));
+  h.src = gen_addr(g);
+  h.dst = gen_addr(g);
+  std::vector<std::uint8_t> payload;
+  if (g.boolean(0.7)) {
+    h.next_header = net::kProtoUdp;
+    const auto sport = static_cast<std::uint16_t>(
+        g.pick(std::vector<std::uint64_t>{0xF0B1, 0xF025, 5683, 49152}));
+    const auto dport = static_cast<std::uint16_t>(
+        g.pick(std::vector<std::uint64_t>{0xF0B2, 0xF0C3, 5683, 80}));
+    payload = net::udp_encode(h.src, h.dst, sport, dport, g.bytes(64));
+  } else {
+    h.next_header = 58;  // ICMPv6: headers stay inline
+    payload = g.bytes(64);
+  }
+  h.payload_len = static_cast<std::uint16_t>(payload.size());
+  return net::ipv6_encode(h, payload);
+}
+
+// --- CoAP -------------------------------------------------------------------
+
+TEST(CodecProperty, CoapRoundTrip) {
+  const auto result = check_property("coap-roundtrip", [](check::Gen& g) {
+    const app::CoapMessage msg = gen_coap(g);
+    const auto decoded = app::coap_decode(app::coap_encode(msg));
+    PROP_ASSERT(decoded.has_value(), "canonical encoding must decode");
+    PROP_ASSERT(decoded->type == msg.type, "type");
+    PROP_ASSERT(decoded->code == msg.code, "code");
+    PROP_ASSERT(decoded->message_id == msg.message_id, "message id");
+    PROP_ASSERT(decoded->token == msg.token, "token");
+    PROP_ASSERT(decoded->options == msg.options, "options");
+    PROP_ASSERT(decoded->payload == msg.payload, "payload");
+  });
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+TEST(CodecProperty, CoapDecodeToleratesArbitraryBytes) {
+  // Decoder hardening: arbitrary input either decodes (and then re-encodes
+  // to something that decodes to the same message) or returns nullopt —
+  // never crashes, never loops.
+  const auto result = check_property("coap-hardened", [](check::Gen& g) {
+    const auto junk = g.bytes(64);
+    const auto msg = app::coap_decode(junk);
+    if (!msg.has_value()) return;
+    const auto again = app::coap_decode(app::coap_encode(*msg));
+    PROP_ASSERT(again.has_value(), "re-encoded message must decode");
+    PROP_ASSERT(again->options == msg->options, "options stable");
+    PROP_ASSERT(again->payload == msg->payload, "payload stable");
+  });
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+// --- IPv6 / UDP -------------------------------------------------------------
+
+TEST(CodecProperty, Ipv6HeaderRoundTrip) {
+  const auto result = check_property("ipv6-roundtrip", [](check::Gen& g) {
+    const auto packet = gen_ipv6_packet(g);
+    const auto h = net::ipv6_decode(packet);
+    PROP_ASSERT(h.has_value(), "self-built packet must decode");
+    PROP_ASSERT(h->payload_len + net::kIpv6HeaderLen == packet.size(),
+                "payload length consistent");
+    const auto payload = net::ipv6_payload(packet);
+    PROP_ASSERT(payload.size() == h->payload_len, "payload view length");
+    PROP_ASSERT(net::ipv6_encode(*h, payload) == packet, "re-encode identical");
+  });
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+TEST(CodecProperty, UdpRoundTripAndChecksum) {
+  const auto result = check_property("udp-roundtrip", [](check::Gen& g) {
+    const net::Ipv6Addr src = gen_addr(g);
+    const net::Ipv6Addr dst = gen_addr(g);
+    const auto sport = static_cast<std::uint16_t>(g.u64(0, 0xFFFF));
+    const auto dport = static_cast<std::uint16_t>(g.u64(0, 0xFFFF));
+    const auto payload = g.bytes(64);
+    const auto wire = net::udp_encode(src, dst, sport, dport, payload);
+    const auto back = net::udp_decode(src, dst, wire);
+    PROP_ASSERT(back.has_value(), "valid datagram must decode");
+    PROP_ASSERT(back->src_port == sport && back->dst_port == dport, "ports");
+    PROP_ASSERT(back->payload == payload, "payload");
+    // Flipping any single byte must be caught by the mandatory checksum
+    // (except inside the checksum field itself, where it still must fail).
+    auto corrupt = wire;
+    corrupt[g.u64(0, corrupt.size() - 1)] ^=
+        static_cast<std::uint8_t>(g.u64(1, 0xFF));
+    PROP_ASSERT(!net::udp_decode(src, dst, corrupt).has_value(),
+                "checksum catches single-byte corruption");
+  });
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+// --- 6LoWPAN ----------------------------------------------------------------
+
+TEST(CodecProperty, SixlowpanRoundTripBothModes) {
+  const auto result = check_property("sixlo-roundtrip", [](check::Gen& g) {
+    const auto packet = gen_ipv6_packet(g);
+    const auto l2_src = static_cast<NodeId>(g.u64(1, 500));
+    const auto l2_dst = static_cast<NodeId>(g.u64(1, 500));
+    const auto mode = g.boolean() ? net::CompressionMode::kIphc
+                                  : net::CompressionMode::kUncompressed;
+    const auto frame = net::sixlo_encode(packet, mode, l2_src, l2_dst);
+    const auto back = net::sixlo_decode(frame, l2_src, l2_dst);
+    PROP_ASSERT(back.has_value(), "own encoding must decode");
+    PROP_ASSERT(*back == packet, "decode(encode(p)) == p");
+    if (mode == net::CompressionMode::kIphc) {
+      PROP_ASSERT(frame.size() <= packet.size() + 1, "IPHC never inflates by >1");
+    }
+  });
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+TEST(CodecProperty, FragmentationSurvivesReorderingAndDuplication) {
+  const auto result = check_property("sixlo-frag", [](check::Gen& g) {
+    std::vector<std::uint8_t> frame = g.bytes(300);
+    frame.resize(std::max<std::size_t>(frame.size(), 1));
+    const std::size_t mtu = g.u64(16, 120);
+    const auto tag = static_cast<std::uint16_t>(g.u64(0, 0xFFFF));
+    const auto frags = net::sixlo_fragment(frame, mtu, tag);
+    for (const auto& f : frags) PROP_ASSERT(f.size() <= mtu, "fragment fits MTU");
+    if (frags.size() < 2) return;  // fit unfragmented
+
+    // Feed in a random order, with random duplicates injected before the
+    // stream completes; the byte-map reassembler must still produce the
+    // frame exactly once, when the last missing byte arrives.
+    std::vector<std::size_t> order(frags.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[g.u64(0, i - 1)]);
+    }
+    net::SixloReassembler reasm;
+    const sim::TimePoint now;
+    std::size_t fed = 0;
+    for (const std::size_t idx : order) {
+      if (fed > 0 && g.boolean(0.3)) {  // duplicate of an already-sent fragment
+        const auto dup = reasm.feed(9, frags[order[g.u64(0, fed - 1)]], now);
+        PROP_ASSERT(!dup.has_value(), "duplicates never complete a datagram");
+      }
+      const auto done = reasm.feed(9, frags[idx], now);
+      ++fed;
+      if (fed < order.size()) {
+        PROP_ASSERT(!done.has_value(), "incomplete datagram stays pending");
+      } else {
+        PROP_ASSERT(done.has_value(), "last fragment completes");
+        PROP_ASSERT(*done == frame, "reassembly restores the frame");
+        PROP_ASSERT(reasm.pending() == 0, "completed datagram leaves the table");
+      }
+    }
+  });
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+TEST(CodecProperty, ReassemblerConservesPoolCharge) {
+  // Whatever mix of completed, abandoned, evicted and cleared datagrams the
+  // schedule produces, the pool must end exactly where it started — no leaked
+  // and no double-released charge (underflows() is the double-free canary).
+  const auto result = check_property("sixlo-pool", [](check::Gen& g) {
+    net::Pktbuf pool{2048};
+    net::SixloReassembler reasm{sim::Duration::sec(5)};
+    reasm.bind_pool(&pool, 16);
+    sim::TimePoint now;
+
+    const std::size_t datagrams = g.u64(1, 6);
+    for (std::size_t d = 0; d < datagrams; ++d) {
+      std::vector<std::uint8_t> frame = g.bytes(250);
+      frame.resize(std::max<std::size_t>(frame.size(), 1));
+      const auto frags =
+          net::sixlo_fragment(frame, 40, static_cast<std::uint16_t>(d));
+      const auto src = static_cast<NodeId>(g.u64(1, 3));
+      for (const auto& f : frags) {
+        if (g.boolean(0.3)) continue;  // fragment lost
+        (void)reasm.feed(src, f, now);
+        PROP_ASSERT(pool.used() <= pool.capacity(), "pool never overcommits");
+      }
+      if (g.boolean(0.3)) now += sim::Duration::sec(6);  // expire stragglers
+    }
+    now += sim::Duration::sec(6);
+    (void)reasm.evict_expired(now);
+    PROP_ASSERT(reasm.pending() == 0, "everything expired");
+    PROP_ASSERT(pool.used() == 0, "all charges released");
+    PROP_ASSERT(pool.underflows() == 0, "no double release");
+
+    // clear() is the other release path (node reboot).
+    (void)reasm.feed(1, net::sixlo_fragment(std::vector<std::uint8_t>(100), 40, 99)[0],
+                     now);
+    PROP_ASSERT(pool.used() > 0, "in-flight datagram holds a charge");
+    reasm.clear();
+    PROP_ASSERT(pool.used() == 0 && pool.underflows() == 0, "clear releases");
+  });
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+// --- .mgt trace codec -------------------------------------------------------
+
+TEST(CodecProperty, MgtWriteReadRoundTrip) {
+  const auto result = check_property("mgt-roundtrip", [](check::Gen& g) {
+    std::vector<obs::MgtRecord> records;
+    const std::size_t count = g.size(20);
+    for (std::size_t i = 0; i < count; ++i) {
+      obs::Event e;
+      e.at = sim::TimePoint::from_ns(g.i64(0, 1'000'000'000));
+      e.type = static_cast<obs::EventType>(g.u64(1, 12));
+      e.chan = static_cast<std::uint8_t>(g.u64(0, 255));
+      e.flags = static_cast<std::uint16_t>(g.u64(0, 0xFFFF));
+      e.node = static_cast<std::uint32_t>(g.u64(0, 0xFFFFFFFF));
+      e.id = g.bits();
+      e.a = static_cast<std::uint32_t>(g.u64(0, 0xFFFFFFFF));
+      e.b = static_cast<std::uint32_t>(g.u64(0, 0xFFFFFFFF));
+      records.push_back({e, g.bytes(64)});
+    }
+    std::stringstream io;
+    obs::MgtWriter writer{io};
+    for (const auto& r : records) writer.write(r.event, r.payload);
+    PROP_ASSERT(writer.ok(), "writer healthy");
+    PROP_ASSERT(writer.records_written() == records.size(), "record count");
+
+    obs::MgtReader reader{io};
+    const auto back = reader.read_all();
+    PROP_ASSERT(back.size() == records.size(), "read count");
+    for (std::size_t i = 0; i < back.size(); ++i) {
+      PROP_ASSERT(back[i].event == records[i].event, "event fields survive");
+      PROP_ASSERT(back[i].payload == records[i].payload, "payload survives");
+    }
+  });
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+TEST(CodecProperty, MgtSnapLengthTruncatesPayload) {
+  std::stringstream io;
+  obs::MgtWriter writer{io};
+  obs::Event e;
+  e.type = obs::EventType::kIpPacket;
+  std::vector<std::uint8_t> big(obs::kMgtMaxPayload + 500, 0xAB);
+  writer.write(e, big);
+  obs::MgtReader reader{io};
+  const auto back = reader.read_all();
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].payload.size(), obs::kMgtMaxPayload);
+}
+
+}  // namespace
+}  // namespace mgap

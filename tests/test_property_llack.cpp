@@ -1,0 +1,98 @@
+// Property tests for the LL SN/NESN scheme: under an arbitrary schedule of
+// lost and CRC-corrupted PDUs in both directions, the receiver delivers the
+// sender's stream exactly once, in order, with no gaps — and a loss-free
+// drain always completes delivery (the spec's liveness).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ble/llack.hpp"
+#include "check/property.hpp"
+
+namespace mgap::ble {
+namespace {
+
+using check::check_property;
+
+/// One simulated half-duplex exchange: A offers payload `next_tx`; the Gen
+/// decides, per direction, whether the PDU survives (a CRC failure and an
+/// outright loss are indistinguishable to the endpoints — no on_rx call).
+struct Link {
+  LlAckEndpoint a;
+  LlAckEndpoint b;
+  std::uint32_t next_tx{0};
+  std::vector<std::uint32_t> delivered;
+
+  void step(bool forward_ok, bool reverse_ok) {
+    if (forward_ok) {
+      if (b.on_rx(a.tx_bits()).new_data) delivered.push_back(next_tx);
+    }
+    if (reverse_ok) {
+      if (a.on_rx(b.tx_bits()).acked) ++next_tx;
+    }
+  }
+
+  void assert_exactly_once_in_order() const {
+    for (std::size_t i = 0; i < delivered.size(); ++i) {
+      PROP_ASSERT(delivered[i] == i, "delivery must be gapless and in order");
+    }
+    // B may hold one delivery whose ack has not reached A yet, never more.
+    PROP_ASSERT(delivered.size() >= next_tx, "acked implies delivered");
+    PROP_ASSERT(delivered.size() <= next_tx + 1, "at most one unacked delivery");
+  }
+};
+
+TEST(LlAckProperty, ExactlyOnceUnderArbitraryLossSchedule) {
+  const auto result = check_property("llack-exactly-once", [](check::Gen& g) {
+    Link link;
+    const std::size_t steps = g.u64(1, 200);
+    for (std::size_t i = 0; i < steps; ++i) {
+      link.step(g.boolean(0.6), g.boolean(0.6));
+      link.assert_exactly_once_in_order();
+    }
+  });
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+TEST(LlAckProperty, LossFreeDrainAlwaysCompletesDelivery) {
+  const auto result = check_property("llack-drain", [](check::Gen& g) {
+    Link link;
+    const std::size_t steps = g.u64(0, 100);
+    for (std::size_t i = 0; i < steps; ++i) link.step(g.boolean(), g.boolean());
+    // Two clean exchanges flush any half-acknowledged PDU; from then on every
+    // step must move one payload end to end.
+    const std::uint32_t stalled = link.next_tx;
+    for (int i = 0; i < 10; ++i) link.step(true, true);
+    link.assert_exactly_once_in_order();
+    PROP_ASSERT(link.delivered.size() == link.next_tx, "drained links hold no debt");
+    PROP_ASSERT(link.next_tx >= stalled + 8, "clean rounds each deliver one PDU");
+  });
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+TEST(LlAckProperty, CorruptedReceptionsNeverChangeState) {
+  // A reception that fails CRC must leave both bits untouched on both sides:
+  // interleaving no-op rounds anywhere in a schedule changes nothing.
+  const auto result = check_property("llack-crc-noop", [](check::Gen& g) {
+    Link noisy;
+    Link clean;
+    const std::size_t steps = g.u64(1, 100);
+    for (std::size_t i = 0; i < steps; ++i) {
+      const bool fwd = g.boolean();
+      const bool rev = g.boolean();
+      noisy.step(fwd, rev);
+      clean.step(fwd, rev);
+      const std::size_t dead_rounds = g.u64(0, 3);
+      for (std::size_t k = 0; k < dead_rounds; ++k) noisy.step(false, false);
+      PROP_ASSERT(noisy.a.tx_bits() == clean.a.tx_bits(), "A state unchanged");
+      PROP_ASSERT(noisy.b.tx_bits() == clean.b.tx_bits(), "B state unchanged");
+      PROP_ASSERT(noisy.delivered == clean.delivered, "deliveries unchanged");
+    }
+  });
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+}  // namespace
+}  // namespace mgap::ble

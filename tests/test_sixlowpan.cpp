@@ -2,6 +2,7 @@
 // (+ UDP NHC), and FRAG1/FRAGN fragmentation with reassembly.
 
 #include <gtest/gtest.h>
+#include <array>
 
 #include "net/ipv6.hpp"
 #include "net/sixlowpan.hpp"
@@ -103,6 +104,64 @@ TEST(SixloDecode, RejectsGarbage) {
   EXPECT_FALSE(sixlo_decode(std::vector<std::uint8_t>{}, 1, 2).has_value());
   EXPECT_FALSE(sixlo_decode(std::vector<std::uint8_t>{0xFF, 0x00}, 1, 2).has_value());
   EXPECT_FALSE(sixlo_decode(std::vector<std::uint8_t>{0x60}, 1, 2).has_value());
+}
+
+// Regressions for fuzz_iphc findings. Each pins a hardening in the codec; the
+// triggering inputs are also committed under fuzz/corpus/iphc/crash-*.
+
+TEST(SixloDecode, UncompressedDispatchDemandsWellFormedIpv6) {
+  const auto good =
+      sixlo_encode(make_udp_packet(3, 1, 5683, 5683, 4), CompressionMode::kUncompressed, 3, 1);
+  ASSERT_TRUE(sixlo_decode(good, 3, 1).has_value());
+
+  // Version nibble 7 after the 0x41 dispatch: not an IPv6 packet.
+  auto bad_version = good;
+  bad_version[1] = static_cast<std::uint8_t>(0x70 | (bad_version[1] & 0x0F));
+  EXPECT_FALSE(sixlo_decode(bad_version, 3, 1).has_value());
+
+  // Truncated mid-header.
+  auto truncated = good;
+  truncated.resize(1 + kIpv6HeaderLen / 2);
+  EXPECT_FALSE(sixlo_decode(truncated, 3, 1).has_value());
+
+  // Trailing junk past the header's payload length.
+  auto padded = good;
+  padded.push_back(0xAA);
+  EXPECT_FALSE(sixlo_decode(padded, 3, 1).has_value());
+}
+
+TEST(SixloIphc, LyingUdpLengthFieldSurvivesCompression) {
+  // NHC elides the UDP length and the decompressor recomputes it, so eliding
+  // a field that disagrees with the datagram size would rewrite it in
+  // transit. Such a datagram must round-trip bit-for-bit (carried without
+  // NHC) — dropping it is the UDP layer's call, not the compressor's.
+  auto packet = make_udp_packet(3, 1, 0xF0B3, 0xF0BA, 10);
+  packet[kIpv6HeaderLen + 5] ^= 0x04;  // corrupt the UDP length field
+  const auto frame = sixlo_encode(packet, CompressionMode::kIphc, 3, 1);
+  const auto back = sixlo_decode(frame, 3, 1);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, packet);
+}
+
+TEST(SixloIphc, LinkLocalRangeBeyondFe80PrefixStaysInline) {
+  // fe9c::/16 lies inside fe80::/10 but outside the exact fe80::/64 that
+  // stateless IPHC modes reconstruct; RFC 4291 forbids such addresses, but a
+  // forwarder must not corrupt a raw packet that carries one.
+  std::array<std::uint8_t, 16> odd{};
+  odd[0] = 0xFE;
+  odd[1] = 0x9C;
+  odd[7] = 0x49;
+  odd[15] = 0x01;
+  Ipv6Header h;
+  h.src = Ipv6Addr::link_local(3);
+  h.dst = Ipv6Addr{odd};
+  h.next_header = 58;
+  h.hop_limit = 64;
+  const auto packet = ipv6_encode(h, std::vector<std::uint8_t>(4, 0x33));
+  const auto frame = sixlo_encode(packet, CompressionMode::kIphc, 3, 1);
+  const auto back = sixlo_decode(frame, 3, 1);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, packet);
 }
 
 // UDP NHC port-compression modes.
