@@ -1,8 +1,9 @@
 // mgap_bench — machine-readable performance regression harness.
 //
-//   mgap_bench [--out DIR] [--quick] [event_queue] [campaign]
+//   mgap_bench [--out DIR] [--quick] [event_queue] [campaign] [scale]
 //
-// Emits BENCH_event_queue.json and BENCH_campaign.json (both by default).
+// Emits BENCH_event_queue.json, BENCH_campaign.json, and BENCH_scale.json
+// (all by default).
 // The event-queue suite drives the simulator-core hot path at 10k/30k/100k
 // live events: near-constant ns/op across sizes is the contract — the
 // pre-slot-map implementation erased from the front of a sorted vector on
@@ -29,7 +30,9 @@
 #include "campaign/writers.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
+#include "testbed/experiment.hpp"
 #include "testbed/topology.hpp"
+#include "topo/spec.hpp"
 
 using namespace mgap;
 
@@ -198,6 +201,94 @@ int run_campaign(const std::string& out_dir, bool quick) {
   return 0;
 }
 
+int run_scale(const std::string& out_dir, bool quick) {
+  // The tentpole scalability bench: generated RGG worlds at constant density
+  // (so the mean node degree stays put while the deployment area grows),
+  // timed end-to-end. sim/wall is the headline; the adv_full_scans == 0
+  // assertion is the proof that the 1000-node case rides the spatial index's
+  // neighbor tables rather than the O(N)-per-advertisement scan.
+  const unsigned sizes[] = {15, 100, 1000};
+  const sim::Duration duration = sim::Duration::sec(quick ? 30 : 60);
+
+  int rc = 0;
+  std::string fingerprint_src;
+  std::string json = "{\n  \"bench\": \"scale\",\n  \"cases\": [\n";
+  for (std::size_t i = 0; i < std::size(sizes); ++i) {
+    const unsigned n = sizes[i];
+    testbed::ExperimentConfig cfg;
+    cfg.topo.generator = topo::Generator::kRgg;
+    cfg.topo.nodes = n;
+    cfg.topo.density = 8.0;  // ~25 in-range neighbors at 10 m
+    cfg.topo.range = 10.0;
+    cfg.duration = duration;
+    // Aggregate offered load stays under the consumer's 8-link capacity even
+    // with 999 producers, so every size delivers a nonzero PDR.
+    cfg.producer_interval = sim::Duration::sec(30);
+    cfg.producer_jitter = sim::Duration::sec(10);
+    cfg.policy = core::IntervalPolicy::randomized(sim::Duration::ms(65),
+                                                  sim::Duration::ms(85));
+    cfg.seed = 7;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    testbed::Experiment exp{std::move(cfg)};
+    exp.run();
+    const double wall = seconds_since(t0);
+    const testbed::ExperimentSummary s = exp.summary();
+    const ble::BleWorld& world = *exp.ble_world();
+    const double sim_seconds = static_cast<double>(duration.count_ns()) * 1e-9;
+
+    if (world.adv_full_scans() != 0) {
+      std::fprintf(stderr,
+                   "scale: FAIL: %u-node case fell back to %" PRIu64
+                   " full advertising scans (neighbor table not in effect)\n",
+                   n, world.adv_full_scans());
+      rc = 1;
+    }
+    if (s.coap_pdr <= 0.0) {
+      std::fprintf(stderr, "scale: FAIL: %u-node case delivered nothing\n", n);
+      rc = 1;
+    }
+
+    // Everything except wall time is deterministic; the fingerprint is the
+    // cross-build reproducibility contract for generated worlds.
+    char det[256];
+    std::snprintf(det, sizeof det,
+                  "n=%u sent=%" PRIu64 " acked=%" PRIu64
+                  " mean_hops=%.6f max_hops=%" PRIu64 " routed=%" PRIu64
+                  " scanned=%" PRIu64 ";",
+                  n, s.sent, s.acked, s.topo_mean_hops, s.topo_max_hops,
+                  world.adv_events_routed(), world.adv_candidates_scanned());
+    fingerprint_src += det;
+
+    char line[512];
+    std::snprintf(line, sizeof line,
+                  "    {\"nodes\": %u, \"sim_seconds\": %.0f, \"wall_seconds\": "
+                  "%.3f, \"sim_per_wall\": %.1f, \"sent\": %" PRIu64
+                  ", \"acked\": %" PRIu64 ", \"coap_pdr\": %.6f, "
+                  "\"mean_hops\": %.3f, \"max_hops\": %" PRIu64
+                  ", \"adv_events_routed\": %" PRIu64
+                  ", \"adv_candidates_scanned\": %" PRIu64
+                  ", \"adv_full_scans\": %" PRIu64 "}%s\n",
+                  n, sim_seconds, wall, wall > 0 ? sim_seconds / wall : 0.0,
+                  s.sent, s.acked, s.coap_pdr, s.topo_mean_hops, s.topo_max_hops,
+                  world.adv_events_routed(), world.adv_candidates_scanned(),
+                  world.adv_full_scans(), i + 1 < std::size(sizes) ? "," : "");
+    json += line;
+    std::printf("scale: %4u nodes: %.0f sim-s in %.2f wall-s (%.0fx), PDR %.3f, "
+                "mean hops %.2f, %" PRIu64 " adv routed / %" PRIu64 " scanned\n",
+                n, sim_seconds, wall, wall > 0 ? sim_seconds / wall : 0.0,
+                s.coap_pdr, s.topo_mean_hops, world.adv_events_routed(),
+                world.adv_candidates_scanned());
+  }
+  char tail[96];
+  std::snprintf(tail, sizeof tail, "  ],\n  \"deterministic_fnv1a\": \"%016" PRIx64
+                "\"\n}\n",
+                fnv1a(fingerprint_src));
+  json += tail;
+  campaign::write_file(out_dir + "/BENCH_scale.json", json);
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -205,6 +296,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool want_event_queue = false;
   bool want_campaign = false;
+  bool want_scale = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
@@ -214,18 +306,23 @@ int main(int argc, char** argv) {
       want_event_queue = true;
     } else if (std::strcmp(argv[i], "campaign") == 0) {
       want_campaign = true;
+    } else if (std::strcmp(argv[i], "scale") == 0) {
+      want_scale = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--out DIR] [--quick] [event_queue] [campaign]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--out DIR] [--quick] [event_queue] [campaign] [scale]\n",
                    argv[0]);
       return 2;
     }
   }
-  if (!want_event_queue && !want_campaign) {
+  if (!want_event_queue && !want_campaign && !want_scale) {
     want_event_queue = true;
     want_campaign = true;
+    want_scale = true;
   }
   int rc = 0;
   if (want_event_queue) rc |= run_event_queue(out_dir, quick);
   if (want_campaign) rc |= run_campaign(out_dir, quick);
+  if (want_scale) rc |= run_scale(out_dir, quick);
   return rc;
 }

@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
 
   // Artifact (ii): raw result summary.
   const auto s = e->summary();
+  print_topology_line(s);
   print_summary_header();
   print_summary_row(argv[1], s);
   print_rtt_quantiles("RTT", e->metrics().rtt());

@@ -1,7 +1,7 @@
 #include "ble/world.hpp"
 
-#include <cassert>
 #include <cstdio>
+#include <stdexcept>
 
 #include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
@@ -12,7 +12,11 @@ BleWorld::BleWorld(sim::Simulator& sim, phy::ChannelModel channel_model)
     : sim_{sim}, channel_model_{channel_model}, rng_{sim.make_rng()} {}
 
 Controller& BleWorld::add_node(NodeId id, double drift_ppm, ControllerConfig config) {
-  assert(by_id_.find(id) == by_id_.end() && "duplicate node id");
+  // A real error, not an assert: a duplicate id is a configuration mistake
+  // and must surface in release builds through config validation.
+  if (by_id_.find(id) != by_id_.end()) {
+    throw std::invalid_argument{"BleWorld: duplicate node id " + std::to_string(id)};
+  }
   nodes_.push_back(std::make_unique<Controller>(sim_, *this, id,
                                                 sim::SleepClock{drift_ppm},
                                                 std::move(config)));
@@ -72,21 +76,48 @@ Connection& BleWorld::open_connection(Controller& coord, Controller& sub,
 
 void BleWorld::route_adv_event(Controller& advertiser, sim::TimePoint t,
                                sim::Duration duration) {
-  // Passive observers first (they never consume the event).
-  for (const auto& node : nodes_) {
-    Controller& c = *node;
-    if (&c == &advertiser || !c.is_observing()) continue;
-    if (!c.scanner_hears(t, duration)) continue;
-    if (rng_.chance(link_per(advertiser.id(), c.id()))) continue;  // out of range
-    c.notify_observed(advertiser.id(), advertiser.adv_data());
+  ++adv_events_routed_;
+  const std::vector<NodeId>* candidates = nullptr;
+  if (has_neighbor_table()) {
+    const auto it = neighbors_.find(advertiser.id());
+    if (it == neighbors_.end()) return;  // geometrically isolated: nobody in range
+    candidates = &it->second;
+  } else {
+    ++adv_full_scans_;
   }
-  for (const auto& node : nodes_) {
-    Controller& c = *node;
-    if (&c == &advertiser) continue;
+
+  // Visits potential receivers in ascending-id order (candidate lists mirror
+  // the full scan's order); stops early when `fn` returns true.
+  const auto for_each_receiver = [&](auto&& fn) {
+    if (candidates != nullptr) {
+      for (const NodeId nid : *candidates) {
+        const auto hit = by_id_.find(nid);
+        if (hit == by_id_.end()) continue;
+        ++adv_candidates_scanned_;
+        if (fn(*hit->second)) return;
+      }
+    } else {
+      for (const auto& node : nodes_) {
+        if (node.get() == &advertiser) continue;
+        ++adv_candidates_scanned_;
+        if (fn(*node)) return;
+      }
+    }
+  };
+
+  // Passive observers first (they never consume the event).
+  for_each_receiver([&](Controller& c) {
+    if (!c.is_observing()) return false;
+    if (!c.scanner_hears(t, duration)) return false;
+    if (rng_.chance(link_per(advertiser.id(), c.id()))) return false;  // out of range
+    c.notify_observed(advertiser.id(), advertiser.adv_data());
+    return false;
+  });
+  for_each_receiver([&](Controller& c) {
     const ConnParams* params = c.initiating_params(advertiser.id());
-    if (params == nullptr) continue;
-    if (!c.scanner_hears(t, duration)) continue;
-    if (rng_.chance(link_per(advertiser.id(), c.id()))) continue;  // out of range
+    if (params == nullptr) return false;
+    if (!c.scanner_hears(t, duration)) return false;
+    if (rng_.chance(link_per(advertiser.id(), c.id()))) return false;  // out of range
 
     // CONNECT_IND: the initiator becomes coordinator and dictates the anchor
     // inside the transmit window — the random phase that redistributes link
@@ -96,8 +127,8 @@ void BleWorld::route_adv_event(Controller& advertiser, sim::TimePoint t,
     const sim::TimePoint anchor = t + duration + sim::Duration::ms_f(1.25) +
                                   c.rng().uniform_duration(sim::Duration{}, chosen.interval);
     open_connection(c, advertiser, chosen, anchor);
-    return;  // one CONNECT_IND per advertising event
-  }
+    return true;  // one CONNECT_IND per advertising event
+  });
 }
 
 LinkStats& BleWorld::link_stats(NodeId coordinator, NodeId subordinate) {

@@ -36,6 +36,8 @@ class BleWorld {
   BleWorld(const BleWorld&) = delete;
   BleWorld& operator=(const BleWorld&) = delete;
 
+  /// Throws std::invalid_argument on a duplicate node id — a config error
+  /// that must surface in release builds too, not just under assert.
   Controller& add_node(NodeId id, double drift_ppm, ControllerConfig config = {});
   [[nodiscard]] Controller* find(NodeId id) const;
   [[nodiscard]] const std::vector<std::unique_ptr<Controller>>& nodes() const {
@@ -57,6 +59,28 @@ class BleWorld {
   [[nodiscard]] double link_per(NodeId a, NodeId b) const {
     return link_per_ ? link_per_(a, b) : 0.0;
   }
+
+  /// Optional per-node advertising candidate tables (the topo subsystem's
+  /// spatial index). When installed, route_adv_event iterates only the
+  /// advertiser's in-range candidates instead of all nodes — the structure
+  /// that takes a 1000-node sim off the O(N)-per-advertisement scan. Lists
+  /// must be ascending by id (the order the full scan visits) and must cover
+  /// every pair with link PER < 1; nodes absent from a list never hear that
+  /// advertiser.
+  void set_neighbor_table(std::map<NodeId, std::vector<NodeId>> table) {
+    neighbors_ = std::move(table);
+  }
+  [[nodiscard]] bool has_neighbor_table() const { return !neighbors_.empty(); }
+
+  /// Advertising-path instrumentation: how many adv events were routed, how
+  /// many candidate controllers those routes visited, and how many fell back
+  /// to the full-`nodes_` scan (0 whenever a neighbor table is installed —
+  /// the scale benches assert exactly that).
+  [[nodiscard]] std::uint64_t adv_events_routed() const { return adv_events_routed_; }
+  [[nodiscard]] std::uint64_t adv_candidates_scanned() const {
+    return adv_candidates_scanned_;
+  }
+  [[nodiscard]] std::uint64_t adv_full_scans() const { return adv_full_scans_; }
 
   /// Channel map applied to newly created connections (the experiments
   /// exclude jammed channel 22 on all nodes, section 4.2).
@@ -115,6 +139,10 @@ class BleWorld {
   ChannelMap default_chmap_{ChannelMap::all()};
   std::vector<std::unique_ptr<Controller>> nodes_;
   std::map<NodeId, Controller*> by_id_;
+  std::map<NodeId, std::vector<NodeId>> neighbors_;
+  std::uint64_t adv_events_routed_{0};
+  std::uint64_t adv_candidates_scanned_{0};
+  std::uint64_t adv_full_scans_{0};
   std::vector<std::unique_ptr<Connection>> connections_;
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<LinkStats>> link_stats_;
   ConnId next_conn_id_{1};

@@ -36,10 +36,17 @@ ConfigAggregate aggregate_config(std::size_t config_index,
   agg.config_index = config_index;
   std::vector<double> sent, coap_pdr, ll_pdr, losses, reconnects, drops, p50, p99;
   std::vector<double> injected, reconnect_p50, repair_p50, pdr_post;
+  std::vector<double> mean_hops, max_hops;
   std::map<std::string, std::vector<double>> counter_samples;
   for (const CellResult& cell : cells) {
     if (cell.config_index != config_index) continue;
     const testbed::ExperimentSummary& s = cell.summary;
+    if (agg.topo_generator.empty()) {
+      agg.topo_generator = s.topo_generator;
+      agg.topo_nodes = s.topo_nodes;
+    }
+    mean_hops.push_back(s.topo_mean_hops);
+    max_hops.push_back(static_cast<double>(s.topo_max_hops));
     sent.push_back(static_cast<double>(s.sent));
     coap_pdr.push_back(s.coap_pdr);
     ll_pdr.push_back(s.ll_pdr);
@@ -55,6 +62,8 @@ ConfigAggregate aggregate_config(std::size_t config_index,
     for (const auto& [name, v] : s.counters) counter_samples[name].push_back(v);
     agg.pooled_rtt.merge(cell.rtt);
   }
+  agg.topo_mean_hops = stat_of(mean_hops);
+  agg.topo_max_hops = stat_of(max_hops);
   agg.sent = stat_of(sent);
   agg.coap_pdr = stat_of(coap_pdr);
   agg.ll_pdr = stat_of(ll_pdr);

@@ -46,6 +46,12 @@ struct CellResult {
 /// Cross-seed aggregate of one configuration.
 struct ConfigAggregate {
   std::size_t config_index{0};
+  /// Topology metadata from the cells (generator and node count are fixed per
+  /// configuration; hop statistics vary across seeds for generated worlds).
+  std::string topo_generator;
+  std::uint64_t topo_nodes{0};
+  Stat topo_mean_hops;
+  Stat topo_max_hops;
   Stat sent;
   Stat coap_pdr;
   Stat ll_pdr;

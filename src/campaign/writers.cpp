@@ -89,7 +89,13 @@ std::string to_json(const CampaignResult& result) {
     for (std::size_t j = 0; j < n_seeds; ++j) {
       const CellResult& cell = result.cells[i * n_seeds + j];
       const testbed::ExperimentSummary& s = cell.summary;
-      out << "        {\"seed\": " << cell.seed << ", \"sent\": " << s.sent
+      out << "        {\"seed\": " << cell.seed
+          << ", \"topo_generator\": \"" << json_escape(s.topo_generator) << "\""
+          << ", \"topo_seed\": " << s.topo_seed
+          << ", \"topo_nodes\": " << s.topo_nodes
+          << ", \"topo_mean_hops\": " << json_double(s.topo_mean_hops)
+          << ", \"topo_max_hops\": " << s.topo_max_hops
+          << ", \"sent\": " << s.sent
           << ", \"acked\": " << s.acked
           << ", \"coap_pdr\": " << json_double(s.coap_pdr)
           << ", \"ll_pdr\": " << json_double(s.ll_pdr)
@@ -125,6 +131,11 @@ std::string to_json(const CampaignResult& result) {
     out << "      ],\n";
     out << "      \"aggregate\": {\n";
     const ConfigAggregate& agg = result.aggregates[i];
+    out << "        \"topo_generator\": \"" << json_escape(agg.topo_generator)
+        << "\",\n";
+    out << "        \"topo_nodes\": " << agg.topo_nodes << ",\n";
+    json_stat(out, "topo_mean_hops", agg.topo_mean_hops);
+    json_stat(out, "topo_max_hops", agg.topo_max_hops);
     json_stat(out, "sent", agg.sent);
     json_stat(out, "coap_pdr", agg.coap_pdr);
     json_stat(out, "ll_pdr", agg.ll_pdr);
@@ -171,7 +182,9 @@ std::string to_csv(const CampaignResult& result) {
       out << "," << key;
     }
   }
-  out << ",seeds,sent_mean,sent_ci95,coap_pdr_mean,coap_pdr_ci95,ll_pdr_mean,"
+  out << ",seeds,topo_generator,topo_nodes,topo_mean_hops_mean,"
+         "topo_mean_hops_ci95,topo_max_hops_mean,topo_max_hops_ci95"
+         ",sent_mean,sent_ci95,coap_pdr_mean,coap_pdr_ci95,ll_pdr_mean,"
          "ll_pdr_ci95,conn_losses_mean,conn_losses_ci95,reconnects_mean,"
          "reconnects_ci95,pktbuf_drops_mean,pktbuf_drops_ci95,rtt_p50_ms_mean,"
          "rtt_p50_ms_ci95,rtt_p99_ms_mean,rtt_p99_ms_ci95,"
@@ -190,6 +203,9 @@ std::string to_csv(const CampaignResult& result) {
       out << "," << value;
     }
     out << "," << result.seeds.size();
+    out << "," << agg.topo_generator << "," << agg.topo_nodes;
+    csv_stat(out, agg.topo_mean_hops);
+    csv_stat(out, agg.topo_max_hops);
     csv_stat(out, agg.sent);
     csv_stat(out, agg.coap_pdr);
     csv_stat(out, agg.ll_pdr);

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "topo/spec.hpp"
+
 namespace mgap::testbed {
 
 namespace {
@@ -182,6 +184,12 @@ void apply_experiment_kv(ExperimentConfig& cfg, const std::string& key,
     } catch (const std::exception& e) {
       throw std::runtime_error{"config: trace.categories: " + std::string(e.what())};
     }
+  } else if (key.rfind("topo.", 0) == 0) {
+    try {
+      topo::apply_topo_kv(cfg.topo, key, value);
+    } catch (const std::exception& e) {
+      throw std::runtime_error{"config: " + std::string(e.what())};
+    }
   } else {
     throw std::runtime_error{"config: unknown key '" + key + "'"};
   }
@@ -214,6 +222,13 @@ ExperimentConfig parse_experiment_config(std::string_view text) {
   }
 
   for (const auto& [key, value] : kv) apply_experiment_kv(cfg, key, value);
+  if (cfg.topo.enabled()) {
+    try {
+      cfg.topo.validate();
+    } catch (const std::exception& e) {
+      throw std::runtime_error{"config: " + std::string(e.what())};
+    }
+  }
   return cfg;
 }
 
@@ -229,10 +244,17 @@ std::string render_experiment_config(const ExperimentConfig& config) {
   std::ostringstream out;
   out << "radio = "
       << (config.radio == ExperimentConfig::Radio::kBle ? "ble" : "ieee802154") << "\n";
-  out << "topology = " << config.topology.name
-      << (config.topology.name == "star" ? std::to_string(config.topology.nodes.size())
-                                         : std::string{"15"})
-      << "\n";
+  if (config.topo.enabled()) {
+    // Generated worlds: the topo.* spec is the source of truth; a static
+    // "topology =" line would conflict with (and be overridden by) it.
+    out << topo::render_topo_spec(config.topo);
+  } else {
+    out << "topology = " << config.topology.name
+        << (config.topology.name == "star"
+                ? std::to_string(config.topology.nodes.size())
+                : std::string{"15"})
+        << "\n";
+  }
   out << "duration = " << config.duration.str() << "\n";
   out << "producer_interval = " << config.producer_interval.str() << "\n";
   out << "producer_jitter = " << config.producer_jitter.str() << "\n";

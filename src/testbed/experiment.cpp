@@ -3,10 +3,22 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "topo/channel.hpp"
+
 namespace mgap::testbed {
 
 Experiment::Experiment(ExperimentConfig config)
     : config_{std::move(config)}, sim_{config_.seed}, metrics_{config_.metrics_bucket} {
+  if (config_.topo.enabled()) {
+    // Procedural world: placement + geometric channel + routing tree, all
+    // deterministic from (spec, seed). Replaces any statically wired topology
+    // before node construction so everything downstream sees one source of
+    // truth. Throws (deterministically) when the world is not connected.
+    geo_ = std::make_unique<topo::GeneratedWorld>(
+        topo::generate_world(config_.topo, config_.seed));
+    config_.topology = Topology::from_parent_map(
+        config_.topo.generator_name(), geo_->consumer, geo_->parent);
+  }
   // Sinks open before any node exists, so even setup-time events are caught
   // and bad paths abort the experiment up front (not after an hour of sim).
   if (!config_.trace_file.empty()) recorder_.open_mgt(config_.trace_file);
@@ -33,6 +45,13 @@ void Experiment::build_ble() {
     ble::ChannelMap map = ble::ChannelMap::all();
     map.exclude(22);
     ble_world_->set_default_channel_map(map);
+  }
+  if (geo_) {
+    // Geometric channel replaces the hand-assigned link PER, and the spatial
+    // index's neighbor tables take the advertising path off the O(N) scan.
+    ble_world_->set_link_per(
+        topo::make_geometric_link_per(geo_->placement, config_.topo));
+    ble_world_->set_neighbor_table(geo_->neighbors);
   }
 
   // Per-node sleep-clock drift; a dedicated stream keeps the drifts stable
@@ -228,6 +247,16 @@ core::Statconn* Experiment::statconn(NodeId node) {
 
 ExperimentSummary Experiment::summary() const {
   ExperimentSummary s;
+  if (geo_) {
+    s.topo_generator = geo_->spec.generator_name();
+    s.topo_seed = geo_->placement->seed;
+  } else {
+    s.topo_generator = "static:" + config_.topology.name;
+  }
+  s.topo_nodes = config_.topology.nodes.size();
+  s.topo_mean_hops = config_.topology.mean_hops();
+  s.topo_max_hops = config_.topology.max_hops();
+
   s.sent = metrics_.total_sent();
   s.acked = metrics_.total_acked();
   s.coap_pdr = metrics_.pdr();
@@ -330,6 +359,17 @@ ExperimentSummary Experiment::summary() const {
                 static_cast<double>(sched.granted()));
       reg.count("radio.claims_denied", ctrl->id(),
                 static_cast<double>(sched.denied()));
+    }
+    // Advertising-path instrumentation: only for generated worlds, so static
+    // experiments keep byte-identical campaign output (columns derive from
+    // counter names).
+    if (ble_world_->has_neighbor_table()) {
+      reg.count("ble.adv_events_routed", 0,
+                static_cast<double>(ble_world_->adv_events_routed()));
+      reg.count("ble.adv_candidates_scanned", 0,
+                static_cast<double>(ble_world_->adv_candidates_scanned()));
+      reg.count("ble.adv_full_scans", 0,
+                static_cast<double>(ble_world_->adv_full_scans()));
     }
   }
   reg.count("trace.events", 0, static_cast<double>(recorder_.events_recorded()));

@@ -27,6 +27,7 @@
 #include "testbed/netif154.hpp"
 #include "testbed/topology.hpp"
 #include "testbed/workload.hpp"
+#include "topo/world.hpp"
 
 namespace mgap::testbed {
 
@@ -35,6 +36,11 @@ struct ExperimentConfig {
 
   Radio radio{Radio::kBle};
   Topology topology{Topology::tree15()};
+  /// Procedural world (src/topo/). When enabled, `topology` is replaced by
+  /// the generated routing tree at Experiment construction, the geometric
+  /// channel model supplies the pairwise link PER, and the spatial index's
+  /// neighbor tables are installed in the BleWorld.
+  topo::TopoSpec topo;
   sim::Duration duration{sim::Duration::hours(1)};
 
   // Traffic (section 4.3 defaults).
@@ -83,6 +89,14 @@ struct ExperimentConfig {
 };
 
 struct ExperimentSummary {
+  // Topology metadata: sweep outputs are self-describing (which generator,
+  // which placement seed, how big/deep the world actually was).
+  std::string topo_generator;      // "static:tree15" or "rgg", "grid", ...
+  std::uint64_t topo_seed{0};      // effective placement seed (0 for static)
+  std::uint64_t topo_nodes{0};
+  double topo_mean_hops{0.0};
+  std::uint64_t topo_max_hops{0};
+
   std::uint64_t sent{0};
   std::uint64_t acked{0};
   double coap_pdr{1.0};
@@ -136,6 +150,10 @@ class Experiment {
   /// Non-null for BLE experiments.
   [[nodiscard]] ble::BleWorld* ble_world() { return ble_world_.get(); }
   [[nodiscard]] ieee802154::Network154* net154() { return net154_.get(); }
+  /// Non-null when the topology was procedurally generated (config_.topo).
+  [[nodiscard]] const topo::GeneratedWorld* generated_world() const {
+    return geo_.get();
+  }
 
   [[nodiscard]] net::IpStack& stack(NodeId node);
   [[nodiscard]] ble::Controller* controller(NodeId node);
@@ -168,6 +186,7 @@ class Experiment {
   };
 
   ExperimentConfig config_;
+  std::unique_ptr<topo::GeneratedWorld> geo_;
   sim::Simulator sim_;
   obs::Recorder recorder_;
   Metrics metrics_;

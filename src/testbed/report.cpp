@@ -43,6 +43,16 @@ void print_pdr_timeline(const char* label, const Metrics& metrics, std::size_t s
   if (col % 12 != 0) std::printf("\n");
 }
 
+void print_topology_line(const ExperimentSummary& s) {
+  // Generated worlds carry the placement seed (repeatability); static
+  // topologies report "static:<name>" with seed 0.
+  std::printf("topology: %s (seed %llu), %llu nodes, mean hops %.2f, max hops %llu\n",
+              s.topo_generator.c_str(),
+              static_cast<unsigned long long>(s.topo_seed),
+              static_cast<unsigned long long>(s.topo_nodes), s.topo_mean_hops,
+              static_cast<unsigned long long>(s.topo_max_hops));
+}
+
 void print_summary_header() {
   std::printf("%-38s %9s %9s %8s %8s %7s %7s %9s %9s %9s\n", "configuration", "sent",
               "acked", "coapPDR", "llPDR", "losses", "reconn", "p50[ms]", "p99[ms]",

@@ -26,6 +26,8 @@ void print_pdr_timeline(const char* label, const Metrics& metrics, std::size_t s
 /// Prints one summary row (PDR, LL PDR, losses, RTT percentiles).
 void print_summary_row(const char* label, const ExperimentSummary& s);
 void print_summary_header();
+/// One line of topology metadata (generator + seed, node count, hop stats).
+void print_topology_line(const ExperimentSummary& s);
 
 /// Formats "mean ±ci95" with the given precision, e.g. "0.9995 ±0.0003" —
 /// the error-bar cell format shared by the multi-seed campaign tables.

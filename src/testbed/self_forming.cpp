@@ -1,9 +1,18 @@
 #include "testbed/self_forming.hpp"
 
+#include "topo/channel.hpp"
+
 namespace mgap::testbed {
 
 SelfFormingNetwork::SelfFormingNetwork(SelfFormingConfig config)
     : config_{config}, sim_{config_.seed}, metrics_{config_.metrics_bucket} {
+  if (config_.topo.enabled()) {
+    // The placement dictates the node count; the DODAG root stays the
+    // generated world's consumer (lowest id) unless overridden.
+    geo_ = std::make_unique<topo::GeneratedWorld>(
+        topo::generate_world(config_.topo, config_.seed));
+    config_.num_nodes = static_cast<unsigned>(geo_->placement->ids.size());
+  }
   phy::ChannelModel cm{config_.base_per};
   if (config_.jam_channel_22) cm.jam(22);
   world_ = std::make_unique<ble::BleWorld>(sim_, cm);
@@ -11,6 +20,11 @@ SelfFormingNetwork::SelfFormingNetwork(SelfFormingConfig config)
     ble::ChannelMap map = ble::ChannelMap::all();
     map.exclude(22);
     world_->set_default_channel_map(map);
+  }
+  if (geo_) {
+    world_->set_link_per(
+        topo::make_geometric_link_per(geo_->placement, config_.topo));
+    world_->set_neighbor_table(geo_->neighbors);
   }
 
   sim::Rng drift_rng = sim_.make_rng();

@@ -18,6 +18,7 @@
 #include "sim/simulator.hpp"
 #include "testbed/metrics.hpp"
 #include "testbed/workload.hpp"
+#include "topo/world.hpp"
 
 namespace mgap::testbed {
 
@@ -25,6 +26,11 @@ struct SelfFormingConfig {
   unsigned num_nodes{15};
   NodeId root{1};
   sim::Duration duration{sim::Duration::minutes(10)};
+
+  /// When enabled, a generated placement supplies the node count, the
+  /// geometric link PER, and the spatial-index neighbor tables — the DODAG
+  /// then self-forms over real geometry instead of a uniform radio world.
+  topo::TopoSpec topo;
 
   core::DynconnConfig dynconn;
   net::RplConfig rpl;
@@ -69,6 +75,10 @@ class SelfFormingNetwork {
   /// DODAG depth (rank / 256 - 1) per node.
   [[nodiscard]] std::map<NodeId, unsigned> depths() const;
   [[nodiscard]] std::uint64_t total_parent_changes() const;
+  /// Non-null when config.topo was enabled.
+  [[nodiscard]] const topo::GeneratedWorld* generated_world() const {
+    return geo_.get();
+  }
 
  private:
   struct Node {
@@ -82,6 +92,7 @@ class SelfFormingNetwork {
   void check_formation();
 
   SelfFormingConfig config_;
+  std::unique_ptr<topo::GeneratedWorld> geo_;
   sim::Simulator sim_;
   Metrics metrics_;
   std::unique_ptr<ble::BleWorld> world_;

@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <set>
+#include <stdexcept>
+#include <string>
 
 namespace mgap::testbed {
 
-namespace {
-
-Topology from_parent_map(std::string name, NodeId consumer,
-                         std::map<NodeId, NodeId> parent) {
+Topology Topology::from_parent_map(std::string name, NodeId consumer,
+                                   std::map<NodeId, NodeId> parent) {
   Topology t;
   t.name = std::move(name);
   t.consumer = consumer;
@@ -20,10 +21,46 @@ Topology from_parent_map(std::string name, NodeId consumer,
     t.edges.push_back(Topology::Edge{child, par});
   }
   std::sort(t.nodes.begin(), t.nodes.end());
+  t.validate();
   return t;
 }
 
-}  // namespace
+void Topology::validate() const {
+  std::set<NodeId> seen;
+  for (const NodeId n : nodes) {
+    if (!seen.insert(n).second) {
+      throw std::runtime_error{"topology '" + name + "': duplicate node id " +
+                               std::to_string(n)};
+    }
+  }
+  if (seen.count(consumer) == 0) {
+    throw std::runtime_error{"topology '" + name + "': consumer is not a node"};
+  }
+  if (parent.count(consumer) > 0) {
+    throw std::runtime_error{"topology '" + name + "': consumer has a parent"};
+  }
+  for (const auto& [child, par] : parent) {
+    if (seen.count(par) == 0) {
+      throw std::runtime_error{"topology '" + name + "': node " +
+                               std::to_string(child) + " has unknown parent " +
+                               std::to_string(par)};
+    }
+  }
+  // Every node must reach the consumer without cycling (bounded walk).
+  for (const NodeId start : nodes) {
+    NodeId n = start;
+    std::size_t steps = 0;
+    while (n != consumer) {
+      const auto it = parent.find(n);
+      if (it == parent.end() || ++steps > nodes.size()) {
+        throw std::runtime_error{"topology '" + name + "': node " +
+                                 std::to_string(start) +
+                                 " cannot reach the consumer"};
+      }
+      n = it->second;
+    }
+  }
+}
 
 Topology Topology::tree15() {
   // Depth 1: {2, 6, 11}; depth 2: {3, 4, 7, 8, 12, 13}; depth 3: {5, 9, 10,

@@ -33,6 +33,15 @@ struct Topology {
   [[nodiscard]] static Topology line15();
   /// RFC 7668 star: one central subordinate, n-1 leaves (for comparison).
   [[nodiscard]] static Topology star(unsigned n);
+  /// Builds a topology from a child -> parent map (procedural generators,
+  /// tests). Validates the result: throws std::runtime_error on a duplicate
+  /// node, a parent outside the node set, or a node that cannot reach the
+  /// consumer — the config-validation surface for malformed topologies.
+  [[nodiscard]] static Topology from_parent_map(std::string name, NodeId consumer,
+                                                std::map<NodeId, NodeId> parent);
+
+  /// The invariants from_parent_map enforces, re-checkable on any instance.
+  void validate() const;
 
   [[nodiscard]] std::vector<NodeId> producers() const;
   /// Hop count from `node` to the consumer.

@@ -1,0 +1,55 @@
+#pragma once
+// 2-D geometry primitives for the spatial topology subsystem: node positions,
+// wall segments (building floorplans), and the segment-intersection test the
+// geometric channel model uses to count wall crossings on a link.
+
+#include <cmath>
+#include <vector>
+
+namespace mgap::topo {
+
+struct Point {
+  double x{0.0};
+  double y{0.0};
+};
+
+[[nodiscard]] inline double distance(Point a, Point b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// An attenuating obstacle: a straight wall segment from `a` to `b`.
+struct Wall {
+  Point a;
+  Point b;
+};
+
+/// Signed orientation of the triangle (a, b, c): > 0 counter-clockwise,
+/// < 0 clockwise, 0 collinear.
+[[nodiscard]] inline double orientation(Point a, Point b, Point c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+/// Proper segment intersection (shared interior point). Touching endpoints
+/// and collinear overlap do not count: a link that grazes a wall corner is
+/// treated as passing the doorway, which keeps the crossing count stable
+/// under floating-point jitter of procedurally placed walls.
+[[nodiscard]] inline bool segments_intersect(Point p1, Point p2, Point q1, Point q2) {
+  const double o1 = orientation(p1, p2, q1);
+  const double o2 = orientation(p1, p2, q2);
+  const double o3 = orientation(q1, q2, p1);
+  const double o4 = orientation(q1, q2, p2);
+  return ((o1 > 0.0) != (o2 > 0.0)) && ((o3 > 0.0) != (o4 > 0.0)) &&
+         o1 != 0.0 && o2 != 0.0 && o3 != 0.0 && o4 != 0.0;
+}
+
+/// Number of walls the straight line-of-sight from `a` to `b` crosses.
+[[nodiscard]] inline unsigned wall_crossings(Point a, Point b,
+                                             const std::vector<Wall>& walls) {
+  unsigned n = 0;
+  for (const Wall& w : walls) {
+    if (segments_intersect(a, b, w.a, w.b)) ++n;
+  }
+  return n;
+}
+
+}  // namespace mgap::topo

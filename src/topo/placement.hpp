@@ -1,0 +1,41 @@
+#pragma once
+// Seeded procedural node placement. Every generator maps (spec, seed, ids)
+// to positions (and, for floorplans, walls) deterministically: all random
+// draws come from one sim::Rng stream consumed in ascending-id order, so the
+// same seed is bit-identical and a monotone relabel of the ids moves the
+// labels without moving the geometry.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/ids.hpp"
+#include "topo/geometry.hpp"
+#include "topo/spec.hpp"
+
+namespace mgap::topo {
+
+struct Placement {
+  std::string generator;
+  std::uint64_t seed{0};
+  double width{0.0};
+  double height{0.0};
+  /// Strictly ascending; positions[i] belongs to ids[i].
+  std::vector<NodeId> ids;
+  std::vector<Point> positions;
+  std::vector<Wall> walls;  // floorplan only
+
+  [[nodiscard]] Point position(NodeId id) const;  // throws on unknown id
+  [[nodiscard]] bool has(NodeId id) const;
+};
+
+/// Generates the placement for `ids` (must be non-empty, strictly ascending,
+/// size == spec.nodes). Throws std::runtime_error on a bad spec or id list —
+/// deterministically: the same inputs always produce the same error.
+[[nodiscard]] Placement generate_placement(const TopoSpec& spec, std::uint64_t seed,
+                                           const std::vector<NodeId>& ids);
+
+/// Convenience: ids 1..spec.nodes.
+[[nodiscard]] Placement generate_placement(const TopoSpec& spec, std::uint64_t seed);
+
+}  // namespace mgap::topo

@@ -1,0 +1,63 @@
+#include "topo/spatial_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mgap::topo {
+
+SpatialIndex::SpatialIndex(const Placement& placement, double cell_size)
+    : cell_size_{std::max(cell_size, 1e-6)} {
+  entries_.reserve(placement.ids.size());
+  for (std::size_t i = 0; i < placement.ids.size(); ++i) {
+    entries_.push_back(Entry{placement.ids[i], placement.positions[i]});
+  }
+  // Placement ids are ascending already; keep the invariant explicit.
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.id < b.id; });
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    cells_[cell_key(entries_[i].pos.x, entries_[i].pos.y)].push_back(i);
+  }
+}
+
+std::int64_t SpatialIndex::cell_key(double x, double y) const {
+  const auto cx = static_cast<std::int64_t>(std::floor(x / cell_size_));
+  const auto cy = static_cast<std::int64_t>(std::floor(y / cell_size_));
+  // 32-bit pack: deployments are bounded (km-scale at meter cells), so the
+  // halves never collide.
+  return (cx << 32) ^ (cy & 0xffffffffll);
+}
+
+std::vector<NodeId> SpatialIndex::within(NodeId center, double radius) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), center,
+      [](const Entry& e, NodeId id) { return e.id < id; });
+  if (it == entries_.end() || it->id != center) return {};
+  const Point c = it->pos;
+
+  std::vector<NodeId> out;
+  const auto cx = static_cast<std::int64_t>(std::floor(c.x / cell_size_));
+  const auto cy = static_cast<std::int64_t>(std::floor(c.y / cell_size_));
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      const std::int64_t key = ((cx + dx) << 32) ^ ((cy + dy) & 0xffffffffll);
+      const auto cell = cells_.find(key);
+      if (cell == cells_.end()) continue;
+      for (const std::uint32_t idx : cell->second) {
+        const Entry& e = entries_[idx];
+        if (e.id == center) continue;
+        if (distance(c, e.pos) <= radius) out.push_back(e.id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::map<NodeId, std::vector<NodeId>> SpatialIndex::neighbor_tables(
+    double radius) const {
+  std::map<NodeId, std::vector<NodeId>> tables;
+  for (const Entry& e : entries_) tables[e.id] = within(e.id, radius);
+  return tables;
+}
+
+}  // namespace mgap::topo

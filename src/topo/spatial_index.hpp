@@ -1,0 +1,50 @@
+#pragma once
+// Uniform-grid spatial hash over a Placement, plus per-node neighbor tables.
+// This is the structure that removes the O(N)-per-advertisement scan from
+// ble::BleWorld::route_adv_event: range queries touch only the 3x3 cell
+// block around a node, so neighbor-table construction is O(N * degree) and
+// the advertising hot path iterates in-range candidates only.
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/ids.hpp"
+#include "topo/placement.hpp"
+
+namespace mgap::topo {
+
+class SpatialIndex {
+ public:
+  /// Buckets every placed node into square cells of `cell_size` meters
+  /// (typically the maximum radio range). Does not keep the placement.
+  SpatialIndex(const Placement& placement, double cell_size);
+
+  /// Ids within `radius` of `center`'s position (center excluded), strictly
+  /// ascending — the same relative order a full id-ordered scan would visit,
+  /// so swapping the index in changes which nodes are considered, never the
+  /// order. `radius` must be <= the construction cell size for correctness.
+  [[nodiscard]] std::vector<NodeId> within(NodeId center, double radius) const;
+
+  /// One `within(id, radius)` table per placed node.
+  [[nodiscard]] std::map<NodeId, std::vector<NodeId>> neighbor_tables(
+      double radius) const;
+
+  [[nodiscard]] std::size_t cell_count() const { return cells_.size(); }
+  [[nodiscard]] double cell_size() const { return cell_size_; }
+
+ private:
+  struct Entry {
+    NodeId id;
+    Point pos;
+  };
+
+  [[nodiscard]] std::int64_t cell_key(double x, double y) const;
+
+  double cell_size_;
+  std::vector<Entry> entries_;  // ascending by id
+  std::unordered_map<std::int64_t, std::vector<std::uint32_t>> cells_;  // -> entry idx
+};
+
+}  // namespace mgap::topo

@@ -1,0 +1,88 @@
+#pragma once
+// TopoSpec: the declarative description of a procedurally generated world.
+// Everything downstream — placement, walls, the geometric channel model, the
+// routing tree — is a deterministic function of (spec, seed), so a generated
+// 1000-node experiment is exactly as repeatable as the hand-wired 15-node
+// ones. The spec maps 1:1 onto the `topo.*` experiment-config keys.
+
+#include <cstdint>
+#include <string>
+
+namespace mgap::topo {
+
+enum class Generator : std::uint8_t {
+  kNone,        // hand-wired testbed topologies (tree15/line15/star)
+  kGrid,        // regular square grid
+  kJitterGrid,  // grid with per-node uniform jitter
+  kRgg,         // random geometric graph: uniform placement, range links
+  kFloorplan,   // rooms with attenuating walls and door gaps
+};
+
+struct TopoSpec {
+  Generator generator{Generator::kNone};
+  unsigned nodes{15};
+
+  /// Deployment area side [m] (square). 0 derives the side from `density`,
+  /// which keeps the mean node degree constant across a `topo.nodes` sweep —
+  /// the regime the Bluetooth Mesh scalability studies explore.
+  double area{0.0};
+  /// Nodes per 100 m², used only when `area` is 0.
+  double density{8.0};
+
+  /// Link-planning range [m]: the maximum distance the topology builder
+  /// accepts for a routing-tree edge. Links beyond it may still exist
+  /// physically (the channel model decides), they are just never planned.
+  double range{10.0};
+
+  /// Children-per-parent cap in the routing tree (0 = unlimited). A BLE node
+  /// services every connection from one radio, so an uncapped hub — e.g. the
+  /// consumer adopting all ~25 in-range neighbors at density 8 — would
+  /// saturate its schedule and churn supervision timeouts. The cap pushes
+  /// excess nodes one hop deeper instead.
+  unsigned max_degree{8};
+
+  /// Jitter amplitude as a fraction of the grid pitch (jitter_grid only).
+  double grid_jitter{0.3};
+
+  /// Floorplan room grid; 0x0 picks a near-square factorization of ~1 room
+  /// per 9 nodes.
+  unsigned rooms_x{0};
+  unsigned rooms_y{0};
+
+  // --- geometric channel model (log-distance path loss) ------------------
+  double tx_power_dbm{0.0};
+  double path_loss_exp{2.2};       // indoor 2.4 GHz, light clutter
+  double ref_loss_db{40.0};        // path loss at 1 m
+  double sensitivity_dbm{-94.0};   // BLE 1M PHY receiver sensitivity
+  double fade_margin_db{12.0};     // margin at which the extra PER reaches 0
+  double wall_loss_db{6.0};        // attenuation per crossed wall
+
+  /// Placement seed; 0 inherits the experiment seed, so every campaign
+  /// replication samples a fresh world. A nonzero value pins the placement
+  /// while the traffic seeds vary.
+  std::uint64_t seed{0};
+
+  [[nodiscard]] bool enabled() const { return generator != Generator::kNone; }
+  /// "grid", "jitter_grid", "rgg", "floorplan" (or "none").
+  [[nodiscard]] std::string generator_name() const;
+  /// Resolved deployment side [m] (`area`, or derived from `density`).
+  [[nodiscard]] double side() const;
+
+  /// Throws std::runtime_error on an unsatisfiable or nonsensical spec
+  /// (zero nodes, non-positive range, ...). Called from config validation so
+  /// a bad sweep axis fails at parse time, not after N-1 good cells.
+  void validate() const;
+};
+
+[[nodiscard]] Generator parse_generator(const std::string& name);
+
+/// Applies one `topo.<suffix> = value` assignment. Returns false when `key`
+/// is not a topo key (the caller keeps its own dispatch); throws
+/// std::runtime_error on an unknown topo key or malformed value.
+bool apply_topo_kv(TopoSpec& spec, const std::string& key, const std::string& value);
+
+/// Renders the spec back into config-file lines (empty when disabled), the
+/// topo section of the framework's static experiment description.
+[[nodiscard]] std::string render_topo_spec(const TopoSpec& spec);
+
+}  // namespace mgap::topo

@@ -1,0 +1,105 @@
+#include "topo/world.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "topo/channel.hpp"
+#include "topo/spatial_index.hpp"
+
+namespace mgap::topo {
+
+GeneratedWorld generate_world(const TopoSpec& spec, std::uint64_t seed,
+                              const std::vector<NodeId>& ids) {
+  GeneratedWorld world;
+  world.spec = spec;
+  world.placement =
+      std::make_shared<const Placement>(generate_placement(spec, seed, ids));
+  world.consumer = ids.front();
+
+  const double radio_range = max_radio_range(spec);
+  const SpatialIndex index{*world.placement, radio_range};
+  world.neighbors = index.neighbor_tables(radio_range);
+
+  // Planned links: within the planning range AND physically usable (walls
+  // can push a short link's PER to 1). The planning range is capped by the
+  // radio range so the neighbor tables always cover the tree's edges.
+  const double plan_range = std::min(spec.range, radio_range);
+  const auto usable = [&](NodeId a, NodeId b) {
+    const Point pa = world.placement->position(a);
+    const Point pb = world.placement->position(b);
+    if (distance(pa, pb) > plan_range) return false;
+    return link_per(spec, *world.placement, a, b) < 1.0;
+  };
+
+  // Tree growth from the consumer. Each pass scans unattached nodes in
+  // ascending id; a node with at least one attached, usable neighbor picks
+  // its parent by (lowest depth, fewest children, lowest PER, lowest id).
+  // Depth dominates so trees stay as shallow as the geometry allows; the
+  // fewest-children rule then spreads subtrees across same-depth parents
+  // instead of piling every child onto the strongest node. Every criterion
+  // is geometric or preserves id order, so the result is deterministic and
+  // invariant under monotone relabeling.
+  std::map<NodeId, unsigned> depth;
+  std::map<NodeId, unsigned> child_count;
+  depth[world.consumer] = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const NodeId id : ids) {
+      if (depth.count(id) > 0) continue;
+      NodeId best = kInvalidNode;
+      unsigned best_depth = 0;
+      double best_per = 2.0;
+      unsigned best_children = 0;
+      for (const NodeId cand : world.neighbors.at(id)) {
+        const auto attached = depth.find(cand);
+        if (attached == depth.end()) continue;  // not attached yet
+        // Children cap: a full parent stops admitting; later passes attach
+        // the remaining nodes one hop deeper (see TopoSpec::max_degree).
+        if (spec.max_degree != 0 && child_count[cand] >= spec.max_degree) continue;
+        if (!usable(id, cand)) continue;
+        const double per = link_per(spec, *world.placement, id, cand);
+        const unsigned d = attached->second;
+        const unsigned ch = child_count[cand];
+        const auto better = [&] {
+          if (best == kInvalidNode) return true;
+          if (d != best_depth) return d < best_depth;
+          if (ch != best_children) return ch < best_children;
+          return per < best_per;
+        };
+        if (better()) {
+          best = cand;
+          best_depth = d;
+          best_per = per;
+          best_children = ch;
+        }
+      }
+      if (best != kInvalidNode) {
+        world.parent[id] = best;
+        depth[id] = depth[best] + 1;
+        ++child_count[best];
+        progress = true;
+      }
+    }
+  }
+
+  if (depth.size() != ids.size()) {
+    const std::size_t unreachable = ids.size() - depth.size();
+    throw std::runtime_error{
+        "topo: generated " + spec.generator_name() + " deployment is not connected: " +
+        std::to_string(unreachable) + " of " + std::to_string(ids.size()) +
+        " node(s) cannot reach the consumer at range " + std::to_string(plan_range) +
+        " m — increase topo.density, topo.area, or topo.range"};
+  }
+  return world;
+}
+
+GeneratedWorld generate_world(const TopoSpec& spec, std::uint64_t fallback_seed) {
+  std::vector<NodeId> ids;
+  ids.reserve(spec.nodes);
+  for (NodeId i = 1; i <= spec.nodes; ++i) ids.push_back(i);
+  const std::uint64_t seed = spec.seed != 0 ? spec.seed : fallback_seed;
+  return generate_world(spec, seed, ids);
+}
+
+}  // namespace mgap::topo

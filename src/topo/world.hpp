@@ -1,0 +1,49 @@
+#pragma once
+// GeneratedWorld: the complete spatial description of a procedural
+// deployment — placement (+walls), per-node neighbor tables from the spatial
+// index, and a deterministic routing tree toward the consumer. This is what
+// the testbed consumes to build an experiment: the parent map becomes the
+// statconn topology, the neighbor tables go into ble::BleWorld, and the
+// geometric channel model supplies the pairwise link PER.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/ids.hpp"
+#include "topo/placement.hpp"
+#include "topo/spec.hpp"
+
+namespace mgap::topo {
+
+struct GeneratedWorld {
+  TopoSpec spec;
+  /// Shared so channel-model closures can outlive the world struct.
+  std::shared_ptr<const Placement> placement;
+  NodeId consumer{1};
+  /// Child -> parent, every node reaching `consumer`; the testbed's
+  /// role-assignment convention (child coordinates, parent advertises)
+  /// applies unchanged.
+  std::map<NodeId, NodeId> parent;
+  /// Per-node in-range candidates at the maximum radio range, ascending.
+  std::map<NodeId, std::vector<NodeId>> neighbors;
+};
+
+/// Builds the world for `ids` (ascending; consumer = lowest id). The routing
+/// tree is a BFS tree over links within the planning range whose geometric
+/// PER is below 1, with deterministic, relabel-invariant parent choice:
+/// candidates are scanned in ascending id per BFS layer and each picks the
+/// admitted parent with the fewest children, then the strongest link, then
+/// the lowest id. Throws std::runtime_error — deterministically, naming the
+/// unreachable node count — when the deployment is not connected at the
+/// requested density/range.
+[[nodiscard]] GeneratedWorld generate_world(const TopoSpec& spec, std::uint64_t seed,
+                                            const std::vector<NodeId>& ids);
+
+/// Convenience: ids 1..spec.nodes, seed from the spec (falling back to
+/// `fallback_seed` when the spec leaves it 0 to inherit the experiment's).
+[[nodiscard]] GeneratedWorld generate_world(const TopoSpec& spec,
+                                            std::uint64_t fallback_seed);
+
+}  // namespace mgap::topo
