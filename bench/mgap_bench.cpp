@@ -1,9 +1,9 @@
 // mgap_bench — machine-readable performance regression harness.
 //
-//   mgap_bench [--out DIR] [--quick] [event_queue] [campaign] [scale]
+//   mgap_bench [--out DIR] [--quick] [event_queue] [campaign] [scale] [overload]
 //
-// Emits BENCH_event_queue.json, BENCH_campaign.json, and BENCH_scale.json
-// (all by default).
+// Emits BENCH_event_queue.json, BENCH_campaign.json, BENCH_scale.json, and
+// BENCH_overload.json (all by default).
 // The event-queue suite drives the simulator-core hot path at 10k/30k/100k
 // live events: near-constant ns/op across sizes is the contract — the
 // pre-slot-map implementation erased from the front of a sorted vector on
@@ -289,6 +289,105 @@ int run_scale(const std::string& out_dir, bool quick) {
   return rc;
 }
 
+int run_overload(const std::string& out_dir, bool quick) {
+  // Overload-survival smoke: the confirmable producer/consumer workload on
+  // the 15-node tree at 50x the nominal offered load (20 ms producer
+  // interval vs the paper's 1 s), run twice — flow-control mechanisms off
+  // (the seed behavior) and all three layers on (deferred L2CAP credits,
+  // bounded TX queues + backoff + breaker, CoCoA + NSTART). The contract:
+  // the composed stack must deliver at least the off-config PDR under
+  // overload, and the drop attribution must be deterministic.
+  const sim::Duration duration = sim::Duration::sec(quick ? 30 : 60);
+
+  struct Cell {
+    const char* name;
+    bool mechanisms;
+    testbed::ExperimentSummary s;
+  };
+  Cell cells[] = {{"off", false, {}}, {"all", true, {}}};
+
+  int rc = 0;
+  std::string fingerprint_src;
+  std::string json = "{\n  \"bench\": \"overload\",\n  \"cases\": [\n";
+  double wall_total = 0.0;
+  for (std::size_t i = 0; i < std::size(cells); ++i) {
+    Cell& cell = cells[i];
+    testbed::ExperimentConfig cfg;
+    cfg.topology = testbed::Topology::tree15();
+    cfg.duration = duration;
+    cfg.confirmable_coap = true;
+    cfg.producer_interval = sim::Duration::ms(20);
+    cfg.producer_jitter = sim::Duration::ms(5);
+    cfg.seed = 7;
+    if (cell.mechanisms) {
+      cfg.l2cap_deferred_credits = true;
+      cfg.flow.txq_frames = 16;
+      cfg.flow.backoff = true;
+      cfg.flow.breaker = true;
+      cfg.cc.mode = app::CoapCcConfig::Mode::kCocoa;
+      cfg.cc.nstart = 16;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    testbed::Experiment exp{std::move(cfg)};
+    exp.run();
+    const double wall = seconds_since(t0);
+    wall_total += wall;
+    cell.s = exp.summary();
+    const testbed::ExperimentSummary& s = cell.s;
+
+    char det[320];
+    std::snprintf(det, sizeof det,
+                  "%s sent=%" PRIu64 " acked=%" PRIu64 " tail=%" PRIu64
+                  " bp=%" PRIu64 " brk=%" PRIu64 " retx=%" PRIu64
+                  " to=%" PRIu64 ";",
+                  cell.name, s.sent, s.acked, s.pktbuf_drops,
+                  s.backpressure_drops, s.breaker_drops,
+                  s.coap_retransmissions, s.coap_timeouts);
+    fingerprint_src += det;
+
+    char line[512];
+    std::snprintf(line, sizeof line,
+                  "    {\"mechanisms\": \"%s\", \"sim_seconds\": %.0f, "
+                  "\"wall_seconds\": %.3f, \"sent\": %" PRIu64
+                  ", \"acked\": %" PRIu64 ", \"coap_pdr\": %.6f, "
+                  "\"tail_drops\": %" PRIu64 ", \"backpressure_drops\": %" PRIu64
+                  ", \"breaker_drops\": %" PRIu64
+                  ", \"coap_retransmissions\": %" PRIu64
+                  ", \"coap_timeouts\": %" PRIu64 "}%s\n",
+                  cell.name, static_cast<double>(duration.count_ns()) * 1e-9,
+                  wall, s.sent, s.acked, s.coap_pdr, s.pktbuf_drops,
+                  s.backpressure_drops, s.breaker_drops, s.coap_retransmissions,
+                  s.coap_timeouts, i + 1 < std::size(cells) ? "," : "");
+    json += line;
+    std::printf("overload: %-3s PDR %.3f (%" PRIu64 "/%" PRIu64
+                "), drops tail=%" PRIu64 " bp=%" PRIu64 " brk=%" PRIu64
+                ", retx=%" PRIu64 "\n",
+                cell.name, s.coap_pdr, s.acked, s.sent, s.pktbuf_drops,
+                s.backpressure_drops, s.breaker_drops, s.coap_retransmissions);
+  }
+
+  const double off_pdr = cells[0].s.coap_pdr;
+  const double on_pdr = cells[1].s.coap_pdr;
+  if (on_pdr < off_pdr) {
+    std::fprintf(stderr,
+                 "overload: FAIL: mechanisms-on PDR %.4f below mechanisms-off "
+                 "%.4f under 50x load\n",
+                 on_pdr, off_pdr);
+    rc = 1;
+  }
+
+  char tail[256];
+  std::snprintf(tail, sizeof tail,
+                "  ],\n  \"wall_seconds\": %.3f,\n"
+                "  \"pdr_off\": %.6f,\n  \"pdr_all\": %.6f,\n"
+                "  \"deterministic_fnv1a\": \"%016" PRIx64 "\"\n}\n",
+                wall_total, off_pdr, on_pdr, fnv1a(fingerprint_src));
+  json += tail;
+  campaign::write_file(out_dir + "/BENCH_overload.json", json);
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -297,6 +396,7 @@ int main(int argc, char** argv) {
   bool want_event_queue = false;
   bool want_campaign = false;
   bool want_scale = false;
+  bool want_overload = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
@@ -308,21 +408,26 @@ int main(int argc, char** argv) {
       want_campaign = true;
     } else if (std::strcmp(argv[i], "scale") == 0) {
       want_scale = true;
+    } else if (std::strcmp(argv[i], "overload") == 0) {
+      want_overload = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--out DIR] [--quick] [event_queue] [campaign] [scale]\n",
+                   "usage: %s [--out DIR] [--quick] "
+                   "[event_queue] [campaign] [scale] [overload]\n",
                    argv[0]);
       return 2;
     }
   }
-  if (!want_event_queue && !want_campaign && !want_scale) {
+  if (!want_event_queue && !want_campaign && !want_scale && !want_overload) {
     want_event_queue = true;
     want_campaign = true;
     want_scale = true;
+    want_overload = true;
   }
   int rc = 0;
   if (want_event_queue) rc |= run_event_queue(out_dir, quick);
   if (want_campaign) rc |= run_campaign(out_dir, quick);
   if (want_scale) rc |= run_scale(out_dir, quick);
+  if (want_overload) rc |= run_overload(out_dir, quick);
   return rc;
 }

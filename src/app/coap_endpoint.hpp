@@ -5,6 +5,7 @@
 // "request handed to the stack" until "response handed back", Figure 7b).
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
@@ -67,6 +68,22 @@ struct CoapConParams {
   unsigned max_retransmit{4};                        // MAX_RETRANSMIT
 };
 
+/// Congestion control for confirmable requests: the app-layer tier of the
+/// overload-survival stack. `kFixedRto` is plain RFC 7252 (static ACK_TIMEOUT
+/// with binary backoff); `kCocoa` is CoCoA-style adaptive RTO (strong/weak
+/// RTT estimators, variable backoff, RTO aging). `nstart` additionally caps
+/// concurrent CON exchanges per destination (RFC 7252 NSTART); excess
+/// requests wait in a FIFO dispatch queue.
+struct CoapCcConfig {
+  enum class Mode { kFixedRto, kCocoa };
+  Mode mode{Mode::kFixedRto};
+  unsigned nstart{0};  // 0 = unlimited concurrent CON exchanges
+  /// Index into the dedicated RTO-jitter RNG stream family. The experiment
+  /// assigns the producer's creation index so initial-RTO jitter draws never
+  /// shift any sequentially allocated component stream.
+  std::uint64_t rto_stream{0};
+};
+
 class CoapClient {
  public:
   /// Response callback with the measured round-trip time.
@@ -90,6 +107,10 @@ class CoapClient {
                TimeoutCb on_timeout = nullptr);
 
   void set_con_params(CoapConParams p) { con_params_ = p; }
+  /// Installs the congestion-control config and re-seats the RTO jitter RNG
+  /// on its dedicated stream (`cc.rto_stream`).
+  void set_cc(CoapCcConfig cc);
+  [[nodiscard]] const CoapCcConfig& cc() const { return cc_; }
 
   [[nodiscard]] std::uint64_t requests_sent() const { return requests_sent_; }
   [[nodiscard]] std::uint64_t responses_rx() const { return responses_rx_; }
@@ -97,13 +118,19 @@ class CoapClient {
   /// CON retransmissions put on the wire (section 8's amplification metric).
   [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
   [[nodiscard]] std::uint64_t con_timeouts() const { return con_timeouts_; }
+  /// CON requests that waited in the NSTART dispatch queue before their
+  /// first transmission.
+  [[nodiscard]] std::uint64_t nstart_deferrals() const { return nstart_deferrals_; }
+  /// Current CoCoA overall RTO estimate towards `dst` in seconds (the
+  /// configured ACK_TIMEOUT before the first sample or in fixed mode).
+  [[nodiscard]] double rto_estimate(const net::Ipv6Addr& dst) const;
 
   /// Drops pending requests older than `age` (bounds the token table).
   void expire_pending(sim::Duration age);
 
  private:
   struct Pending {
-    sim::TimePoint sent;
+    sim::TimePoint sent;       // handed to the client (RTT + PDR reference)
     ResponseCb cb;
     // CON state (unused for NON requests).
     bool confirmable{false};
@@ -111,28 +138,67 @@ class CoapClient {
     net::Ipv6Addr dst;
     unsigned attempts{0};
     sim::Duration timeout{};
+    sim::Duration init_timeout{};  // first RTO (selects the CoCoA backoff factor)
+    sim::TimePoint first_tx;       // dispatch time (CoCoA RTT samples)
+    bool dispatched{false};        // false while waiting in the NSTART queue
     sim::EventId timer;
     TimeoutCb on_timeout;
+  };
+
+  /// CoCoA per-destination estimator state (all RTO terms in seconds).
+  struct CocoaState {
+    bool has_strong{false};
+    double srtt_s{0.0};
+    double rttvar_s{0.0};
+    bool has_weak{false};
+    double srtt_w{0.0};
+    double rttvar_w{0.0};
+    bool has_rto{false};
+    double rto{0.0};             // overall estimate
+    sim::TimePoint last_update;  // for RTO aging
+  };
+
+  /// NSTART bookkeeping per destination.
+  struct DestState {
+    unsigned outstanding{0};
+    std::deque<std::uint64_t> queue;  // token ids awaiting dispatch (FIFO)
   };
 
   void on_datagram(const net::Ipv6Addr& src, std::uint16_t src_port, std::uint16_t dst_port,
                    std::vector<std::uint8_t> payload, sim::TimePoint at);
   void arm_retransmission(std::uint64_t token_id);
   void on_retransmit_timer(std::uint64_t token_id);
+  /// First transmission of a prepared CON: draws the initial RTO, sends,
+  /// arms the timer and charges the NSTART window. Returns the udp_send
+  /// verdict (false: dropped locally; retransmission still runs).
+  bool dispatch(std::uint64_t token_id);
+  /// A CON exchange towards `dst` ended (response/timeout/expiry): releases
+  /// its NSTART slot and dispatches the next queued request.
+  void release_slot(const net::Ipv6Addr& dst);
+  /// Initial RTO towards `dst`: ACK_TIMEOUT (fixed mode) or the aged CoCoA
+  /// estimate, jittered by ACK_RANDOM_FACTOR from the dedicated stream.
+  [[nodiscard]] sim::Duration initial_rto(const net::Ipv6Addr& dst);
+  /// Feeds an RTT sample (seconds) into the CoCoA estimators.
+  void cocoa_update(const net::Ipv6Addr& dst, double rtt_s, unsigned attempts);
 
   sim::Simulator& sim_;
   net::IpStack& stack_;
   std::uint16_t local_port_;
   CoapConParams con_params_;
+  CoapCcConfig cc_;
   sim::Rng rng_;
+  sim::Rng rto_rng_;
   std::uint64_t next_token_{1};
   std::uint16_t next_mid_{1};
   std::map<std::uint64_t, Pending> pending_;
+  std::map<net::Ipv6Addr, CocoaState> cocoa_;
+  std::map<net::Ipv6Addr, DestState> dests_;
   std::uint64_t requests_sent_{0};
   std::uint64_t responses_rx_{0};
   std::uint64_t stale_responses_{0};
   std::uint64_t retransmissions_{0};
   std::uint64_t con_timeouts_{0};
+  std::uint64_t nstart_deferrals_{0};
 };
 
 }  // namespace mgap::app

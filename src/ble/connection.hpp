@@ -77,6 +77,7 @@ class Connection {
 
   [[nodiscard]] bool is_open() const { return open_; }
   [[nodiscard]] ConnId id() const { return id_; }
+  [[nodiscard]] BleWorld& world() const { return world_; }
   [[nodiscard]] Controller& node(Role r) const;
   [[nodiscard]] Controller& coordinator() const { return node(Role::kCoordinator); }
   [[nodiscard]] Controller& subordinate() const { return node(Role::kSubordinate); }

@@ -4,12 +4,16 @@
 
 #include "ble/connection.hpp"
 #include "ble/controller.hpp"
+#include "ble/world.hpp"
+#include "obs/recorder.hpp"
 
 namespace mgap::ble {
 
 L2capCoc::L2capCoc(Connection& conn, Config config) : conn_{conn}, config_{config} {
   coord_.tx_credits = config_.initial_credits;
+  coord_.credits_granted = config_.initial_credits;
   sub_.tx_credits = config_.initial_credits;
+  sub_.credits_granted = config_.initial_credits;
 }
 
 std::size_t L2capCoc::frames_for(std::size_t len, const Config& config) {
@@ -29,6 +33,7 @@ bool L2capCoc::send(Role from, std::vector<std::uint8_t> sdu, sim::TimePoint now
   const std::size_t nframes = frames_for(sdu.size(), config_);
   if (s.tx_credits < nframes) {
     ++s.send_rejected;
+    ++s.credit_stalls;
     return false;
   }
 
@@ -69,8 +74,44 @@ bool L2capCoc::send(Role from, std::vector<std::uint8_t> sdu, sim::TimePoint now
     (void)ok;
   }
   s.tx_credits = static_cast<std::uint16_t>(s.tx_credits - nframes);
+  s.frames_sent += nframes;
   ++s.sdus_sent;
   return true;
+}
+
+void L2capCoc::record_credit_grant(Role receiver, std::uint32_t granted, bool starved,
+                                   sim::TimePoint now) {
+  obs::Recorder* rec = conn_.world().recorder();
+  if (rec == nullptr || !rec->wants(obs::EventType::kL2capCredit)) return;
+  obs::Event e;
+  e.at = now;
+  e.type = obs::EventType::kL2capCredit;
+  e.flags = starved ? obs::kCreditStarved : 0;
+  e.node = conn_.node(receiver).id();
+  e.id = conn_.id();
+  e.a = granted;
+  e.b = side_of(other(receiver)).tx_credits;
+  rec->record(e);
+}
+
+void L2capCoc::flush_credits(Role receiver, sim::TimePoint now, bool starved) {
+  Side& r = side_of(receiver);
+  if (r.pending_return == 0) return;
+  Side& sender = side_of(other(receiver));
+  const std::uint32_t granted = r.pending_return;
+  r.pending_return = 0;
+  r.credits_returned += granted;
+  sender.tx_credits = static_cast<std::uint16_t>(sender.tx_credits + granted);
+  sender.credits_granted += granted;
+  record_credit_grant(receiver, granted, starved, now);
+  conn_.node(other(receiver)).notify_tx_space(conn_);
+}
+
+void L2capCoc::set_rx_ready(Role side, bool ready, sim::TimePoint now) {
+  Side& s = side_of(side);
+  if (s.rx_ready == ready) return;
+  s.rx_ready = ready;
+  if (ready && config_.deferred_credits) flush_credits(side, now, false);
 }
 
 void L2capCoc::on_pdu_delivered(Role to, const LlPdu& pdu, sim::TimePoint at) {
@@ -89,12 +130,38 @@ void L2capCoc::on_pdu_delivered(Role to, const LlPdu& pdu, sim::TimePoint at) {
   }
   s.partial.insert(s.partial.end(), body, body + body_len);
 
-  // Credit-based flow control: the receiver frees its buffer as it consumes
-  // the frame and returns one credit to the sender. The credit-return PDU is
-  // modelled as out-of-band (its 8-byte cost is negligible next to data).
+  // Credit-based flow control. The credit-return PDU is modelled as
+  // out-of-band (its 8-byte cost is negligible next to data).
   Side& sender = side_of(other(to));
-  ++sender.tx_credits;
-  conn_.node(other(to)).notify_tx_space(conn_);
+  if (!config_.deferred_credits) {
+    // Legacy: the receiver returns one credit per consumed frame on the spot.
+    ++s.credits_returned;
+    ++sender.tx_credits;
+    ++sender.credits_granted;
+    record_credit_grant(to, 1, false, at);
+    conn_.node(other(to)).notify_tx_space(conn_);
+  } else {
+    // Receiver-driven: accumulate, then grant in batches while the host is
+    // ready. A starved sender is granted early — withholding only throttles,
+    // it must never wedge a drained channel.
+    ++s.pending_return;
+    const bool starved = sender.tx_credits == 0;
+    if (s.rx_ready && (s.pending_return >= config_.credit_batch || starved)) {
+      flush_credits(to, at, starved);
+    } else if (starved) {
+      // Deadlock avoidance: even a congested host trickles a single credit
+      // to a starved sender. TX backlog shares the pktbuf with RX, so two
+      // congested peers would otherwise each wait for the other to drain
+      // first; one credit per delivered frame throttles to ~1 frame/RTT
+      // without wedging the channel.
+      --s.pending_return;
+      ++s.credits_returned;
+      sender.tx_credits = static_cast<std::uint16_t>(sender.tx_credits + 1);
+      ++sender.credits_granted;
+      record_credit_grant(to, 1, true, at);
+      conn_.node(other(to)).notify_tx_space(conn_);
+    }
+  }
 
   if (s.partial.size() >= s.expected_len) {
     std::vector<std::uint8_t> sdu = std::move(s.partial);

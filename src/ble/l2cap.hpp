@@ -5,6 +5,15 @@
 // into K-frames that each fit a single LL data PDU (MPS <= 247 with DLE);
 // every K-frame costs the sender one credit, and the receiver returns credits
 // as it hands reassembled SDUs to the host.
+//
+// Two credit-return disciplines:
+//  * immediate (legacy): one credit flows back per delivered K-frame, so the
+//    channel never stalls — flow control in name only.
+//  * deferred (RFC 7668 receiver-driven): consumed frames accumulate as
+//    pending returns; credits flow back in batches, and only while the
+//    receiving host reports itself ready (rx_ready). A congested upper layer
+//    withholds credits, the sender stalls at zero, and the back-pressure
+//    propagates hop by hop instead of overflowing the receiver's pktbuf.
 
 #include <cstdint>
 #include <vector>
@@ -22,6 +31,12 @@ class L2capCoc {
     std::size_t mtu{1280};           // max SDU (one IPv6 MTU)
     std::size_t mps{247};            // max K-frame information payload
     std::uint16_t initial_credits{30};
+    /// Receiver-driven credit return (see file comment). Off keeps the legacy
+    /// per-frame instant return.
+    bool deferred_credits{false};
+    /// Batch size for deferred returns; a starved sender (zero credits) is
+    /// granted below the batch as long as the host is ready.
+    std::uint16_t credit_batch{8};
   };
 
   // K-frame wire overhead: 2 B length + 2 B CID; the first frame of an SDU
@@ -39,10 +54,39 @@ class L2capCoc {
   /// Link layer hands an acknowledged K-frame up to side `to`.
   void on_pdu_delivered(Role to, const LlPdu& pdu, sim::TimePoint at);
 
+  /// Host readiness of side `side`'s receive path (deferred mode): while not
+  /// ready, consumed credits are withheld from the peer. Flipping back to
+  /// ready flushes everything pending.
+  void set_rx_ready(Role side, bool ready, sim::TimePoint now);
+  [[nodiscard]] bool rx_ready(Role side) const { return side_of(side).rx_ready; }
+
   [[nodiscard]] std::uint16_t tx_credits(Role side) const { return side_of(side).tx_credits; }
   [[nodiscard]] std::uint64_t sdus_sent(Role side) const { return side_of(side).sdus_sent; }
   [[nodiscard]] std::uint64_t sdus_rx(Role side) const { return side_of(side).sdus_rx; }
   [[nodiscard]] std::uint64_t send_rejected(Role side) const { return side_of(side).send_rejected; }
+  /// Send rejections caused specifically by an empty credit balance.
+  [[nodiscard]] std::uint64_t credit_stalls(Role side) const {
+    return side_of(side).credit_stalls;
+  }
+  /// Credits consumed at `side` but not yet returned to the peer.
+  [[nodiscard]] std::uint32_t pending_return(Role side) const {
+    return side_of(side).pending_return;
+  }
+  // Conservation accounting (property-tested invariants): for each side,
+  //   credits_granted == tx_credits + frames_sent            (always), and
+  //   frames_sent >= peer.credits_returned + peer.pending_return
+  // with the difference being frames still in flight in the LL queues —
+  // every credit ever granted is unspent, riding a frame, or consumed and
+  // (possibly pending) returned. No credit is minted or lost anywhere else.
+  [[nodiscard]] std::uint64_t credits_granted(Role side) const {
+    return side_of(side).credits_granted;
+  }
+  [[nodiscard]] std::uint64_t frames_sent(Role side) const {
+    return side_of(side).frames_sent;
+  }
+  [[nodiscard]] std::uint64_t credits_returned(Role side) const {
+    return side_of(side).credits_returned;
+  }
   [[nodiscard]] const Config& config() const { return config_; }
 
   /// Number of K-frames needed for an SDU of `len` bytes under `config`.
@@ -57,12 +101,26 @@ class L2capCoc {
     std::uint64_t sdus_sent{0};
     std::uint64_t sdus_rx{0};
     std::uint64_t send_rejected{0};
+    std::uint64_t credit_stalls{0};
+    // Deferred-return state: frames consumed here whose credits the peer has
+    // not been granted yet, gated by the host's readiness.
+    std::uint32_t pending_return{0};
+    bool rx_ready{true};
+    // Cumulative conservation ledger.
+    std::uint64_t credits_granted{0};   // granted TO this side (incl. initial)
+    std::uint64_t frames_sent{0};       // frames this side put on the wire
+    std::uint64_t credits_returned{0};  // credits this side granted the peer
   };
 
   [[nodiscard]] Side& side_of(Role r) { return r == Role::kCoordinator ? coord_ : sub_; }
   [[nodiscard]] const Side& side_of(Role r) const {
     return r == Role::kCoordinator ? coord_ : sub_;
   }
+
+  /// Grants `receiver`'s pending credits to the peer and notifies its host.
+  void flush_credits(Role receiver, sim::TimePoint now, bool starved);
+  void record_credit_grant(Role receiver, std::uint32_t granted, bool starved,
+                           sim::TimePoint now);
 
   Connection& conn_;
   Config config_;

@@ -35,6 +35,7 @@ ConfigAggregate aggregate_config(std::size_t config_index,
   ConfigAggregate agg;
   agg.config_index = config_index;
   std::vector<double> sent, coap_pdr, ll_pdr, losses, reconnects, drops, p50, p99;
+  std::vector<double> bp_drops, brk_drops;
   std::vector<double> injected, reconnect_p50, repair_p50, pdr_post;
   std::vector<double> mean_hops, max_hops;
   std::map<std::string, std::vector<double>> counter_samples;
@@ -53,6 +54,8 @@ ConfigAggregate aggregate_config(std::size_t config_index,
     losses.push_back(static_cast<double>(s.conn_losses));
     reconnects.push_back(static_cast<double>(s.reconnects));
     drops.push_back(static_cast<double>(s.pktbuf_drops));
+    bp_drops.push_back(static_cast<double>(s.backpressure_drops));
+    brk_drops.push_back(static_cast<double>(s.breaker_drops));
     p50.push_back(s.rtt_p50.to_ms_f());
     p99.push_back(s.rtt_p99.to_ms_f());
     injected.push_back(static_cast<double>(s.losses_injected));
@@ -70,6 +73,8 @@ ConfigAggregate aggregate_config(std::size_t config_index,
   agg.conn_losses = stat_of(losses);
   agg.reconnects = stat_of(reconnects);
   agg.pktbuf_drops = stat_of(drops);
+  agg.backpressure_drops = stat_of(bp_drops);
+  agg.breaker_drops = stat_of(brk_drops);
   agg.rtt_p50_ms = stat_of(p50);
   agg.rtt_p99_ms = stat_of(p99);
   agg.losses_injected = stat_of(injected);

@@ -58,6 +58,9 @@ struct ConfigAggregate {
   Stat conn_losses;
   Stat reconnects;
   Stat pktbuf_drops;
+  // Flow-control drop attribution (zero with mechanisms off).
+  Stat backpressure_drops;
+  Stat breaker_drops;
   Stat rtt_p50_ms;
   Stat rtt_p99_ms;
   // Recovery metrics (all-zero when the configuration injects no faults).

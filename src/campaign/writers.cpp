@@ -103,6 +103,8 @@ std::string to_json(const CampaignResult& result) {
           << ", \"reconnects\": " << s.reconnects
           << ", \"pktbuf_drops\": " << s.pktbuf_drops
           << ", \"link_down_drops\": " << s.link_down_drops
+          << ", \"backpressure_drops\": " << s.backpressure_drops
+          << ", \"breaker_drops\": " << s.breaker_drops
           << ", \"coap_retransmissions\": " << s.coap_retransmissions
           << ", \"coap_timeouts\": " << s.coap_timeouts
           << ", \"rtt_p50_ms\": " << json_double(s.rtt_p50.to_ms_f())
@@ -142,6 +144,8 @@ std::string to_json(const CampaignResult& result) {
     json_stat(out, "conn_losses", agg.conn_losses);
     json_stat(out, "reconnects", agg.reconnects);
     json_stat(out, "pktbuf_drops", agg.pktbuf_drops);
+    json_stat(out, "backpressure_drops", agg.backpressure_drops);
+    json_stat(out, "breaker_drops", agg.breaker_drops);
     json_stat(out, "rtt_p50_ms", agg.rtt_p50_ms);
     json_stat(out, "rtt_p99_ms", agg.rtt_p99_ms);
     json_stat(out, "losses_injected", agg.losses_injected);
@@ -186,7 +190,9 @@ std::string to_csv(const CampaignResult& result) {
          "topo_mean_hops_ci95,topo_max_hops_mean,topo_max_hops_ci95"
          ",sent_mean,sent_ci95,coap_pdr_mean,coap_pdr_ci95,ll_pdr_mean,"
          "ll_pdr_ci95,conn_losses_mean,conn_losses_ci95,reconnects_mean,"
-         "reconnects_ci95,pktbuf_drops_mean,pktbuf_drops_ci95,rtt_p50_ms_mean,"
+         "reconnects_ci95,pktbuf_drops_mean,pktbuf_drops_ci95,"
+         "backpressure_drops_mean,backpressure_drops_ci95,"
+         "breaker_drops_mean,breaker_drops_ci95,rtt_p50_ms_mean,"
          "rtt_p50_ms_ci95,rtt_p99_ms_mean,rtt_p99_ms_ci95,"
          "losses_injected_mean,losses_injected_ci95,reconnect_p50_ms_mean,"
          "reconnect_p50_ms_ci95,repair_p50_ms_mean,repair_p50_ms_ci95,"
@@ -212,6 +218,8 @@ std::string to_csv(const CampaignResult& result) {
     csv_stat(out, agg.conn_losses);
     csv_stat(out, agg.reconnects);
     csv_stat(out, agg.pktbuf_drops);
+    csv_stat(out, agg.backpressure_drops);
+    csv_stat(out, agg.breaker_drops);
     csv_stat(out, agg.rtt_p50_ms);
     csv_stat(out, agg.rtt_p99_ms);
     csv_stat(out, agg.losses_injected);

@@ -1,10 +1,19 @@
 #include "core/nimble_netif.hpp"
 
+#include "ble/world.hpp"
+#include "sim/simulator.hpp"
+
 namespace mgap::core {
 
 NimbleNetif::NimbleNetif(ble::Controller& controller) : ctrl_{controller} {
   ble::Controller::HostCallbacks cb;
   cb.on_open = [this](ble::Connection& conn) {
+    if (!rx_ready_) {
+      // A channel opened while the stack is congested starts with credits
+      // withheld, like every established one.
+      conn.coc().set_rx_ready(conn.role_of(ctrl_), false,
+                              ctrl_.world().simulator().now());
+    }
     for (const auto& l : listeners_) l(conn, true, ble::DisconnectReason::kLocalClose);
     signal_writable(conn.peer_of(ctrl_).id());
   };
@@ -43,6 +52,15 @@ std::size_t NimbleNetif::mtu() const {
 
 bool NimbleNetif::neighbor_up(NodeId neighbor) const {
   return ctrl_.connection_to(neighbor) != nullptr;
+}
+
+void NimbleNetif::rx_ready(bool ready) {
+  if (ready == rx_ready_) return;
+  rx_ready_ = ready;
+  const sim::TimePoint now = ctrl_.world().simulator().now();
+  for (ble::Connection* conn : ctrl_.connections()) {
+    conn->coc().set_rx_ready(conn->role_of(ctrl_), ready, now);
+  }
 }
 
 }  // namespace mgap::core

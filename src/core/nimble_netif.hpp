@@ -32,6 +32,11 @@ class NimbleNetif final : public net::Netif {
   bool send(NodeId next_hop, std::vector<std::uint8_t> frame) override;
   [[nodiscard]] std::size_t mtu() const override;
   [[nodiscard]] bool neighbor_up(NodeId neighbor) const override;
+  /// Propagates the IP stack's congestion signal into every open L2CAP
+  /// channel: while not ready, deferred-mode CoCs withhold credit returns
+  /// from peers (RFC 7668 receiver-driven flow control). Connections opened
+  /// later inherit the current state.
+  void rx_ready(bool ready) override;
 
   [[nodiscard]] std::uint64_t tx_sdus() const { return tx_sdus_; }
   [[nodiscard]] std::uint64_t tx_rejected() const { return tx_rejected_; }
@@ -40,6 +45,7 @@ class NimbleNetif final : public net::Netif {
  private:
   ble::Controller& ctrl_;
   std::vector<LinkListener> listeners_;
+  bool rx_ready_{true};
   std::uint64_t tx_sdus_{0};
   std::uint64_t tx_rejected_{0};
   std::uint64_t rx_sdus_{0};

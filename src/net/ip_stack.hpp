@@ -16,6 +16,7 @@
 #include <map>
 #include <vector>
 
+#include "net/flow.hpp"
 #include "net/ipv6.hpp"
 #include "net/ipv6_addr.hpp"
 #include "net/netif.hpp"
@@ -23,6 +24,7 @@
 #include "net/routing.hpp"
 #include "net/sixlowpan.hpp"
 #include "net/udp.hpp"
+#include "sim/rng.hpp"
 
 namespace mgap::sim {
 class Simulator;
@@ -41,6 +43,12 @@ struct IpStackConfig {
   /// Per-packet bookkeeping cost inside the pktbuf (GNRC pktsnip chains +
   /// netif headers), charged on top of the raw frame bytes.
   std::size_t pkt_overhead{200};
+  /// Netif-layer back-pressure knobs (all off by default = legacy tail-drop).
+  FlowConfig flow;
+  /// Index into the dedicated flow-jitter RNG stream family; the experiment
+  /// assigns the node's creation index so backoff jitter never perturbs (or
+  /// is perturbed by) any sequentially allocated component stream.
+  std::uint64_t flow_stream{0};
 };
 
 struct IpStats {
@@ -55,6 +63,11 @@ struct IpStats {
   std::uint64_t drop_hop_limit{0};
   std::uint64_t drop_malformed{0};
   std::uint64_t drop_no_handler{0};
+  // Flow-control drop attribution (the satellite metric: tail-drop vs
+  // back-pressure vs breaker-shed).
+  std::uint64_t drop_queue_full{0};   // bounded TX queue refused admission
+  std::uint64_t drop_breaker{0};      // shed while the breaker was open
+  std::uint64_t flow_deferrals{0};    // backoff windows armed
 };
 
 class IpStack {
@@ -88,6 +101,17 @@ class IpStack {
 
   /// Bytes queued towards `next_hop` (diagnostics).
   [[nodiscard]] std::size_t queued_bytes(NodeId next_hop) const;
+  /// Frames queued towards `next_hop` (bounded-queue diagnostics).
+  [[nodiscard]] std::size_t queued_frames(NodeId next_hop) const;
+
+  /// Circuit-breaker state towards `next_hop` (kClosed when none exists yet
+  /// or the breaker is disabled).
+  [[nodiscard]] BreakerState breaker_state(NodeId next_hop) const;
+  /// Total breaker open transitions across all next hops.
+  [[nodiscard]] std::uint64_t breaker_opens() const;
+  /// Whether the stack currently reports its receive path as ready (pktbuf
+  /// occupancy below the congestion hysteresis).
+  [[nodiscard]] bool rx_ready() const { return rx_ready_; }
 
   /// Drops all queued frames and in-flight reassemblies, releasing their
   /// pktbuf charge (node-crash fault: RAM state does not survive a reboot).
@@ -101,6 +125,12 @@ class IpStack {
   [[nodiscard]] obs::Recorder* recorder() const { return recorder_; }
 
  private:
+  struct FlowState {
+    CircuitBreaker breaker;
+    unsigned fail_streak{0};    // consecutive refused sends (backoff exponent)
+    bool backoff_armed{false};  // a retry timer is pending; drains wait it out
+  };
+
   void on_frame(NodeId src, std::vector<std::uint8_t> frame, sim::TimePoint at);
   void handle_packet(std::vector<std::uint8_t> packet, sim::TimePoint at);
   void deliver_local(const Ipv6Header& h, std::span<const std::uint8_t> packet,
@@ -108,10 +138,24 @@ class IpStack {
   bool output(std::vector<std::uint8_t> packet);
   void try_drain(NodeId next_hop);
   void flush_neighbor(NodeId neighbor);
+  [[nodiscard]] FlowState& flow_state(NodeId next_hop);
+  /// Breaker admission at `now`; records the open -> half-open transition.
+  bool breaker_admit(NodeId next_hop);
+  /// A downstream send was refused: feed the breaker (shedding the queue on a
+  /// trip) and arm the backoff retry timer.
+  void on_send_refused(NodeId next_hop);
+  /// Sheds the whole queue towards `next_hop` as breaker drops; returns the
+  /// number of frames shed.
+  std::size_t shed_queue(NodeId next_hop);
+  /// Re-evaluates the pktbuf congestion hysteresis and pushes rx-ready
+  /// changes down to the netif (credit withholding).
+  void update_rx_ready();
   void record_pktbuf_drop(bool rx_path);
   void note_pktbuf_water();
   void record_ip_packet(std::uint16_t direction, std::span<const std::uint8_t> packet,
                         sim::TimePoint at);
+  void record_breaker(NodeId next_hop, BreakerState state, std::uint32_t shed);
+  void record_defer(NodeId next_hop, sim::Duration delay, unsigned streak);
 
   obs::Recorder* recorder_{nullptr};
   std::size_t reported_water_{0};
@@ -125,11 +169,14 @@ class IpStack {
   IpStats stats_;
   SixloReassembler reasm_;
   std::uint16_t frag_tag_{0};
+  sim::Rng flow_rng_;
+  bool rx_ready_{true};
 
   struct Pending {
     std::vector<std::uint8_t> frame;
   };
   std::map<NodeId, std::deque<Pending>> pending_;
+  std::map<NodeId, FlowState> flow_;
   std::map<std::uint16_t, UdpHandler> udp_handlers_;
 };
 

@@ -34,6 +34,12 @@ class Netif {
   /// Whether a usable link to `neighbor` currently exists.
   [[nodiscard]] virtual bool neighbor_up(NodeId neighbor) const = 0;
 
+  /// Receive-path readiness reported by the stack above: false while its
+  /// buffers are congested and the link should withhold flow-control credits
+  /// from peers (RFC 7668 receiver-driven credits). Default: ignored — only
+  /// links with credit-based flow control care.
+  virtual void rx_ready(bool /*ready*/) {}
+
   void set_rx(RxHandler h) { rx_ = std::move(h); }
   void set_writable(WritableHandler h) { writable_ = std::move(h); }
   void set_neighbor_down(NeighborDownHandler h) { neighbor_down_ = std::move(h); }

@@ -124,6 +124,18 @@ Analysis analyze(std::span<const Event> events) {
         break;
       case EventType::kFaultBegin: ++a.faults; break;
       case EventType::kFaultEnd: break;
+      case EventType::kL2capCredit: {
+        NodeActivity& n = a.nodes[e.node];
+        ++n.credit_grants;
+        n.credits_granted += e.a;
+        break;
+      }
+      case EventType::kFlowBreaker: {
+        // flags carries the new state; 1 == open (see net::BreakerState).
+        if (e.flags == 1) ++a.nodes[e.node].breaker_opens;
+        break;
+      }
+      case EventType::kFlowDefer: ++a.nodes[e.node].flow_defers; break;
     }
   }
 
@@ -211,6 +223,13 @@ std::string render_report(const Analysis& a) {
       os << ", pktbuf high-water " << n.pktbuf_high_water;
       if (n.pktbuf_capacity > 0) os << "/" << n.pktbuf_capacity;
       os << " (" << n.pktbuf_drops << " drops)";
+    }
+    if (n.credit_grants > 0) {
+      os << ", credit grants " << n.credit_grants << " (" << n.credits_granted
+         << " credits)";
+    }
+    if (n.breaker_opens > 0 || n.flow_defers > 0) {
+      os << ", breaker opens " << n.breaker_opens << ", defers " << n.flow_defers;
     }
     os << "\n";
   }

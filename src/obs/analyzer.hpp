@@ -64,6 +64,10 @@ struct NodeActivity {
   std::uint32_t pktbuf_high_water{0};
   std::uint32_t pktbuf_capacity{0};
   std::uint64_t pktbuf_drops{0};
+  std::uint64_t credit_grants{0};     // L2CAP flow-control grants issued
+  std::uint64_t credits_granted{0};   // credits carried by those grants
+  std::uint64_t breaker_opens{0};     // circuit-breaker closed/half-open -> open
+  std::uint64_t flow_defers{0};       // back-pressure backoff arms
 
   /// Fraction of the trace span the radio was claimed.
   [[nodiscard]] double duty_cycle(sim::Duration span) const {

@@ -33,6 +33,9 @@ enum class EventType : std::uint8_t {
   kCoapTxn = 10,         // CoAP transaction state       [app]
   kFaultBegin = 11,      // injected fault begins        [fault]
   kFaultEnd = 12,        // injected fault ends          [fault]
+  kL2capCredit = 13,     // L2CAP flow-control credit grant [ll]
+  kFlowBreaker = 14,     // circuit-breaker state change [net]
+  kFlowDefer = 15,       // back-pressure backoff armed  [net]
 };
 
 /// Channel field value when no channel applies.
@@ -62,6 +65,13 @@ inline constexpr std::uint8_t kNoChannel = 0xFF;
 ///                     (send), rtt_us (response), attempt (retransmit/timeout)
 ///   kFaultBegin/End:  id=fault index, node=target (0 if none),
 ///                     flags=FaultKind, a=peer node, chan=chan_lo
+///   kL2capCredit:     id=conn, node=granting (receiver) node, a=credits
+///                     granted, b=sender tx_credits after the grant,
+///                     flags: bit0=grant flushed because the sender starved
+///   kFlowBreaker:     node, a=next hop, flags=new BreakerState,
+///                     b=frames shed on open (0 otherwise)
+///   kFlowDefer:       node, a=next hop, b=backoff delay in us,
+///                     flags=consecutive-failure streak (saturated)
 struct Event {
   sim::TimePoint at;
   EventType type{EventType::kConnOpen};
@@ -89,6 +99,8 @@ inline constexpr std::uint16_t kPduRetrans = 0x0004;
 inline constexpr std::uint16_t kClaimGranted = 0x0001;
 // kPktbufDrop flags.
 inline constexpr std::uint16_t kPktbufRx = 0x0001;
+// kL2capCredit flags.
+inline constexpr std::uint16_t kCreditStarved = 0x0001;
 // kIpPacket flags (direction).
 inline constexpr std::uint16_t kIpTx = 0x0000;
 inline constexpr std::uint16_t kIpRx = 0x0001;
@@ -111,10 +123,13 @@ enum class CoapPhase : std::uint16_t {
     case EventType::kConnEvent:
     case EventType::kConnEventMissed:
     case EventType::kPduTx:
-    case EventType::kRadioClaim: return sim::TraceCat::kLinkLayer;
+    case EventType::kRadioClaim:
+    case EventType::kL2capCredit: return sim::TraceCat::kLinkLayer;
     case EventType::kPktbufDrop:
     case EventType::kPktbufWater:
-    case EventType::kIpPacket: return sim::TraceCat::kNet;
+    case EventType::kIpPacket:
+    case EventType::kFlowBreaker:
+    case EventType::kFlowDefer: return sim::TraceCat::kNet;
     case EventType::kCoapTxn: return sim::TraceCat::kApp;
     case EventType::kFaultBegin:
     case EventType::kFaultEnd: return sim::TraceCat::kFault;
@@ -136,6 +151,9 @@ enum class CoapPhase : std::uint16_t {
     case EventType::kCoapTxn: return "coap_txn";
     case EventType::kFaultBegin: return "fault_begin";
     case EventType::kFaultEnd: return "fault_end";
+    case EventType::kL2capCredit: return "l2cap_credit";
+    case EventType::kFlowBreaker: return "flow_breaker";
+    case EventType::kFlowDefer: return "flow_defer";
   }
   return "?";
 }

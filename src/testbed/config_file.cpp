@@ -62,6 +62,52 @@ core::IntervalPolicy parse_policy(std::string_view v) {
   return core::IntervalPolicy::randomized(*lo, *hi);
 }
 
+/// Strictly parses an integer in [lo, hi]; throws "config: bad <key>"
+/// deterministically on anything else (fractions, ranges, garbage).
+std::uint64_t parse_uint_in(std::string_view v, const std::string& key,
+                            std::uint64_t lo, std::uint64_t hi) {
+  const auto n = parse_number(v);
+  if (!n || *n < 0.0 || *n != static_cast<double>(static_cast<std::uint64_t>(*n))) {
+    throw std::runtime_error{"config: bad " + key};
+  }
+  const auto u = static_cast<std::uint64_t>(*n);
+  if (u < lo || u > hi) {
+    throw std::runtime_error{"config: " + key + " out of range [" +
+                             std::to_string(lo) + ", " + std::to_string(hi) + "]"};
+  }
+  return u;
+}
+
+sim::Duration parse_duration_or_throw(std::string_view v, const std::string& key) {
+  const auto d = parse_duration(v);
+  if (!d || d->is_negative()) throw std::runtime_error{"config: bad " + key};
+  return *d;
+}
+
+/// flow.preset macro: switches whole tiers of the overload-survival stack on.
+/// Overwrites the individual flow.*/cc.* knobs it covers; keys sorting after
+/// "flow.preset" still win (config maps apply in alphabetical order).
+void apply_flow_preset(ExperimentConfig& cfg, const std::string& value) {
+  const bool link = value == "link" || value == "all";
+  const bool netif = value == "netif" || value == "all";
+  const bool app = value == "app" || value == "all";
+  if (!link && !netif && !app && value != "off") {
+    throw std::runtime_error{"config: unknown flow.preset '" + value +
+                             "' (off|link|netif|app|all)"};
+  }
+  cfg.l2cap_deferred_credits = link;
+  cfg.flow.txq_frames = netif ? 16 : 0;
+  cfg.flow.backoff = netif;
+  cfg.flow.breaker = netif;
+  cfg.cc.mode = app ? app::CoapCcConfig::Mode::kCocoa : app::CoapCcConfig::Mode::kFixedRto;
+  // NSTART 16 rather than the RFC 7252 default of 1: multi-hop BLE RTT is
+  // connection-interval bound (~200 ms over three hops at 75 ms), so a
+  // single outstanding exchange caps goodput far below link capacity. The
+  // preset picks a window that fills the latency-bandwidth product; set
+  // cc.nstart explicitly to override.
+  cfg.cc.nstart = app ? 16 : 0;
+}
+
 Topology parse_topology(std::string_view v) {
   if (v == "tree15" || v == "tree") return Topology::tree15();
   if (v == "line15" || v == "line") return Topology::line15();
@@ -173,6 +219,49 @@ void apply_experiment_kv(ExperimentConfig& cfg, const std::string& key,
     const auto d = parse_duration(value);
     if (!d) throw std::runtime_error{"config: bad reconnect_backoff_jitter"};
     cfg.reconnect_backoff_jitter = *d;
+  } else if (key == "flow.preset") {
+    apply_flow_preset(cfg, value);
+  } else if (key == "flow.l2cap_credits") {
+    if (value == "deferred") cfg.l2cap_deferred_credits = true;
+    else if (value == "immediate") cfg.l2cap_deferred_credits = false;
+    else {
+      throw std::runtime_error{"config: unknown flow.l2cap_credits '" + value +
+                               "' (immediate|deferred)"};
+    }
+  } else if (key == "flow.initial_credits") {
+    cfg.l2cap_initial_credits =
+        static_cast<std::uint16_t>(parse_uint_in(value, key, 1, 65535));
+  } else if (key == "flow.credit_batch") {
+    cfg.l2cap_credit_batch =
+        static_cast<std::uint16_t>(parse_uint_in(value, key, 1, 65535));
+  } else if (key == "flow.txq_frames") {
+    cfg.flow.txq_frames = static_cast<std::size_t>(parse_uint_in(value, key, 0, 1 << 20));
+  } else if (key == "flow.backoff") {
+    cfg.flow.backoff = parse_bool(value, key);
+  } else if (key == "flow.backoff_base") {
+    cfg.flow.backoff_base = parse_duration_or_throw(value, key);
+  } else if (key == "flow.backoff_max") {
+    cfg.flow.backoff_max = parse_duration_or_throw(value, key);
+  } else if (key == "flow.backoff_jitter") {
+    cfg.flow.backoff_jitter = parse_duration_or_throw(value, key);
+  } else if (key == "flow.breaker") {
+    cfg.flow.breaker = parse_bool(value, key);
+  } else if (key == "flow.breaker_threshold") {
+    cfg.flow.breaker_threshold = static_cast<unsigned>(parse_uint_in(value, key, 1, 1 << 20));
+  } else if (key == "flow.breaker_open") {
+    cfg.flow.breaker_open = parse_duration_or_throw(value, key);
+  } else if (key == "flow.breaker_probes") {
+    cfg.flow.breaker_probes = static_cast<unsigned>(parse_uint_in(value, key, 1, 1 << 20));
+  } else if (key == "flow.congest_on_pct") {
+    cfg.flow.congest_on_pct = static_cast<unsigned>(parse_uint_in(value, key, 1, 100));
+  } else if (key == "flow.congest_off_pct") {
+    cfg.flow.congest_off_pct = static_cast<unsigned>(parse_uint_in(value, key, 0, 100));
+  } else if (key == "cc.mode") {
+    if (value == "cocoa") cfg.cc.mode = app::CoapCcConfig::Mode::kCocoa;
+    else if (value == "fixed") cfg.cc.mode = app::CoapCcConfig::Mode::kFixedRto;
+    else throw std::runtime_error{"config: unknown cc.mode '" + value + "' (fixed|cocoa)"};
+  } else if (key == "cc.nstart") {
+    cfg.cc.nstart = static_cast<unsigned>(parse_uint_in(value, key, 0, 1 << 16));
   } else if (key == "trace.file") {
     // "none"/"off" clears the sink so a campaign axis can disable tracing.
     cfg.trace_file = (value == "none" || value == "off") ? std::string{} : value;
@@ -222,6 +311,14 @@ ExperimentConfig parse_experiment_config(std::string_view text) {
   }
 
   for (const auto& [key, value] : kv) apply_experiment_kv(cfg, key, value);
+  if (cfg.flow.congest_off_pct > cfg.flow.congest_on_pct) {
+    throw std::runtime_error{
+        "config: flow.congest_off_pct must not exceed flow.congest_on_pct"};
+  }
+  if (cfg.flow.backoff_base > cfg.flow.backoff_max) {
+    throw std::runtime_error{
+        "config: flow.backoff_base must not exceed flow.backoff_max"};
+  }
   if (cfg.topo.enabled()) {
     try {
       cfg.topo.validate();
@@ -294,6 +391,49 @@ std::string render_experiment_config(const ExperimentConfig& config) {
   out << "reconnect_backoff_max = " << config.reconnect_backoff_max.str() << "\n";
   out << "reconnect_backoff_jitter = " << config.reconnect_backoff_jitter.str()
       << "\n";
+  // Flow-control knobs render only off their defaults, keeping legacy
+  // configs byte-stable (same rule as the trace keys below).
+  {
+    const net::FlowConfig defaults;
+    if (config.l2cap_deferred_credits) out << "flow.l2cap_credits = deferred\n";
+    if (config.l2cap_initial_credits != 30) {
+      out << "flow.initial_credits = " << config.l2cap_initial_credits << "\n";
+    }
+    if (config.l2cap_credit_batch != 8) {
+      out << "flow.credit_batch = " << config.l2cap_credit_batch << "\n";
+    }
+    if (config.flow.txq_frames != defaults.txq_frames) {
+      out << "flow.txq_frames = " << config.flow.txq_frames << "\n";
+    }
+    if (config.flow.backoff) out << "flow.backoff = true\n";
+    if (config.flow.backoff_base != defaults.backoff_base) {
+      out << "flow.backoff_base = " << config.flow.backoff_base.str() << "\n";
+    }
+    if (config.flow.backoff_max != defaults.backoff_max) {
+      out << "flow.backoff_max = " << config.flow.backoff_max.str() << "\n";
+    }
+    if (config.flow.backoff_jitter != defaults.backoff_jitter) {
+      out << "flow.backoff_jitter = " << config.flow.backoff_jitter.str() << "\n";
+    }
+    if (config.flow.breaker) out << "flow.breaker = true\n";
+    if (config.flow.breaker_threshold != defaults.breaker_threshold) {
+      out << "flow.breaker_threshold = " << config.flow.breaker_threshold << "\n";
+    }
+    if (config.flow.breaker_open != defaults.breaker_open) {
+      out << "flow.breaker_open = " << config.flow.breaker_open.str() << "\n";
+    }
+    if (config.flow.breaker_probes != defaults.breaker_probes) {
+      out << "flow.breaker_probes = " << config.flow.breaker_probes << "\n";
+    }
+    if (config.flow.congest_on_pct != defaults.congest_on_pct) {
+      out << "flow.congest_on_pct = " << config.flow.congest_on_pct << "\n";
+    }
+    if (config.flow.congest_off_pct != defaults.congest_off_pct) {
+      out << "flow.congest_off_pct = " << config.flow.congest_off_pct << "\n";
+    }
+    if (config.cc.mode == app::CoapCcConfig::Mode::kCocoa) out << "cc.mode = cocoa\n";
+    if (config.cc.nstart != 0) out << "cc.nstart = " << config.cc.nstart << "\n";
+  }
   // Trace keys render only when set, keeping untraced configs byte-stable.
   if (!config.trace_file.empty()) out << "trace.file = " << config.trace_file << "\n";
   if (!config.trace_pcap.empty()) out << "trace.pcap = " << config.trace_pcap << "\n";

@@ -58,17 +58,25 @@ void Experiment::build_ble() {
   // regardless of how many other components draw randomness.
   sim::Rng drift_rng = sim_.make_rng();
 
+  std::uint64_t creation_index = 0;
   for (const NodeId id : config_.topology.nodes) {
     const double drift = drift_rng.uniform_real(-config_.drift_ppm_range,
                                                 config_.drift_ppm_range);
     ble::ControllerConfig ctrl_cfg;
     ctrl_cfg.conn.adaptive_channel_map = config_.adaptive_channel_map;
+    ctrl_cfg.l2cap.deferred_credits = config_.l2cap_deferred_credits;
+    ctrl_cfg.l2cap.initial_credits = config_.l2cap_initial_credits;
+    ctrl_cfg.l2cap.credit_batch = config_.l2cap_credit_batch;
     ble::Controller& ctrl = ble_world_->add_node(id, drift, ctrl_cfg);
 
     Node node;
     node.ble_netif = std::make_unique<core::NimbleNetif>(ctrl);
     net::IpStackConfig ip_cfg;
     ip_cfg.compression = config_.compression;
+    ip_cfg.flow = config_.flow;
+    // Creation index, not node id: keeps jitter draws invariant under node
+    // relabeling (the statconn discipline, pinned by the metamorphic tests).
+    ip_cfg.flow_stream = creation_index++;
     node.stack = std::make_unique<net::IpStack>(sim_, id, *node.ble_netif, ip_cfg);
     node.stack->set_recorder(&recorder_);
 
@@ -121,12 +129,17 @@ void Experiment::build_ble() {
 
 void Experiment::build_154() {
   net154_ = std::make_unique<ieee802154::Network154>(sim_, config_.base_per);
+  std::uint64_t creation_index = 0;
   for (const NodeId id : config_.topology.nodes) {
     ieee802154::Mac& mac = net154_->add_node(id);
     Node node;
     node.netif154 = std::make_unique<Netif154>(mac);
     net::IpStackConfig ip_cfg;
     ip_cfg.compression = config_.compression;
+    // Netif back-pressure is radio-agnostic: the 802.15.4 comparison runs
+    // with the same flow config (L2CAP credit knobs are BLE-only).
+    ip_cfg.flow = config_.flow;
+    ip_cfg.flow_stream = creation_index++;
     node.stack = std::make_unique<net::IpStack>(sim_, id, *node.netif154, ip_cfg);
     node.stack->set_recorder(&recorder_);
     nodes_.emplace(id, std::move(node));
@@ -155,6 +168,7 @@ void Experiment::install_routes() {
 void Experiment::spawn_workload() {
   const Topology& topo = config_.topology;
   consumer_ = std::make_unique<Consumer>(*nodes_.at(topo.consumer).stack);
+  std::uint64_t producer_index = 0;
   for (const NodeId id : topo.producers()) {
     Producer::Config pc;
     pc.consumer = net::Ipv6Addr::site(topo.consumer);
@@ -162,6 +176,8 @@ void Experiment::spawn_workload() {
     pc.jitter = config_.producer_jitter;
     pc.payload_len = config_.payload_len;
     pc.confirmable = config_.confirmable_coap;
+    pc.cc = config_.cc;
+    pc.cc.rto_stream = producer_index++;  // creation index (relabel-invariant)
     Node& node = nodes_.at(id);
     node.producer = std::make_unique<Producer>(sim_, *node.stack, pc, metrics_);
     node.producer->start();
@@ -290,6 +306,8 @@ ExperimentSummary Experiment::summary() const {
   for (const auto& [id, node] : nodes_) {
     s.pktbuf_drops += node.stack->stats().drop_pktbuf;
     s.link_down_drops += node.stack->stats().drop_link_down;
+    s.backpressure_drops += node.stack->stats().drop_queue_full;
+    s.breaker_drops += node.stack->stats().drop_breaker;
     if (node.producer) {
       s.coap_retransmissions += node.producer->retransmissions();
       s.coap_timeouts += node.producer->con_timeouts();
@@ -351,6 +369,25 @@ ExperimentSummary Experiment::summary() const {
     if (const std::uint64_t ev = node.stack->reassembler().evicted(); ev > 0) {
       reg.count("sixlo.reasm_evicted", id, static_cast<double>(ev));
     }
+    // Flow-control attribution, registered only when the mechanism actually
+    // fired (same byte-stability rule as the canaries above).
+    const net::IpStats& ist = node.stack->stats();
+    if (ist.drop_queue_full > 0) {
+      reg.count("flow.backpressure_drops", id, static_cast<double>(ist.drop_queue_full));
+    }
+    if (ist.drop_breaker > 0) {
+      reg.count("flow.breaker_drops", id, static_cast<double>(ist.drop_breaker));
+    }
+    if (ist.flow_deferrals > 0) {
+      reg.count("flow.deferrals", id, static_cast<double>(ist.flow_deferrals));
+    }
+    if (const std::uint64_t bo = node.stack->breaker_opens(); bo > 0) {
+      reg.count("flow.breaker_opens", id, static_cast<double>(bo));
+    }
+    if (node.producer && node.producer->nstart_deferrals() > 0) {
+      reg.count("coap.nstart_deferrals", id,
+                static_cast<double>(node.producer->nstart_deferrals()));
+    }
   }
   if (ble_world_) {
     for (const auto& ctrl : ble_world_->nodes()) {
@@ -359,6 +396,15 @@ ExperimentSummary Experiment::summary() const {
                 static_cast<double>(sched.granted()));
       reg.count("radio.claims_denied", ctrl->id(),
                 static_cast<double>(sched.denied()));
+      // Credit-flow health of still-open channels, counted on the stalling
+      // (sending) side; conditional for the same byte-stability reason.
+      std::uint64_t stalls = 0;
+      for (ble::Connection* conn : ctrl->connections()) {
+        stalls += conn->coc().credit_stalls(conn->role_of(*ctrl));
+      }
+      if (stalls > 0) {
+        reg.count("l2cap.credit_stalls", ctrl->id(), static_cast<double>(stalls));
+      }
     }
     // Advertising-path instrumentation: only for generated worlds, so static
     // experiments keep byte-identical campaign output (columns derive from

@@ -80,6 +80,17 @@ struct ExperimentConfig {
   sim::Duration reconnect_backoff_max{sim::Duration::ms(640)};
   sim::Duration reconnect_backoff_jitter{sim::Duration::ms(20)};
 
+  // Overload-survival stack (flow.* / cc.* config keys), three independently
+  // toggleable layers — all off by default, reproducing legacy behavior:
+  //  * link: RFC 7668 receiver-driven L2CAP credit return,
+  //  * netif: bounded TX queues + backoff + circuit breaker (net::FlowConfig),
+  //  * app: CoCoA adaptive RTO + NSTART (app::CoapCcConfig).
+  bool l2cap_deferred_credits{false};
+  std::uint16_t l2cap_initial_credits{30};
+  std::uint16_t l2cap_credit_batch{8};
+  net::FlowConfig flow;
+  app::CoapCcConfig cc;
+
   // Observability (src/obs/). Empty paths leave the corresponding sink off;
   // bad paths (directories, unwritable locations) fail construction with a
   // clear error rather than silently producing no trace.
@@ -105,6 +116,9 @@ struct ExperimentSummary {
   std::uint64_t reconnects{0};
   std::uint64_t pktbuf_drops{0};
   std::uint64_t link_down_drops{0};
+  // Flow-control drop attribution (tail-drop above stays pktbuf_drops).
+  std::uint64_t backpressure_drops{0};  // bounded-TX-queue admission refusals
+  std::uint64_t breaker_drops{0};       // shed while a circuit breaker was open
   std::uint64_t coap_retransmissions{0};  // CON mode only
   std::uint64_t coap_timeouts{0};
   sim::Duration rtt_p50;

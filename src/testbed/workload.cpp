@@ -19,7 +19,11 @@ Producer::Producer(sim::Simulator& sim, net::IpStack& stack, Config config, Metr
       metrics_{metrics},
       // Ephemeral source port per node keeps responses addressable.
       client_{sim, stack, static_cast<std::uint16_t>(49152 + stack.node())},
-      rng_{sim.make_rng()} {}
+      rng_{sim.make_rng()} {
+  // After both sequential streams (client_, rng_) are claimed, so the cc
+  // config's dedicated RTO stream cannot disturb the layout.
+  client_.set_cc(config_.cc);
+}
 
 void Producer::start() {
   if (running_) return;

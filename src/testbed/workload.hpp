@@ -40,6 +40,9 @@ class Producer {
     /// Use confirmable requests with RFC 7252 retransmission instead of the
     /// paper's non-confirmable default (the section 8 what-if).
     bool confirmable{false};
+    /// App-layer congestion control (CoCoA RTO, NSTART) for CON traffic. The
+    /// experiment stamps `cc.rto_stream` with the producer's creation index.
+    app::CoapCcConfig cc;
   };
 
   Producer(sim::Simulator& sim, net::IpStack& stack, Config config, Metrics& metrics);
@@ -51,6 +54,8 @@ class Producer {
   [[nodiscard]] std::uint64_t acked() const { return client_.responses_rx(); }
   [[nodiscard]] std::uint64_t retransmissions() const { return client_.retransmissions(); }
   [[nodiscard]] std::uint64_t con_timeouts() const { return client_.con_timeouts(); }
+  [[nodiscard]] std::uint64_t nstart_deferrals() const { return client_.nstart_deferrals(); }
+  [[nodiscard]] const app::CoapClient& client() const { return client_; }
 
  private:
   void tick();

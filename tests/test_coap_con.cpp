@@ -97,6 +97,108 @@ TEST_F(CoapConTest, DuplicateRepliesAreReplayedNotReexecuted) {
   EXPECT_EQ(server_->duplicates_rx(), 0u);
 }
 
+TEST_F(CoapConTest, InitialRtoJitterStaysInsideAckRandomFactor) {
+  // RFC 7252: the first retransmission fires in [ACK_TIMEOUT,
+  // ACK_TIMEOUT * ACK_RANDOM_FACTOR). The jitter draw comes from the
+  // dedicated seeded RTO stream, so it is deterministic per (seed, stream).
+  net_.set_link_down(1, 2, true);
+  (void)client_->con_get(net::Ipv6Addr::site(2), "gap", {}, nullptr, nullptr);
+  run_for(sim::Duration::ms(1999));
+  EXPECT_EQ(client_->retransmissions(), 0u);  // never before ACK_TIMEOUT
+  run_for(sim::Duration::ms(1002));           // past 2 s * 1.5
+  EXPECT_EQ(client_->retransmissions(), 1u);
+}
+
+TEST_F(CoapConTest, NstartSerializesExchangesPerDestination) {
+  CoapCcConfig cc;
+  cc.nstart = 1;
+  client_->set_cc(cc);
+  int responses = 0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client_->con_get(net::Ipv6Addr::site(2), "gap", {},
+                                 [&](const CoapMessage&, sim::Duration) { ++responses; }));
+  }
+  // Two of the three waited in the dispatch queue behind the NSTART window.
+  EXPECT_EQ(client_->nstart_deferrals(), 2u);
+  run_for(sim::Duration::sec(10));
+  EXPECT_EQ(responses, 3);  // the queue drained as slots freed up
+  EXPECT_EQ(handler_calls_, 3);
+}
+
+TEST_F(CoapConTest, NstartQueueDrainsOnTimeoutToo) {
+  // A destination that never answers must not wedge the dispatch queue: the
+  // exhausted exchange releases its slot to the next queued request.
+  net_.set_link_down(1, 2, true);
+  CoapConParams p;
+  p.ack_timeout = sim::Duration::sec(1);
+  p.ack_random_factor = 1.0;
+  p.max_retransmit = 1;
+  client_->set_con_params(p);
+  CoapCcConfig cc;
+  cc.nstart = 1;
+  client_->set_cc(cc);
+  int timeouts = 0;
+  for (int i = 0; i < 2; ++i) {
+    (void)client_->con_get(net::Ipv6Addr::site(2), "gap", {}, nullptr,
+                           [&] { ++timeouts; });
+  }
+  EXPECT_EQ(client_->nstart_deferrals(), 1u);
+  run_for(sim::Duration::sec(20));
+  EXPECT_EQ(timeouts, 2);  // the second request got its turn and timed out too
+}
+
+TEST_F(CoapConTest, CocoaRtoAdaptsToMeasuredRtt) {
+  CoapCcConfig cc;
+  cc.mode = CoapCcConfig::Mode::kCocoa;
+  client_->set_cc(cc);
+  const net::Ipv6Addr dst = net::Ipv6Addr::site(2);
+  EXPECT_DOUBLE_EQ(client_->rto_estimate(dst), 2.0);  // ACK_TIMEOUT before samples
+
+  // The pipe link answers in ~4 ms; successive strong samples drag the
+  // overall estimate down toward the 0.25 s CoCoA floor.
+  int responses = 0;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client_->con_get(dst, "gap", {},
+                                 [&](const CoapMessage&, sim::Duration) { ++responses; }));
+    run_for(sim::Duration::ms(500));
+  }
+  EXPECT_EQ(responses, 10);
+  EXPECT_EQ(client_->retransmissions(), 0u);
+  EXPECT_LT(client_->rto_estimate(dst), 1.0);
+  EXPECT_GE(client_->rto_estimate(dst), 0.25);
+}
+
+TEST_F(CoapConTest, CocoaWeakSamplesKeepTheEstimateSane) {
+  // Drop the link for one exchange so a retransmission produces a weak
+  // sample, then restore it: the estimate must stay inside the CoCoA clamp
+  // and recover from strong samples afterwards.
+  CoapCcConfig cc;
+  cc.mode = CoapCcConfig::Mode::kCocoa;
+  client_->set_cc(cc);
+  const net::Ipv6Addr dst = net::Ipv6Addr::site(2);
+
+  net_.set_link_down(1, 2, true);
+  int responses = 0;
+  (void)client_->con_get(dst, "gap", {},
+                         [&](const CoapMessage&, sim::Duration) { ++responses; });
+  run_for(sim::Duration::sec(5));  // first RTO fires, retransmission also lost
+  EXPECT_GE(client_->retransmissions(), 1u);
+  net_.set_link_down(1, 2, false);
+  run_for(sim::Duration::sec(30));
+  EXPECT_EQ(responses, 1);  // delivered on a retransmitted attempt
+  const double after_weak = client_->rto_estimate(dst);
+  EXPECT_GE(after_weak, 0.25);
+  EXPECT_LE(after_weak, 32.0);
+
+  for (int i = 0; i < 10; ++i) {
+    (void)client_->con_get(dst, "gap", {},
+                           [&](const CoapMessage&, sim::Duration) { ++responses; });
+    run_for(sim::Duration::ms(500));
+  }
+  EXPECT_EQ(responses, 11);
+  EXPECT_LT(client_->rto_estimate(dst), after_weak);
+}
+
 TEST_F(CoapConTest, BackoffDoublesPerAttempt) {
   net_.set_link_down(1, 2, true);
   CoapConParams p;

@@ -117,6 +117,129 @@ TEST(ConfigFile, RenderParsesBackIdentically) {
   EXPECT_EQ(round.seed, 42u);
 }
 
+TEST(ConfigFile, FlowAndCcKeysParse) {
+  const auto cfg = parse_experiment_config(R"(
+flow.l2cap_credits = deferred
+flow.initial_credits = 12
+flow.credit_batch = 4
+flow.txq_frames = 16
+flow.backoff = true
+flow.backoff_base = 10ms
+flow.backoff_max = 320ms
+flow.backoff_jitter = 5ms
+flow.breaker = true
+flow.breaker_threshold = 4
+flow.breaker_open = 250ms
+flow.breaker_probes = 3
+flow.congest_on_pct = 80
+flow.congest_off_pct = 40
+cc.mode = cocoa
+cc.nstart = 2
+)");
+  EXPECT_TRUE(cfg.l2cap_deferred_credits);
+  EXPECT_EQ(cfg.l2cap_initial_credits, 12u);
+  EXPECT_EQ(cfg.l2cap_credit_batch, 4u);
+  EXPECT_EQ(cfg.flow.txq_frames, 16u);
+  EXPECT_TRUE(cfg.flow.backoff);
+  EXPECT_EQ(cfg.flow.backoff_base, sim::Duration::ms(10));
+  EXPECT_EQ(cfg.flow.backoff_max, sim::Duration::ms(320));
+  EXPECT_EQ(cfg.flow.backoff_jitter, sim::Duration::ms(5));
+  EXPECT_TRUE(cfg.flow.breaker);
+  EXPECT_EQ(cfg.flow.breaker_threshold, 4u);
+  EXPECT_EQ(cfg.flow.breaker_open, sim::Duration::ms(250));
+  EXPECT_EQ(cfg.flow.breaker_probes, 3u);
+  EXPECT_EQ(cfg.flow.congest_on_pct, 80u);
+  EXPECT_EQ(cfg.flow.congest_off_pct, 40u);
+  EXPECT_EQ(cfg.cc.mode, app::CoapCcConfig::Mode::kCocoa);
+  EXPECT_EQ(cfg.cc.nstart, 2u);
+}
+
+TEST(ConfigFile, FlowPresetsExpandToLayerSets) {
+  const auto off = parse_experiment_config("flow.preset = off\n");
+  EXPECT_FALSE(off.l2cap_deferred_credits);
+  EXPECT_FALSE(off.flow.any());
+  EXPECT_EQ(off.cc.mode, app::CoapCcConfig::Mode::kFixedRto);
+
+  const auto link = parse_experiment_config("flow.preset = link\n");
+  EXPECT_TRUE(link.l2cap_deferred_credits);
+  EXPECT_FALSE(link.flow.any());
+
+  const auto netif = parse_experiment_config("flow.preset = netif\n");
+  EXPECT_EQ(netif.flow.txq_frames, 16u);
+  EXPECT_TRUE(netif.flow.backoff);
+  EXPECT_TRUE(netif.flow.breaker);
+  EXPECT_FALSE(netif.l2cap_deferred_credits);
+
+  const auto app = parse_experiment_config("flow.preset = app\n");
+  EXPECT_EQ(app.cc.mode, app::CoapCcConfig::Mode::kCocoa);
+  EXPECT_EQ(app.cc.nstart, 16u);
+
+  const auto all = parse_experiment_config("flow.preset = all\n");
+  EXPECT_TRUE(all.l2cap_deferred_credits);
+  EXPECT_TRUE(all.flow.any());
+  EXPECT_EQ(all.cc.mode, app::CoapCcConfig::Mode::kCocoa);
+}
+
+TEST(ConfigFile, FlowKeyValidationIsStrictAndDeterministic) {
+  const auto expect_msg = [](const char* text, const char* needle) {
+    try {
+      (void)parse_experiment_config(text);
+      FAIL() << "expected throw for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string{e.what()}.find(needle), std::string::npos)
+          << "got: " << e.what();
+    }
+  };
+  expect_msg("flow.preset = everything\n",
+             "config: unknown flow.preset 'everything' (off|link|netif|app|all)");
+  expect_msg("flow.l2cap_credits = batched\n", "flow.l2cap_credits");
+  expect_msg("flow.initial_credits = 0\n",
+             "config: flow.initial_credits out of range [1, 65535]");
+  expect_msg("flow.initial_credits = 1.5\n", "config: bad flow.initial_credits");
+  expect_msg("flow.initial_credits = -3\n", "config: bad flow.initial_credits");
+  expect_msg("flow.txq_frames = banana\n", "config: bad flow.txq_frames");
+  expect_msg("flow.backoff = sometimes\n", "flow.backoff");
+  expect_msg("flow.backoff_base = fast\n", "flow.backoff_base");
+  expect_msg("flow.breaker_threshold = 0\n", "out of range");
+  expect_msg("flow.congest_on_pct = 0\n",
+             "config: flow.congest_on_pct out of range [1, 100]");
+  expect_msg("flow.congest_off_pct = 101\n", "out of range");
+  expect_msg("flow.congest_on_pct = 40\nflow.congest_off_pct = 60\n",
+             "config: flow.congest_off_pct must not exceed flow.congest_on_pct");
+  expect_msg("flow.backoff_base = 2s\nflow.backoff_max = 1s\n",
+             "config: flow.backoff_base must not exceed flow.backoff_max");
+  expect_msg("cc.mode = vegas\n", "cc.mode");
+  expect_msg("cc.nstart = 65537\n", "out of range");
+}
+
+TEST(ConfigFile, FlowKeysRenderAndParseBack) {
+  ExperimentConfig cfg;
+  cfg.l2cap_deferred_credits = true;
+  cfg.l2cap_credit_batch = 4;
+  cfg.flow.txq_frames = 8;
+  cfg.flow.backoff = true;
+  cfg.flow.backoff_base = sim::Duration::ms(15);
+  cfg.flow.breaker = true;
+  cfg.flow.breaker_threshold = 5;
+  cfg.cc.mode = app::CoapCcConfig::Mode::kCocoa;
+  cfg.cc.nstart = 1;
+  const std::string text = render_experiment_config(cfg);
+  const auto round = parse_experiment_config(text);
+  EXPECT_TRUE(round.l2cap_deferred_credits);
+  EXPECT_EQ(round.l2cap_credit_batch, 4u);
+  EXPECT_EQ(round.flow.txq_frames, 8u);
+  EXPECT_TRUE(round.flow.backoff);
+  EXPECT_EQ(round.flow.backoff_base, sim::Duration::ms(15));
+  EXPECT_TRUE(round.flow.breaker);
+  EXPECT_EQ(round.flow.breaker_threshold, 5u);
+  EXPECT_EQ(round.cc.mode, app::CoapCcConfig::Mode::kCocoa);
+  EXPECT_EQ(round.cc.nstart, 1u);
+  // Defaults stay unrendered so legacy configs remain byte-stable.
+  const std::string defaults = render_experiment_config(ExperimentConfig{});
+  EXPECT_EQ(defaults.find("flow."), std::string::npos);
+  EXPECT_EQ(defaults.find("cc."), std::string::npos);
+}
+
 TEST(ConfigFile, ShippedSampleConfigsParse) {
   for (const char* path :
        {"examples/experiments/fig7_tree.conf", "examples/experiments/fig10_802154.conf",

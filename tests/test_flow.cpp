@@ -1,0 +1,367 @@
+// Unit tests: the netif-layer overload-survival mechanisms — circuit-breaker
+// state machine legality, bounded per-neighbor TX queues, exponential
+// backoff, breaker shedding/recovery, and the Experiment-level regressions
+// (breaker recovery racing the statconn reconnect under faults, composed
+// flow-control stack vs bare under overload).
+
+#include <gtest/gtest.h>
+
+#include "fault/spec.hpp"
+#include "helpers/pipe_netif.hpp"
+#include "net/flow.hpp"
+#include "net/ip_stack.hpp"
+#include "sim/simulator.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/topology.hpp"
+
+namespace mgap::net {
+namespace {
+
+using testhelpers::PipeNet;
+using testhelpers::PipeNetif;
+
+sim::TimePoint at_ms(std::int64_t ms) {
+  return sim::TimePoint::origin() + sim::Duration::ms(ms);
+}
+
+// --- circuit-breaker state machine -------------------------------------------
+
+TEST(CircuitBreaker, TripsAfterThresholdConsecutiveFailures) {
+  CircuitBreaker b{3, sim::Duration::ms(500), 2};
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_FALSE(b.on_failure(at_ms(0)));
+  EXPECT_FALSE(b.on_failure(at_ms(1)));
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_TRUE(b.on_failure(at_ms(2)));  // third strike trips
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.opens(), 1u);
+}
+
+TEST(CircuitBreaker, SuccessResetsTheFailureStreak) {
+  CircuitBreaker b{3, sim::Duration::ms(500), 2};
+  b.on_failure(at_ms(0));
+  b.on_failure(at_ms(1));
+  b.on_success();  // streak broken
+  b.on_failure(at_ms(2));
+  b.on_failure(at_ms(3));
+  EXPECT_EQ(b.state(), BreakerState::kClosed);  // still only 2 consecutive
+  EXPECT_TRUE(b.on_failure(at_ms(4)));
+}
+
+TEST(CircuitBreaker, OpenBlocksUntilTheWindowElapses) {
+  CircuitBreaker b{1, sim::Duration::ms(500), 2};
+  b.on_failure(at_ms(0));
+  ASSERT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_FALSE(b.allow(at_ms(100)));
+  EXPECT_FALSE(b.allow(at_ms(499)));
+  EXPECT_TRUE(b.allow(at_ms(500)));  // open -> half-open
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreaker, HalfOpenClosesAfterProbeSuccesses) {
+  CircuitBreaker b{1, sim::Duration::ms(500), 2};
+  b.on_failure(at_ms(0));
+  ASSERT_TRUE(b.allow(at_ms(500)));
+  b.on_success();
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);  // one probe is not enough
+  b.on_success();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, HalfOpenFailureReopensImmediately) {
+  CircuitBreaker b{1, sim::Duration::ms(500), 2};
+  b.on_failure(at_ms(0));
+  ASSERT_TRUE(b.allow(at_ms(500)));
+  EXPECT_TRUE(b.on_failure(at_ms(501)));  // a failed probe re-trips
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.opens(), 2u);
+  EXPECT_FALSE(b.allow(at_ms(900)));  // a fresh open window from 501
+  EXPECT_TRUE(b.allow(at_ms(1001)));
+}
+
+TEST(CircuitBreaker, ResetReturnsToClosedFromAnywhere) {
+  CircuitBreaker b{1, sim::Duration::ms(500), 2};
+  b.on_failure(at_ms(0));
+  ASSERT_EQ(b.state(), BreakerState::kOpen);
+  b.reset();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_TRUE(b.allow(at_ms(1)));  // no leftover open window
+}
+
+// --- IpStack netif-layer mechanisms over the pipe link -----------------------
+
+class FlowStackTest : public ::testing::Test {
+ protected:
+  FlowStackTest() : net_{sim_} {}
+
+  IpStack& make_stack(NodeId id, IpStackConfig cfg = {}) {
+    PipeNetif& netif = net_.add(id);
+    stacks_.push_back(std::make_unique<IpStack>(sim_, id, netif, cfg));
+    return *stacks_.back();
+  }
+
+  void run_for(sim::Duration d) { sim_.run_until(sim_.now() + d); }
+
+  sim::Simulator sim_{42};
+  PipeNet net_;
+  std::vector<std::unique_ptr<IpStack>> stacks_;
+};
+
+TEST_F(FlowStackTest, BoundedQueueRefusesAdmissionBeyondTheCap) {
+  IpStackConfig cfg;
+  cfg.flow.txq_frames = 2;
+  IpStack& a = make_stack(1, cfg);
+  IpStack& b = make_stack(2);
+  a.routes().add_host_route(Ipv6Addr::site(2), Ipv6Addr::site(2));
+  int got = 0;
+  b.udp_bind(7, [&](const Ipv6Addr&, std::uint16_t, std::uint16_t,
+                    std::vector<std::uint8_t>, sim::TimePoint) { ++got; });
+
+  net_.find(1)->set_stuck(true);
+  int accepted = 0;
+  for (int i = 0; i < 5; ++i) {
+    accepted += a.udp_send(Ipv6Addr::site(2), 7, 7, std::vector<std::uint8_t>(20, 0)) ? 1 : 0;
+  }
+  EXPECT_EQ(accepted, 2);
+  EXPECT_EQ(a.queued_frames(2), 2u);
+  EXPECT_EQ(a.stats().drop_queue_full, 3u);
+  EXPECT_EQ(a.stats().drop_pktbuf, 0u);  // refused before charging the pktbuf
+
+  net_.find(1)->set_stuck(false);
+  net_.find(1)->announce_writable(2);
+  run_for(sim::Duration::ms(10));
+  EXPECT_EQ(got, 2);  // the admitted packets survive the congestion episode
+}
+
+TEST_F(FlowStackTest, BackoffRetriesWithoutAWritableSignal) {
+  IpStackConfig cfg;
+  cfg.flow.backoff = true;
+  IpStack& a = make_stack(1, cfg);
+  IpStack& b = make_stack(2);
+  a.routes().add_host_route(Ipv6Addr::site(2), Ipv6Addr::site(2));
+  int got = 0;
+  b.udp_bind(7, [&](const Ipv6Addr&, std::uint16_t, std::uint16_t,
+                    std::vector<std::uint8_t>, sim::TimePoint) { ++got; });
+
+  net_.find(1)->set_stuck(true);
+  EXPECT_TRUE(a.udp_send(Ipv6Addr::site(2), 7, 7, std::vector<std::uint8_t>(20, 0)));
+  run_for(sim::Duration::ms(100));
+  EXPECT_EQ(got, 0);
+  EXPECT_GE(a.stats().flow_deferrals, 1u);
+
+  // The armed retry timer alone must drain the queue once the link heals —
+  // no announce_writable, the exact situation the legacy stack got stuck in.
+  net_.find(1)->set_stuck(false);
+  run_for(sim::Duration::sec(2));  // past backoff_max (640 ms) + jitter
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(a.queued_frames(2), 0u);
+}
+
+TEST_F(FlowStackTest, BreakerTripsAndShedsTheQueue) {
+  IpStackConfig cfg;
+  cfg.flow.breaker = true;
+  cfg.flow.breaker_threshold = 3;
+  cfg.flow.breaker_open = sim::Duration::ms(500);
+  IpStack& a = make_stack(1, cfg);
+  make_stack(2);
+  a.routes().add_host_route(Ipv6Addr::site(2), Ipv6Addr::site(2));
+
+  net_.find(1)->set_stuck(true);
+  // Each send attempts a drain and takes one refusal; the third trips.
+  for (int i = 0; i < 3; ++i) {
+    a.udp_send(Ipv6Addr::site(2), 7, 7, std::vector<std::uint8_t>(20, 0));
+  }
+  EXPECT_EQ(a.breaker_state(2), BreakerState::kOpen);
+  EXPECT_EQ(a.breaker_opens(), 1u);
+  // The tripped breaker shed everything that was queued.
+  EXPECT_EQ(a.queued_frames(2), 0u);
+  EXPECT_EQ(a.pktbuf().used(), 0u);
+  EXPECT_EQ(a.stats().drop_breaker, 3u);
+
+  // While open, packets are shed at admission without touching the netif.
+  EXPECT_FALSE(a.udp_send(Ipv6Addr::site(2), 7, 7, std::vector<std::uint8_t>(20, 0)));
+  EXPECT_EQ(a.stats().drop_breaker, 4u);
+}
+
+TEST_F(FlowStackTest, BreakerHalfOpenProbesAndCloses) {
+  IpStackConfig cfg;
+  cfg.flow.breaker = true;
+  cfg.flow.breaker_threshold = 2;
+  cfg.flow.breaker_open = sim::Duration::ms(500);
+  cfg.flow.breaker_probes = 2;
+  IpStack& a = make_stack(1, cfg);
+  IpStack& b = make_stack(2);
+  a.routes().add_host_route(Ipv6Addr::site(2), Ipv6Addr::site(2));
+  int got = 0;
+  b.udp_bind(7, [&](const Ipv6Addr&, std::uint16_t, std::uint16_t,
+                    std::vector<std::uint8_t>, sim::TimePoint) { ++got; });
+
+  net_.find(1)->set_stuck(true);
+  a.udp_send(Ipv6Addr::site(2), 7, 7, std::vector<std::uint8_t>(20, 0));
+  a.udp_send(Ipv6Addr::site(2), 7, 7, std::vector<std::uint8_t>(20, 0));
+  ASSERT_EQ(a.breaker_state(2), BreakerState::kOpen);
+
+  net_.find(1)->set_stuck(false);
+  run_for(sim::Duration::ms(600));  // past the open window
+  // The first admitted send is the half-open probe; two successes close.
+  EXPECT_TRUE(a.udp_send(Ipv6Addr::site(2), 7, 7, std::vector<std::uint8_t>(20, 0)));
+  EXPECT_EQ(a.breaker_state(2), BreakerState::kHalfOpen);
+  EXPECT_TRUE(a.udp_send(Ipv6Addr::site(2), 7, 7, std::vector<std::uint8_t>(20, 0)));
+  EXPECT_EQ(a.breaker_state(2), BreakerState::kClosed);
+  run_for(sim::Duration::ms(10));
+  EXPECT_EQ(got, 2);
+}
+
+TEST_F(FlowStackTest, NeighborDownResetsTheBreaker) {
+  IpStackConfig cfg;
+  cfg.flow.breaker = true;
+  cfg.flow.breaker_threshold = 1;
+  IpStack& a = make_stack(1, cfg);
+  make_stack(2);
+  a.routes().add_host_route(Ipv6Addr::site(2), Ipv6Addr::site(2));
+
+  net_.find(1)->set_stuck(true);
+  a.udp_send(Ipv6Addr::site(2), 7, 7, std::vector<std::uint8_t>(20, 0));
+  ASSERT_EQ(a.breaker_state(2), BreakerState::kOpen);
+
+  // A reconnected link starts with a clean slate: it must not serve the rest
+  // of its predecessor's open window.
+  net_.find(1)->announce_neighbor_down(2);
+  EXPECT_EQ(a.breaker_state(2), BreakerState::kClosed);
+  net_.find(1)->set_stuck(false);
+  EXPECT_TRUE(a.udp_send(Ipv6Addr::site(2), 7, 7, std::vector<std::uint8_t>(20, 0)));
+}
+
+TEST_F(FlowStackTest, CongestionHysteresisFlipsRxReadiness) {
+  IpStackConfig cfg;
+  cfg.pktbuf_bytes = 2000;
+  cfg.flow.congest_on_pct = 50;
+  cfg.flow.congest_off_pct = 25;
+  IpStack& a = make_stack(1, cfg);
+  make_stack(2);
+  a.routes().add_host_route(Ipv6Addr::site(2), Ipv6Addr::site(2));
+  EXPECT_TRUE(a.rx_ready());
+
+  net_.find(1)->set_stuck(true);
+  while (a.rx_ready()) {
+    ASSERT_TRUE(a.udp_send(Ipv6Addr::site(2), 7, 7, std::vector<std::uint8_t>(50, 0)));
+  }
+  EXPECT_GT(a.pktbuf().used() * 100, 2000u * 50);
+
+  net_.find(1)->set_stuck(false);
+  net_.find(1)->announce_writable(2);
+  run_for(sim::Duration::ms(10));
+  EXPECT_TRUE(a.rx_ready());  // drained below congest_off
+}
+
+}  // namespace
+}  // namespace mgap::net
+
+// --- Experiment-level regressions --------------------------------------------
+
+namespace mgap::testbed {
+namespace {
+
+ExperimentConfig star_config(std::uint64_t seed = 1) {
+  ExperimentConfig cfg;
+  cfg.topology = Topology::star(5);
+  cfg.duration = sim::Duration::sec(60);
+  cfg.producer_interval = sim::Duration::ms(500);
+  cfg.seed = seed;
+  return cfg;
+}
+
+void enable_all_mechanisms(ExperimentConfig& cfg) {
+  cfg.l2cap_deferred_credits = true;
+  cfg.flow.txq_frames = 16;
+  cfg.flow.backoff = true;
+  cfg.flow.breaker = true;
+  cfg.cc.mode = app::CoapCcConfig::Mode::kCocoa;
+  cfg.cc.nstart = 16;
+}
+
+TEST(FlowExperiment, BreakerRepairNoSlowerThanBareStatconnReconnect) {
+  // A blackout takes the link down by supervision timeout; statconn
+  // reconnects once the window ends. The breaker must not delay the first
+  // delivery after repair: link-down resets it, so a repaired link starts
+  // closed instead of serving out a stale open window.
+  ExperimentConfig bare = star_config();
+  bare.faults["fault.0"] = fault::parse_fault_event("blackout link=1-2 at=20s for=5s");
+  Experiment bare_exp{bare};
+  bare_exp.run();
+  const ExperimentSummary bare_s = bare_exp.summary();
+  ASSERT_GT(bare_s.repair_to_delivery_p50, sim::Duration{});
+
+  ExperimentConfig armed = star_config();
+  armed.faults["fault.0"] = fault::parse_fault_event("blackout link=1-2 at=20s for=5s");
+  armed.flow.txq_frames = 16;
+  armed.flow.backoff = true;
+  armed.flow.breaker = true;
+  Experiment armed_exp{armed};
+  armed_exp.run();
+  const ExperimentSummary armed_s = armed_exp.summary();
+
+  EXPECT_GT(armed_s.repair_to_delivery_p50, sim::Duration{});
+  EXPECT_LE(armed_s.repair_to_delivery_p50, bare_s.repair_to_delivery_p50);
+  EXPECT_EQ(armed_s.link_ups, bare_s.link_ups);
+}
+
+TEST(FlowExperiment, FullStackUnderChaosIsDeterministic) {
+  ExperimentConfig cfg = star_config(9);
+  cfg.duration = sim::Duration::sec(90);
+  cfg.confirmable_coap = true;
+  cfg.chaos.rate_per_min = 4.0;
+  enable_all_mechanisms(cfg);
+
+  Experiment once{cfg};
+  once.run();
+  const ExperimentSummary a = once.summary();
+  Experiment twice{cfg};
+  twice.run();
+  const ExperimentSummary b = twice.summary();
+
+  EXPECT_GT(a.sent, 0u);
+  EXPECT_EQ(a.sent, b.sent);
+  EXPECT_EQ(a.acked, b.acked);
+  EXPECT_EQ(a.backpressure_drops, b.backpressure_drops);
+  EXPECT_EQ(a.breaker_drops, b.breaker_drops);
+  EXPECT_EQ(a.coap_retransmissions, b.coap_retransmissions);
+  EXPECT_EQ(a.counters, b.counters);
+}
+
+TEST(FlowExperiment, ComposedStackBeatsBareUnderOverload) {
+  // 50x the nominal offered load on the 15-node tree with confirmable CoAP
+  // (the overload bench scenario): the off-config amplifies its own overload
+  // through retransmissions and silent mid-path tail-drops; the composed
+  // stack must deliver at least as much while attributing every loss.
+  ExperimentConfig off;
+  off.topology = Topology::tree15();
+  off.duration = sim::Duration::sec(30);
+  off.producer_interval = sim::Duration::ms(20);
+  off.producer_jitter = sim::Duration::ms(5);
+  off.confirmable_coap = true;
+  off.seed = 7;
+  Experiment off_exp{off};
+  off_exp.run();
+  const ExperimentSummary off_s = off_exp.summary();
+
+  ExperimentConfig on = off;
+  enable_all_mechanisms(on);
+  Experiment on_exp{on};
+  on_exp.run();
+  const ExperimentSummary on_s = on_exp.summary();
+
+  EXPECT_GT(off_s.sent, 0u);
+  EXPECT_GT(off_s.pktbuf_drops, 0u);  // the bare stack is genuinely overloaded
+  EXPECT_GE(on_s.coap_pdr, off_s.coap_pdr);
+  // Every loss is attributed: the composed stack's drops show up in the
+  // explicit back-pressure buckets, not as silent mid-path tail-drops.
+  EXPECT_GT(on_s.backpressure_drops + on_s.breaker_drops, 0u);
+  EXPECT_EQ(on_s.pktbuf_drops, 0u);
+  // CoCoA + NSTART damp the retransmission amplification by orders of
+  // magnitude; anything close means the adaptive RTO is not engaging.
+  EXPECT_LT(on_s.coap_retransmissions * 10, off_s.coap_retransmissions);
+}
+
+}  // namespace
+}  // namespace mgap::testbed

@@ -1,0 +1,198 @@
+// Property tests for the overload-survival stack: L2CAP credit conservation
+// under arbitrary traffic and host-readiness schedules, circuit-breaker
+// state-machine legality over random operation sequences, and thread-count
+// invariance of the overload campaign.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "ble/world.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/writers.hpp"
+#include "check/property.hpp"
+#include "net/flow.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgap {
+namespace {
+
+using check::check_property;
+
+// --- L2CAP credit conservation -----------------------------------------------
+
+/// For each side: every credit ever granted is unspent, riding a frame, or
+/// consumed at the peer and (possibly pending) returned. Holds at every
+/// instant, regardless of traffic, batching, or host readiness.
+void assert_credit_conservation(const ble::L2capCoc& coc) {
+  for (const ble::Role side : {ble::Role::kCoordinator, ble::Role::kSubordinate}) {
+    const ble::Role peer = side == ble::Role::kCoordinator ? ble::Role::kSubordinate
+                                                           : ble::Role::kCoordinator;
+    PROP_ASSERT(coc.credits_granted(side) ==
+                    coc.tx_credits(side) + coc.frames_sent(side),
+                "granted credits must equal unspent + spent");
+    PROP_ASSERT(coc.frames_sent(side) >=
+                    coc.credits_returned(peer) + coc.pending_return(peer),
+                "peer cannot return more credits than frames were sent");
+  }
+}
+
+TEST(FlowProperty, CreditConservationUnderArbitrarySchedules) {
+  const auto result = check_property("l2cap-credit-conservation", [](check::Gen& g) {
+    sim::Simulator sim{11};
+    ble::BleWorld world{sim, phy::ChannelModel{0.0}};
+    ble::ControllerConfig cfg;
+    cfg.l2cap.deferred_credits = true;
+    cfg.l2cap.initial_credits = static_cast<std::uint16_t>(g.u64(1, 12));
+    cfg.l2cap.credit_batch = static_cast<std::uint16_t>(g.u64(1, 8));
+    ble::Controller& a = world.add_node(1, 0.0, cfg);
+    ble::Controller& b = world.add_node(2, 0.0, cfg);
+    ble::ConnParams p;
+    p.interval = sim::Duration::ms(30);
+    ble::Connection& c = world.open_connection(
+        a, b, p, sim::TimePoint::origin() + sim::Duration::ms(10));
+
+    const std::size_t rounds = g.u64(5, 60);
+    for (std::size_t i = 0; i < rounds; ++i) {
+      switch (g.u64(0, 3)) {
+        case 0:
+          (void)a.l2cap_send(c, std::vector<std::uint8_t>(g.u64(1, 600), 0xA5));
+          break;
+        case 1:
+          (void)b.l2cap_send(c, std::vector<std::uint8_t>(g.u64(1, 600), 0x5A));
+          break;
+        case 2:
+          c.coc().set_rx_ready(ble::Role::kCoordinator, g.boolean(), sim.now());
+          break;
+        case 3:
+          c.coc().set_rx_ready(ble::Role::kSubordinate, g.boolean(), sim.now());
+          break;
+      }
+      sim.run_until(sim.now() +
+                    sim::Duration::ms(static_cast<std::int64_t>(g.u64(1, 150))));
+      assert_credit_conservation(c.coc());
+    }
+
+    // Liveness: with both hosts ready and the link idle long enough, every
+    // in-flight frame lands — sent frames are fully accounted as returned or
+    // pending, and a starved sender is never left at zero credits.
+    c.coc().set_rx_ready(ble::Role::kCoordinator, true, sim.now());
+    c.coc().set_rx_ready(ble::Role::kSubordinate, true, sim.now());
+    sim.run_until(sim.now() + sim::Duration::sec(5));
+    assert_credit_conservation(c.coc());
+    for (const ble::Role side : {ble::Role::kCoordinator, ble::Role::kSubordinate}) {
+      const ble::Role peer = side == ble::Role::kCoordinator
+                                 ? ble::Role::kSubordinate
+                                 : ble::Role::kCoordinator;
+      PROP_ASSERT(c.coc().frames_sent(side) ==
+                      c.coc().credits_returned(peer) + c.coc().pending_return(peer),
+                  "a drained link holds no frames in flight");
+      PROP_ASSERT(c.coc().tx_credits(side) > 0,
+                  "a drained ready link never leaves the sender starved");
+    }
+  });
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+// --- circuit-breaker legality ------------------------------------------------
+
+TEST(FlowProperty, BreakerStateMachineOnlyTakesLegalTransitions) {
+  using net::BreakerState;
+  const auto result = check_property("breaker-legality", [](check::Gen& g) {
+    const unsigned threshold = static_cast<unsigned>(g.u64(1, 6));
+    const sim::Duration open_for =
+        sim::Duration::ms(static_cast<std::int64_t>(g.u64(1, 800)));
+    const unsigned probes = static_cast<unsigned>(g.u64(1, 4));
+    net::CircuitBreaker b{threshold, open_for, probes};
+    sim::TimePoint now = sim::TimePoint::origin();
+    std::uint64_t opens_seen = 0;
+
+    const std::size_t ops = g.u64(1, 300);
+    for (std::size_t i = 0; i < ops; ++i) {
+      now = now + sim::Duration::ms(static_cast<std::int64_t>(g.u64(0, 300)));
+      const BreakerState before = b.state();
+      const std::uint64_t opens_before = b.opens();
+      switch (g.u64(0, 3)) {
+        case 0: {
+          const bool admitted = b.allow(now);
+          PROP_ASSERT(admitted == (b.state() != BreakerState::kOpen),
+                      "allow() admits exactly outside the open state");
+          PROP_ASSERT(b.state() == before ||
+                          (before == BreakerState::kOpen &&
+                           b.state() == BreakerState::kHalfOpen && now >= b.reopen_at()),
+                      "allow() may only move open -> half-open, after the window");
+          break;
+        }
+        case 1: {
+          b.on_success();
+          PROP_ASSERT(b.state() == before ||
+                          (before == BreakerState::kHalfOpen &&
+                           b.state() == BreakerState::kClosed),
+                      "on_success() may only move half-open -> closed");
+          break;
+        }
+        case 2: {
+          const bool tripped = b.on_failure(now);
+          PROP_ASSERT(tripped == (before != BreakerState::kOpen &&
+                                  b.state() == BreakerState::kOpen),
+                      "on_failure() reports exactly the trips into open");
+          PROP_ASSERT(b.state() == before || b.state() == BreakerState::kOpen,
+                      "on_failure() may only move toward open");
+          PROP_ASSERT(before != BreakerState::kHalfOpen || tripped,
+                      "a failed half-open probe always re-opens");
+          break;
+        }
+        case 3: {
+          b.reset();
+          PROP_ASSERT(b.state() == BreakerState::kClosed, "reset() closes");
+          break;
+        }
+      }
+      PROP_ASSERT(b.opens() >= opens_before, "the open counter never decreases");
+      PROP_ASSERT((b.opens() > opens_before) ==
+                      (before != BreakerState::kOpen &&
+                       b.state() == BreakerState::kOpen),
+                  "the open counter increments exactly on trips");
+      opens_seen = b.opens();
+    }
+    PROP_ASSERT(b.opens() == opens_seen, "accessors are pure");
+  });
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+// --- overload campaign thread invariance -------------------------------------
+
+TEST(FlowProperty, OverloadCampaignIsThreadCountInvariant) {
+  // The overload sweep exercises every flow-control code path (deferred
+  // credits, bounded queues, backoff timers, breaker trips, CoCoA, NSTART);
+  // its output must stay byte-identical regardless of worker threads.
+  const campaign::CampaignSpec spec = campaign::parse_campaign_spec(R"(
+campaign = overload_invariance
+topology = star5
+duration = 20s
+confirmable_coap = true
+producer_interval = 50ms
+producer_jitter = 5ms
+flow.preset = off, all
+seeds = 1..2
+)");
+
+  campaign::RunnerOptions serial;
+  serial.threads = 1;
+  serial.progress = false;
+  const campaign::CampaignResult r1 = campaign::CampaignRunner{serial}.run(spec);
+
+  campaign::RunnerOptions parallel;
+  parallel.threads = std::max(2u, std::thread::hardware_concurrency());
+  parallel.progress = false;
+  const campaign::CampaignResult rn = campaign::CampaignRunner{parallel}.run(spec);
+
+  EXPECT_EQ(campaign::to_json(r1), campaign::to_json(rn));
+  EXPECT_EQ(campaign::to_csv(r1), campaign::to_csv(rn));
+}
+
+}  // namespace
+}  // namespace mgap
