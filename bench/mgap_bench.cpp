@@ -1,9 +1,10 @@
 // mgap_bench — machine-readable performance regression harness.
 //
-//   mgap_bench [--out DIR] [--quick] [event_queue] [campaign] [scale] [overload]
+//   mgap_bench [--out DIR] [--quick] [event_queue] [campaign] [scale]
+//              [overload] [mesh]
 //
-// Emits BENCH_event_queue.json, BENCH_campaign.json, BENCH_scale.json, and
-// BENCH_overload.json (all by default).
+// Emits BENCH_event_queue.json, BENCH_campaign.json, BENCH_scale.json,
+// BENCH_overload.json, and BENCH_mesh.json (all by default).
 // The event-queue suite drives the simulator-core hot path at 10k/30k/100k
 // live events: near-constant ns/op across sizes is the contract — the
 // pre-slot-map implementation erased from the front of a sorted vector on
@@ -28,6 +29,7 @@
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
 #include "campaign/writers.hpp"
+#include "mesh/world.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "testbed/experiment.hpp"
@@ -177,7 +179,8 @@ int run_campaign(const std::string& out_dir, bool quick) {
   const campaign::CampaignResult result = campaign::CampaignRunner{options}.run(spec);
   const double wall = seconds_since(t0);
 
-  const std::string result_json = campaign::to_json(result);
+  // Without code_version: the committed fingerprint must not move per commit.
+  const std::string result_json = campaign::to_json(result, false);
   const std::uint64_t fingerprint = fnv1a(result_json);
   const double sim_seconds = static_cast<double>(result.cells.size()) *
                              static_cast<double>(spec.base.duration.count_ns()) * 1e-9;
@@ -388,6 +391,115 @@ int run_overload(const std::string& out_dir, bool quick) {
   return rc;
 }
 
+int run_mesh(const std::string& out_dir, bool quick) {
+  // Bluetooth Mesh flooding smoke: the tuned sparse-relay operating point of
+  // examples/experiments/backend_compare.campaign next to the full-density
+  // cell on the same 36-node world. The contract: sparse flooding delivers
+  // (PDR floor), full-density flooding delivers strictly less (the knee the
+  // campaign plots), and every counter is deterministic (fingerprint).
+  const sim::Duration duration = sim::Duration::sec(quick ? 45 : 90);
+
+  struct Cell {
+    const char* name;
+    double relay_density;
+    testbed::ExperimentSummary s;
+    std::uint64_t relayed{0};
+    std::uint64_t collisions{0};
+    std::uint64_t queue_drops{0};
+  };
+  Cell cells[] = {{"sparse", 0.15, {}}, {"dense", 1.0, {}}};
+
+  int rc = 0;
+  std::string fingerprint_src;
+  std::string json = "{\n  \"bench\": \"mesh\",\n  \"cases\": [\n";
+  double wall_total = 0.0;
+  for (std::size_t i = 0; i < std::size(cells); ++i) {
+    Cell& cell = cells[i];
+    testbed::ExperimentConfig cfg;
+    cfg.radio = core::LinkBackendKind::kMesh;
+    cfg.topo.generator = topo::Generator::kJitterGrid;
+    cfg.topo.nodes = 36;
+    cfg.duration = duration;
+    cfg.producer_interval = sim::Duration::sec(30);
+    cfg.producer_jitter = sim::Duration::sec(2);
+    cfg.payload_len = 8;
+    cfg.compression = net::CompressionMode::kIphc;
+    cfg.mesh.ttl = 9;
+    cfg.mesh.relay_density = cell.relay_density;
+    cfg.mesh.transmit_count = 2;
+    cfg.mesh.adv_interval = sim::Duration::ms(40);
+    cfg.mesh.reasm_entries = 64;
+    cfg.seed = 7;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    testbed::Experiment exp{std::move(cfg)};
+    exp.run();
+    const double wall = seconds_since(t0);
+    wall_total += wall;
+    cell.s = exp.summary();
+    const mesh::MeshWorld& world = *exp.mesh_world();
+    for (const NodeId id : world.node_order()) {
+      const mesh::MeshNodeStats& ns = world.stats(id);
+      cell.relayed += ns.relayed;
+      cell.collisions += ns.collisions;
+      cell.queue_drops += ns.queue_drops;
+    }
+    const testbed::ExperimentSummary& s = cell.s;
+
+    char det[320];
+    std::snprintf(det, sizeof det,
+                  "%s sent=%" PRIu64 " acked=%" PRIu64 " relayed=%" PRIu64
+                  " collisions=%" PRIu64 " qdrops=%" PRIu64 ";",
+                  cell.name, s.sent, s.acked, cell.relayed, cell.collisions,
+                  cell.queue_drops);
+    fingerprint_src += det;
+
+    char line[512];
+    std::snprintf(line, sizeof line,
+                  "    {\"relay_density\": %.2f, \"sim_seconds\": %.0f, "
+                  "\"wall_seconds\": %.3f, \"sent\": %" PRIu64
+                  ", \"acked\": %" PRIu64 ", \"coap_pdr\": %.6f, "
+                  "\"ll_pdr\": %.6f, \"relayed\": %" PRIu64
+                  ", \"collisions\": %" PRIu64 ", \"queue_drops\": %" PRIu64
+                  "}%s\n",
+                  cell.relay_density,
+                  static_cast<double>(duration.count_ns()) * 1e-9, wall, s.sent,
+                  s.acked, s.coap_pdr, s.ll_pdr, cell.relayed, cell.collisions,
+                  cell.queue_drops, i + 1 < std::size(cells) ? "," : "");
+    json += line;
+    std::printf("mesh: %-6s PDR %.3f (%" PRIu64 "/%" PRIu64
+                "), llPDR %.3f, relayed %" PRIu64 ", collisions %" PRIu64 "\n",
+                cell.name, s.coap_pdr, s.acked, s.sent, s.ll_pdr, cell.relayed,
+                cell.collisions);
+  }
+
+  const double sparse_pdr = cells[0].s.coap_pdr;
+  const double dense_pdr = cells[1].s.coap_pdr;
+  if (sparse_pdr < 0.6) {
+    std::fprintf(stderr,
+                 "mesh: FAIL: sparse-relay PDR %.4f below the 0.6 floor\n",
+                 sparse_pdr);
+    rc = 1;
+  }
+  if (dense_pdr >= sparse_pdr) {
+    std::fprintf(stderr,
+                 "mesh: FAIL: full-density PDR %.4f did not fall below the "
+                 "sparse point %.4f (no flooding knee)\n",
+                 dense_pdr, sparse_pdr);
+    rc = 1;
+  }
+
+  char tail[256];
+  std::snprintf(tail, sizeof tail,
+                "  ],\n  \"wall_seconds\": %.3f,\n"
+                "  \"pdr_sparse\": %.6f,\n  \"pdr_dense\": %.6f,\n"
+                "  \"deterministic_fnv1a\": \"%016" PRIx64 "\"\n}\n",
+                wall_total, sparse_pdr, dense_pdr, fnv1a(fingerprint_src));
+  json += tail;
+  campaign::write_file(out_dir + "/BENCH_mesh.json", json);
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -397,6 +509,7 @@ int main(int argc, char** argv) {
   bool want_campaign = false;
   bool want_scale = false;
   bool want_overload = false;
+  bool want_mesh = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
@@ -410,24 +523,29 @@ int main(int argc, char** argv) {
       want_scale = true;
     } else if (std::strcmp(argv[i], "overload") == 0) {
       want_overload = true;
+    } else if (std::strcmp(argv[i], "mesh") == 0) {
+      want_mesh = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out DIR] [--quick] "
-                   "[event_queue] [campaign] [scale] [overload]\n",
+                   "[event_queue] [campaign] [scale] [overload] [mesh]\n",
                    argv[0]);
       return 2;
     }
   }
-  if (!want_event_queue && !want_campaign && !want_scale && !want_overload) {
+  if (!want_event_queue && !want_campaign && !want_scale && !want_overload &&
+      !want_mesh) {
     want_event_queue = true;
     want_campaign = true;
     want_scale = true;
     want_overload = true;
+    want_mesh = true;
   }
   int rc = 0;
   if (want_event_queue) rc |= run_event_queue(out_dir, quick);
   if (want_campaign) rc |= run_campaign(out_dir, quick);
   if (want_scale) rc |= run_scale(out_dir, quick);
   if (want_overload) rc |= run_overload(out_dir, quick);
+  if (want_mesh) rc |= run_mesh(out_dir, quick);
   return rc;
 }

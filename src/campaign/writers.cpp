@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/build_info.hpp"
 #include "testbed/report.hpp"
 
 namespace mgap::campaign {
@@ -62,10 +63,13 @@ std::vector<std::string> counter_columns(const CampaignResult& result) {
 
 }  // namespace
 
-std::string to_json(const CampaignResult& result) {
+std::string to_json(const CampaignResult& result, bool include_code_version) {
   std::ostringstream out;
   out << "{\n";
   out << "  \"campaign\": \"" << json_escape(result.name) << "\",\n";
+  if (include_code_version) {
+    out << "  \"code_version\": \"" << json_escape(sim::code_version()) << "\",\n";
+  }
   out << "  \"seeds\": [";
   for (std::size_t i = 0; i < result.seeds.size(); ++i) {
     if (i != 0) out << ", ";
@@ -175,8 +179,11 @@ std::string to_json(const CampaignResult& result) {
   return out.str();
 }
 
-std::string to_csv(const CampaignResult& result) {
+std::string to_csv(const CampaignResult& result, bool include_code_version) {
   std::ostringstream out;
+  if (include_code_version) {
+    out << "# code_version = " << sim::code_version() << "\n";
+  }
   const std::vector<std::string> counter_cols = counter_columns(result);
   out << "config_index";
   // Axis columns come from the first config's assignment keys (identical for

@@ -11,8 +11,13 @@
 
 namespace mgap::campaign {
 
-[[nodiscard]] std::string to_json(const CampaignResult& result);
-[[nodiscard]] std::string to_csv(const CampaignResult& result);
+/// `include_code_version` embeds the build fingerprint (sim::code_version())
+/// as result metadata. The bench harness passes false: its committed FNV-1a
+/// fingerprints must stay stable across commits.
+[[nodiscard]] std::string to_json(const CampaignResult& result,
+                                  bool include_code_version = true);
+[[nodiscard]] std::string to_csv(const CampaignResult& result,
+                                 bool include_code_version = true);
 
 /// Writes `content` to `path`; throws std::runtime_error on failure.
 void write_file(const std::string& path, const std::string& content);

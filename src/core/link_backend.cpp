@@ -1,0 +1,25 @@
+#include "core/link_backend.hpp"
+
+#include <stdexcept>
+
+namespace mgap::core {
+
+const char* to_string(LinkBackendKind kind) {
+  switch (kind) {
+    case LinkBackendKind::kBle: return "ble";
+    case LinkBackendKind::kIeee802154: return "802154";
+    case LinkBackendKind::kMesh: return "mesh";
+    case LinkBackendKind::kAdv: return "adv";
+  }
+  return "?";
+}
+
+LinkBackendKind parse_link_backend_kind(const std::string& value) {
+  if (value == "ble") return LinkBackendKind::kBle;
+  if (value == "802154" || value == "ieee802154") return LinkBackendKind::kIeee802154;
+  if (value == "mesh") return LinkBackendKind::kMesh;
+  if (value == "adv") return LinkBackendKind::kAdv;
+  throw std::runtime_error{"config: unknown link.backend '" + value + "'"};
+}
+
+}  // namespace mgap::core

@@ -1,0 +1,55 @@
+#pragma once
+// core::LinkBackend over MeshWorld: Bluetooth Mesh managed flooding (kMesh)
+// and IPv6-over-advertising unicast (kAdv) as peer link architectures of the
+// BLE-connection and 802.15.4 backends. The experiment harness stays unaware
+// of flooding; it only sees `transitive()` flip route installation from a
+// tree to direct host routes.
+
+#include <memory>
+
+#include "core/link_backend.hpp"
+#include "mesh/spec.hpp"
+#include "mesh/world.hpp"
+#include "obs/recorder.hpp"
+#include "phy/channel_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgap::mesh {
+
+class MeshBackend final : public core::LinkBackend {
+ public:
+  /// `kind` must be kMesh (managed flooding) or kAdv (direct advertising).
+  /// Geometric link PER / neighbor tables are wired by the caller through
+  /// `world()` so this library stays independent of topo.
+  MeshBackend(sim::Simulator& sim, const MeshConfig& config,
+              core::LinkBackendKind kind, double base_per,
+              obs::Recorder* recorder);
+
+  [[nodiscard]] core::LinkBackendKind kind() const override { return kind_; }
+
+  net::Netif& add_node(NodeId id) override { return world_->add_node(id); }
+  void start() override { world_->start(); }
+
+  /// Managed flooding reaches every node from any netif send(); direct
+  /// advertising only reaches the addressed next hop.
+  [[nodiscard]] bool transitive() const override {
+    return kind_ == core::LinkBackendKind::kMesh;
+  }
+
+  [[nodiscard]] core::LinkSummary link_summary() const override;
+  void fold_counters(obs::Registry& reg) const override;
+  void fold_energy(obs::Registry& reg, sim::Duration elapsed) const override;
+
+  void on_node_crash(NodeId id) override { world_->on_node_crash(id); }
+  void on_node_reboot(NodeId id) override { world_->on_node_reboot(id); }
+
+  [[nodiscard]] MeshWorld& world() { return *world_; }
+  [[nodiscard]] const MeshWorld& world() const { return *world_; }
+
+ private:
+  core::LinkBackendKind kind_;
+  MeshConfig config_;
+  std::unique_ptr<MeshWorld> world_;
+};
+
+}  // namespace mgap::mesh

@@ -1,0 +1,54 @@
+#pragma once
+// Bluetooth Mesh backend configuration — the `mesh.*` config keys. Defaults
+// follow the Mesh Profile's shipped defaults where one exists (TTL 7, all
+// nodes relaying) and the repo's determinism conventions everywhere else.
+// Strict parsing/validation lives with the other config keys in
+// testbed/config_file.cpp; this struct is the parsed form the mesh world
+// consumes.
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mgap::mesh {
+
+struct MeshConfig {
+  /// mesh.ttl [1, 127]: initial TTL of originated network PDUs. A PDU is
+  /// relayed only while TTL >= 2 (the relay decrements it).
+  std::uint32_t ttl{7};
+
+  /// mesh.relay_density [0, 1]: fraction of nodes with the relay feature
+  /// enabled, spread deterministically over the node creation order.
+  double relay_density{1.0};
+
+  /// mesh.cache_entries [4, 65536]: network message cache entries per node
+  /// (deduplication by SRC+SEQ, FIFO eviction).
+  std::uint32_t cache_entries{128};
+
+  /// mesh.transmit_count [1, 8]: Network Transmit Count — how many times
+  /// each queued network PDU is put on air (origination and relay alike).
+  std::uint32_t transmit_count{1};
+
+  /// mesh.adv_interval [5ms, 10s]: mean gap between a node's advertising
+  /// events; actual gaps jitter uniformly in [0.5, 1.5] x interval.
+  sim::Duration adv_interval{sim::Duration::ms(20)};
+
+  /// mesh.heartbeat_period [0 = off]: heartbeat publication period. Heartbeats are
+  /// broadcast (group) PDUs whose TTL delta measures the flooding radius.
+  sim::Duration heartbeat_period{};
+
+  /// mesh.queue_cap [4, 4096]: per-node bearer TX queue bound, in network PDUs.
+  /// Overflow surfaces as mesh.queue_drops — the flooding-collapse signal.
+  std::uint32_t queue_cap{64};
+
+  /// mesh.reasm_entries [1, 256]: per-node lower-transport reassembly slots;
+  /// oldest-first eviction when a new segmented SDU arrives over capacity.
+  std::uint32_t reasm_entries{8};
+
+  /// mesh.scan_duty (0, 1]: fraction of time the scanner is listening.
+  /// Below 1.0 every reception additionally survives a duty-cycle draw; the
+  /// energy model charges the receiver for exactly this duty cycle.
+  double scan_duty{1.0};
+};
+
+}  // namespace mgap::mesh

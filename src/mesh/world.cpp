@@ -1,0 +1,437 @@
+#include "mesh/world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "phy/ble_phy.hpp"
+
+namespace mgap::mesh {
+
+namespace {
+
+/// Scanners rotate their listening channel through 37-39 on this period;
+/// transmitters put a copy on all three channels inside one adv event, so
+/// only the copy on the receiver's current channel matters.
+constexpr sim::Duration kScanRotation = sim::Duration::ms(100);
+
+[[nodiscard]] std::uint64_t cache_key(NodeId src, std::uint32_t seq) {
+  return (static_cast<std::uint64_t>(src) << 32) | seq;
+}
+
+}  // namespace
+
+bool MeshNetif::send(NodeId next_hop, std::vector<std::uint8_t> frame) {
+  return world_.origin_send(id_, next_hop, std::move(frame));
+}
+
+MeshWorld::MeshWorld(sim::Simulator& sim, MeshConfig config, Mode mode,
+                     phy::ChannelModel channels)
+    : sim_{sim},
+      cfg_{config},
+      mode_{mode},
+      channels_{channels},
+      rng_{sim.make_rng()} {}
+
+MeshNetif& MeshWorld::add_node(NodeId id) {
+  auto owned = std::make_unique<MeshNode>();
+  MeshNode& n = *owned;
+  n.id = id;
+  n.creation_index = order_.size();
+  // Relay election by creation index: after n adds, exactly
+  // floor(n * relay_density) nodes relay, independent of node ids (the
+  // monotone-relabel invariant) and stable as the world grows.
+  const double f = cfg_.relay_density;
+  n.relay = mode_ == Mode::kFlood &&
+            std::floor(static_cast<double>(n.creation_index + 1) * f) >
+                std::floor(static_cast<double>(n.creation_index) * f);
+  n.netif = std::make_unique<MeshNetif>(*this, id);
+  auto [it, inserted] = nodes_.emplace(id, std::move(owned));
+  if (!inserted) throw std::invalid_argument{"mesh: duplicate node id"};
+  order_.push_back(id);
+  return *it->second->netif;
+}
+
+void MeshWorld::start() {
+  if (cfg_.heartbeat_period.is_zero()) return;
+  // Deterministic phase stagger over the creation order, so the fleet's
+  // heartbeats do not synchronize into one collision burst.
+  const auto count = static_cast<std::int64_t>(order_.size());
+  for (std::int64_t i = 0; i < count; ++i) {
+    const NodeId id = order_[static_cast<std::size_t>(i)];
+    const sim::Duration phase = cfg_.heartbeat_period * (i + 1) / (count + 1);
+    sim_.schedule_in(phase, [this, id] { originate_heartbeat(id); });
+  }
+}
+
+void MeshWorld::set_relay(NodeId id, bool relay) { node(id).relay = relay; }
+
+bool MeshWorld::relay_enabled(NodeId id) const {
+  return nodes_.at(id)->relay;
+}
+
+const MeshNodeStats& MeshWorld::stats(NodeId id) const {
+  return nodes_.at(id)->stats;
+}
+
+MeshWorld::MeshNode& MeshWorld::node(NodeId id) { return *nodes_.at(id); }
+
+std::uint8_t MeshWorld::scan_channel(const MeshNode& n) const {
+  const auto slot = static_cast<std::uint64_t>(sim_.now().count_ns()) /
+                    static_cast<std::uint64_t>(kScanRotation.count_ns());
+  return static_cast<std::uint8_t>(
+      phy::kFirstAdvChannel + (slot + n.creation_index) % phy::kNumAdvChannels);
+}
+
+bool MeshWorld::cache_check_insert(MeshNode& n, NodeId src, std::uint32_t seq) {
+  const std::uint64_t key = cache_key(src, seq);
+  if (n.cache.contains(key)) return true;
+  n.cache.insert(key);
+  n.cache_fifo.push_back(key);
+  if (n.cache_fifo.size() > cfg_.cache_entries) {
+    n.cache.erase(n.cache_fifo.front());
+    n.cache_fifo.pop_front();
+  }
+  return false;
+}
+
+void MeshWorld::enqueue_copies(MeshNode& n, const NetworkPdu& pdu) {
+  for (std::uint32_t c = 0; c < cfg_.transmit_count; ++c) {
+    if (n.queue.size() >= cfg_.queue_cap) {
+      ++n.stats.queue_drops;
+      break;
+    }
+    n.queue.push_back(pdu);
+  }
+  schedule_tx(n);
+}
+
+void MeshWorld::schedule_tx(MeshNode& n) {
+  if (n.tx_scheduled || !n.radio_on || n.queue.empty()) return;
+  n.tx_scheduled = true;
+  // Mean gap = adv_interval; the jitter de-synchronizes relays that all
+  // heard the same PDU at the same instant.
+  const sim::Duration gap =
+      rng_.uniform_duration(cfg_.adv_interval / 2, cfg_.adv_interval * 3 / 2);
+  const NodeId id = n.id;
+  sim_.schedule_in(gap, [this, id] { tx_fire(id); });
+}
+
+void MeshWorld::tx_fire(NodeId id) {
+  MeshNode& n = node(id);
+  n.tx_scheduled = false;
+  if (!n.radio_on || n.queue.empty()) return;
+  NetworkPdu pdu = std::move(n.queue.front());
+  n.queue.pop_front();
+  ++n.stats.adv_events;
+
+  const sim::TimePoint start = sim_.now();
+  const sim::TimePoint end = start + phy::kAdvEventDuration;
+  // Prune windows that can no longer overlap any in-flight event.
+  const sim::TimePoint horizon = start - phy::kAdvEventDuration * 2;
+  std::erase_if(active_tx_,
+                [horizon](const TxWindow& w) { return w.end < horizon; });
+  active_tx_.push_back(TxWindow{id, start, end});
+
+  sim_.schedule_at(end, [this, id, pdu = std::move(pdu), start, end] {
+    deliver(id, pdu, start, end);
+  });
+  if (!n.queue.empty()) schedule_tx(n);
+  maybe_signal_writable(n);
+}
+
+void MeshWorld::deliver(NodeId tx, const NetworkPdu& pdu, sim::TimePoint start,
+                        sim::TimePoint end) {
+  // Candidate receivers: the transmitter's radio-range neighbors when a
+  // neighbor table exists, else every node. Ascending id either way.
+  const std::vector<NodeId>* table = nullptr;
+  if (!neighbors_.empty()) {
+    auto it = neighbors_.find(tx);
+    if (it == neighbors_.end()) return;
+    table = &it->second;
+  }
+  const auto process = [&](NodeId rid) {
+    if (rid == tx) return;
+    MeshNode& r = node(rid);
+    if (!r.radio_on) return;
+    const double per = link_per(tx, rid);
+    if (per >= 1.0) return;  // out of radio range
+    ++rx_opportunities_;
+
+    // Half-duplex + collisions. An adv event cycles channels 37->38->39, one
+    // third of the event each; the scanner captures only its channel's
+    // portion. Two events therefore collide at this receiver only when their
+    // same-channel thirds overlap — i.e. their starts lie within a third of
+    // an event of each other — and the interferer is in the receiver's range.
+    // A receiver that was itself transmitting anywhere in the window hears
+    // nothing (half-duplex, full event).
+    const sim::Duration third = phy::kAdvEventDuration / 3;
+    bool lost_overlap = false;
+    for (const TxWindow& o : active_tx_) {
+      if (o.node == tx && o.start == start) continue;  // our own window
+      if (o.node == rid) {
+        if (o.start < end && o.end > start) {
+          lost_overlap = true;
+          break;
+        }
+        continue;
+      }
+      const sim::Duration skew = o.start < start ? start - o.start : o.start - start;
+      if (skew >= third) continue;
+      if (in_range(o.node, rid)) {
+        lost_overlap = true;
+        break;
+      }
+    }
+    if (lost_overlap) {
+      ++r.stats.collisions;
+      return;
+    }
+    if (per > 0.0 && rng_.chance(per)) {
+      ++r.stats.fade_losses;
+      return;
+    }
+    const double cper = channels_.per(scan_channel(r));
+    if (cper > 0.0 && rng_.chance(cper)) {
+      ++r.stats.chan_losses;
+      return;
+    }
+    if (cfg_.scan_duty < 1.0 && rng_.chance(1.0 - cfg_.scan_duty)) {
+      ++r.stats.duty_misses;
+      return;
+    }
+    ++rx_heard_;
+    network_rx(r, pdu);
+  };
+  if (table) {
+    for (const NodeId rid : *table) process(rid);
+  } else {
+    for (const auto& [rid, unused] : nodes_) process(rid);
+  }
+}
+
+void MeshWorld::network_rx(MeshNode& r, const NetworkPdu& pdu) {
+  ++r.stats.rx_pdus;
+  if (mode_ == Mode::kDirect) {
+    // No relaying, no promiscuous processing: only the addressed next hop
+    // consumes; the cache still kills transmit_count duplicates.
+    if (pdu.dst != r.id) return;
+    if (cache_check_insert(r, pdu.src, pdu.seq)) {
+      ++r.stats.cache_hits;
+      return;
+    }
+    transport_rx(r, pdu);
+    return;
+  }
+
+  if (pdu.src == r.id) return;  // own flood echoed back
+  if (cache_check_insert(r, pdu.src, pdu.seq)) {
+    ++r.stats.cache_hits;
+    if (rec_ && rec_->wants(obs::EventType::kMeshCacheHit)) {
+      obs::Event e;
+      e.at = sim_.now();
+      e.type = obs::EventType::kMeshCacheHit;
+      e.node = r.id;
+      e.id = cache_key(pdu.src, pdu.seq);
+      e.a = pdu.dst;
+      e.flags = pdu.heartbeat ? obs::kMeshHeartbeat : std::uint16_t{0};
+      rec_->record(e);
+    }
+    return;
+  }
+
+  if (pdu.heartbeat) {
+    ++r.stats.heartbeat_rx;
+    const std::uint32_t hops = pdu.init_ttl - pdu.ttl + 1;
+    r.stats.heartbeat_hops_max = std::max(r.stats.heartbeat_hops_max, hops);
+  } else if (pdu.dst == r.id) {
+    // Unicast to an element of this node: consume, never relay.
+    transport_rx(r, pdu);
+    return;
+  }
+
+  // Relay rule: dst is elsewhere (or a broadcast group) — re-flood with the
+  // TTL decremented, if this node has the relay feature and TTL allows.
+  if (r.relay && pdu.ttl >= 2) {
+    NetworkPdu copy = pdu;
+    --copy.ttl;
+    ++r.stats.relayed;
+    if (rec_ && rec_->wants(obs::EventType::kMeshRelay)) {
+      obs::Event e;
+      e.at = sim_.now();
+      e.type = obs::EventType::kMeshRelay;
+      e.node = r.id;
+      e.id = cache_key(copy.src, copy.seq);
+      e.chan = static_cast<std::uint8_t>(copy.ttl);
+      e.a = copy.dst;
+      e.b = (static_cast<std::uint32_t>(copy.seg_idx) << 16) | copy.seg_count;
+      e.flags = copy.heartbeat ? obs::kMeshHeartbeat : std::uint16_t{0};
+      rec_->record(e);
+    }
+    enqueue_copies(r, copy);
+  } else {
+    ++r.stats.relay_suppressed;
+  }
+}
+
+void MeshWorld::transport_rx(MeshNode& r, const NetworkPdu& pdu) {
+  if (pdu.seg_count <= 1) {
+    deliver_sdu(r, pdu.src, pdu.payload);
+    return;
+  }
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(pdu.src) << 32) | pdu.msg_tag;
+  auto it = r.reasm.find(key);
+  if (it == r.reasm.end()) {
+    if (r.reasm.size() >= cfg_.reasm_entries) {
+      // Oldest-first eviction (ties by key): the half-built SDU is lost.
+      auto victim = r.reasm.begin();
+      for (auto cand = r.reasm.begin(); cand != r.reasm.end(); ++cand) {
+        if (cand->second.first_at < victim->second.first_at) victim = cand;
+      }
+      ++r.stats.reasm_evicted;
+      if (rec_ && rec_->wants(obs::EventType::kMeshSegment)) {
+        obs::Event e;
+        e.at = sim_.now();
+        e.type = obs::EventType::kMeshSegment;
+        e.node = r.id;
+        e.id = victim->first;
+        e.a = victim->second.got;
+        e.b = victim->second.seg_count;
+        e.flags = obs::kMeshSegEvicted;
+        rec_->record(e);
+      }
+      r.reasm.erase(victim);
+    }
+    Reasm fresh;
+    fresh.first_at = sim_.now();
+    fresh.seg_count = pdu.seg_count;
+    fresh.segs.resize(pdu.seg_count);
+    fresh.have.assign(pdu.seg_count, false);
+    it = r.reasm.emplace(key, std::move(fresh)).first;
+  }
+  Reasm& entry = it->second;
+  if (pdu.seg_count != entry.seg_count || pdu.seg_idx >= entry.seg_count) return;
+  if (entry.have[pdu.seg_idx]) return;
+  entry.have[pdu.seg_idx] = true;
+  entry.segs[pdu.seg_idx] = pdu.payload;
+  ++entry.got;
+  if (entry.got < entry.seg_count) return;
+
+  std::vector<std::uint8_t> sdu;
+  for (const auto& seg : entry.segs) sdu.insert(sdu.end(), seg.begin(), seg.end());
+  if (rec_ && rec_->wants(obs::EventType::kMeshSegment)) {
+    obs::Event e;
+    e.at = sim_.now();
+    e.type = obs::EventType::kMeshSegment;
+    e.node = r.id;
+    e.id = key;
+    e.a = entry.seg_count;
+    e.b = entry.seg_count;
+    e.flags = obs::kMeshSegReassembled;
+    rec_->record(e);
+  }
+  const NodeId src = pdu.src;
+  r.reasm.erase(it);
+  deliver_sdu(r, src, std::move(sdu));
+}
+
+void MeshWorld::deliver_sdu(MeshNode& r, NodeId src,
+                            std::vector<std::uint8_t> sdu) {
+  ++r.stats.sdu_rx;
+  r.netif->deliver(src, std::move(sdu), sim_.now());
+}
+
+bool MeshWorld::origin_send(NodeId id, NodeId dst,
+                            std::vector<std::uint8_t> frame) {
+  MeshNode& n = node(id);
+  if (!n.radio_on) return false;
+  const std::size_t seg_count =
+      std::max<std::size_t>(1, (frame.size() + kSegPayload - 1) / kSegPayload);
+  if (seg_count > 0xFFFF) return false;
+  const std::size_t needed =
+      seg_count * static_cast<std::size_t>(cfg_.transmit_count);
+  if (n.queue.size() + needed > cfg_.queue_cap) {
+    // Bearer queue cannot take the whole SDU: refuse and let the IP stack
+    // hold the frame until the writable signal (netif back-pressure).
+    n.blocked.insert(dst);
+    ++n.stats.backpressure;
+    return false;
+  }
+
+  const std::uint32_t tag = n.msg_tag++;
+  const std::uint32_t ttl = mode_ == Mode::kDirect ? 1 : cfg_.ttl;
+  for (std::size_t i = 0; i < seg_count; ++i) {
+    NetworkPdu pdu;
+    pdu.src = id;
+    pdu.dst = dst;
+    pdu.seq = n.seq++;
+    pdu.ttl = ttl;
+    pdu.init_ttl = ttl;
+    pdu.msg_tag = tag;
+    pdu.seg_idx = static_cast<std::uint16_t>(i);
+    pdu.seg_count = static_cast<std::uint16_t>(seg_count);
+    const std::size_t lo = i * kSegPayload;
+    const std::size_t hi = std::min(frame.size(), lo + kSegPayload);
+    pdu.payload.assign(frame.begin() + static_cast<std::ptrdiff_t>(lo),
+                       frame.begin() + static_cast<std::ptrdiff_t>(hi));
+    if (mode_ == Mode::kFlood) cache_check_insert(n, id, pdu.seq);
+    ++n.stats.originated;
+    ++n.stats.seg_tx;
+    if (rec_ && rec_->wants(obs::EventType::kMeshSegment)) {
+      obs::Event e;
+      e.at = sim_.now();
+      e.type = obs::EventType::kMeshSegment;
+      e.node = id;
+      e.id = (static_cast<std::uint64_t>(id) << 32) | tag;
+      e.a = static_cast<std::uint32_t>(i);
+      e.b = static_cast<std::uint32_t>(seg_count);
+      e.flags = obs::kMeshSegTx;
+      rec_->record(e);
+    }
+    enqueue_copies(n, pdu);
+  }
+  ++n.stats.sdu_tx;
+  return true;
+}
+
+void MeshWorld::maybe_signal_writable(MeshNode& n) {
+  if (n.blocked.empty()) return;
+  if (n.queue.size() + cfg_.transmit_count > cfg_.queue_cap) return;
+  std::set<NodeId> blocked;
+  blocked.swap(n.blocked);  // the retry may legitimately re-block
+  for (const NodeId dst : blocked) n.netif->writable(dst);
+}
+
+void MeshWorld::originate_heartbeat(NodeId id) {
+  MeshNode& n = node(id);
+  if (n.radio_on) {
+    NetworkPdu pdu;
+    pdu.src = id;
+    pdu.dst = kAllNodes;
+    pdu.seq = n.seq++;
+    pdu.ttl = cfg_.ttl;
+    pdu.init_ttl = cfg_.ttl;
+    pdu.heartbeat = true;
+    cache_check_insert(n, id, pdu.seq);
+    ++n.stats.heartbeat_tx;
+    enqueue_copies(n, pdu);
+  }
+  sim_.schedule_in(cfg_.heartbeat_period, [this, id] { originate_heartbeat(id); });
+}
+
+void MeshWorld::on_node_crash(NodeId id) {
+  MeshNode& n = node(id);
+  n.radio_on = false;
+  n.queue.clear();
+  n.reasm.clear();
+  n.blocked.clear();
+}
+
+void MeshWorld::on_node_reboot(NodeId id) {
+  MeshNode& n = node(id);
+  n.radio_on = true;
+  schedule_tx(n);
+}
+
+}  // namespace mgap::mesh

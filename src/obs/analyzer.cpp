@@ -136,6 +136,15 @@ Analysis analyze(std::span<const Event> events) {
         break;
       }
       case EventType::kFlowDefer: ++a.nodes[e.node].flow_defers; break;
+      case EventType::kMeshRelay: ++a.nodes[e.node].mesh_relays; break;
+      case EventType::kMeshCacheHit: ++a.nodes[e.node].mesh_cache_hits; break;
+      case EventType::kMeshSegment: {
+        NodeActivity& n = a.nodes[e.node];
+        if ((e.flags & kMeshSegTx) != 0) ++n.mesh_segments;
+        if ((e.flags & kMeshSegReassembled) != 0) ++n.mesh_reassembled;
+        if ((e.flags & kMeshSegEvicted) != 0) ++n.mesh_evicted;
+        break;
+      }
     }
   }
 
@@ -230,6 +239,12 @@ std::string render_report(const Analysis& a) {
     }
     if (n.breaker_opens > 0 || n.flow_defers > 0) {
       os << ", breaker opens " << n.breaker_opens << ", defers " << n.flow_defers;
+    }
+    if (n.mesh_relays > 0 || n.mesh_cache_hits > 0 || n.mesh_segments > 0) {
+      os << ", mesh relays " << n.mesh_relays << " (cache hits "
+         << n.mesh_cache_hits << "), segments " << n.mesh_segments << " ("
+         << n.mesh_reassembled << " reassembled, " << n.mesh_evicted
+         << " evicted)";
     }
     os << "\n";
   }

@@ -68,6 +68,11 @@ struct NodeActivity {
   std::uint64_t credits_granted{0};   // credits carried by those grants
   std::uint64_t breaker_opens{0};     // circuit-breaker closed/half-open -> open
   std::uint64_t flow_defers{0};       // back-pressure backoff arms
+  std::uint64_t mesh_relays{0};       // mesh network-layer re-broadcasts
+  std::uint64_t mesh_cache_hits{0};   // mesh message-cache dedups
+  std::uint64_t mesh_segments{0};     // mesh lower-transport segments sent
+  std::uint64_t mesh_reassembled{0};  // segmented SDUs completed
+  std::uint64_t mesh_evicted{0};      // reassembly slots evicted incomplete
 
   /// Fraction of the trace span the radio was claimed.
   [[nodiscard]] double duty_cycle(sim::Duration span) const {

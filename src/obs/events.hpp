@@ -36,6 +36,9 @@ enum class EventType : std::uint8_t {
   kL2capCredit = 13,     // L2CAP flow-control credit grant [ll]
   kFlowBreaker = 14,     // circuit-breaker state change [net]
   kFlowDefer = 15,       // back-pressure backoff armed  [net]
+  kMeshRelay = 16,       // mesh network-layer relay     [mesh]
+  kMeshCacheHit = 17,    // mesh message-cache dedup     [mesh]
+  kMeshSegment = 18,     // mesh lower-transport segment [mesh]
 };
 
 /// Channel field value when no channel applies.
@@ -72,6 +75,13 @@ inline constexpr std::uint8_t kNoChannel = 0xFF;
 ///                     b=frames shed on open (0 otherwise)
 ///   kFlowDefer:       node, a=next hop, b=backoff delay in us,
 ///                     flags=consecutive-failure streak (saturated)
+///   kMeshRelay:       node=relaying node, id=(src<<32)|seq, chan=TTL after
+///                     decrement, a=dst, b=(seg_idx<<16)|seg_count,
+///                     flags: bit0=heartbeat
+///   kMeshCacheHit:    node, id=(src<<32)|seq, a=dst, flags: bit0=heartbeat
+///   kMeshSegment:     node, id=(src<<32)|msg_tag, a=seg_idx (tx) or
+///                     segments held (reassembled/evicted), b=seg_count,
+///                     flags: bit0=tx, bit1=reassembled, bit2=evicted
 struct Event {
   sim::TimePoint at;
   EventType type{EventType::kConnOpen};
@@ -105,6 +115,12 @@ inline constexpr std::uint16_t kCreditStarved = 0x0001;
 inline constexpr std::uint16_t kIpTx = 0x0000;
 inline constexpr std::uint16_t kIpRx = 0x0001;
 inline constexpr std::uint16_t kIpForward = 0x0002;
+// kMeshRelay / kMeshCacheHit flags.
+inline constexpr std::uint16_t kMeshHeartbeat = 0x0001;
+// kMeshSegment flags.
+inline constexpr std::uint16_t kMeshSegTx = 0x0001;
+inline constexpr std::uint16_t kMeshSegReassembled = 0x0002;
+inline constexpr std::uint16_t kMeshSegEvicted = 0x0004;
 
 /// kCoapTxn flags values.
 enum class CoapPhase : std::uint16_t {
@@ -133,6 +149,9 @@ enum class CoapPhase : std::uint16_t {
     case EventType::kCoapTxn: return sim::TraceCat::kApp;
     case EventType::kFaultBegin:
     case EventType::kFaultEnd: return sim::TraceCat::kFault;
+    case EventType::kMeshRelay:
+    case EventType::kMeshCacheHit:
+    case EventType::kMeshSegment: return sim::TraceCat::kMesh;
   }
   return sim::TraceCat::kLinkLayer;
 }
@@ -154,6 +173,9 @@ enum class CoapPhase : std::uint16_t {
     case EventType::kL2capCredit: return "l2cap_credit";
     case EventType::kFlowBreaker: return "flow_breaker";
     case EventType::kFlowDefer: return "flow_defer";
+    case EventType::kMeshRelay: return "mesh_relay";
+    case EventType::kMeshCacheHit: return "mesh_cache_hit";
+    case EventType::kMeshSegment: return "mesh_segment";
   }
   return "?";
 }

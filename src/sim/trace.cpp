@@ -13,6 +13,7 @@ std::string_view to_string(TraceCat cat) {
     case TraceCat::kApp: return "app";
     case TraceCat::kEnergy: return "energy";
     case TraceCat::kFault: return "fault";
+    case TraceCat::kMesh: return "mesh";
   }
   return "?";
 }

@@ -26,9 +26,10 @@ enum class TraceCat : std::uint8_t {
   kApp,         // CoAP request/response
   kEnergy,
   kFault,       // injected fault begin/end
+  kMesh,        // mesh relay / cache / segmentation
 };
 
-inline constexpr std::size_t kTraceCatCount = 7;
+inline constexpr std::size_t kTraceCatCount = 8;
 
 /// Bit mask with every category subscribed.
 inline constexpr std::uint32_t kAllTraceCats = (1u << kTraceCatCount) - 1;

@@ -1,0 +1,82 @@
+#pragma once
+// IEEE 802.15.4 CSMA/CA link backend (the paper's section 5.3 comparison
+// radio) behind core::LinkBackend. Connectionless: edges and connection
+// management are no-ops; the shared Network154 medium does the rest.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/link_backend.hpp"
+#include "energy/energy_model.hpp"
+#include "ieee802154/mac.hpp"
+#include "sim/simulator.hpp"
+#include "testbed/netif154.hpp"
+
+namespace mgap::testbed {
+
+class Ieee154Backend final : public core::LinkBackend {
+ public:
+  Ieee154Backend(sim::Simulator& sim, double base_per)
+      : net_{std::make_unique<ieee802154::Network154>(sim, base_per)} {}
+
+  [[nodiscard]] core::LinkBackendKind kind() const override {
+    return core::LinkBackendKind::kIeee802154;
+  }
+
+  net::Netif& add_node(NodeId id) override {
+    ieee802154::Mac& mac = net_->add_node(id);
+    node_order_.push_back(id);
+    auto [it, inserted] = netifs_.emplace(id, std::make_unique<Netif154>(mac));
+    (void)inserted;
+    return *it->second;
+  }
+
+  [[nodiscard]] core::LinkSummary link_summary() const override {
+    core::LinkSummary s;
+    std::uint64_t attempts = 0;
+    std::uint64_t acked = 0;
+    for (const NodeId id : node_order_) {
+      const ieee802154::Mac* mac = net_->find(id);
+      attempts += mac->stats().tx_attempts;
+      acked += mac->stats().tx_ok;
+    }
+    s.ll_pdr = attempts == 0
+                   ? 1.0
+                   : static_cast<double>(acked) / static_cast<double>(attempts);
+    return s;
+  }
+
+  void fold_energy(obs::Registry& reg, sim::Duration elapsed) const override {
+    // 802.15.4 receivers in this testbed idle-listen (no duty cycling): the
+    // receiver is on for the whole run, plus the §5.4 per-byte radio cost for
+    // frames put on air, approximated at the full 127-byte PSDU.
+    const energy::EnergyMeter meter;
+    const energy::EnergyConfig& ec = meter.config();
+    double current_sum = 0.0;
+    const double elapsed_s = elapsed.to_sec_f();
+    for (const NodeId id : node_order_) {
+      const ieee802154::Mac* mac = net_->find(id);
+      const double charge_uc =
+          elapsed_s * ec.scan_current_ua +
+          static_cast<double>(mac->stats().tx_attempts) * 127.0 *
+              ec.charge_per_data_byte_uc;
+      reg.count("energy.charge_uc", id, charge_uc);
+      current_sum += ec.idle_current_ua +
+                     (elapsed_s > 0.0 ? charge_uc / elapsed_s : 0.0);
+    }
+    if (!node_order_.empty()) {
+      reg.count("energy.avg_current_ua", 0,
+                current_sum / static_cast<double>(node_order_.size()));
+    }
+  }
+
+  [[nodiscard]] ieee802154::Network154* net() { return net_.get(); }
+
+ private:
+  std::unique_ptr<ieee802154::Network154> net_;
+  std::vector<NodeId> node_order_;
+  std::map<NodeId, std::unique_ptr<Netif154>> netifs_;
+};
+
+}  // namespace mgap::testbed

@@ -128,10 +128,14 @@ std::optional<sim::Duration> parse_duration(std::string_view text) {
 void apply_experiment_kv(ExperimentConfig& cfg, const std::string& key,
                          const std::string& value) {
   if (key == "radio") {
+    // Legacy spelling, limited to the original two radios; `link.backend`
+    // below is the superset.
     if (value == "ble") cfg.radio = ExperimentConfig::Radio::kBle;
     else if (value == "802154" || value == "ieee802154")
       cfg.radio = ExperimentConfig::Radio::kIeee802154;
     else throw std::runtime_error{"config: unknown radio '" + value + "'"};
+  } else if (key == "link.backend") {
+    cfg.radio = core::parse_link_backend_kind(value);
   } else if (key == "topology") {
     cfg.topology = parse_topology(value);
   } else if (key == "duration") {
@@ -262,6 +266,47 @@ void apply_experiment_kv(ExperimentConfig& cfg, const std::string& key,
     else throw std::runtime_error{"config: unknown cc.mode '" + value + "' (fixed|cocoa)"};
   } else if (key == "cc.nstart") {
     cfg.cc.nstart = static_cast<unsigned>(parse_uint_in(value, key, 0, 1 << 16));
+  } else if (key == "mesh.ttl") {
+    cfg.mesh.ttl = static_cast<std::uint32_t>(parse_uint_in(value, key, 1, 127));
+  } else if (key == "mesh.relay_density") {
+    const auto n = parse_number(value);
+    if (!n) throw std::runtime_error{"config: bad " + key};
+    if (*n < 0.0 || *n > 1.0) {
+      throw std::runtime_error{"config: " + key + " out of range [0, 1]"};
+    }
+    cfg.mesh.relay_density = *n;
+  } else if (key == "mesh.cache_entries") {
+    cfg.mesh.cache_entries =
+        static_cast<std::uint32_t>(parse_uint_in(value, key, 4, 65536));
+  } else if (key == "mesh.transmit_count") {
+    cfg.mesh.transmit_count =
+        static_cast<std::uint32_t>(parse_uint_in(value, key, 1, 8));
+  } else if (key == "mesh.adv_interval") {
+    const sim::Duration d = parse_duration_or_throw(value, key);
+    if (d < sim::Duration::ms(5) || d > sim::Duration::sec(10)) {
+      throw std::runtime_error{"config: " + key + " out of range [5ms, 10s]"};
+    }
+    cfg.mesh.adv_interval = d;
+  } else if (key == "mesh.heartbeat_period") {
+    // 0 (or "off") disables heartbeat publication.
+    cfg.mesh.heartbeat_period =
+        (value == "off" || value == "0") ? sim::Duration{}
+                                         : parse_duration_or_throw(value, key);
+  } else if (key == "mesh.queue_cap") {
+    cfg.mesh.queue_cap =
+        static_cast<std::uint32_t>(parse_uint_in(value, key, 4, 4096));
+  } else if (key == "mesh.reasm_entries") {
+    cfg.mesh.reasm_entries =
+        static_cast<std::uint32_t>(parse_uint_in(value, key, 1, 256));
+  } else if (key == "mesh.scan_duty") {
+    const auto n = parse_number(value);
+    if (!n) throw std::runtime_error{"config: bad " + key};
+    if (*n <= 0.0 || *n > 1.0) {
+      throw std::runtime_error{"config: " + key + " out of range (0, 1]"};
+    }
+    cfg.mesh.scan_duty = *n;
+  } else if (key == "energy.account") {
+    cfg.energy_account = parse_bool(value, key);
   } else if (key == "trace.file") {
     // "none"/"off" clears the sink so a campaign axis can disable tracing.
     cfg.trace_file = (value == "none" || value == "off") ? std::string{} : value;
@@ -339,8 +384,16 @@ ExperimentConfig load_experiment_config(const std::string& path) {
 
 std::string render_experiment_config(const ExperimentConfig& config) {
   std::ostringstream out;
-  out << "radio = "
-      << (config.radio == ExperimentConfig::Radio::kBle ? "ble" : "ieee802154") << "\n";
+  // The two original radios keep their legacy line (byte-stable renders);
+  // the newer backends use the superset key.
+  if (config.radio == ExperimentConfig::Radio::kBle ||
+      config.radio == ExperimentConfig::Radio::kIeee802154) {
+    out << "radio = "
+        << (config.radio == ExperimentConfig::Radio::kBle ? "ble" : "ieee802154")
+        << "\n";
+  } else {
+    out << "link.backend = " << core::to_string(config.radio) << "\n";
+  }
   if (config.topo.enabled()) {
     // Generated worlds: the topo.* spec is the source of truth; a static
     // "topology =" line would conflict with (and be overridden by) it.
@@ -434,6 +487,38 @@ std::string render_experiment_config(const ExperimentConfig& config) {
     if (config.cc.mode == app::CoapCcConfig::Mode::kCocoa) out << "cc.mode = cocoa\n";
     if (config.cc.nstart != 0) out << "cc.nstart = " << config.cc.nstart << "\n";
   }
+  // Mesh knobs follow the same off-default-only rule.
+  {
+    const mesh::MeshConfig defaults;
+    if (config.mesh.ttl != defaults.ttl) {
+      out << "mesh.ttl = " << config.mesh.ttl << "\n";
+    }
+    if (config.mesh.relay_density != defaults.relay_density) {
+      out << "mesh.relay_density = " << config.mesh.relay_density << "\n";
+    }
+    if (config.mesh.cache_entries != defaults.cache_entries) {
+      out << "mesh.cache_entries = " << config.mesh.cache_entries << "\n";
+    }
+    if (config.mesh.transmit_count != defaults.transmit_count) {
+      out << "mesh.transmit_count = " << config.mesh.transmit_count << "\n";
+    }
+    if (config.mesh.adv_interval != defaults.adv_interval) {
+      out << "mesh.adv_interval = " << config.mesh.adv_interval.str() << "\n";
+    }
+    if (config.mesh.heartbeat_period != defaults.heartbeat_period) {
+      out << "mesh.heartbeat_period = " << config.mesh.heartbeat_period.str() << "\n";
+    }
+    if (config.mesh.queue_cap != defaults.queue_cap) {
+      out << "mesh.queue_cap = " << config.mesh.queue_cap << "\n";
+    }
+    if (config.mesh.reasm_entries != defaults.reasm_entries) {
+      out << "mesh.reasm_entries = " << config.mesh.reasm_entries << "\n";
+    }
+    if (config.mesh.scan_duty != defaults.scan_duty) {
+      out << "mesh.scan_duty = " << config.mesh.scan_duty << "\n";
+    }
+  }
+  if (config.energy_account) out << "energy.account = true\n";
   // Trace keys render only when set, keeping untraced configs byte-stable.
   if (!config.trace_file.empty()) out << "trace.file = " << config.trace_file << "\n";
   if (!config.trace_pcap.empty()) out << "trace.pcap = " << config.trace_pcap << "\n";

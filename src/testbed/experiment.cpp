@@ -3,6 +3,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "mesh/backend.hpp"
+#include "testbed/backend_154.hpp"
+#include "testbed/backend_ble.hpp"
 #include "topo/channel.hpp"
 
 namespace mgap::testbed {
@@ -24,11 +27,12 @@ Experiment::Experiment(ExperimentConfig config)
   if (!config_.trace_file.empty()) recorder_.open_mgt(config_.trace_file);
   if (!config_.trace_pcap.empty()) recorder_.open_pcap(config_.trace_pcap);
   recorder_.set_categories(config_.trace_categories);
-  if (config_.radio == ExperimentConfig::Radio::kBle) {
-    build_ble();
-  } else {
-    build_154();
+  build_backend();
+  build_nodes();
+  for (const Topology::Edge& e : config_.topology.edges) {
+    backend_->add_link(e.coordinator, e.subordinate);
   }
+  backend_->start();
   install_routes();
   spawn_workload();
   setup_faults();
@@ -36,118 +40,105 @@ Experiment::Experiment(ExperimentConfig config)
 
 Experiment::~Experiment() = default;
 
-void Experiment::build_ble() {
-  phy::ChannelModel cm{config_.base_per};
-  if (config_.jam_channel_22) cm.jam(22);
-  ble_world_ = std::make_unique<ble::BleWorld>(sim_, cm);
-  ble_world_->set_recorder(&recorder_);  // before add_node: schedulers inherit it
-  if (config_.exclude_channel_22) {
-    ble::ChannelMap map = ble::ChannelMap::all();
-    map.exclude(22);
-    ble_world_->set_default_channel_map(map);
+void Experiment::build_backend() {
+  switch (config_.radio) {
+    case core::LinkBackendKind::kBle: {
+      auto backend = std::make_unique<BleConnBackend>(
+          sim_, config_, geo_.get(), &recorder_,
+          [this](NodeId listener, ble::Connection& conn, bool up,
+                 ble::DisconnectReason reason) {
+            on_ble_link_event(listener, conn, up, reason);
+          });
+      ble_backend_ = backend.get();
+      backend_ = std::move(backend);
+      break;
+    }
+    case core::LinkBackendKind::kIeee802154: {
+      auto backend = std::make_unique<Ieee154Backend>(sim_, config_.base_per);
+      i154_backend_ = backend.get();
+      backend_ = std::move(backend);
+      break;
+    }
+    case core::LinkBackendKind::kMesh:
+    case core::LinkBackendKind::kAdv: {
+      auto backend = std::make_unique<mesh::MeshBackend>(
+          sim_, config_.mesh, config_.radio, config_.base_per, &recorder_);
+      if (geo_) {
+        backend->world().set_link_per(
+            topo::make_geometric_link_per(geo_->placement, config_.topo));
+        backend->world().set_neighbor_table(geo_->neighbors);
+      }
+      mesh_backend_ = backend.get();
+      backend_ = std::move(backend);
+      break;
+    }
   }
-  if (geo_) {
-    // Geometric channel replaces the hand-assigned link PER, and the spatial
-    // index's neighbor tables take the advertising path off the O(N) scan.
-    ble_world_->set_link_per(
-        topo::make_geometric_link_per(geo_->placement, config_.topo));
-    ble_world_->set_neighbor_table(geo_->neighbors);
-  }
+}
 
-  // Per-node sleep-clock drift; a dedicated stream keeps the drifts stable
-  // regardless of how many other components draw randomness.
-  sim::Rng drift_rng = sim_.make_rng();
-
+void Experiment::build_nodes() {
   std::uint64_t creation_index = 0;
   for (const NodeId id : config_.topology.nodes) {
-    const double drift = drift_rng.uniform_real(-config_.drift_ppm_range,
-                                                config_.drift_ppm_range);
-    ble::ControllerConfig ctrl_cfg;
-    ctrl_cfg.conn.adaptive_channel_map = config_.adaptive_channel_map;
-    ctrl_cfg.l2cap.deferred_credits = config_.l2cap_deferred_credits;
-    ctrl_cfg.l2cap.initial_credits = config_.l2cap_initial_credits;
-    ctrl_cfg.l2cap.credit_batch = config_.l2cap_credit_batch;
-    ble::Controller& ctrl = ble_world_->add_node(id, drift, ctrl_cfg);
-
+    net::Netif& netif = backend_->add_node(id);
     Node node;
-    node.ble_netif = std::make_unique<core::NimbleNetif>(ctrl);
     net::IpStackConfig ip_cfg;
     ip_cfg.compression = config_.compression;
+    // Netif back-pressure is radio-agnostic: every backend runs with the same
+    // flow config (L2CAP credit knobs live inside the BLE backend).
     ip_cfg.flow = config_.flow;
     // Creation index, not node id: keeps jitter draws invariant under node
     // relabeling (the statconn discipline, pinned by the metamorphic tests).
     ip_cfg.flow_stream = creation_index++;
-    node.stack = std::make_unique<net::IpStack>(sim_, id, *node.ble_netif, ip_cfg);
+    node.stack = std::make_unique<net::IpStack>(sim_, id, netif, ip_cfg);
     node.stack->set_recorder(&recorder_);
-
-    core::StatconnConfig sc_cfg;
-    sc_cfg.policy = config_.policy;
-    sc_cfg.supervision_timeout = config_.supervision_timeout;
-    sc_cfg.param_update_mitigation = config_.param_update_mitigation;
-    sc_cfg.reconnect_backoff_base = config_.reconnect_backoff_base;
-    sc_cfg.reconnect_backoff_max = config_.reconnect_backoff_max;
-    sc_cfg.reconnect_backoff_jitter = config_.reconnect_backoff_jitter;
-    node.statconn = std::make_unique<core::Statconn>(*node.ble_netif, sc_cfg);
-
-    // Link lifecycle + connection-loss log: counted once per link, on the
-    // coordinator's side. Supervision timeouts inside a fault window (on
-    // either endpoint) count as injected; the rest are emergent shading.
-    node.ble_netif->add_link_listener(
-        [this, id](ble::Connection& conn, bool up, ble::DisconnectReason reason) {
-          if (conn.coordinator().id() != id) return;
-          const NodeId sub = conn.subordinate().id();
-          if (up) {
-            metrics_.on_link_up(id, sub, sim_.now());
-            return;
-          }
-          metrics_.on_link_down(id, sub, sim_.now());
-          if (reason == ble::DisconnectReason::kSupervisionTimeout) {
-            bool injected = false;
-            if (injector_) {
-              // A fault is charged for timeouts up to one supervision window
-              // (plus slack) past its end: the loss surfaces only when the
-              // timeout expires.
-              const sim::Duration grace =
-                  config_.supervision_timeout + sim::Duration::sec(1);
-              injected = injector_->attributable(id, sim_.now(), grace) ||
-                         injector_->attributable(sub, sim_.now(), grace);
-            }
-            metrics_.on_conn_loss(id, sim_.now(), injected);
-          }
-        });
-
     nodes_.emplace(id, std::move(node));
+    backend_->finish_node(id);
   }
-
-  // Statconn link configuration follows the topology's role assignment.
-  for (const Topology::Edge& e : config_.topology.edges) {
-    nodes_.at(e.coordinator).statconn->add_coordinator_link(e.subordinate);
-    nodes_.at(e.subordinate).statconn->add_subordinate_link(e.coordinator);
-  }
-  for (auto& [id, node] : nodes_) node.statconn->start();
 }
 
-void Experiment::build_154() {
-  net154_ = std::make_unique<ieee802154::Network154>(sim_, config_.base_per);
-  std::uint64_t creation_index = 0;
-  for (const NodeId id : config_.topology.nodes) {
-    ieee802154::Mac& mac = net154_->add_node(id);
-    Node node;
-    node.netif154 = std::make_unique<Netif154>(mac);
-    net::IpStackConfig ip_cfg;
-    ip_cfg.compression = config_.compression;
-    // Netif back-pressure is radio-agnostic: the 802.15.4 comparison runs
-    // with the same flow config (L2CAP credit knobs are BLE-only).
-    ip_cfg.flow = config_.flow;
-    ip_cfg.flow_stream = creation_index++;
-    node.stack = std::make_unique<net::IpStack>(sim_, id, *node.netif154, ip_cfg);
-    node.stack->set_recorder(&recorder_);
-    nodes_.emplace(id, std::move(node));
+void Experiment::on_ble_link_event(NodeId listener, ble::Connection& conn,
+                                   bool up, ble::DisconnectReason reason) {
+  // Link lifecycle + connection-loss log: counted once per link, on the
+  // coordinator's side. Supervision timeouts inside a fault window (on
+  // either endpoint) count as injected; the rest are emergent shading.
+  if (conn.coordinator().id() != listener) return;
+  const NodeId sub = conn.subordinate().id();
+  if (up) {
+    metrics_.on_link_up(listener, sub, sim_.now());
+    return;
+  }
+  metrics_.on_link_down(listener, sub, sim_.now());
+  if (reason == ble::DisconnectReason::kSupervisionTimeout) {
+    bool injected = false;
+    if (injector_) {
+      // A fault is charged for timeouts up to one supervision window (plus
+      // slack) past its end: the loss surfaces only when the timeout expires.
+      const sim::Duration grace = config_.supervision_timeout + sim::Duration::sec(1);
+      injected = injector_->attributable(listener, sim_.now(), grace) ||
+                 injector_->attributable(sub, sim_.now(), grace);
+    }
+    metrics_.on_conn_loss(listener, sim_.now(), injected);
   }
 }
 
 void Experiment::install_routes() {
   const Topology& topo = config_.topology;
+  if (backend_->transitive()) {
+    // Managed flooding delivers any netif send() to its destination node:
+    // IP routing collapses to one logical hop. Upstream traffic addresses
+    // the consumer directly; the consumer answers each node directly.
+    for (auto& [id, node] : nodes_) {
+      if (id != topo.consumer) {
+        node.stack->routes().set_default(net::Ipv6Addr::site(topo.consumer));
+      } else {
+        for (const NodeId other : topo.nodes) {
+          if (other == id) continue;
+          node.stack->routes().add_host_route(net::Ipv6Addr::site(other),
+                                              net::Ipv6Addr::site(other));
+        }
+      }
+    }
+    return;
+  }
   for (auto& [id, node] : nodes_) {
     // Upstream: default route towards the consumer.
     if (id != topo.consumer) {
@@ -209,8 +200,8 @@ void Experiment::setup_faults() {
     auto it = nodes_.find(node);
     return it == nodes_.end() ? nullptr : &it->second.stack->pktbuf();
   };
-  injector_ =
-      std::make_unique<fault::FaultInjector>(sim_, ble_world_.get(), std::move(hooks));
+  injector_ = std::make_unique<fault::FaultInjector>(
+      sim_, ble_backend_ ? ble_backend_->world() : nullptr, std::move(hooks));
   injector_->arm(std::move(plan));
 }
 
@@ -218,7 +209,7 @@ void Experiment::on_node_crash(NodeId node) {
   auto it = nodes_.find(node);
   if (it == nodes_.end()) return;
   Node& n = it->second;
-  if (n.statconn) n.statconn->suspend();
+  backend_->on_node_crash(node);
   if (n.producer) n.producer->stop();
   // RAM does not survive: queued frames and half-built reassemblies are gone.
   n.stack->purge();
@@ -228,7 +219,7 @@ void Experiment::on_node_reboot(NodeId node) {
   auto it = nodes_.find(node);
   if (it == nodes_.end()) return;
   Node& n = it->second;
-  if (n.statconn) n.statconn->resume();
+  backend_->on_node_reboot(node);
   // Don't restart traffic during the post-run drain window.
   const bool running = sim_.now() < sim::TimePoint::origin() + config_.duration;
   if (n.producer && running) n.producer->start();
@@ -252,13 +243,25 @@ void Experiment::run_until(sim::TimePoint t) {
 
 net::IpStack& Experiment::stack(NodeId node) { return *nodes_.at(node).stack; }
 
+ble::BleWorld* Experiment::ble_world() {
+  return ble_backend_ ? ble_backend_->world() : nullptr;
+}
+
+ieee802154::Network154* Experiment::net154() {
+  return i154_backend_ ? i154_backend_->net() : nullptr;
+}
+
+mesh::MeshWorld* Experiment::mesh_world() {
+  return mesh_backend_ ? &mesh_backend_->world() : nullptr;
+}
+
 ble::Controller* Experiment::controller(NodeId node) {
-  return ble_world_ ? ble_world_->find(node) : nullptr;
+  ble::BleWorld* w = ble_world();
+  return w ? w->find(node) : nullptr;
 }
 
 core::Statconn* Experiment::statconn(NodeId node) {
-  auto it = nodes_.find(node);
-  return it == nodes_.end() ? nullptr : it->second.statconn.get();
+  return ble_backend_ ? ble_backend_->statconn(node) : nullptr;
 }
 
 ExperimentSummary Experiment::summary() const {
@@ -280,28 +283,10 @@ ExperimentSummary Experiment::summary() const {
   s.rtt_p99 = metrics_.rtt().quantile(0.99);
   s.rtt_max = metrics_.rtt().max_seen();
 
-  if (ble_world_) {
-    std::uint64_t tx = 0;
-    std::uint64_t ok = 0;
-    for (const ble::LinkStats* ls : ble_world_->all_link_stats()) {
-      tx += ls->pdu_tx;
-      ok += ls->pdu_ok;
-      s.conn_losses += ls->conn_losses;
-      s.reconnects += ls->reconnects;
-    }
-    s.ll_pdr = tx == 0 ? 1.0 : static_cast<double>(ok) / static_cast<double>(tx);
-  } else if (net154_) {
-    std::uint64_t attempts = 0;
-    std::uint64_t acked_frames = 0;
-    for (const NodeId id : config_.topology.nodes) {
-      const ieee802154::Mac* mac = net154_->find(id);
-      attempts += mac->stats().tx_attempts;
-      acked_frames += mac->stats().tx_ok;
-    }
-    s.ll_pdr = attempts == 0
-                   ? 1.0
-                   : static_cast<double>(acked_frames) / static_cast<double>(attempts);
-  }
+  const core::LinkSummary ls = backend_->link_summary();
+  s.ll_pdr = ls.ll_pdr;
+  s.conn_losses = ls.conn_losses;
+  s.reconnects = ls.reconnects;
 
   for (const auto& [id, node] : nodes_) {
     s.pktbuf_drops += node.stack->stats().drop_pktbuf;
@@ -389,36 +374,11 @@ ExperimentSummary Experiment::summary() const {
                 static_cast<double>(node.producer->nstart_deferrals()));
     }
   }
-  if (ble_world_) {
-    for (const auto& ctrl : ble_world_->nodes()) {
-      const ble::RadioScheduler& sched = ctrl->scheduler();
-      reg.count("radio.claims_granted", ctrl->id(),
-                static_cast<double>(sched.granted()));
-      reg.count("radio.claims_denied", ctrl->id(),
-                static_cast<double>(sched.denied()));
-      // Credit-flow health of still-open channels, counted on the stalling
-      // (sending) side; conditional for the same byte-stability reason.
-      std::uint64_t stalls = 0;
-      for (ble::Connection* conn : ctrl->connections()) {
-        stalls += conn->coc().credit_stalls(conn->role_of(*ctrl));
-      }
-      if (stalls > 0) {
-        reg.count("l2cap.credit_stalls", ctrl->id(), static_cast<double>(stalls));
-      }
-    }
-    // Advertising-path instrumentation: only for generated worlds, so static
-    // experiments keep byte-identical campaign output (columns derive from
-    // counter names).
-    if (ble_world_->has_neighbor_table()) {
-      reg.count("ble.adv_events_routed", 0,
-                static_cast<double>(ble_world_->adv_events_routed()));
-      reg.count("ble.adv_candidates_scanned", 0,
-                static_cast<double>(ble_world_->adv_candidates_scanned()));
-      reg.count("ble.adv_full_scans", 0,
-                static_cast<double>(ble_world_->adv_full_scans()));
-    }
-  }
+  backend_->fold_counters(reg);
   reg.count("trace.events", 0, static_cast<double>(recorder_.events_recorded()));
+  if (config_.energy_account) {
+    backend_->fold_energy(reg, sim_.now() - sim::TimePoint::origin());
+  }
   s.counters = reg.totals();
   return s;
 }

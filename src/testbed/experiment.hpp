@@ -12,11 +12,12 @@
 
 #include "ble/world.hpp"
 #include "core/interval_policy.hpp"
-#include "core/nimble_netif.hpp"
+#include "core/link_backend.hpp"
 #include "core/statconn.hpp"
 #include "fault/injector.hpp"
 #include "fault/spec.hpp"
 #include "ieee802154/mac.hpp"
+#include "mesh/spec.hpp"
 #include "net/ip_stack.hpp"
 #include "obs/recorder.hpp"
 #include "obs/registry.hpp"
@@ -24,15 +25,25 @@
 #include "sim/trace.hpp"
 #include "sim/simulator.hpp"
 #include "testbed/metrics.hpp"
-#include "testbed/netif154.hpp"
 #include "testbed/topology.hpp"
 #include "testbed/workload.hpp"
 #include "topo/world.hpp"
 
+namespace mgap::mesh {
+class MeshBackend;
+class MeshWorld;
+}  // namespace mgap::mesh
+
 namespace mgap::testbed {
 
+class BleConnBackend;
+class Ieee154Backend;
+
 struct ExperimentConfig {
-  enum class Radio : std::uint8_t { kBle, kIeee802154 };
+  /// Link architecture (the `link.backend` config key; `radio` is the legacy
+  /// spelling covering the first two). Each value selects a core::LinkBackend
+  /// implementation; everything above net::Netif is backend-agnostic.
+  using Radio = core::LinkBackendKind;
 
   Radio radio{Radio::kBle};
   Topology topology{Topology::tree15()};
@@ -90,6 +101,15 @@ struct ExperimentConfig {
   std::uint16_t l2cap_credit_batch{8};
   net::FlowConfig flow;
   app::CoapCcConfig cc;
+
+  // Bluetooth Mesh / advertising backends (mesh.* config keys); ignored by
+  // the connection-oriented backends.
+  mesh::MeshConfig mesh;
+
+  /// Folds the §5.4 per-node energy accounting (energy.charge_uc,
+  /// energy.avg_current_ua) into the summary counters. Off by default so
+  /// pre-existing campaign outputs keep their exact column set.
+  bool energy_account{false};
 
   // Observability (src/obs/). Empty paths leave the corresponding sink off;
   // bad paths (directories, unwritable locations) fail construction with a
@@ -161,9 +181,13 @@ class Experiment {
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] Metrics& metrics() { return metrics_; }
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
-  /// Non-null for BLE experiments.
-  [[nodiscard]] ble::BleWorld* ble_world() { return ble_world_.get(); }
-  [[nodiscard]] ieee802154::Network154* net154() { return net154_.get(); }
+  /// The active link backend (never null after construction).
+  [[nodiscard]] core::LinkBackend& backend() { return *backend_; }
+  /// Non-null for BLE-connection experiments.
+  [[nodiscard]] ble::BleWorld* ble_world();
+  [[nodiscard]] ieee802154::Network154* net154();
+  /// Non-null for mesh / adv experiments.
+  [[nodiscard]] mesh::MeshWorld* mesh_world();
   /// Non-null when the topology was procedurally generated (config_.topo).
   [[nodiscard]] const topo::GeneratedWorld* generated_world() const {
     return geo_.get();
@@ -182,20 +206,19 @@ class Experiment {
   [[nodiscard]] ExperimentSummary summary() const;
 
  private:
-  void build_ble();
-  void build_154();
+  void build_backend();
+  void build_nodes();
   void install_routes();
   void spawn_workload();
   void setup_faults();
   void on_node_crash(NodeId node);
   void on_node_reboot(NodeId node);
+  void on_ble_link_event(NodeId listener, ble::Connection& conn, bool up,
+                         ble::DisconnectReason reason);
 
   struct Node {
-    // Exactly one netif flavour is set, matching the experiment radio.
-    std::unique_ptr<core::NimbleNetif> ble_netif;
-    std::unique_ptr<Netif154> netif154;
+    // The netif the stack binds to is owned by the backend.
     std::unique_ptr<net::IpStack> stack;
-    std::unique_ptr<core::Statconn> statconn;
     std::unique_ptr<Producer> producer;
   };
 
@@ -204,8 +227,12 @@ class Experiment {
   sim::Simulator sim_;
   obs::Recorder recorder_;
   Metrics metrics_;
-  std::unique_ptr<ble::BleWorld> ble_world_;
-  std::unique_ptr<ieee802154::Network154> net154_;
+  // One backend is active per experiment; the typed pointers alias backend_
+  // for the flavour-specific accessors (ble_world, statconn, ...).
+  std::unique_ptr<core::LinkBackend> backend_;
+  BleConnBackend* ble_backend_{nullptr};
+  Ieee154Backend* i154_backend_{nullptr};
+  mesh::MeshBackend* mesh_backend_{nullptr};
   std::map<NodeId, Node> nodes_;
   std::unique_ptr<Consumer> consumer_;
   std::unique_ptr<fault::FaultInjector> injector_;

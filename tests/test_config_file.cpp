@@ -260,5 +260,125 @@ TEST(ConfigFile, ShippedSampleConfigsParse) {
   }
 }
 
+// --- link.backend / mesh.* strict validation -------------------------------
+
+/// Asserts that parsing `line` fails with exactly `message` — the rejection
+/// paths are part of the config contract, not just "some exception".
+void expect_config_error(const std::string& line, const std::string& message) {
+  try {
+    (void)parse_experiment_config(line + "\n");
+    FAIL() << "expected '" << line << "' to be rejected";
+  } catch (const std::runtime_error& err) {
+    EXPECT_EQ(err.what(), message) << "for: " << line;
+  }
+}
+
+TEST(ConfigFile, LinkBackendParses) {
+  EXPECT_EQ(parse_experiment_config("link.backend = ble\n").radio,
+            core::LinkBackendKind::kBle);
+  EXPECT_EQ(parse_experiment_config("link.backend = 802154\n").radio,
+            core::LinkBackendKind::kIeee802154);
+  EXPECT_EQ(parse_experiment_config("link.backend = ieee802154\n").radio,
+            core::LinkBackendKind::kIeee802154);
+  EXPECT_EQ(parse_experiment_config("link.backend = mesh\n").radio,
+            core::LinkBackendKind::kMesh);
+  EXPECT_EQ(parse_experiment_config("link.backend = adv\n").radio,
+            core::LinkBackendKind::kAdv);
+  expect_config_error("link.backend = zigbee",
+                      "config: unknown link.backend 'zigbee'");
+  // The legacy `radio` spelling stays limited to the original two.
+  expect_config_error("radio = mesh", "config: unknown radio 'mesh'");
+}
+
+TEST(ConfigFile, MeshKeysParse) {
+  const auto cfg = parse_experiment_config(R"(
+link.backend = mesh
+mesh.ttl = 9
+mesh.relay_density = 0.25
+mesh.cache_entries = 256
+mesh.transmit_count = 3
+mesh.adv_interval = 40ms
+mesh.heartbeat_period = 2s
+mesh.queue_cap = 128
+mesh.reasm_entries = 64
+mesh.scan_duty = 0.5
+energy.account = true
+)");
+  EXPECT_EQ(cfg.radio, core::LinkBackendKind::kMesh);
+  EXPECT_EQ(cfg.mesh.ttl, 9u);
+  EXPECT_DOUBLE_EQ(cfg.mesh.relay_density, 0.25);
+  EXPECT_EQ(cfg.mesh.cache_entries, 256u);
+  EXPECT_EQ(cfg.mesh.transmit_count, 3u);
+  EXPECT_EQ(cfg.mesh.adv_interval, sim::Duration::ms(40));
+  EXPECT_EQ(cfg.mesh.heartbeat_period, sim::Duration::sec(2));
+  EXPECT_EQ(cfg.mesh.queue_cap, 128u);
+  EXPECT_EQ(cfg.mesh.reasm_entries, 64u);
+  EXPECT_DOUBLE_EQ(cfg.mesh.scan_duty, 0.5);
+  EXPECT_TRUE(cfg.energy_account);
+  // "off" and "0" both disable heartbeats.
+  EXPECT_TRUE(parse_experiment_config("mesh.heartbeat_period = off\n")
+                  .mesh.heartbeat_period.is_zero());
+  EXPECT_TRUE(parse_experiment_config("mesh.heartbeat_period = 0\n")
+                  .mesh.heartbeat_period.is_zero());
+}
+
+TEST(ConfigFile, MeshKeysRejectBadValues) {
+  expect_config_error("mesh.ttl = 0", "config: mesh.ttl out of range [1, 127]");
+  expect_config_error("mesh.ttl = 128",
+                      "config: mesh.ttl out of range [1, 127]");
+  expect_config_error("mesh.ttl = lots", "config: bad mesh.ttl");
+  expect_config_error("mesh.relay_density = 1.5",
+                      "config: mesh.relay_density out of range [0, 1]");
+  expect_config_error("mesh.relay_density = -0.1",
+                      "config: mesh.relay_density out of range [0, 1]");
+  expect_config_error("mesh.relay_density = dense",
+                      "config: bad mesh.relay_density");
+  expect_config_error("mesh.cache_entries = 2",
+                      "config: mesh.cache_entries out of range [4, 65536]");
+  expect_config_error("mesh.transmit_count = 9",
+                      "config: mesh.transmit_count out of range [1, 8]");
+  expect_config_error("mesh.transmit_count = 0",
+                      "config: mesh.transmit_count out of range [1, 8]");
+  expect_config_error("mesh.adv_interval = 1ms",
+                      "config: mesh.adv_interval out of range [5ms, 10s]");
+  expect_config_error("mesh.adv_interval = 11s",
+                      "config: mesh.adv_interval out of range [5ms, 10s]");
+  expect_config_error("mesh.adv_interval = soon",
+                      "config: bad mesh.adv_interval");
+  expect_config_error("mesh.heartbeat_period = sometimes",
+                      "config: bad mesh.heartbeat_period");
+  expect_config_error("mesh.queue_cap = 2",
+                      "config: mesh.queue_cap out of range [4, 4096]");
+  expect_config_error("mesh.reasm_entries = 0",
+                      "config: mesh.reasm_entries out of range [1, 256]");
+  expect_config_error("mesh.scan_duty = 0",
+                      "config: mesh.scan_duty out of range (0, 1]");
+  expect_config_error("mesh.scan_duty = 1.2",
+                      "config: mesh.scan_duty out of range (0, 1]");
+  expect_config_error("energy.account = maybe",
+                      "config: bad boolean for 'energy.account'");
+}
+
+TEST(ConfigFile, MeshConfigRendersBackIdentically) {
+  ExperimentConfig cfg;
+  cfg.radio = core::LinkBackendKind::kMesh;
+  cfg.mesh.ttl = 5;
+  cfg.mesh.relay_density = 0.5;
+  cfg.mesh.transmit_count = 2;
+  cfg.mesh.adv_interval = sim::Duration::ms(40);
+  cfg.mesh.heartbeat_period = sim::Duration::sec(4);
+  cfg.mesh.scan_duty = 0.75;
+  cfg.energy_account = true;
+  const auto round = parse_experiment_config(render_experiment_config(cfg));
+  EXPECT_EQ(round.radio, core::LinkBackendKind::kMesh);
+  EXPECT_EQ(round.mesh.ttl, 5u);
+  EXPECT_DOUBLE_EQ(round.mesh.relay_density, 0.5);
+  EXPECT_EQ(round.mesh.transmit_count, 2u);
+  EXPECT_EQ(round.mesh.adv_interval, sim::Duration::ms(40));
+  EXPECT_EQ(round.mesh.heartbeat_period, sim::Duration::sec(4));
+  EXPECT_DOUBLE_EQ(round.mesh.scan_duty, 0.75);
+  EXPECT_TRUE(round.energy_account);
+}
+
 }  // namespace
 }  // namespace mgap::testbed

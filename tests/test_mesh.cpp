@@ -1,0 +1,251 @@
+// Unit tests for the Bluetooth Mesh subsystem (src/mesh/): bearer delivery,
+// relay/TTL semantics, the network message cache, relay election density,
+// lower-transport segmentation/reassembly (incl. bounded-table eviction),
+// heartbeat publication, netif back-pressure, crash/reboot behavior, and the
+// kDirect (IPv6-over-advertising) mode.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "mesh/spec.hpp"
+#include "mesh/world.hpp"
+#include "phy/channel_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgap::mesh {
+namespace {
+
+struct Rx {
+  NodeId src{0};
+  std::vector<std::uint8_t> frame;
+};
+
+/// A MeshWorld over a line topology 1-2-...-n: only adjacent ids are in
+/// radio range, links are lossless, adv channels are clean. Received SDUs
+/// are captured per node.
+struct LineWorld {
+  LineWorld(MeshConfig cfg, unsigned n,
+            MeshWorld::Mode mode = MeshWorld::Mode::kFlood)
+      : world{sim, cfg, mode, phy::ChannelModel{0.0}} {
+    std::map<NodeId, std::vector<NodeId>> table;
+    for (NodeId id = 1; id <= n; ++id) {
+      if (id > 1) table[id].push_back(id - 1);
+      if (id < n) table[id].push_back(id + 1);
+    }
+    world.set_neighbor_table(table);
+    world.set_link_per([](NodeId a, NodeId b) {
+      return (a > b ? a - b : b - a) == 1 ? 0.0 : 1.0;
+    });
+    for (NodeId id = 1; id <= n; ++id) {
+      net::Netif& nif = world.add_node(id);
+      netif[id] = &nif;
+      nif.set_rx([this, id](NodeId src, std::vector<std::uint8_t> f,
+                            sim::TimePoint) {
+        rx[id].push_back(Rx{src, std::move(f)});
+      });
+      nif.set_writable([this, id](NodeId next_hop) {
+        writable[id].push_back(next_hop);
+      });
+    }
+    world.start();
+  }
+
+  sim::Simulator sim{1};
+  MeshWorld world;
+  std::map<NodeId, net::Netif*> netif;
+  std::map<NodeId, std::vector<Rx>> rx;
+  std::map<NodeId, std::vector<NodeId>> writable;
+};
+
+std::vector<std::uint8_t> payload(std::size_t len, std::uint8_t fill = 0xAB) {
+  std::vector<std::uint8_t> p(len, fill);
+  for (std::size_t i = 0; i < len; ++i) p[i] = static_cast<std::uint8_t>(fill + i);
+  return p;
+}
+
+constexpr auto kSettle = sim::Duration::sec(5);
+
+TEST(MeshFlood, SingleHopDelivery) {
+  LineWorld w{MeshConfig{}, 2};
+  const auto sdu = payload(10);
+  EXPECT_TRUE(w.world.origin_send(1, 2, sdu));
+  w.sim.run_until(sim::TimePoint::origin() + kSettle);
+  ASSERT_EQ(w.rx[2].size(), 1u);
+  EXPECT_EQ(w.rx[2][0].src, 1u);
+  EXPECT_EQ(w.rx[2][0].frame, sdu);
+  EXPECT_EQ(w.world.stats(1).sdu_tx, 1u);
+  EXPECT_EQ(w.world.stats(2).sdu_rx, 1u);
+}
+
+TEST(MeshFlood, RelayExtendsReachAcrossLine) {
+  // 1 -> 4 needs two relays; with TTL 7 and everyone relaying it arrives.
+  LineWorld w{MeshConfig{}, 4};
+  EXPECT_TRUE(w.world.origin_send(1, 4, payload(8)));
+  w.sim.run_until(sim::TimePoint::origin() + kSettle);
+  ASSERT_EQ(w.rx[4].size(), 1u);
+  EXPECT_GE(w.world.stats(2).relayed, 1u);
+  EXPECT_GE(w.world.stats(3).relayed, 1u);
+  // The destination consumes; it does not re-flood.
+  EXPECT_EQ(w.world.stats(4).relayed, 0u);
+}
+
+TEST(MeshFlood, TtlFloorStopsTheFlood) {
+  // TTL 2 pays for exactly one relay: the PDU reaches node 3 but dies there.
+  MeshConfig cfg;
+  cfg.ttl = 2;
+  LineWorld w{cfg, 4};
+  EXPECT_TRUE(w.world.origin_send(1, 4, payload(8)));
+  w.sim.run_until(sim::TimePoint::origin() + kSettle);
+  EXPECT_TRUE(w.rx[4].empty());
+  EXPECT_EQ(w.world.stats(2).relayed, 1u);
+  // Node 3 heard the relayed copy (TTL 1) and had to suppress.
+  EXPECT_GE(w.world.stats(3).relay_suppressed, 1u);
+}
+
+TEST(MeshFlood, MessageCacheKillsTransmitCountDuplicates) {
+  MeshConfig cfg;
+  cfg.transmit_count = 3;
+  LineWorld w{cfg, 2};
+  EXPECT_TRUE(w.world.origin_send(1, 2, payload(8)));
+  w.sim.run_until(sim::TimePoint::origin() + kSettle);
+  // Three copies on air, one SDU up, the rest dead in the cache.
+  EXPECT_EQ(w.world.stats(1).adv_events, 3u);
+  EXPECT_EQ(w.world.stats(2).sdu_rx, 1u);
+  EXPECT_EQ(w.world.stats(2).cache_hits, 2u);
+}
+
+TEST(MeshFlood, RelayElectionMatchesDensity) {
+  sim::Simulator sim{1};
+  MeshConfig cfg;
+  cfg.relay_density = 0.3;
+  MeshWorld world{sim, cfg, MeshWorld::Mode::kFlood, phy::ChannelModel{0.0}};
+  unsigned relays = 0;
+  for (NodeId id = 100; id < 110; ++id) {
+    world.add_node(id);
+    if (world.relay_enabled(id)) ++relays;
+  }
+  EXPECT_EQ(relays, 3u);  // floor(10 * 0.3), independent of the ids
+}
+
+TEST(MeshFlood, RelayElectionExtremes) {
+  sim::Simulator sim{1};
+  MeshConfig all;
+  all.relay_density = 1.0;
+  MeshWorld wa{sim, all, MeshWorld::Mode::kFlood, phy::ChannelModel{0.0}};
+  MeshConfig none;
+  none.relay_density = 0.0;
+  MeshWorld wn{sim, none, MeshWorld::Mode::kFlood, phy::ChannelModel{0.0}};
+  for (NodeId id = 1; id <= 5; ++id) {
+    wa.add_node(id);
+    wn.add_node(id);
+    EXPECT_TRUE(wa.relay_enabled(id));
+    EXPECT_FALSE(wn.relay_enabled(id));
+  }
+}
+
+TEST(MeshFlood, DuplicateNodeIdThrows) {
+  sim::Simulator sim{1};
+  MeshWorld world{sim, MeshConfig{}, MeshWorld::Mode::kFlood,
+                  phy::ChannelModel{0.0}};
+  world.add_node(7);
+  EXPECT_THROW(world.add_node(7), std::invalid_argument);
+}
+
+TEST(MeshFlood, SegmentationRoundTrip) {
+  // 40 bytes ride as ceil(40/12) = 4 lower-transport segments and reassemble
+  // byte-identically.
+  LineWorld w{MeshConfig{}, 2};
+  const auto sdu = payload(40);
+  EXPECT_TRUE(w.world.origin_send(1, 2, sdu));
+  w.sim.run_until(sim::TimePoint::origin() + kSettle);
+  EXPECT_EQ(w.world.stats(1).seg_tx, 4u);
+  ASSERT_EQ(w.rx[2].size(), 1u);
+  EXPECT_EQ(w.rx[2][0].frame, sdu);
+}
+
+TEST(MeshFlood, ReassemblyTableEvictsOldestWhenFull) {
+  // One reassembly slot at node 2, two interleaving segmented SDUs (from
+  // nodes 1 and 3): at least one half-built SDU must be evicted.
+  MeshConfig cfg;
+  cfg.reasm_entries = 1;
+  LineWorld w{cfg, 3};
+  EXPECT_TRUE(w.world.origin_send(1, 2, payload(36, 0x10)));
+  EXPECT_TRUE(w.world.origin_send(3, 2, payload(36, 0x80)));
+  w.sim.run_until(sim::TimePoint::origin() + kSettle);
+  EXPECT_GE(w.world.stats(2).reasm_evicted, 1u);
+  EXPECT_LT(w.world.stats(2).sdu_rx, 2u);
+}
+
+TEST(MeshFlood, HeartbeatMeasuresFloodingRadius) {
+  MeshConfig cfg;
+  cfg.heartbeat_period = sim::Duration::sec(1);
+  LineWorld w{cfg, 4};
+  w.sim.run_until(sim::TimePoint::origin() + sim::Duration::sec(10));
+  EXPECT_GT(w.world.stats(1).heartbeat_tx, 0u);
+  EXPECT_GT(w.world.stats(4).heartbeat_rx, 0u);
+  // Node 1's heartbeats cross 3 hops to reach node 4.
+  EXPECT_GE(w.world.stats(4).heartbeat_hops_max, 3u);
+}
+
+TEST(MeshFlood, BackpressureRefusesAndSignalsWritable) {
+  // A full bearer queue refuses the SDU (the IP stack keeps the frame) and
+  // the writable signal fires once the queue drains enough to take one.
+  MeshConfig cfg;
+  cfg.queue_cap = 4;
+  LineWorld w{cfg, 2};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(w.netif[1]->send(2, payload(8)));
+  }
+  EXPECT_FALSE(w.netif[1]->send(2, payload(8)));
+  EXPECT_EQ(w.world.stats(1).backpressure, 1u);
+  EXPECT_TRUE(w.writable[1].empty());
+  w.sim.run_until(sim::TimePoint::origin() + kSettle);
+  ASSERT_FALSE(w.writable[1].empty());
+  EXPECT_EQ(w.writable[1][0], 2u);
+  EXPECT_TRUE(w.netif[1]->send(2, payload(8)));  // the retry now fits
+  w.sim.run_until(sim::TimePoint::origin() + kSettle * 2);
+  EXPECT_EQ(w.world.stats(2).sdu_rx, 5u);
+}
+
+TEST(MeshFlood, CrashSilencesNodeRebootResumes) {
+  LineWorld w{MeshConfig{}, 3};
+  w.world.on_node_crash(2);
+  EXPECT_TRUE(w.world.origin_send(1, 3, payload(8)));
+  w.sim.run_until(sim::TimePoint::origin() + kSettle);
+  EXPECT_TRUE(w.rx[3].empty());  // the only relay was down
+  w.world.on_node_reboot(2);
+  EXPECT_TRUE(w.world.origin_send(1, 3, payload(8)));
+  w.sim.run_until(sim::TimePoint::origin() + kSettle * 2);
+  EXPECT_EQ(w.rx[3].size(), 1u);
+}
+
+TEST(MeshFlood, CrashedOriginRefusesSend) {
+  LineWorld w{MeshConfig{}, 2};
+  w.world.on_node_crash(1);
+  EXPECT_FALSE(w.world.origin_send(1, 2, payload(8)));
+}
+
+TEST(MeshDirect, NextHopOnlyNoRelay) {
+  // kDirect addresses the IP next hop over plain advertisements: a PDU for
+  // an out-of-range destination reaches nobody, and nothing ever relays.
+  LineWorld w{MeshConfig{}, 3, MeshWorld::Mode::kDirect};
+  EXPECT_FALSE(w.world.relay_enabled(2));
+  EXPECT_TRUE(w.world.origin_send(1, 3, payload(8)));
+  EXPECT_TRUE(w.world.origin_send(1, 2, payload(8)));
+  w.sim.run_until(sim::TimePoint::origin() + kSettle);
+  EXPECT_TRUE(w.rx[3].empty());
+  EXPECT_EQ(w.rx[2].size(), 1u);
+  EXPECT_EQ(w.world.stats(2).relayed, 0u);
+}
+
+TEST(MeshWorldStats, ReceptionRatioIsOneWhenClean) {
+  LineWorld w{MeshConfig{}, 2};
+  EXPECT_TRUE(w.world.origin_send(1, 2, payload(8)));
+  w.sim.run_until(sim::TimePoint::origin() + kSettle);
+  EXPECT_DOUBLE_EQ(w.world.reception_ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace mgap::mesh
