@@ -40,8 +40,14 @@ using namespace mgap;
 
 namespace {
 
+// Wall-clock intervals at the clock's native tick. Truncating these to
+// milliseconds (the old %.3f formatting) zeroed out every sub-ms case and
+// made sim/wall ratios for small worlds read as 0 or inf; keep the full
+// nanosecond resolution all the way into the JSON.
 double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - t0);
+  return static_cast<double>(ns.count()) * 1e-9;
 }
 
 std::uint64_t fnv1a(const std::string& text) {
@@ -141,7 +147,7 @@ int run_event_queue(const std::string& out_dir, bool quick) {
     char line[160];
     std::snprintf(line, sizeof line,
                   "    {\"name\": \"%s\", \"n\": %zu, \"ops\": %" PRIu64
-                  ", \"seconds\": %.6f, \"ns_per_op\": %.1f}%s\n",
+                  ", \"seconds\": %.9f, \"ns_per_op\": %.1f}%s\n",
                   c.name.c_str(), c.n, c.ops, c.seconds, c.ns_per_op(),
                   i + 1 < cases.size() ? "," : "");
     json += line;
@@ -190,7 +196,7 @@ int run_campaign(const std::string& out_dir, bool quick) {
                 "  \"bench\": \"campaign\",\n"
                 "  \"cells\": %zu,\n"
                 "  \"sim_seconds\": %.0f,\n"
-                "  \"wall_seconds\": %.3f,\n"
+                "  \"wall_seconds\": %.9f,\n"
                 "  \"sim_per_wall\": %.1f,\n"
                 "  \"result_json_fnv1a\": \"%016" PRIx64 "\"\n"
                 "}\n",
@@ -208,9 +214,11 @@ int run_scale(const std::string& out_dir, bool quick) {
   // The tentpole scalability bench: generated RGG worlds at constant density
   // (so the mean node degree stays put while the deployment area grows),
   // timed end-to-end. sim/wall is the headline; the adv_full_scans == 0
-  // assertion is the proof that the 1000-node case rides the spatial index's
-  // neighbor tables rather than the O(N)-per-advertisement scan.
-  const unsigned sizes[] = {15, 100, 1000};
+  // assertion is the proof that the large cases ride the spatial index's
+  // neighbor tables rather than the O(N)-per-advertisement scan. The 3k and
+  // 10k rows are the arena/SoA payoff: they only became runnable (minutes,
+  // not hours) once per-node state was pooled and interference localized.
+  const unsigned sizes[] = {15, 100, 1000, 3000, 10000};
   const sim::Duration duration = sim::Duration::sec(quick ? 30 : 60);
 
   int rc = 0;
@@ -266,7 +274,7 @@ int run_scale(const std::string& out_dir, bool quick) {
     char line[512];
     std::snprintf(line, sizeof line,
                   "    {\"nodes\": %u, \"sim_seconds\": %.0f, \"wall_seconds\": "
-                  "%.3f, \"sim_per_wall\": %.1f, \"sent\": %" PRIu64
+                  "%.9f, \"sim_per_wall\": %.1f, \"sent\": %" PRIu64
                   ", \"acked\": %" PRIu64 ", \"coap_pdr\": %.6f, "
                   "\"mean_hops\": %.3f, \"max_hops\": %" PRIu64
                   ", \"adv_events_routed\": %" PRIu64
@@ -352,7 +360,7 @@ int run_overload(const std::string& out_dir, bool quick) {
     char line[512];
     std::snprintf(line, sizeof line,
                   "    {\"mechanisms\": \"%s\", \"sim_seconds\": %.0f, "
-                  "\"wall_seconds\": %.3f, \"sent\": %" PRIu64
+                  "\"wall_seconds\": %.9f, \"sent\": %" PRIu64
                   ", \"acked\": %" PRIu64 ", \"coap_pdr\": %.6f, "
                   "\"tail_drops\": %" PRIu64 ", \"backpressure_drops\": %" PRIu64
                   ", \"breaker_drops\": %" PRIu64
@@ -382,7 +390,7 @@ int run_overload(const std::string& out_dir, bool quick) {
 
   char tail[256];
   std::snprintf(tail, sizeof tail,
-                "  ],\n  \"wall_seconds\": %.3f,\n"
+                "  ],\n  \"wall_seconds\": %.9f,\n"
                 "  \"pdr_off\": %.6f,\n  \"pdr_all\": %.6f,\n"
                 "  \"deterministic_fnv1a\": \"%016" PRIx64 "\"\n}\n",
                 wall_total, off_pdr, on_pdr, fnv1a(fingerprint_src));
@@ -457,7 +465,7 @@ int run_mesh(const std::string& out_dir, bool quick) {
     char line[512];
     std::snprintf(line, sizeof line,
                   "    {\"relay_density\": %.2f, \"sim_seconds\": %.0f, "
-                  "\"wall_seconds\": %.3f, \"sent\": %" PRIu64
+                  "\"wall_seconds\": %.9f, \"sent\": %" PRIu64
                   ", \"acked\": %" PRIu64 ", \"coap_pdr\": %.6f, "
                   "\"ll_pdr\": %.6f, \"relayed\": %" PRIu64
                   ", \"collisions\": %" PRIu64 ", \"queue_drops\": %" PRIu64
@@ -491,7 +499,7 @@ int run_mesh(const std::string& out_dir, bool quick) {
 
   char tail[256];
   std::snprintf(tail, sizeof tail,
-                "  ],\n  \"wall_seconds\": %.3f,\n"
+                "  ],\n  \"wall_seconds\": %.9f,\n"
                 "  \"pdr_sparse\": %.6f,\n  \"pdr_dense\": %.6f,\n"
                 "  \"deterministic_fnv1a\": \"%016" PRIx64 "\"\n}\n",
                 wall_total, sparse_pdr, dense_pdr, fnv1a(fingerprint_src));

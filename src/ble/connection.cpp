@@ -17,7 +17,7 @@ namespace mgap::ble {
 Connection::Connection(sim::Simulator& sim, BleWorld& world, ConnId id, Controller& coord,
                        Controller& sub, const ConnParams& params,
                        sim::TimePoint first_anchor, std::uint32_t access_address,
-                       const ChannelMap& chmap, LinkStats& stats,
+                       const ChannelMap& chmap, LinkStats& stats, ConnHot& hot,
                        const ConnectionConfig& config, sim::Rng rng)
     : sim_{sim},
       world_{world},
@@ -31,12 +31,14 @@ Connection::Connection(sim::Simulator& sim, BleWorld& world, ConnId id, Controll
       chan_sel_{params.csa, access_address,
                 static_cast<std::uint8_t>(5 + access_address % 12)},
       stats_{stats},
+      hot_{hot},
       rng_{rng},
-      anchor_{first_anchor},
-      last_valid_rx_coord_{first_anchor},
-      last_valid_rx_sub_{first_anchor},
-      last_sub_sync_{first_anchor},
-      coc_{*this, coord.config().l2cap} {}
+      coc_{*this, coord.config().l2cap} {
+  hot_.anchor = first_anchor;
+  hot_.last_valid_rx_coord = first_anchor;
+  hot_.last_valid_rx_sub = first_anchor;
+  hot_.last_sub_sync = first_anchor;
+}
 
 Controller& Connection::node(Role r) const {
   return r == Role::kCoordinator ? coord_ : sub_;
@@ -58,10 +60,10 @@ std::size_t Connection::queued_bytes(Role from) const {
 }
 
 void Connection::start() {
-  assert(!open_);
-  open_ = true;
-  claim_event_slots(anchor_);
-  schedule_event(anchor_);
+  assert(!hot_.open);
+  hot_.open = true;
+  claim_event_slots(hot_.anchor);
+  schedule_event(hot_.anchor);
 }
 
 void Connection::close(DisconnectReason reason) {
@@ -69,7 +71,7 @@ void Connection::close(DisconnectReason reason) {
 }
 
 bool Connection::enqueue(Role from, LlPdu pdu) {
-  if (!open_) return false;
+  if (!hot_.open) return false;
   Controller& sender = node(from);
   if (!sender.pool_alloc(pdu.payload.size())) return false;
   queue_of(from).push_back(std::move(pdu));
@@ -78,13 +80,13 @@ bool Connection::enqueue(Role from, LlPdu pdu) {
 
 void Connection::request_param_update(const ConnParams& params) {
   pending_params_ = params;
-  apply_params_at_ = static_cast<std::uint16_t>(event_counter_ + kUpdateDelayEvents);
+  apply_params_at_ = static_cast<std::uint16_t>(hot_.event_counter + kUpdateDelayEvents);
 }
 
 void Connection::request_channel_map_update(const ChannelMap& map) {
   assert(map.used_count() >= 2);
   pending_chmap_ = map;
-  apply_chmap_at_ = static_cast<std::uint16_t>(event_counter_ + kUpdateDelayEvents);
+  apply_chmap_at_ = static_cast<std::uint16_t>(hot_.event_counter + kUpdateDelayEvents);
 }
 
 void Connection::afh_note(std::uint8_t channel, bool ok) {
@@ -129,7 +131,7 @@ void Connection::afh_evaluate() {
 sim::Duration Connection::window_widening(sim::TimePoint at) const {
   const double combined_ppm =
       std::abs(coord_.clock().drift_ppm()) + std::abs(sub_.clock().drift_ppm());
-  const sim::Duration since = sim::max(at - last_sub_sync_, sim::Duration{});
+  const sim::Duration since = sim::max(at - hot_.last_sub_sync, sim::Duration{});
   const sim::Duration ww = since.scaled(combined_ppm * 1e-6) + config_.ww_margin;
   return sim::min(ww, params_.interval / 2);
 }
@@ -137,51 +139,51 @@ sim::Duration Connection::window_widening(sim::TimePoint at) const {
 void Connection::claim_event_slots(sim::TimePoint anchor) {
   // A powered-down radio (crash fault) grants nothing; the connection keeps
   // missing events until the supervision timeout fires.
-  coord_granted_ = coord_.radio_on() &&
+  hot_.coord_granted = coord_.radio_on() &&
                    coord_.scheduler().try_claim(anchor, anchor + config_.reserve_slot, id_);
   // Subordinate latency: with empty queues the subordinate may sleep through
   // up to `subordinate_latency` events (section 2.2, energy optimization).
   if (params_.subordinate_latency > 0 && sub_q_.empty() &&
-      latency_skips_ < params_.subordinate_latency) {
-    ++latency_skips_;
-    sub_granted_ = false;
-    sub_intentional_skip_ = true;
+      hot_.latency_skips < params_.subordinate_latency) {
+    ++hot_.latency_skips;
+    hot_.sub_granted = false;
+    hot_.sub_intentional_skip = true;
     return;
   }
-  latency_skips_ = 0;
-  sub_intentional_skip_ = false;
+  hot_.latency_skips = 0;
+  hot_.sub_intentional_skip = false;
   const sim::Duration ww = window_widening(anchor);
-  sub_granted_ =
+  hot_.sub_granted =
       sub_.radio_on() &&
       sub_.scheduler().try_claim(anchor - ww, anchor + config_.reserve_slot + ww, id_);
 }
 
 void Connection::shift_anchor(sim::Duration delta) {
-  if (!open_) return;
-  sim_.cancel(next_event_);
+  if (!hot_.open) return;
+  sim_.cancel(hot_.next_event);
   coord_.scheduler().release(id_);
   sub_.scheduler().release(id_);
-  anchor_ = sim::max(anchor_ + delta, sim_.now());
-  claim_event_slots(anchor_);
-  schedule_event(anchor_);
+  hot_.anchor = sim::max(hot_.anchor + delta, sim_.now());
+  claim_event_slots(hot_.anchor);
+  schedule_event(hot_.anchor);
 }
 
 void Connection::schedule_event(sim::TimePoint anchor) {
-  next_event_ = sim_.schedule_at(anchor, [this, anchor] { on_conn_event(anchor); });
+  hot_.next_event = sim_.schedule_at(anchor, [this, anchor] { on_conn_event(anchor); });
 }
 
 void Connection::on_conn_event(sim::TimePoint anchor) {
-  if (!open_) return;
+  if (!hot_.open) return;
 
-  const std::uint8_t channel = chan_sel_.channel_for_event(event_counter_, chmap_);
+  const std::uint8_t channel = chan_sel_.channel_for_event(hot_.event_counter, chmap_);
 
-  if (coord_granted_) ++coord_.activity().conn_events_coord;
-  if (sub_granted_) ++sub_.activity().conn_events_sub;
+  if (hot_.coord_granted) ++coord_.activity().conn_events_coord;
+  if (hot_.sub_granted) ++sub_.activity().conn_events_sub;
 
-  if (coord_granted_ && sub_granted_) {
+  if (hot_.coord_granted && hot_.sub_granted) {
     const bool synced = run_exchange(anchor, channel);
-    if (synced) last_sub_sync_ = anchor;
-  } else if (!sub_intentional_skip_) {
+    if (synced) hot_.last_sub_sync = anchor;
+  } else if (!hot_.sub_intentional_skip) {
     ++stats_.events_missed;
     if (obs::Recorder* rec = world_.recorder();
         rec != nullptr && rec->wants(obs::EventType::kConnEventMissed)) {
@@ -190,17 +192,17 @@ void Connection::on_conn_event(sim::TimePoint anchor) {
       e.type = obs::EventType::kConnEventMissed;
       e.chan = channel;
       e.flags = static_cast<std::uint16_t>(
-          (coord_granted_ ? obs::kEvCoordGranted : 0) |
-          (sub_granted_ ? obs::kEvSubGranted : 0));
+          (hot_.coord_granted ? obs::kEvCoordGranted : 0) |
+          (hot_.sub_granted ? obs::kEvSubGranted : 0));
       e.node = coord_.id();
       e.id = id_;
-      e.b = event_counter_;
+      e.b = hot_.event_counter;
       rec->record(e);
     }
     // A transmitting coordinator whose subordinate is shaded away burns a
     // data-PDU attempt without delivery — this is the per-channel-even link
     // degradation of Figure 12.
-    if (coord_granted_ && !sub_granted_ && !coord_q_.empty()) {
+    if (hot_.coord_granted && !hot_.sub_granted && !coord_q_.empty()) {
       ++stats_.pdu_tx;
       ++stats_.chan_tx[channel];
       ++stats_.pdu_retrans;
@@ -211,34 +213,34 @@ void Connection::on_conn_event(sim::TimePoint anchor) {
   // connection (section 2.2); this is the loss mechanism of section 6.1.
   // Intentional latency skips refresh nothing — the configuration must keep
   // the timeout above (latency + 1) * interval, as the spec demands.
-  if (anchor - last_valid_rx_coord_ > params_.supervision_timeout ||
-      anchor - last_valid_rx_sub_ > params_.supervision_timeout) {
+  if (anchor - hot_.last_valid_rx_coord > params_.supervision_timeout ||
+      anchor - hot_.last_valid_rx_sub > params_.supervision_timeout) {
     terminate(DisconnectReason::kSupervisionTimeout);
     return;
   }
 
-  ++event_counter_;
-  if (pending_params_ && event_counter_ == apply_params_at_) {
+  ++hot_.event_counter;
+  if (pending_params_ && hot_.event_counter == apply_params_at_) {
     params_ = *pending_params_;
     pending_params_.reset();
   }
-  if (pending_chmap_ && event_counter_ == apply_chmap_at_) {
+  if (pending_chmap_ && hot_.event_counter == apply_chmap_at_) {
     chmap_ = *pending_chmap_;
     pending_chmap_.reset();
   }
   if (config_.adaptive_channel_map && !pending_chmap_ &&
-      event_counter_ % config_.afh_eval_events == 0) {
+      hot_.event_counter % config_.afh_eval_events == 0) {
     afh_evaluate();
   }
 
   // The coordinator's sleep clock advances the anchor: nominal interval
   // stretched by its drift. This is where clock drift enters the system.
-  anchor_ = anchor + coord_.clock().local_to_global(params_.interval);
+  hot_.anchor = anchor + coord_.clock().local_to_global(params_.interval);
 
   coord_.scheduler().release(id_);
   sub_.scheduler().release(id_);
-  claim_event_slots(anchor_);
-  schedule_event(anchor_);
+  claim_event_slots(hot_.anchor);
+  schedule_event(hot_.anchor);
 }
 
 bool Connection::run_exchange(sim::TimePoint anchor, std::uint8_t channel) {
@@ -250,7 +252,11 @@ bool Connection::run_exchange(sim::TimePoint anchor, std::uint8_t channel) {
   wend = sim::min(wend, sub_.scheduler().next_start_after(anchor, id_));
   wend = wend - phy::kIfs;
 
-  const phy::ChannelModel& cm = world_.channel_model();
+  // Delivery rolls against the *receiver's* regional channel model; both
+  // resolve to the same global model unless localized interference installed
+  // per-node overrides (then RNG draw order is still direction-independent).
+  const phy::ChannelModel& cm_c2s = world_.channel_model_for(sub_.id());
+  const phy::ChannelModel& cm_s2c = world_.channel_model_for(coord_.id());
   obs::Recorder* rec = world_.recorder();
   const bool rec_pdu = rec != nullptr && rec->wants(obs::EventType::kPduTx);
   // Pairwise link quality (mobility extension): 0 in the paper's fixed grid.
@@ -282,7 +288,7 @@ bool Connection::run_exchange(sim::TimePoint anchor, std::uint8_t channel) {
     sub_.activity().bytes_rx += c_len + phy::kLlOverheadBytes;
     coord_.activity().data_bytes_tx += c_len;
     sub_.activity().data_bytes_rx += c_len;
-    const bool c2s_ok = cm.deliver(channel, rng_) && !rng_.chance(link_per);
+    const bool c2s_ok = cm_c2s.deliver(channel, rng_) && !rng_.chance(link_per);
     afh_note(channel, c2s_ok);
     if (rec_pdu && c_has) {
       obs::Event e;
@@ -290,7 +296,7 @@ bool Connection::run_exchange(sim::TimePoint anchor, std::uint8_t channel) {
       e.type = obs::EventType::kPduTx;
       e.chan = channel;
       e.flags = static_cast<std::uint16_t>((c2s_ok ? obs::kPduCrcOk : 0) |
-                                           (coord_retry_ ? obs::kPduRetrans : 0));
+                                           (hot_.coord_retry ? obs::kPduRetrans : 0));
       e.node = coord_.id();
       e.id = id_;
       e.a = access_address_;
@@ -301,13 +307,13 @@ bool Connection::run_exchange(sim::TimePoint anchor, std::uint8_t channel) {
     if (!c2s_ok) {
       if (c_has) {
         ++stats_.pdu_retrans;
-        coord_retry_ = true;
+        hot_.coord_retry = true;
       }
       aborted = true;  // CRC error closes the connection event (section 5.2)
       break;
     }
     sub_synced = true;
-    last_valid_rx_sub_ = t + phy::ll_airtime(c_len, params_.phy);
+    hot_.last_valid_rx_sub = t + phy::ll_airtime(c_len, params_.phy);
 
     // Subordinate -> coordinator PDU (reply after one IFS).
     if (s_has) {
@@ -318,7 +324,7 @@ bool Connection::run_exchange(sim::TimePoint anchor, std::uint8_t channel) {
     coord_.activity().bytes_rx += s_len + phy::kLlOverheadBytes;
     sub_.activity().data_bytes_tx += s_len;
     coord_.activity().data_bytes_rx += s_len;
-    const bool s2c_ok = cm.deliver(channel, rng_) && !rng_.chance(link_per);
+    const bool s2c_ok = cm_s2c.deliver(channel, rng_) && !rng_.chance(link_per);
     afh_note(channel, s2c_ok);
     if (rec_pdu && s_has) {
       obs::Event e;
@@ -327,7 +333,7 @@ bool Connection::run_exchange(sim::TimePoint anchor, std::uint8_t channel) {
       e.chan = channel;
       e.flags = static_cast<std::uint16_t>(
           obs::kPduSubToCoord | (s2c_ok ? obs::kPduCrcOk : 0) |
-          (sub_retry_ ? obs::kPduRetrans : 0));
+          (hot_.sub_retry ? obs::kPduRetrans : 0));
       e.node = sub_.id();
       e.id = id_;
       e.a = access_address_;
@@ -340,16 +346,16 @@ bool Connection::run_exchange(sim::TimePoint anchor, std::uint8_t channel) {
       // coordinator's PDU: both sides retransmit next event.
       if (c_has) {
         ++stats_.pdu_retrans;
-        coord_retry_ = true;
+        hot_.coord_retry = true;
       }
       if (s_has) {
         ++stats_.pdu_retrans;
-        sub_retry_ = true;
+        hot_.sub_retry = true;
       }
       aborted = true;
       break;
     }
-    last_valid_rx_coord_ = t + pt - phy::kIfs;
+    hot_.last_valid_rx_coord = t + pt - phy::kIfs;
 
     // Clean pair: commit deliveries and free sender buffers.
     const sim::TimePoint done = t + pt;
@@ -359,7 +365,7 @@ bool Connection::run_exchange(sim::TimePoint anchor, std::uint8_t channel) {
       LlPdu pdu = std::move(coord_q_.front());
       coord_q_.pop_front();
       coord_.pool_free(pdu.payload.size());
-      coord_retry_ = false;
+      hot_.coord_retry = false;
       ++stats_.pdu_ok;
       ++stats_.chan_ok[channel];
       deliver_later(Role::kSubordinate, std::move(pdu), done);
@@ -368,7 +374,7 @@ bool Connection::run_exchange(sim::TimePoint anchor, std::uint8_t channel) {
       LlPdu pdu = std::move(sub_q_.front());
       sub_q_.pop_front();
       sub_.pool_free(pdu.payload.size());
-      sub_retry_ = false;
+      hot_.sub_retry = false;
       ++stats_.pdu_ok;
       ++stats_.chan_ok[channel];
       deliver_later(Role::kCoordinator, std::move(pdu), done);
@@ -398,7 +404,7 @@ bool Connection::run_exchange(sim::TimePoint anchor, std::uint8_t channel) {
     e.node = coord_.id();
     e.id = id_;
     e.a = pairs;
-    e.b = event_counter_;
+    e.b = hot_.event_counter;
     rec->record(e);
   }
   // Backpressure release: freed buffer space lets the host hand the next IP
@@ -419,8 +425,8 @@ void Connection::deliver_later(Role to, LlPdu pdu, sim::TimePoint at) {
 }
 
 void Connection::terminate(DisconnectReason reason) {
-  if (!open_) return;
-  open_ = false;
+  if (!hot_.open) return;
+  hot_.open = false;
   if (reason == DisconnectReason::kSupervisionTimeout) ++stats_.conn_losses;
   world_.trace_lazy(sim::TraceCat::kLinkLayer, coord_.id(), [&] {
     char msg[96];
@@ -446,7 +452,7 @@ void Connection::terminate(DisconnectReason reason) {
               : static_cast<std::uint32_t>(stats_.events_missed);
     rec->record(e);
   }
-  sim_.cancel(next_event_);
+  sim_.cancel(hot_.next_event);
   coord_.scheduler().release(id_);
   sub_.scheduler().release(id_);
   // Data queued on a broken link is dropped (section 5.1).

@@ -35,6 +35,31 @@ namespace mgap::ble {
 class Controller;
 class BleWorld;
 
+/// Per-connection state touched on *every* connection event — the hot subset
+/// of Connection. BleWorld pools these contiguously in creation order (one
+/// chunked deque for the whole world), so the per-event path reads dense
+/// cache lines instead of chasing each cold Connection object: queues, AFH
+/// tables, L2CAP channel state and the rest of Connection stay out of the
+/// way until an exchange actually moves data. The layout groups the four
+/// timestamps, the armed event and counters first (read on every event) and
+/// packs the six grant/retry flags into one trailing line.
+struct ConnHot {
+  sim::TimePoint anchor;
+  sim::TimePoint last_valid_rx_coord;
+  sim::TimePoint last_valid_rx_sub;
+  sim::TimePoint last_sub_sync;
+  sim::EventId next_event{};
+  std::uint16_t event_counter{0};
+  unsigned latency_skips{0};
+  bool open{false};
+  bool coord_granted{false};
+  bool sub_granted{false};
+  bool sub_intentional_skip{false};
+  // Head-of-queue PDU already failed at least once (kPduRetrans flagging).
+  bool coord_retry{false};
+  bool sub_retry{false};
+};
+
 /// Tunables of the connection-event engine (NimBLE-flavoured defaults).
 struct ConnectionConfig {
   /// Radio time reserved per connection event. NimBLE schedules connections
@@ -61,10 +86,12 @@ struct ConnectionConfig {
 
 class Connection {
  public:
+  /// `hot` is this connection's slot in the world's ConnHot pool; it must
+  /// outlive the connection (BleWorld guarantees both).
   Connection(sim::Simulator& sim, BleWorld& world, ConnId id, Controller& coord,
              Controller& sub, const ConnParams& params, sim::TimePoint first_anchor,
              std::uint32_t access_address, const ChannelMap& chmap, LinkStats& stats,
-             const ConnectionConfig& config, sim::Rng rng);
+             ConnHot& hot, const ConnectionConfig& config, sim::Rng rng);
 
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
@@ -75,7 +102,7 @@ class Connection {
   /// Host-initiated disconnect (either side).
   void close(DisconnectReason reason = DisconnectReason::kLocalClose);
 
-  [[nodiscard]] bool is_open() const { return open_; }
+  [[nodiscard]] bool is_open() const { return hot_.open; }
   [[nodiscard]] ConnId id() const { return id_; }
   [[nodiscard]] BleWorld& world() const { return world_; }
   [[nodiscard]] Controller& node(Role r) const;
@@ -88,8 +115,8 @@ class Connection {
   [[nodiscard]] const ChannelMap& channel_map() const { return chmap_; }
   [[nodiscard]] L2capCoc& coc() { return coc_; }
   [[nodiscard]] LinkStats& link_stats() { return stats_; }
-  [[nodiscard]] std::uint16_t event_counter() const { return event_counter_; }
-  [[nodiscard]] sim::TimePoint next_anchor() const { return anchor_; }
+  [[nodiscard]] std::uint16_t event_counter() const { return hot_.event_counter; }
+  [[nodiscard]] sim::TimePoint next_anchor() const { return hot_.anchor; }
 
   /// Queues an LL data PDU for transfer from side `from`. Charges the sending
   /// node's BLE buffer pool; false when the pool is exhausted.
@@ -140,23 +167,8 @@ class Connection {
   ChannelMap chmap_;
   ChannelSelection chan_sel_;
   LinkStats& stats_;
+  ConnHot& hot_;
   sim::Rng rng_;
-
-  // Head-of-queue PDU already failed at least once (kPduRetrans flagging).
-  bool coord_retry_{false};
-  bool sub_retry_{false};
-
-  bool open_{false};
-  sim::TimePoint anchor_;
-  std::uint16_t event_counter_{0};
-  bool coord_granted_{false};
-  bool sub_granted_{false};
-  bool sub_intentional_skip_{false};
-  unsigned latency_skips_{0};
-  sim::TimePoint last_valid_rx_coord_;
-  sim::TimePoint last_valid_rx_sub_;
-  sim::TimePoint last_sub_sync_;
-  sim::EventId next_event_;
 
   std::deque<LlPdu> coord_q_;
   std::deque<LlPdu> sub_q_;

@@ -8,8 +8,10 @@
 
 namespace mgap::ble {
 
-BleWorld::BleWorld(sim::Simulator& sim, phy::ChannelModel channel_model)
-    : sim_{sim}, channel_model_{channel_model}, rng_{sim.make_rng()} {}
+BleWorld::BleWorld(sim::Simulator& sim, phy::ChannelModel channel_model,
+                   sim::Arena::Mode arena_mode)
+    : sim_{sim}, channel_model_{channel_model}, rng_{sim.make_rng()},
+      arena_{arena_mode} {}
 
 Controller& BleWorld::add_node(NodeId id, double drift_ppm, ControllerConfig config) {
   // A real error, not an assert: a duplicate id is a configuration mistake
@@ -17,10 +19,10 @@ Controller& BleWorld::add_node(NodeId id, double drift_ppm, ControllerConfig con
   if (by_id_.find(id) != by_id_.end()) {
     throw std::invalid_argument{"BleWorld: duplicate node id " + std::to_string(id)};
   }
-  nodes_.push_back(std::make_unique<Controller>(sim_, *this, id,
-                                                sim::SleepClock{drift_ppm},
-                                                std::move(config)));
-  Controller& ref = *nodes_.back();
+  Controller& ref = *arena_.make<Controller>(sim_, *this, id,
+                                             sim::SleepClock{drift_ppm},
+                                             std::move(config));
+  nodes_.push_back(&ref);
   by_id_[id] = &ref;
   ref.scheduler().set_recorder(recorder_, id);
   return ref;
@@ -28,7 +30,7 @@ Controller& BleWorld::add_node(NodeId id, double drift_ppm, ControllerConfig con
 
 void BleWorld::set_recorder(obs::Recorder* recorder) {
   recorder_ = recorder;
-  for (const auto& node : nodes_) {
+  for (Controller* node : nodes_) {
     node->scheduler().set_recorder(recorder, node->id());
   }
 }
@@ -47,9 +49,10 @@ Connection& BleWorld::open_connection(Controller& coord, Controller& sub,
   if (stats.events_ok + stats.events_missed > 0 || stats.conn_losses > 0) {
     ++stats.reconnects;
   }
-  connections_.push_back(std::make_unique<Connection>(
+  ConnHot& hot = conn_hot_.emplace_back();
+  connections_.push_back(arena_.make<Connection>(
       sim_, *this, id, coord, sub, params, first_anchor, access_address, default_chmap_,
-      stats, coord.config().conn, sim_.make_rng()));
+      stats, hot, coord.config().conn, sim_.make_rng()));
   Connection& conn = *connections_.back();
   trace_lazy(sim::TraceCat::kGap, coord.id(), [&] {
     char msg[96];
@@ -97,8 +100,8 @@ void BleWorld::route_adv_event(Controller& advertiser, sim::TimePoint t,
         if (fn(*hit->second)) return;
       }
     } else {
-      for (const auto& node : nodes_) {
-        if (node.get() == &advertiser) continue;
+      for (Controller* node : nodes_) {
+        if (node == &advertiser) continue;
         ++adv_candidates_scanned_;
         if (fn(*node)) return;
       }
@@ -135,10 +138,10 @@ LinkStats& BleWorld::link_stats(NodeId coordinator, NodeId subordinate) {
   const auto key = std::make_pair(coordinator, subordinate);
   auto it = link_stats_.find(key);
   if (it == link_stats_.end()) {
-    auto stats = std::make_unique<LinkStats>();
+    LinkStats* stats = arena_.make<LinkStats>();
     stats->coordinator = coordinator;
     stats->subordinate = subordinate;
-    it = link_stats_.emplace(key, std::move(stats)).first;
+    it = link_stats_.emplace(key, stats).first;
   }
   return *it->second;
 }
@@ -146,7 +149,7 @@ LinkStats& BleWorld::link_stats(NodeId coordinator, NodeId subordinate) {
 std::vector<const LinkStats*> BleWorld::all_link_stats() const {
   std::vector<const LinkStats*> out;
   out.reserve(link_stats_.size());
-  for (const auto& [key, stats] : link_stats_) out.push_back(stats.get());
+  for (const auto& [key, stats] : link_stats_) out.push_back(stats);
   return out;
 }
 
@@ -158,15 +161,15 @@ std::uint64_t BleWorld::total_conn_losses() const {
 
 std::vector<Connection*> BleWorld::open_connections() const {
   std::vector<Connection*> out;
-  for (const auto& c : connections_) {
-    if (c->is_open()) out.push_back(c.get());
+  for (Connection* c : connections_) {
+    if (c->is_open()) out.push_back(c);
   }
   return out;
 }
 
 Connection* BleWorld::find_connection(ConnId id) const {
-  for (const auto& c : connections_) {
-    if (c->id() == id) return c.get();
+  for (Connection* c : connections_) {
+    if (c->id() == id) return c;
   }
   return nullptr;
 }

@@ -5,6 +5,7 @@
 // events to interested initiators, and hands out per-link statistics.
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <utility>
@@ -14,6 +15,7 @@
 #include "ble/connection.hpp"
 #include "ble/ll_types.hpp"
 #include "phy/channel_model.hpp"
+#include "sim/arena.hpp"
 #include "sim/ids.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -31,7 +33,11 @@ namespace mgap::ble {
 
 class BleWorld {
  public:
-  BleWorld(sim::Simulator& sim, phy::ChannelModel channel_model);
+  /// `arena_mode` selects how per-node state (controllers, connections, link
+  /// stats) is allocated: bump-arena (default) or plain heap. Simulation
+  /// results are bit-identical under either mode (pinned by test_arena).
+  BleWorld(sim::Simulator& sim, phy::ChannelModel channel_model,
+           sim::Arena::Mode arena_mode = sim::Arena::Mode::kBump);
 
   BleWorld(const BleWorld&) = delete;
   BleWorld& operator=(const BleWorld&) = delete;
@@ -40,12 +46,36 @@ class BleWorld {
   /// that must surface in release builds too, not just under assert.
   Controller& add_node(NodeId id, double drift_ppm, ControllerConfig config = {});
   [[nodiscard]] Controller* find(NodeId id) const;
-  [[nodiscard]] const std::vector<std::unique_ptr<Controller>>& nodes() const {
-    return nodes_;
-  }
+  /// Creation order; pointers stay valid for the world's lifetime (the
+  /// backing arena frees them only at teardown).
+  [[nodiscard]] const std::vector<Controller*>& nodes() const { return nodes_; }
 
   [[nodiscard]] phy::ChannelModel& channel_model() { return channel_model_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  /// Regional channel models: a per-receiver override of the global model,
+  /// created on first access as a copy of it. Localized interference (a
+  /// radius-scoped `fault.interfere`) perturbs only the models of nodes
+  /// inside the ball instead of the whole world's. Delivery uses the
+  /// *receiver's* model — interference is a property of where the listener
+  /// sits. With no overrides installed (the legacy configuration) every
+  /// lookup returns the global model and behavior is byte-identical.
+  [[nodiscard]] phy::ChannelModel& region_channel_model(NodeId node) {
+    const auto it = region_models_.find(node);
+    if (it != region_models_.end()) return it->second;
+    return region_models_.emplace(node, channel_model_).first->second;
+  }
+  [[nodiscard]] const phy::ChannelModel& channel_model_for(NodeId receiver) const {
+    if (!region_models_.empty()) {
+      const auto it = region_models_.find(receiver);
+      if (it != region_models_.end()) return it->second;
+    }
+    return channel_model_;
+  }
+  [[nodiscard]] bool has_region_models() const { return !region_models_.empty(); }
+
+  /// Allocation telemetry for the scale benches.
+  [[nodiscard]] const sim::Arena& arena() const { return arena_; }
 
   /// Optional pairwise link-quality model (mobility extension): returns an
   /// additional PER in [0,1] for the pair — 0 keeps the testbed's
@@ -136,17 +166,26 @@ class BleWorld {
   LinkPerFn link_per_;
   sim::Simulator& sim_;
   phy::ChannelModel channel_model_;
+  std::map<NodeId, phy::ChannelModel> region_models_;
   ChannelMap default_chmap_{ChannelMap::all()};
-  std::vector<std::unique_ptr<Controller>> nodes_;
+  std::vector<Controller*> nodes_;
   std::map<NodeId, Controller*> by_id_;
   std::map<NodeId, std::vector<NodeId>> neighbors_;
   std::uint64_t adv_events_routed_{0};
   std::uint64_t adv_candidates_scanned_{0};
   std::uint64_t adv_full_scans_{0};
-  std::vector<std::unique_ptr<Connection>> connections_;
-  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<LinkStats>> link_stats_;
+  std::vector<Connection*> connections_;
+  std::map<std::pair<NodeId, NodeId>, LinkStats*> link_stats_;
+  /// Hot per-event state, one entry per connection ever created, pooled in
+  /// creation order (deque chunks are contiguous and addresses are stable).
+  std::deque<ConnHot> conn_hot_;
   ConnId next_conn_id_{1};
   sim::Rng rng_;
+  /// Owns every controller, connection and link-stats record. Declared last:
+  /// destroyed first, in reverse allocation order (connections before the
+  /// controllers they reference), while the raw-pointer containers above are
+  /// still intact.
+  sim::Arena arena_;
 };
 
 }  // namespace mgap::ble

@@ -19,7 +19,7 @@ constexpr std::uint64_t kBackoffStreamBase = 0x0B0FF'0000ULL;
 std::uint64_t creation_index(const ble::BleWorld& world, const ble::Controller& ctrl) {
   const auto& nodes = world.nodes();
   for (std::size_t i = 0; i < nodes.size(); ++i) {
-    if (nodes[i].get() == &ctrl) return i;
+    if (nodes[i] == &ctrl) return i;
   }
   return nodes.size();
 }

@@ -47,6 +47,8 @@ void FaultInjector::arm(std::vector<FaultEvent> plan) {
   seized_bytes_.assign(timeline_.size(), 0);
   saved_channel_per_.assign(timeline_.size(), {});
   saved_drift_.assign(timeline_.size(), 0.0);
+  saved_region_per_.assign(timeline_.size(), {});
+  seized_region_.assign(timeline_.size(), {});
 
   const bool needs_link_hook =
       world_ != nullptr &&
@@ -138,6 +140,20 @@ void FaultInjector::begin_fault(std::size_t index) {
       break;  // the installed link hook reads the window directly
     case FaultKind::kInterfere: {
       if (world_ == nullptr) break;
+      if (ev.radius > 0.0 && hooks_.nodes_within) {
+        // Localized interferer: only receivers inside the ball get their
+        // regional channel model perturbed; everyone else keeps hearing the
+        // unmodified global model.
+        for (const NodeId nid : hooks_.nodes_within(ev.node, ev.radius)) {
+          phy::ChannelModel& cm = world_->region_channel_model(nid);
+          for (std::uint8_t ch = ev.chan_lo; ch <= ev.chan_hi; ++ch) {
+            const double old = cm.per(ch);
+            saved_region_per_[index].emplace_back(nid, ch, old);
+            cm.set_per(ch, 1.0 - (1.0 - old) * (1.0 - ev.per));
+          }
+        }
+        break;
+      }
       phy::ChannelModel& cm = world_->channel_model();
       for (std::uint8_t ch = ev.chan_lo; ch <= ev.chan_hi; ++ch) {
         const double old = cm.per(ch);
@@ -165,6 +181,16 @@ void FaultInjector::begin_fault(std::size_t index) {
     }
     case FaultKind::kPressure: {
       if (!hooks_.pktbuf_of) break;
+      if (ev.radius > 0.0 && hooks_.nodes_within) {
+        // Regional buffer squeeze: every node in the ball loses capacity —
+        // the memory-pressure analogue of a localized interferer.
+        for (const NodeId nid : hooks_.nodes_within(ev.node, ev.radius)) {
+          if (net::Pktbuf* buf = hooks_.pktbuf_of(nid)) {
+            seized_region_[index].emplace_back(nid, buf->seize(ev.bytes));
+          }
+        }
+        break;
+      }
       if (net::Pktbuf* buf = hooks_.pktbuf_of(ev.node)) {
         seized_bytes_[index] = buf->seize(ev.bytes);
       }
@@ -192,6 +218,16 @@ void FaultInjector::end_fault(std::size_t index) {
       break;
     case FaultKind::kInterfere: {
       if (world_ == nullptr) break;
+      if (!saved_region_per_[index].empty()) {
+        // Restore in reverse so overlapping windows unwind correctly.
+        for (auto it = saved_region_per_[index].rbegin();
+             it != saved_region_per_[index].rend(); ++it) {
+          world_->region_channel_model(std::get<0>(*it))
+              .set_per(std::get<1>(*it), std::get<2>(*it));
+        }
+        saved_region_per_[index].clear();
+        break;
+      }
       phy::ChannelModel& cm = world_->channel_model();
       // Restore in reverse so overlapping windows unwind correctly.
       for (auto it = saved_channel_per_[index].rbegin();
@@ -211,7 +247,13 @@ void FaultInjector::end_fault(std::size_t index) {
     case FaultKind::kClockStep:
       break;
     case FaultKind::kPressure: {
-      if (seized_bytes_[index] == 0 || !hooks_.pktbuf_of) break;
+      if (!hooks_.pktbuf_of) break;
+      for (const auto& [nid, taken] : seized_region_[index]) {
+        if (taken == 0) continue;
+        if (net::Pktbuf* buf = hooks_.pktbuf_of(nid)) buf->free(taken);
+      }
+      seized_region_[index].clear();
+      if (seized_bytes_[index] == 0) break;
       if (net::Pktbuf* buf = hooks_.pktbuf_of(ev.node)) {
         buf->free(seized_bytes_[index]);
       }

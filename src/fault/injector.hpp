@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -29,6 +30,11 @@ struct InjectorHooks {
   std::function<void(NodeId)> on_reboot;
   /// Resolves a node's packet buffer for pressure faults (null = skip).
   std::function<net::Pktbuf*(NodeId)> pktbuf_of;
+  /// Nodes within `radius` meters of `center`'s position, center included —
+  /// the experiment wires this to its spatial index. Null (or a fault with
+  /// radius 0) keeps the legacy scope: interference perturbs the global
+  /// channel model, pressure seizes only the named node.
+  std::function<std::vector<NodeId>(NodeId center, double radius)> nodes_within;
 };
 
 /// One realized fault with its effective window on the global timeline.
@@ -80,6 +86,10 @@ class FaultInjector {
   std::vector<std::size_t> seized_bytes_;
   std::vector<std::vector<std::pair<std::uint8_t, double>>> saved_channel_per_;
   std::vector<double> saved_drift_;
+  // Radius-scoped variants: per-node saved channel PER (interference balls)
+  // and per-node seized bytes (pressure balls).
+  std::vector<std::vector<std::tuple<NodeId, std::uint8_t, double>>> saved_region_per_;
+  std::vector<std::vector<std::pair<NodeId, std::size_t>>> seized_region_;
   ble::BleWorld::LinkPerFn prev_link_per_;
 };
 

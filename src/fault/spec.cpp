@@ -109,6 +109,7 @@ std::string FaultEvent::str() const {
       out << " channels=" << static_cast<int>(chan_lo) << "-"
           << static_cast<int>(chan_hi) << " at=" << at.since_origin().str()
           << " for=" << duration.str() << " per=" << per;
+      if (radius > 0.0) out << " node=" << node << " radius=" << radius;
       break;
     case FaultKind::kClockDrift:
       out << " node=" << node << " at=" << at.since_origin().str() << " ppm=" << ppm;
@@ -121,6 +122,7 @@ std::string FaultEvent::str() const {
     case FaultKind::kPressure:
       out << " node=" << node << " at=" << at.since_origin().str()
           << " for=" << duration.str() << " bytes=" << bytes;
+      if (radius > 0.0) out << " radius=" << radius;
       break;
   }
   return out.str();
@@ -166,10 +168,14 @@ FaultEvent parse_fault_event(std::string_view text) {
     case FaultKind::kCrash: check_keys({"node", "at", "reboot_after"}); break;
     case FaultKind::kBlackout: check_keys({"link", "at", "for"}); break;
     case FaultKind::kAttenuate: check_keys({"link", "at", "for", "per"}); break;
-    case FaultKind::kInterfere: check_keys({"channels", "at", "for", "per"}); break;
+    case FaultKind::kInterfere:
+      check_keys({"channels", "at", "for", "per", "node", "radius"});
+      break;
     case FaultKind::kClockDrift: check_keys({"node", "at", "ppm", "for"}); break;
     case FaultKind::kClockStep: check_keys({"node", "at", "step"}); break;
-    case FaultKind::kPressure: check_keys({"node", "at", "for", "bytes"}); break;
+    case FaultKind::kPressure:
+      check_keys({"node", "at", "for", "bytes", "radius"});
+      break;
   }
 
   FaultEvent ev;
@@ -229,6 +235,15 @@ FaultEvent parse_fault_event(std::string_view text) {
       ev.chan_hi = static_cast<std::uint8_t>(range->second);
       ev.duration = require_duration(kv, "for", "interfere");
       parse_per(/*required=*/false, 0.9);
+      // Spatial scope: radius-bounded interference centered on a node.
+      if (const auto v = kv.get("radius")) {
+        const auto r = parse_number(*v);
+        if (!r || *r <= 0.0) fail("bad radius= (want meters > 0)");
+        ev.radius = *r;
+        ev.node = require_node(kv, "interfere with radius");
+      } else if (kv.get("node")) {
+        fail("interfere node= needs radius=");
+      }
       break;
     }
     case FaultKind::kClockDrift: {
@@ -256,6 +271,11 @@ FaultEvent parse_fault_event(std::string_view text) {
       const auto b = parse_number(kv.require("bytes", "pressure"));
       if (!b || *b < 1) fail("bad bytes=");
       ev.bytes = static_cast<std::size_t>(*b);
+      if (const auto v = kv.get("radius")) {
+        const auto r = parse_number(*v);
+        if (!r || *r <= 0.0) fail("bad radius= (want meters > 0)");
+        ev.radius = *r;
+      }
       break;
     }
   }

@@ -59,6 +59,14 @@ struct FaultEvent {
 
   std::size_t bytes{0};       // kPressure capacity to seize
 
+  /// Spatial scope in meters, for kInterfere and kPressure. 0 keeps the
+  /// legacy scope (interference hits the whole world's channel model,
+  /// pressure seizes only `node`). > 0 applies the fault to every node
+  /// within `radius` of `node`'s position — resolved through the
+  /// experiment's spatial index, so it requires a generated world (without
+  /// one the injector falls back to the legacy scope).
+  double radius{0.0};
+
   /// Canonical spec-syntax form; parse_fault_event(str()) round-trips.
   [[nodiscard]] std::string str() const;
 };
@@ -69,10 +77,10 @@ struct FaultEvent {
 ///   crash       node=N at=T [reboot_after=D]
 ///   blackout    link=A-B at=T for=D
 ///   attenuate   link=A-B at=T for=D per=P
-///   interfere   channels=LO-HI at=T for=D [per=P]
+///   interfere   channels=LO-HI at=T for=D [per=P] [node=N radius=R]
 ///   clock_drift node=N at=T ppm=X [for=D]
 ///   clock_step  node=N at=T step=D
-///   pressure    node=N at=T for=D bytes=B
+///   pressure    node=N at=T for=D bytes=B [radius=R]
 [[nodiscard]] FaultEvent parse_fault_event(std::string_view text);
 
 /// Chaos mode: a seeded Poisson process of faults over the experiment

@@ -12,7 +12,9 @@ BleConnBackend::BleConnBackend(sim::Simulator& sim, const ExperimentConfig& conf
     : sim_{sim}, config_{config}, on_link_event_{std::move(on_link_event)} {
   phy::ChannelModel cm{config_.base_per};
   if (config_.jam_channel_22) cm.jam(22);
-  world_ = std::make_unique<ble::BleWorld>(sim_, cm);
+  world_ = std::make_unique<ble::BleWorld>(
+      sim_, cm,
+      config_.arena ? sim::Arena::Mode::kBump : sim::Arena::Mode::kHeap);
   world_->set_recorder(recorder);  // before add_node: schedulers inherit it
   if (config_.exclude_channel_22) {
     ble::ChannelMap map = ble::ChannelMap::all();

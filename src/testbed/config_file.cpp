@@ -182,6 +182,8 @@ void apply_experiment_kv(ExperimentConfig& cfg, const std::string& key,
     cfg.confirmable_coap = parse_bool(value, key);
   } else if (key == "param_update_mitigation") {
     cfg.param_update_mitigation = parse_bool(value, key);
+  } else if (key == "arena") {
+    cfg.arena = parse_bool(value, key);
   } else if (key == "compression") {
     if (value == "uncompressed") cfg.compression = net::CompressionMode::kUncompressed;
     else if (value == "iphc") cfg.compression = net::CompressionMode::kIphc;
@@ -427,6 +429,8 @@ std::string render_experiment_config(const ExperimentConfig& config) {
   out << "confirmable_coap = " << (config.confirmable_coap ? "true" : "false") << "\n";
   out << "param_update_mitigation = "
       << (config.param_update_mitigation ? "true" : "false") << "\n";
+  // Default-on: only the A/B control (arena = false) is worth a line.
+  if (!config.arena) out << "arena = false\n";
   out << "compression = "
       << (config.compression == net::CompressionMode::kIphc ? "iphc" : "uncompressed")
       << "\n";

@@ -7,11 +7,15 @@
 #include "testbed/backend_154.hpp"
 #include "testbed/backend_ble.hpp"
 #include "topo/channel.hpp"
+#include "topo/spatial_index.hpp"
 
 namespace mgap::testbed {
 
 Experiment::Experiment(ExperimentConfig config)
-    : config_{std::move(config)}, sim_{config_.seed}, metrics_{config_.metrics_bucket} {
+    : config_{std::move(config)},
+      sim_{config_.seed},
+      metrics_{config_.metrics_bucket},
+      arena_{config_.arena ? sim::Arena::Mode::kBump : sim::Arena::Mode::kHeap} {
   if (config_.topo.enabled()) {
     // Procedural world: placement + geometric channel + routing tree, all
     // deterministic from (spec, seed). Replaces any statically wired topology
@@ -66,7 +70,11 @@ void Experiment::build_backend() {
       if (geo_) {
         backend->world().set_link_per(
             topo::make_geometric_link_per(geo_->placement, config_.topo));
-        backend->world().set_neighbor_table(geo_->neighbors);
+        // Flooding propagates to every physically hearable node, so the mesh
+        // world needs radio-range tables (geo_->neighbors only spans the
+        // planning range the connection-oriented backends route within).
+        backend->world().set_neighbor_table(geo_->index->neighbor_tables(
+            topo::max_radio_range(config_.topo)));
       }
       mesh_backend_ = backend.get();
       backend_ = std::move(backend);
@@ -88,9 +96,9 @@ void Experiment::build_nodes() {
     // Creation index, not node id: keeps jitter draws invariant under node
     // relabeling (the statconn discipline, pinned by the metamorphic tests).
     ip_cfg.flow_stream = creation_index++;
-    node.stack = std::make_unique<net::IpStack>(sim_, id, netif, ip_cfg);
+    node.stack = arena_.make<net::IpStack>(sim_, id, netif, ip_cfg);
     node.stack->set_recorder(&recorder_);
-    nodes_.emplace(id, std::move(node));
+    nodes_.emplace(id, node);
     backend_->finish_node(id);
   }
 }
@@ -139,6 +147,50 @@ void Experiment::install_routes() {
     }
     return;
   }
+  if (geo_) {
+    // Generated worlds: downstream subtrees materialize lazily on first
+    // traffic. Eagerly enumerating every (ancestor, descendant) pair is
+    // O(N * depth) routes — ~300k table entries at 10k nodes, dominated by
+    // subtrees the response traffic may never touch — and the recursive
+    // children()/subtree() walk behind it is O(N^2) map scans. The resolver
+    // walks the parent chain from the destination instead: if it passes
+    // through this node, the hop below it is the next hop (cached by the
+    // routing table); otherwise the default route toward the parent applies.
+    // Route contents are identical to the eager build (asserted by tests).
+    for (auto& [id, node] : nodes_) {
+      if (id != topo.consumer) {
+        node.stack->routes().set_default(net::Ipv6Addr::site(topo.parent.at(id)));
+      }
+      const NodeId self = id;
+      node.stack->routes().set_resolver(
+          [this, self](const net::Ipv6Addr& dst) -> std::optional<net::Ipv6Addr> {
+            const Topology& t = config_.topology;
+            NodeId cur = dst.node_id();
+            if (cur == kInvalidNode) return std::nullopt;
+            NodeId below = kInvalidNode;
+            std::size_t steps = 0;
+            while (cur != t.consumer && steps++ <= t.nodes.size()) {
+              if (cur == self) {
+                if (below == kInvalidNode) return std::nullopt;  // dst == self
+                return net::Ipv6Addr::site(below);
+              }
+              const auto it = t.parent.find(cur);
+              if (it == t.parent.end()) return std::nullopt;  // unknown node
+              below = cur;
+              cur = it->second;
+            }
+            // Reached the root without passing through self: not in our
+            // subtree — unless we *are* the root, whose child toward dst is
+            // the hop below it on the walk.
+            if (cur == t.consumer && self == t.consumer &&
+                below != kInvalidNode) {
+              return net::Ipv6Addr::site(below);
+            }
+            return std::nullopt;
+          });
+    }
+    return;
+  }
   for (auto& [id, node] : nodes_) {
     // Upstream: default route towards the consumer.
     if (id != topo.consumer) {
@@ -170,7 +222,7 @@ void Experiment::spawn_workload() {
     pc.cc = config_.cc;
     pc.cc.rto_stream = producer_index++;  // creation index (relabel-invariant)
     Node& node = nodes_.at(id);
-    node.producer = std::make_unique<Producer>(sim_, *node.stack, pc, metrics_);
+    node.producer = arena_.make<Producer>(sim_, *node.stack, pc, metrics_);
     node.producer->start();
   }
 }
@@ -200,6 +252,14 @@ void Experiment::setup_faults() {
     auto it = nodes_.find(node);
     return it == nodes_.end() ? nullptr : &it->second.stack->pktbuf();
   };
+  if (geo_) {
+    // Radius-scoped faults resolve their ball through the generated world's
+    // spatial index; static topologies have no geometry, so the hook stays
+    // unset and such faults keep their legacy (global / single-node) scope.
+    hooks.nodes_within = [this](NodeId center, double radius) {
+      return geo_->index->ball(center, radius);
+    };
+  }
   injector_ = std::make_unique<fault::FaultInjector>(
       sim_, ble_backend_ ? ble_backend_->world() : nullptr, std::move(hooks));
   injector_->arm(std::move(plan));

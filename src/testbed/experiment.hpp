@@ -22,6 +22,7 @@
 #include "obs/recorder.hpp"
 #include "obs/registry.hpp"
 #include "phy/channel_model.hpp"
+#include "sim/arena.hpp"
 #include "sim/trace.hpp"
 #include "sim/simulator.hpp"
 #include "testbed/metrics.hpp"
@@ -73,6 +74,13 @@ struct ExperimentConfig {
   bool adaptive_channel_map{false};  // controller-side ADH instead (extension)
   double drift_ppm_range{5.0};    // per-node drift ~ U[-r, +r] ppm
   std::uint64_t seed{1};
+
+  /// Allocate per-node state (BLE controllers/connections, IP stacks,
+  /// producers) from bump arenas instead of the general heap (`arena` config
+  /// key). Results are bit-identical either way — the off switch exists as
+  /// the A/B control for exactly that property (test_arena) and as an escape
+  /// hatch for allocation-debugging tools.
+  bool arena{true};
 
   net::CompressionMode compression{net::CompressionMode::kUncompressed};
   sim::Duration metrics_bucket{sim::Duration::sec(10)};
@@ -217,9 +225,11 @@ class Experiment {
                          ble::DisconnectReason reason);
 
   struct Node {
-    // The netif the stack binds to is owned by the backend.
-    std::unique_ptr<net::IpStack> stack;
-    std::unique_ptr<Producer> producer;
+    // The netif the stack binds to is owned by the backend; stack and
+    // producer live in arena_ (destroyed before the backend, after the
+    // consumer — the same relative order the unique_ptr members had).
+    net::IpStack* stack{nullptr};
+    Producer* producer{nullptr};
   };
 
   ExperimentConfig config_;
@@ -233,6 +243,7 @@ class Experiment {
   BleConnBackend* ble_backend_{nullptr};
   Ieee154Backend* i154_backend_{nullptr};
   mesh::MeshBackend* mesh_backend_{nullptr};
+  sim::Arena arena_;
   std::map<NodeId, Node> nodes_;
   std::unique_ptr<Consumer> consumer_;
   std::unique_ptr<fault::FaultInjector> injector_;

@@ -1,6 +1,7 @@
 #include "testbed/self_forming.hpp"
 
 #include "topo/channel.hpp"
+#include "topo/spatial_index.hpp"
 
 namespace mgap::testbed {
 
@@ -24,7 +25,10 @@ SelfFormingNetwork::SelfFormingNetwork(SelfFormingConfig config)
   if (geo_) {
     world_->set_link_per(
         topo::make_geometric_link_per(geo_->placement, config_.topo));
-    world_->set_neighbor_table(geo_->neighbors);
+    // Discovery listens at the full radio range (geo_->neighbors only spans
+    // the planning range): dynconn may adopt any physically hearable peer.
+    world_->set_neighbor_table(
+        geo_->index->neighbor_tables(topo::max_radio_range(config_.topo)));
   }
 
   sim::Rng drift_rng = sim_.make_rng();

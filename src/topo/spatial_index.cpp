@@ -27,36 +27,56 @@ std::int64_t SpatialIndex::cell_key(double x, double y) const {
   return (cx << 32) ^ (cy & 0xffffffffll);
 }
 
-std::vector<NodeId> SpatialIndex::within(NodeId center, double radius) const {
-  const auto it = std::lower_bound(
-      entries_.begin(), entries_.end(), center,
-      [](const Entry& e, NodeId id) { return e.id < id; });
-  if (it == entries_.end() || it->id != center) return {};
-  const Point c = it->pos;
-
-  std::vector<NodeId> out;
+void SpatialIndex::collect(const Point& c, double radius, NodeId exclude,
+                          std::vector<NodeId>& out) const {
   const auto cx = static_cast<std::int64_t>(std::floor(c.x / cell_size_));
   const auto cy = static_cast<std::int64_t>(std::floor(c.y / cell_size_));
-  for (std::int64_t dx = -1; dx <= 1; ++dx) {
-    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+  // Enough rings to cover the radius from anywhere inside the center cell.
+  const auto span =
+      static_cast<std::int64_t>(std::ceil(radius / cell_size_));
+  for (std::int64_t dx = -span; dx <= span; ++dx) {
+    for (std::int64_t dy = -span; dy <= span; ++dy) {
       const std::int64_t key = ((cx + dx) << 32) ^ ((cy + dy) & 0xffffffffll);
       const auto cell = cells_.find(key);
       if (cell == cells_.end()) continue;
       for (const std::uint32_t idx : cell->second) {
         const Entry& e = entries_[idx];
-        if (e.id == center) continue;
+        if (e.id == exclude) continue;
         if (distance(c, e.pos) <= radius) out.push_back(e.id);
       }
     }
   }
   std::sort(out.begin(), out.end());
+}
+
+std::vector<NodeId> SpatialIndex::within(NodeId center, double radius) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), center,
+      [](const Entry& e, NodeId id) { return e.id < id; });
+  if (it == entries_.end() || it->id != center) return {};
+  std::vector<NodeId> out;
+  collect(it->pos, radius, center, out);
+  return out;
+}
+
+std::vector<NodeId> SpatialIndex::ball(NodeId center, double radius) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), center,
+      [](const Entry& e, NodeId id) { return e.id < id; });
+  if (it == entries_.end() || it->id != center) return {};
+  std::vector<NodeId> out;
+  collect(it->pos, radius, kInvalidNode, out);
   return out;
 }
 
 std::map<NodeId, std::vector<NodeId>> SpatialIndex::neighbor_tables(
     double radius) const {
   std::map<NodeId, std::vector<NodeId>> tables;
-  for (const Entry& e : entries_) tables[e.id] = within(e.id, radius);
+  for (const Entry& e : entries_) {
+    std::vector<NodeId> out;
+    collect(e.pos, radius, e.id, out);
+    tables[e.id] = std::move(out);
+  }
   return tables;
 }
 

@@ -1,9 +1,11 @@
 #pragma once
 // Uniform-grid spatial hash over a Placement, plus per-node neighbor tables.
 // This is the structure that removes the O(N)-per-advertisement scan from
-// ble::BleWorld::route_adv_event: range queries touch only the 3x3 cell
-// block around a node, so neighbor-table construction is O(N * degree) and
-// the advertising hot path iterates in-range candidates only.
+// ble::BleWorld::route_adv_event: range queries touch only the cell block
+// covering the query radius, so neighbor-table construction is O(N * degree)
+// and the advertising hot path iterates in-range candidates only. The same
+// index scopes faults (interference, pktbuf pressure) to a geometric radius
+// instead of the whole world.
 
 #include <cstdint>
 #include <map>
@@ -17,15 +19,24 @@ namespace mgap::topo {
 
 class SpatialIndex {
  public:
-  /// Buckets every placed node into square cells of `cell_size` meters
-  /// (typically the maximum radio range). Does not keep the placement.
+  /// Buckets every placed node into square cells of `cell_size` meters.
+  /// Calibrate the cell to the *typical* query radius (the planning range),
+  /// not the worst-case radio range: a cell as wide as the whole deployment
+  /// degenerates every query to a full scan. Queries at any radius stay
+  /// correct — wider radii just visit more cell rings. Does not keep the
+  /// placement.
   SpatialIndex(const Placement& placement, double cell_size);
 
   /// Ids within `radius` of `center`'s position (center excluded), strictly
   /// ascending — the same relative order a full id-ordered scan would visit,
   /// so swapping the index in changes which nodes are considered, never the
-  /// order. `radius` must be <= the construction cell size for correctness.
+  /// order. Any radius is valid; the scan covers ceil(radius/cell_size)
+  /// rings of cells around the center.
   [[nodiscard]] std::vector<NodeId> within(NodeId center, double radius) const;
+
+  /// Like within(), but the center node itself is part of the result — the
+  /// shape fault scoping wants (a fault centered on a node hits that node).
+  [[nodiscard]] std::vector<NodeId> ball(NodeId center, double radius) const;
 
   /// One `within(id, radius)` table per placed node.
   [[nodiscard]] std::map<NodeId, std::vector<NodeId>> neighbor_tables(
@@ -41,6 +52,8 @@ class SpatialIndex {
   };
 
   [[nodiscard]] std::int64_t cell_key(double x, double y) const;
+  void collect(const Point& c, double radius, NodeId exclude,
+               std::vector<NodeId>& out) const;
 
   double cell_size_;
   std::vector<Entry> entries_;  // ascending by id

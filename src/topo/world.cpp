@@ -16,20 +16,46 @@ GeneratedWorld generate_world(const TopoSpec& spec, std::uint64_t seed,
       std::make_shared<const Placement>(generate_placement(spec, seed, ids));
   world.consumer = ids.front();
 
+  // The index cell and the neighbor-table radius are the *planning* range,
+  // not the maximum radio range: tree edges are only ever planned within
+  // spec.range, so the advertising hot path never needs candidates beyond
+  // it (statconn initiators all sit on planned edges). Building the tables
+  // at the radio range instead is the over-scan this replaced — at density
+  // 8 the radio range covers the whole deployment and every table held all
+  // N nodes, so each advertisement scanned ~N candidates to find <= 8
+  // interested ones, and table construction itself was O(N^2). Consumers
+  // that genuinely need radio-range tables (mesh flooding, self-forming
+  // discovery) query `index` at their own radius.
   const double radio_range = max_radio_range(spec);
-  const SpatialIndex index{*world.placement, radio_range};
-  world.neighbors = index.neighbor_tables(radio_range);
-
-  // Planned links: within the planning range AND physically usable (walls
-  // can push a short link's PER to 1). The planning range is capped by the
-  // radio range so the neighbor tables always cover the tree's edges.
   const double plan_range = std::min(spec.range, radio_range);
-  const auto usable = [&](NodeId a, NodeId b) {
-    const Point pa = world.placement->position(a);
-    const Point pb = world.placement->position(b);
-    if (distance(pa, pb) > plan_range) return false;
-    return link_per(spec, *world.placement, a, b) < 1.0;
+  world.index = std::make_shared<const SpatialIndex>(*world.placement, plan_range);
+  world.neighbors = world.index->neighbor_tables(plan_range);
+
+  const std::size_t n = ids.size();
+  const auto dense_index = [&](NodeId id) -> std::size_t {
+    return static_cast<std::size_t>(
+        std::lower_bound(ids.begin(), ids.end(), id) - ids.begin());
   };
+
+  // Usable planned links, PER precomputed once: within the planning range
+  // AND physically usable (walls can push a short link's PER to 1). The old
+  // growth loop re-evaluated link_per for every candidate on every pass,
+  // which at 10k nodes multiplied ~25 PER evaluations by the tree depth.
+  struct Cand {
+    std::uint32_t idx;  // dense index of the candidate
+    double per;
+  };
+  std::vector<std::vector<Cand>> usable(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& nbrs = world.neighbors.at(ids[i]);
+    usable[i].reserve(nbrs.size());
+    for (const NodeId cand : nbrs) {
+      const double per = link_per(spec, *world.placement, ids[i], cand);
+      if (per < 1.0) {
+        usable[i].push_back(Cand{static_cast<std::uint32_t>(dense_index(cand)), per});
+      }
+    }
+  }
 
   // Tree growth from the consumer. Each pass scans unattached nodes in
   // ascending id; a node with at least one attached, usable neighbor picks
@@ -39,55 +65,59 @@ GeneratedWorld generate_world(const TopoSpec& spec, std::uint64_t seed,
   // instead of piling every child onto the strongest node. Every criterion
   // is geometric or preserves id order, so the result is deterministic and
   // invariant under monotone relabeling.
-  std::map<NodeId, unsigned> depth;
-  std::map<NodeId, unsigned> child_count;
-  depth[world.consumer] = 0;
+  constexpr std::size_t kUnattached = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> depth(n, kUnattached);
+  std::vector<unsigned> child_count(n, 0);
+  depth[dense_index(world.consumer)] = 0;
+  std::vector<std::size_t> pending;
+  pending.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (depth[i] == kUnattached) pending.push_back(i);
+  }
   bool progress = true;
-  while (progress) {
+  while (progress && !pending.empty()) {
     progress = false;
-    for (const NodeId id : ids) {
-      if (depth.count(id) > 0) continue;
-      NodeId best = kInvalidNode;
-      unsigned best_depth = 0;
+    for (std::size_t& pi : pending) {
+      const std::size_t i = pi;
+      std::size_t best = kUnattached;
+      std::size_t best_depth = 0;
       double best_per = 2.0;
       unsigned best_children = 0;
-      for (const NodeId cand : world.neighbors.at(id)) {
-        const auto attached = depth.find(cand);
-        if (attached == depth.end()) continue;  // not attached yet
+      for (const Cand& c : usable[i]) {
+        const std::size_t d = depth[c.idx];
+        if (d == kUnattached) continue;  // not attached yet
         // Children cap: a full parent stops admitting; later passes attach
         // the remaining nodes one hop deeper (see TopoSpec::max_degree).
-        if (spec.max_degree != 0 && child_count[cand] >= spec.max_degree) continue;
-        if (!usable(id, cand)) continue;
-        const double per = link_per(spec, *world.placement, id, cand);
-        const unsigned d = attached->second;
-        const unsigned ch = child_count[cand];
+        const unsigned ch = child_count[c.idx];
+        if (spec.max_degree != 0 && ch >= spec.max_degree) continue;
         const auto better = [&] {
-          if (best == kInvalidNode) return true;
+          if (best == kUnattached) return true;
           if (d != best_depth) return d < best_depth;
           if (ch != best_children) return ch < best_children;
-          return per < best_per;
+          return c.per < best_per;
         };
         if (better()) {
-          best = cand;
+          best = c.idx;
           best_depth = d;
-          best_per = per;
+          best_per = c.per;
           best_children = ch;
         }
       }
-      if (best != kInvalidNode) {
-        world.parent[id] = best;
-        depth[id] = depth[best] + 1;
+      if (best != kUnattached) {
+        world.parent[ids[i]] = ids[best];
+        depth[i] = depth[best] + 1;
         ++child_count[best];
         progress = true;
+        pi = kUnattached;  // attached: compacted out after the pass
       }
     }
+    std::erase(pending, kUnattached);
   }
 
-  if (depth.size() != ids.size()) {
-    const std::size_t unreachable = ids.size() - depth.size();
+  if (!pending.empty()) {
     throw std::runtime_error{
         "topo: generated " + spec.generator_name() + " deployment is not connected: " +
-        std::to_string(unreachable) + " of " + std::to_string(ids.size()) +
+        std::to_string(pending.size()) + " of " + std::to_string(ids.size()) +
         " node(s) cannot reach the consumer at range " + std::to_string(plan_range) +
         " m — increase topo.density, topo.area, or topo.range"};
   }

@@ -17,16 +17,26 @@
 
 namespace mgap::topo {
 
+class SpatialIndex;
+
 struct GeneratedWorld {
   TopoSpec spec;
   /// Shared so channel-model closures can outlive the world struct.
   std::shared_ptr<const Placement> placement;
+  /// Uniform-grid index over the placement (cell = planning range). Shared
+  /// so fault scoping and backends can query arbitrary radii long after
+  /// generation — mesh flooding asks for radio-range tables, the fault
+  /// injector for interference balls.
+  std::shared_ptr<const SpatialIndex> index;
   NodeId consumer{1};
   /// Child -> parent, every node reaching `consumer`; the testbed's
   /// role-assignment convention (child coordinates, parent advertises)
   /// applies unchanged.
   std::map<NodeId, NodeId> parent;
-  /// Per-node in-range candidates at the maximum radio range, ascending.
+  /// Per-node in-range candidates at the *planning* range (ascending) — the
+  /// radius within which tree edges exist and statconn initiators listen.
+  /// Consumers needing the full radio range (flooding, discovery) query
+  /// `index` at their own radius instead.
   std::map<NodeId, std::vector<NodeId>> neighbors;
 };
 

@@ -1,0 +1,157 @@
+// Arena allocator tests: bump/heap mechanics, reverse-order finalization,
+// deterministic exhaustion, reset-reuse — and the experiment-level A/B
+// contract that arena-pooled per-node state produces bit-identical
+// simulation results to the heap path (same seed, same world, same numbers).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "sim/arena.hpp"
+#include "testbed/config_file.hpp"
+#include "testbed/experiment.hpp"
+#include "topo/spec.hpp"
+
+namespace mgap {
+namespace {
+
+struct DtorProbe {
+  std::vector<int>* order;
+  int id;
+  ~DtorProbe() { order->push_back(id); }
+};
+
+TEST(Arena, DestroysInReverseAllocationOrder) {
+  std::vector<int> order;
+  {
+    sim::Arena arena;
+    for (int i = 0; i < 4; ++i) arena.make<DtorProbe>(&order, i);
+    EXPECT_EQ(arena.objects(), 4u);
+    EXPECT_TRUE(order.empty());  // nothing dies before the arena
+  }
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(Arena, HeapModeKeepsTheSameSemantics) {
+  std::vector<int> order;
+  sim::Arena arena{sim::Arena::Mode::kHeap};
+  for (int i = 0; i < 3; ++i) arena.make<DtorProbe>(&order, i);
+  EXPECT_EQ(arena.objects(), 3u);
+  EXPECT_EQ(arena.bytes_used(), 0u);  // no bump chunks in heap mode
+  EXPECT_EQ(arena.chunk_count(), 0u);
+  arena.reset();
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 0}));
+  // Reusable after reset.
+  arena.make<DtorProbe>(&order, 9);
+  EXPECT_EQ(arena.objects(), 1u);
+}
+
+TEST(Arena, BumpAllocationIsContiguousWithinAChunk) {
+  sim::Arena arena;
+  auto* a = arena.make<std::uint64_t>(1u);
+  auto* b = arena.make<std::uint64_t>(2u);
+  // Creation-order locality: the second object sits right after the first.
+  EXPECT_EQ(reinterpret_cast<std::byte*>(b),
+            reinterpret_cast<std::byte*>(a) + sizeof(std::uint64_t));
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  EXPECT_GE(arena.bytes_used(), 2 * sizeof(std::uint64_t));
+}
+
+TEST(Arena, ExhaustionThrowsBadAllocDeterministically) {
+  // 1 KiB chunks capped at 2 KiB total: the third chunk request must throw,
+  // and the arena must stay usable (strong guarantee on the failed make).
+  using Block = std::array<std::byte, 512>;
+  sim::Arena arena{sim::Arena::Mode::kBump, 1024, 2048};
+  std::size_t made = 0;
+  try {
+    for (;;) {
+      arena.make<Block>();
+      ++made;
+    }
+  } catch (const std::bad_alloc&) {
+  }
+  EXPECT_EQ(made, 4u);  // 2 chunks x 2 objects each
+  EXPECT_EQ(arena.bytes_reserved(), 2048u);
+  EXPECT_EQ(arena.objects(), 4u);
+}
+
+TEST(Arena, ResetReleasesAndReuses) {
+  using Block = std::array<std::byte, 512>;
+  sim::Arena arena{sim::Arena::Mode::kBump, 1024, 2048};
+  for (int i = 0; i < 4; ++i) arena.make<Block>();
+  EXPECT_THROW(arena.make<Block>(), std::bad_alloc);
+  arena.reset();
+  EXPECT_EQ(arena.objects(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  // The budget is whole again: the same sequence fits again.
+  for (int i = 0; i < 4; ++i) arena.make<Block>();
+  EXPECT_EQ(arena.objects(), 4u);
+}
+
+TEST(Arena, OversizedObjectGetsItsOwnChunk) {
+  sim::Arena arena{sim::Arena::Mode::kBump, 64};
+  using BigBlock = std::array<std::byte, 4096>;
+  auto* big = arena.make<BigBlock>();
+  EXPECT_NE(big, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), 4096u);
+}
+
+// --- experiment-level A/B --------------------------------------------------
+
+testbed::ExperimentConfig small_world(bool arena) {
+  testbed::ExperimentConfig cfg;
+  cfg.topo.generator = topo::Generator::kRgg;
+  cfg.topo.nodes = 40;
+  cfg.topo.density = 8.0;
+  cfg.topo.range = 10.0;
+  cfg.duration = sim::Duration::sec(30);
+  cfg.producer_interval = sim::Duration::sec(5);
+  cfg.producer_jitter = sim::Duration::sec(1);
+  cfg.policy = core::IntervalPolicy::randomized(sim::Duration::ms(65),
+                                                sim::Duration::ms(85));
+  cfg.seed = 11;
+  cfg.arena = arena;
+  return cfg;
+}
+
+TEST(ArenaExperiment, BumpAndHeapModesAreBitIdentical) {
+  testbed::Experiment with{small_world(true)};
+  with.run();
+  testbed::Experiment without{small_world(false)};
+  without.run();
+
+  const testbed::ExperimentSummary a = with.summary();
+  const testbed::ExperimentSummary b = without.summary();
+  // Every deterministic output, including the full counter map: if any RNG
+  // stream or event ordering depended on allocation layout, these diverge.
+  EXPECT_EQ(a.sent, b.sent);
+  EXPECT_EQ(a.acked, b.acked);
+  EXPECT_EQ(a.conn_losses, b.conn_losses);
+  EXPECT_EQ(a.reconnects, b.reconnects);
+  EXPECT_EQ(a.ll_pdr, b.ll_pdr);
+  EXPECT_EQ(a.rtt_p50, b.rtt_p50);
+  EXPECT_EQ(a.rtt_p99, b.rtt_p99);
+  EXPECT_EQ(a.rtt_max, b.rtt_max);
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_GT(a.sent, 0u);
+
+  // And the arena actually carried the per-node state in bump mode.
+  EXPECT_GT(with.ble_world()->arena().objects(), 0u);
+  EXPECT_GT(with.ble_world()->arena().bytes_used(), 0u);
+  EXPECT_EQ(without.ble_world()->arena().bytes_used(), 0u);
+}
+
+TEST(ArenaExperiment, ConfigKeyRoundTrips) {
+  const testbed::ExperimentConfig cfg =
+      testbed::parse_experiment_config("arena = false\nduration = 1s\n");
+  EXPECT_FALSE(cfg.arena);
+  const std::string rendered = testbed::render_experiment_config(cfg);
+  EXPECT_NE(rendered.find("arena = false"), std::string::npos);
+  EXPECT_TRUE(testbed::parse_experiment_config(rendered + "arena = true\n").arena);
+}
+
+}  // namespace
+}  // namespace mgap

@@ -17,6 +17,8 @@
 #include "sim/simulator.hpp"
 #include "testbed/config_file.hpp"
 #include "testbed/experiment.hpp"
+#include "topo/spatial_index.hpp"
+#include "topo/spec.hpp"
 
 namespace mgap::fault {
 namespace {
@@ -409,6 +411,155 @@ seeds = 1..2
   EXPECT_EQ(result.cells[0].summary.faults_injected, 0u);
   EXPECT_EQ(result.cells[2].summary.faults_injected, 1u);
   EXPECT_GE(result.cells[2].summary.losses_injected, 1u);
+}
+
+// --- radius-scoped faults --------------------------------------------------
+
+TEST(FaultSpec, ParsesRadiusScopes) {
+  const FaultEvent i =
+      parse_fault_event("interfere channels=10-14 at=1s for=5s per=0.9 node=3 radius=25");
+  EXPECT_EQ(i.node, 3u);
+  EXPECT_DOUBLE_EQ(i.radius, 25.0);
+  const FaultEvent i2 = parse_fault_event(i.str());
+  EXPECT_EQ(i2.node, 3u);
+  EXPECT_DOUBLE_EQ(i2.radius, 25.0);
+
+  const FaultEvent p =
+      parse_fault_event("pressure node=2 at=1s for=2s bytes=4096 radius=15");
+  EXPECT_DOUBLE_EQ(p.radius, 15.0);
+  EXPECT_DOUBLE_EQ(parse_fault_event(p.str()).radius, 15.0);
+
+  // Legacy forms keep radius 0 (global / single-node scope).
+  EXPECT_DOUBLE_EQ(
+      parse_fault_event("interfere channels=0-36 at=1s for=1s").radius, 0.0);
+  EXPECT_DOUBLE_EQ(
+      parse_fault_event("pressure node=2 at=1s for=1s bytes=64").radius, 0.0);
+}
+
+TEST(FaultSpec, RejectsMalformedRadiusScopes) {
+  // A radius needs a center; a center is meaningless without a radius.
+  EXPECT_THROW(parse_fault_event("interfere channels=0-36 at=1s for=1s radius=5"),
+               std::runtime_error);
+  EXPECT_THROW(parse_fault_event("interfere channels=0-36 at=1s for=1s node=3"),
+               std::runtime_error);
+  EXPECT_THROW(
+      parse_fault_event("interfere channels=0-36 at=1s for=1s node=3 radius=0"),
+      std::runtime_error);
+  EXPECT_THROW(
+      parse_fault_event("pressure node=2 at=1s for=1s bytes=64 radius=-1"),
+      std::runtime_error);
+}
+
+testbed::ExperimentConfig geo_config(std::uint64_t seed = 7) {
+  testbed::ExperimentConfig cfg;
+  cfg.topo.generator = topo::Generator::kRgg;
+  cfg.topo.nodes = 30;
+  cfg.topo.density = 8.0;
+  cfg.topo.range = 10.0;
+  cfg.duration = sim::Duration::sec(40);
+  cfg.producer_interval = sim::Duration::sec(1);
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(FaultInjection, WorldSpanningRadiusEqualsLegacyGlobalInterference) {
+  // A ball that covers the whole deployment must reproduce the legacy global
+  // channel fault exactly: the per-receiver regional models all start as
+  // copies of the global model, get the same perturbation, and the delivery
+  // rolls consume the same RNG draws.
+  testbed::ExperimentConfig legacy = geo_config();
+  legacy.faults["fault.0"] =
+      parse_fault_event("interfere channels=0-36 at=10s for=15s per=0.8");
+  testbed::Experiment a{legacy};
+  a.run();
+
+  testbed::ExperimentConfig scoped = geo_config();
+  scoped.faults["fault.0"] = parse_fault_event(
+      "interfere channels=0-36 at=10s for=15s per=0.8 node=1 radius=100000");
+  testbed::Experiment b{scoped};
+  b.run();
+
+  EXPECT_FALSE(a.ble_world()->has_region_models());
+  EXPECT_TRUE(b.ble_world()->has_region_models());
+  const testbed::ExperimentSummary sa = a.summary();
+  const testbed::ExperimentSummary sb = b.summary();
+  EXPECT_EQ(sa.sent, sb.sent);
+  EXPECT_EQ(sa.acked, sb.acked);
+  EXPECT_EQ(sa.ll_pdr, sb.ll_pdr);
+  EXPECT_EQ(sa.losses_injected, sb.losses_injected);
+  EXPECT_EQ(sa.counters, sb.counters);
+}
+
+TEST(FaultInjection, LocalInterferenceHurtsLessThanGlobal) {
+  testbed::Experiment clean{geo_config()};
+  clean.run();
+
+  testbed::ExperimentConfig local_cfg = geo_config();
+  // A tight ball around one mid-tree node: only receivers inside it see the
+  // extra PER; the rest of the world keeps the clean channel.
+  local_cfg.faults["fault.0"] = parse_fault_event(
+      "interfere channels=0-36 at=10s for=20s per=0.9 node=15 radius=8");
+  testbed::Experiment local{local_cfg};
+  local.run();
+
+  testbed::ExperimentConfig global_cfg = geo_config();
+  global_cfg.faults["fault.0"] =
+      parse_fault_event("interfere channels=0-36 at=10s for=20s per=0.9");
+  testbed::Experiment global{global_cfg};
+  global.run();
+
+  EXPECT_LT(global.summary().ll_pdr, clean.summary().ll_pdr - 0.02);
+  EXPECT_GT(local.summary().ll_pdr, global.summary().ll_pdr);
+}
+
+TEST(FaultInjection, TinyRadiusPressureEqualsLegacySingleNode) {
+  testbed::ExperimentConfig legacy = geo_config();
+  legacy.producer_interval = sim::Duration::ms(200);
+  legacy.faults["fault.0"] =
+      parse_fault_event("pressure node=5 at=10s for=10s bytes=6100");
+  testbed::Experiment a{legacy};
+  a.run();
+
+  // radius=0.01: the ball degenerates to the named node, so the regional
+  // path must seize and restore exactly what the legacy path did.
+  testbed::ExperimentConfig scoped = geo_config();
+  scoped.producer_interval = sim::Duration::ms(200);
+  scoped.faults["fault.0"] =
+      parse_fault_event("pressure node=5 at=10s for=10s bytes=6100 radius=0.01");
+  testbed::Experiment b{scoped};
+  b.run();
+
+  const testbed::ExperimentSummary sa = a.summary();
+  const testbed::ExperimentSummary sb = b.summary();
+  EXPECT_EQ(sa.sent, sb.sent);
+  EXPECT_EQ(sa.acked, sb.acked);
+  EXPECT_EQ(sa.pktbuf_drops, sb.pktbuf_drops);
+  EXPECT_EQ(sa.counters, sb.counters);
+  EXPECT_GT(a.stack(5).stats().drop_pktbuf, 0u);
+}
+
+TEST(FaultInjection, RadiusPressureSqueezesTheWholeBall) {
+  testbed::ExperimentConfig cfg = geo_config();
+  cfg.producer_interval = sim::Duration::ms(200);
+  cfg.faults["fault.0"] =
+      parse_fault_event("pressure node=5 at=10s for=10s bytes=6100 radius=10");
+  testbed::Experiment exp{cfg};
+
+  const auto* geo = exp.generated_world();
+  ASSERT_NE(geo, nullptr);
+  const std::vector<NodeId> ball = geo->index->ball(5, 10.0);
+  ASSERT_GT(ball.size(), 1u) << "fixture needs a non-degenerate ball";
+  exp.run();
+
+  // Every node in the ball lost its buffer for the window.
+  std::uint64_t ball_drops = 0;
+  for (const NodeId id : ball) ball_drops += exp.stack(id).stats().drop_pktbuf;
+  EXPECT_GT(ball_drops, 0u);
+  // Capacity restored: traffic flows again after the window.
+  const testbed::PdrBucket after = exp.metrics().count_between(
+      sim::TimePoint::origin() + sim::Duration::sec(25),
+      sim::TimePoint::origin() + sim::Duration::sec(40));
+  EXPECT_GT(after.acked, 0u);
 }
 
 }  // namespace

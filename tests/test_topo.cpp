@@ -7,10 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <optional>
 #include <set>
 #include <stdexcept>
 
 #include "ble/world.hpp"
+#include "net/ipv6_addr.hpp"
+#include "net/routing.hpp"
 #include "phy/channel_model.hpp"
 #include "sim/simulator.hpp"
 #include "testbed/config_file.hpp"
@@ -267,6 +271,21 @@ TEST(TopoSpatialIndex, NeighborTablesAreAscendingAndSymmetric) {
   }
 }
 
+TEST(TopoSpatialIndex, BallIncludesTheCenter) {
+  const topo::TopoSpec spec = rgg_spec(80);
+  const topo::Placement p = topo::generate_placement(spec, 9);
+  const topo::SpatialIndex index{p, spec.range};
+  for (const double radius : {0.0, 5.0, 25.0}) {
+    for (const NodeId id : p.ids) {
+      const std::vector<NodeId> ball = index.ball(id, radius);
+      // ball = {center} ∪ within, still strictly ascending.
+      EXPECT_TRUE(std::binary_search(ball.begin(), ball.end(), id));
+      EXPECT_TRUE(std::is_sorted(ball.begin(), ball.end()));
+      EXPECT_EQ(ball.size(), index.within(id, radius).size() + 1);
+    }
+  }
+}
+
 // --- generated world -------------------------------------------------------
 
 TEST(TopoWorld, TreeIsConnectedCappedAndCovered) {
@@ -353,6 +372,86 @@ TEST(TopoBleWorld, GeneratedExperimentRidesTheNeighborTables) {
   EXPECT_GT(exp.ble_world()->adv_events_routed(), 0u);
   EXPECT_EQ(s.counters.at("ble.adv_full_scans"), 0.0);
   EXPECT_GT(s.counters.at("ble.adv_events_routed"), 0.0);
+}
+
+TEST(TopoBleWorld, AdvertisingScanStaysBoundedByDegree) {
+  // Regression guard for the over-scanning bug: routed advertising events
+  // used to walk a large slice of the world per CONNECT_IND (1.6M candidates
+  // for ~1k routed events at 1000 nodes) because the neighbor tables were
+  // built at the radio range instead of the planning range. With plan-range
+  // tables, the per-event candidate count is the plan-range degree — a small
+  // multiple of the tree's degree cap (8), not a function of world size.
+  testbed::ExperimentConfig cfg;
+  cfg.topo = rgg_spec(100);
+  cfg.duration = sim::Duration::sec(30);
+  cfg.producer_interval = sim::Duration::sec(5);
+  cfg.seed = 7;
+  testbed::Experiment exp{cfg};
+  exp.run();
+
+  const ble::BleWorld& world = *exp.ble_world();
+  ASSERT_GT(world.adv_events_routed(), 0u);
+  EXPECT_EQ(world.adv_full_scans(), 0u);
+  // ~25 in-range neighbors at density 8 / range 10: allow 5x the degree cap.
+  EXPECT_LE(world.adv_candidates_scanned(), 40 * world.adv_events_routed());
+}
+
+TEST(TopoBleWorld, LazyRoutesEqualTheEagerBuild) {
+  // Generated worlds resolve downstream routes lazily from the parent map;
+  // static worlds still materialize every (ancestor, descendant) host route
+  // up front. The contract: for every (node, destination) pair the lazy
+  // lookup answers exactly what the eager table would.
+  testbed::ExperimentConfig cfg;
+  cfg.topo = rgg_spec(40);
+  cfg.duration = sim::Duration::sec(1);
+  cfg.seed = 3;
+  testbed::Experiment exp{cfg};
+
+  const testbed::Topology& topo = exp.config().topology;
+  for (const NodeId id : topo.nodes) {
+    net::RoutingTable& routes = exp.stack(id).routes();
+    // Eager expectation, recomputed here the way install_routes() used to:
+    // child subtrees get host routes via the child, everything else defaults
+    // to the parent (the consumer has no default).
+    std::map<NodeId, NodeId> eager;
+    for (const NodeId child : topo.children(id)) {
+      eager[child] = child;
+      for (const NodeId desc : topo.subtree(child)) eager[desc] = child;
+    }
+    for (const NodeId dst : topo.nodes) {
+      const std::optional<net::Ipv6Addr> got =
+          routes.lookup(net::Ipv6Addr::site(dst));
+      const auto it = eager.find(dst);
+      if (it != eager.end()) {
+        ASSERT_TRUE(got.has_value()) << id << " -> " << dst;
+        EXPECT_EQ(*got, net::Ipv6Addr::site(it->second)) << id << " -> " << dst;
+      } else if (id != topo.consumer) {
+        ASSERT_TRUE(got.has_value()) << id << " -> " << dst;
+        EXPECT_EQ(*got, net::Ipv6Addr::site(topo.parent.at(id)))
+            << id << " -> " << dst;
+      } else {
+        EXPECT_FALSE(got.has_value()) << id << " -> " << dst;
+      }
+    }
+  }
+}
+
+TEST(TopoBleWorld, LazyResolverCachesAsHostRoutes) {
+  testbed::ExperimentConfig cfg;
+  cfg.topo = rgg_spec(30);
+  cfg.duration = sim::Duration::sec(1);
+  cfg.seed = 3;
+  testbed::Experiment exp{cfg};
+
+  const testbed::Topology& topo = exp.config().topology;
+  net::RoutingTable& routes = exp.stack(topo.consumer).routes();
+  EXPECT_EQ(routes.size(), 0u);  // nothing materialized at setup
+  NodeId leaf = topo.consumer;
+  for (const auto& [child, parent] : topo.parent) leaf = std::max(leaf, child);
+  (void)routes.lookup(net::Ipv6Addr::site(leaf));
+  EXPECT_EQ(routes.size(), 1u);  // resolver answer cached, run-once
+  (void)routes.lookup(net::Ipv6Addr::site(leaf));
+  EXPECT_EQ(routes.size(), 1u);
 }
 
 TEST(TopoBleWorld, StaticExperimentsKeepCountersOut) {
