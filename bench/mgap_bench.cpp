@@ -210,6 +210,45 @@ int run_campaign(const std::string& out_dir, bool quick) {
   return 0;
 }
 
+/// One scale-bench cell: summary, timing, and the BleWorld advertising-path
+/// counters that prove the spatial index carried the run.
+struct ScaleCell {
+  testbed::ExperimentSummary s;
+  double wall{0.0};
+  std::uint64_t adv_events_routed{0};
+  std::uint64_t adv_candidates_scanned{0};
+  std::uint64_t adv_full_scans{0};
+};
+
+ScaleCell run_scale_cell(unsigned n, sim::Duration duration, unsigned threads) {
+  testbed::ExperimentConfig cfg;
+  cfg.topo.generator = topo::Generator::kRgg;
+  cfg.topo.nodes = n;
+  cfg.topo.density = 8.0;  // ~25 in-range neighbors at 10 m
+  cfg.topo.range = 10.0;
+  cfg.duration = duration;
+  // Aggregate offered load stays under the consumer's 8-link capacity even
+  // with 999 producers, so every size delivers a nonzero PDR.
+  cfg.producer_interval = sim::Duration::sec(30);
+  cfg.producer_jitter = sim::Duration::sec(10);
+  cfg.policy = core::IntervalPolicy::randomized(sim::Duration::ms(65),
+                                                sim::Duration::ms(85));
+  cfg.seed = 7;
+  cfg.sim_threads = threads;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  testbed::Experiment exp{std::move(cfg)};
+  exp.run();
+  ScaleCell cell;
+  cell.wall = seconds_since(t0);
+  cell.s = exp.summary();
+  const ble::BleWorld& world = *exp.ble_world();
+  cell.adv_events_routed = world.adv_events_routed();
+  cell.adv_candidates_scanned = world.adv_candidates_scanned();
+  cell.adv_full_scans = world.adv_full_scans();
+  return cell;
+}
+
 int run_scale(const std::string& out_dir, bool quick) {
   // The tentpole scalability bench: generated RGG worlds at constant density
   // (so the mean node degree stays put while the deployment area grows),
@@ -218,41 +257,52 @@ int run_scale(const std::string& out_dir, bool quick) {
   // neighbor tables rather than the O(N)-per-advertisement scan. The 3k and
   // 10k rows are the arena/SoA payoff: they only became runnable (minutes,
   // not hours) once per-node state was pooled and interference localized.
+  //
+  // The 3k/10k sizes are additionally rerun at sim.threads = 2 and 4: the
+  // lookahead-parallel kernel must reproduce the 1-thread summary exactly
+  // (sent/acked asserted here, the full map in test_parallel_sim) while
+  // cutting wall time; the `speedup` field is wall(1 thread) / wall(N).
+  // Fingerprints cover only the 1-thread rows — parallelism must not move
+  // them by construction.
   const unsigned sizes[] = {15, 100, 1000, 3000, 10000};
+  const unsigned parallel_threads[] = {2, 4};
   const sim::Duration duration = sim::Duration::sec(quick ? 30 : 60);
 
   int rc = 0;
   std::string fingerprint_src;
   std::string json = "{\n  \"bench\": \"scale\",\n  \"cases\": [\n";
+
+  const auto emit_row = [&json](unsigned n, unsigned threads, double sim_seconds,
+                                const ScaleCell& c, double speedup, bool last) {
+    char line[640];
+    std::snprintf(line, sizeof line,
+                  "    {\"nodes\": %u, \"threads\": %u, \"sim_seconds\": %.0f, "
+                  "\"wall_seconds\": %.9f, \"sim_per_wall\": %.1f, "
+                  "\"speedup\": %.3f, \"sent\": %" PRIu64 ", \"acked\": %" PRIu64
+                  ", \"coap_pdr\": %.6f, \"mean_hops\": %.3f, \"max_hops\": %" PRIu64
+                  ", \"adv_events_routed\": %" PRIu64
+                  ", \"adv_candidates_scanned\": %" PRIu64
+                  ", \"adv_full_scans\": %" PRIu64 "}%s\n",
+                  n, threads, sim_seconds, c.wall,
+                  c.wall > 0 ? sim_seconds / c.wall : 0.0, speedup, c.s.sent,
+                  c.s.acked, c.s.coap_pdr, c.s.topo_mean_hops, c.s.topo_max_hops,
+                  c.adv_events_routed, c.adv_candidates_scanned, c.adv_full_scans,
+                  last ? "" : ",");
+    json += line;
+  };
+
   for (std::size_t i = 0; i < std::size(sizes); ++i) {
     const unsigned n = sizes[i];
-    testbed::ExperimentConfig cfg;
-    cfg.topo.generator = topo::Generator::kRgg;
-    cfg.topo.nodes = n;
-    cfg.topo.density = 8.0;  // ~25 in-range neighbors at 10 m
-    cfg.topo.range = 10.0;
-    cfg.duration = duration;
-    // Aggregate offered load stays under the consumer's 8-link capacity even
-    // with 999 producers, so every size delivers a nonzero PDR.
-    cfg.producer_interval = sim::Duration::sec(30);
-    cfg.producer_jitter = sim::Duration::sec(10);
-    cfg.policy = core::IntervalPolicy::randomized(sim::Duration::ms(65),
-                                                  sim::Duration::ms(85));
-    cfg.seed = 7;
-
-    const auto t0 = std::chrono::steady_clock::now();
-    testbed::Experiment exp{std::move(cfg)};
-    exp.run();
-    const double wall = seconds_since(t0);
-    const testbed::ExperimentSummary s = exp.summary();
-    const ble::BleWorld& world = *exp.ble_world();
+    const bool parallel_rows = n >= 3000;
+    const ScaleCell serial = run_scale_cell(n, duration, 1);
+    const testbed::ExperimentSummary& s = serial.s;
     const double sim_seconds = static_cast<double>(duration.count_ns()) * 1e-9;
 
-    if (world.adv_full_scans() != 0) {
+    if (serial.adv_full_scans != 0) {
       std::fprintf(stderr,
                    "scale: FAIL: %u-node case fell back to %" PRIu64
                    " full advertising scans (neighbor table not in effect)\n",
-                   n, world.adv_full_scans());
+                   n, serial.adv_full_scans);
       rc = 1;
     }
     if (s.coap_pdr <= 0.0) {
@@ -261,35 +311,44 @@ int run_scale(const std::string& out_dir, bool quick) {
     }
 
     // Everything except wall time is deterministic; the fingerprint is the
-    // cross-build reproducibility contract for generated worlds.
+    // cross-build reproducibility contract for generated worlds. 1-thread
+    // rows only: the parallel rows must match them and are checked below.
     char det[256];
     std::snprintf(det, sizeof det,
                   "n=%u sent=%" PRIu64 " acked=%" PRIu64
                   " mean_hops=%.6f max_hops=%" PRIu64 " routed=%" PRIu64
                   " scanned=%" PRIu64 ";",
                   n, s.sent, s.acked, s.topo_mean_hops, s.topo_max_hops,
-                  world.adv_events_routed(), world.adv_candidates_scanned());
+                  serial.adv_events_routed, serial.adv_candidates_scanned);
     fingerprint_src += det;
 
-    char line[512];
-    std::snprintf(line, sizeof line,
-                  "    {\"nodes\": %u, \"sim_seconds\": %.0f, \"wall_seconds\": "
-                  "%.9f, \"sim_per_wall\": %.1f, \"sent\": %" PRIu64
-                  ", \"acked\": %" PRIu64 ", \"coap_pdr\": %.6f, "
-                  "\"mean_hops\": %.3f, \"max_hops\": %" PRIu64
-                  ", \"adv_events_routed\": %" PRIu64
-                  ", \"adv_candidates_scanned\": %" PRIu64
-                  ", \"adv_full_scans\": %" PRIu64 "}%s\n",
-                  n, sim_seconds, wall, wall > 0 ? sim_seconds / wall : 0.0,
-                  s.sent, s.acked, s.coap_pdr, s.topo_mean_hops, s.topo_max_hops,
-                  world.adv_events_routed(), world.adv_candidates_scanned(),
-                  world.adv_full_scans(), i + 1 < std::size(sizes) ? "," : "");
-    json += line;
-    std::printf("scale: %4u nodes: %.0f sim-s in %.2f wall-s (%.0fx), PDR %.3f, "
+    const bool last_size = i + 1 == std::size(sizes);
+    emit_row(n, 1, sim_seconds, serial, 1.0, last_size && !parallel_rows);
+    std::printf("scale: %5u nodes: %.0f sim-s in %.2f wall-s (%.0fx), PDR %.3f, "
                 "mean hops %.2f, %" PRIu64 " adv routed / %" PRIu64 " scanned\n",
-                n, sim_seconds, wall, wall > 0 ? sim_seconds / wall : 0.0,
-                s.coap_pdr, s.topo_mean_hops, world.adv_events_routed(),
-                world.adv_candidates_scanned());
+                n, sim_seconds, serial.wall,
+                serial.wall > 0 ? sim_seconds / serial.wall : 0.0, s.coap_pdr,
+                s.topo_mean_hops, serial.adv_events_routed,
+                serial.adv_candidates_scanned);
+    if (!parallel_rows) continue;
+
+    for (std::size_t t = 0; t < std::size(parallel_threads); ++t) {
+      const unsigned threads = parallel_threads[t];
+      const ScaleCell par = run_scale_cell(n, duration, threads);
+      const double speedup = par.wall > 0 ? serial.wall / par.wall : 0.0;
+      if (par.s.sent != s.sent || par.s.acked != s.acked) {
+        std::fprintf(stderr,
+                     "scale: FAIL: %u-node %u-thread run diverged from the "
+                     "1-thread oracle (sent %" PRIu64 " vs %" PRIu64
+                     ", acked %" PRIu64 " vs %" PRIu64 ")\n",
+                     n, threads, par.s.sent, s.sent, par.s.acked, s.acked);
+        rc = 1;
+      }
+      emit_row(n, threads, sim_seconds, par, speedup,
+               last_size && t + 1 == std::size(parallel_threads));
+      std::printf("scale: %5u nodes @%u threads: %.2f wall-s (%.2fx speedup)\n",
+                  n, threads, par.wall, speedup);
+    }
   }
   char tail[96];
   std::snprintf(tail, sizeof tail, "  ],\n  \"deterministic_fnv1a\": \"%016" PRIx64

@@ -1,0 +1,447 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace mgap::sim {
+
+thread_local ParallelScheduler::ExecContext* ParallelScheduler::tls_ctx_ = nullptr;
+
+namespace {
+
+constexpr std::int64_t kNeverNs = std::numeric_limits<std::int64_t>::min();
+
+std::uint32_t uf_find(std::vector<std::uint32_t>& parent, std::uint32_t i) {
+  while (parent[i] != i) {
+    parent[i] = parent[parent[i]];  // path halving
+    i = parent[i];
+  }
+  return i;
+}
+
+}  // namespace
+
+ParallelScheduler::ParallelScheduler(Simulator& sim, ParallelConfig cfg)
+    : sim_{sim}, queue_{sim.queue_}, cfg_{cfg} {
+  if (std::getenv("MGAP_PARANOID") != nullptr) cfg_.paranoid = true;
+  if (cfg_.threads == 0) cfg_.threads = 1;
+  if (cfg_.window < Duration{}) cfg_.window = Duration{};
+  // The window must never exceed the backend's lookahead guarantee, or
+  // parallel-tagged events could spawn behind already-executed conflicts.
+  if (cfg_.lookahead > Duration{} && cfg_.window > cfg_.lookahead) {
+    cfg_.window = cfg_.lookahead;
+  }
+  window_universal_exec_ns_ = kNeverNs;
+  window_any_exec_ns_ = kNeverNs;
+
+  unsigned nworkers = 0;
+  if (!cfg_.force_serial && cfg_.lookahead > Duration{} && cfg_.threads > 1) {
+    nworkers = cfg_.threads - 1;
+  }
+  ctxs_.reserve(nworkers + 1);
+  ctxs_.emplace_back(std::make_unique<ExecContext>())->owner = this;
+  for (unsigned i = 0; i < nworkers; ++i) {
+    auto& c = ctxs_.emplace_back(std::make_unique<ExecContext>());
+    c->owner = this;
+    c->info.worker = true;
+  }
+  shares_.resize(nworkers);
+  workers_.reserve(nworkers);
+  for (unsigned i = 0; i < nworkers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+  sim_.attach_parallel(this);
+}
+
+ParallelScheduler::~ParallelScheduler() {
+  sim_.detach_parallel(this);
+  {
+    std::lock_guard<std::mutex> lk(barrier_mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+bool ParallelScheduler::tls_in_round(const ParallelScheduler* self) {
+  return tls_ctx_ != nullptr && tls_ctx_->owner == self;
+}
+
+const TimePoint* ParallelScheduler::tls_now() {
+  return tls_ctx_ != nullptr ? &tls_ctx_->now : nullptr;
+}
+
+bool ParallelScheduler::tls_on_worker(const ParallelScheduler* self) {
+  return tls_ctx_ != nullptr && tls_ctx_->owner == self && tls_ctx_->info.worker;
+}
+
+const ParallelScheduler::ExecInfo* ParallelScheduler::tls_exec_info() {
+  return tls_ctx_ != nullptr ? &tls_ctx_->info : nullptr;
+}
+
+std::uint64_t ParallelScheduler::id_key(EventId id) {
+  return (static_cast<std::uint64_t>(id.slot_) << 32) | id.gen_;
+}
+
+std::uint64_t ParallelScheduler::run_until(TimePoint until) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    const TimePoint wstart = queue_.next_time();
+    const TimePoint horizon = min(wstart + cfg_.window, until);
+    ++stats_.windows;
+    ++window_id_;
+    window_rounds_.clear();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      window_map_.clear();
+    }
+    window_node_exec_.clear();
+    window_universal_exec_ns_ = kNeverNs;
+    window_any_exec_ns_ = kNeverNs;
+    while (!queue_.empty() && queue_.next_time() <= horizon) {
+      run_round(horizon, ran);
+    }
+    if (last_exec_ > sim_.now_) sim_.now_ = last_exec_;
+  }
+  // Same end-of-run clamp as the serial loop in Simulator::run_until.
+  if (sim_.now_ < until && until.count_ns() != std::numeric_limits<std::int64_t>::max()) {
+    sim_.now_ = until;
+  }
+  return ran;
+}
+
+void ParallelScheduler::run_round(TimePoint horizon, std::uint64_t& ran) {
+  pop_scratch_.clear();
+  if (queue_.pop_batch(horizon, pop_scratch_) == 0) return;
+  ++stats_.rounds;
+  auto& entries = window_rounds_.emplace_back();
+  for (auto& p : pop_scratch_) entries.emplace_back(std::move(p));
+  pop_scratch_.clear();
+  const auto n = static_cast<std::uint32_t>(entries.size());
+
+  // Catch-up rounds re-enter the window: flag any event landing behind an
+  // already-executed event whose radio set intersects its own.
+  check_causality(entries);
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& e : entries) window_map_.emplace(id_key(e.ev.id), &e);
+  }
+
+  // pop_batch only ever emits a universal event alone, so `any_universal`
+  // means a singleton batch — which trivially serializes.
+  bool any_universal = false;
+  for (const auto& e : entries) {
+    if (e.ev.tag.universal()) {
+      any_universal = true;
+      break;
+    }
+  }
+  const bool serialize_all = any_universal || workers_.empty();
+
+  serial_idxs_.clear();
+  round_group_idxs_.clear();
+  round_group_lanes_.clear();
+
+  if (serialize_all) {
+    serial_idxs_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) serial_idxs_.push_back(i);
+  } else {
+    // Union-find over shared RadioSet nodes: events whose footprints
+    // (transitively) intersect land in one conflict group.
+    uf_parent_.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) uf_parent_[i] = i;
+    node_owner_.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const RadioSet& tag = entries[i].ev.tag;
+      for (std::size_t k = 0; k < tag.size(); ++k) {
+        auto [it, inserted] = node_owner_.try_emplace(tag.node(k), i);
+        if (!inserted) {
+          const std::uint32_t a = uf_find(uf_parent_, i);
+          const std::uint32_t b = uf_find(uf_parent_, it->second);
+          if (a != b) uf_parent_[a] = b;
+        }
+      }
+    }
+    // A group containing any serial-only event runs on the serial lane, in
+    // global batch order; the rest become worker groups (batch order within).
+    uf_taint_.assign(n, 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (entries[i].ev.tag.serial_only()) uf_taint_[uf_find(uf_parent_, i)] = 1;
+    }
+    root_group_.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t r = uf_find(uf_parent_, i);
+      if (uf_taint_[r] != 0) {
+        serial_idxs_.push_back(i);
+      } else {
+        auto [it, inserted] =
+            root_group_.try_emplace(r, static_cast<std::uint32_t>(round_group_idxs_.size()));
+        if (inserted) round_group_idxs_.emplace_back();
+        round_group_idxs_[it->second].push_back(i);
+      }
+    }
+  }
+
+  round_serial_lane_ = serial_idxs_.empty() ? 0 : next_lane_++;
+  for (std::uint32_t i : serial_idxs_) entries[i].lane = round_serial_lane_;
+  round_group_lanes_.clear();
+  round_group_lanes_.reserve(round_group_idxs_.size());
+  for (const auto& g : round_group_idxs_) {
+    const std::uint64_t lane = next_lane_++;
+    round_group_lanes_.push_back(lane);
+    for (std::uint32_t i : g) entries[i].lane = lane;
+  }
+  stats_.parallel_groups += round_group_idxs_.size();
+
+  if (cfg_.paranoid) audit_disjoint(entries);
+
+  ExecContext& main_ctx = *ctxs_[0];
+  if (round_group_idxs_.empty()) {
+    exec_entries(entries, serial_idxs_, round_serial_lane_, main_ctx);
+  } else if (round_group_idxs_.size() == 1) {
+    // One conflict group has no intra-round parallelism to exploit: run it
+    // (and the serial lane) on this thread and skip the worker barrier —
+    // sparse windows hit this constantly, and two condvar round-trips per
+    // round dwarf the work itself. Lanes are already assigned, so the
+    // instrumentation still reports the group as its own lane.
+    exec_entries(entries, serial_idxs_, round_serial_lane_, main_ctx);
+    exec_entries(entries, round_group_idxs_[0], round_group_lanes_[0], main_ctx);
+  } else {
+    // Pre-assigned round-robin shares (not work stealing): the round cannot
+    // complete until every assigned worker has processed its share, so a
+    // worker can never observe the next round's state mid-flight.
+    const std::size_t nw = workers_.size();
+    for (auto& s : shares_) s.clear();
+    main_share_.clear();
+    // Main thread first: for rounds with fewer groups than executors this
+    // keeps the coordinating thread busy instead of parked on the barrier.
+    for (std::size_t g = 0; g < round_group_idxs_.size(); ++g) {
+      const std::size_t ex = g % (nw + 1);
+      if (ex == 0) {
+        main_share_.push_back(static_cast<std::uint32_t>(g));
+      } else {
+        shares_[ex - 1].push_back(static_cast<std::uint32_t>(g));
+      }
+    }
+    round_entries_ = &entries;
+    // Every worker checks in exactly once per published round, *after* it is
+    // completely done reading its share — only then may this thread reuse the
+    // shares_/round_group_* buffers for the next round.
+    units_target_ = static_cast<std::uint32_t>(nw);
+    units_done_.store(0, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(barrier_mu_);
+      ++round_seq_;
+    }
+    cv_work_.notify_all();
+    // Serial lane first (its events must not wait on this thread's group
+    // share longer than necessary), then the main thread's own groups.
+    exec_entries(entries, serial_idxs_, round_serial_lane_, main_ctx);
+    for (std::uint32_t g : main_share_) {
+      exec_entries(entries, round_group_idxs_[g], round_group_lanes_[g], main_ctx);
+    }
+    {
+      std::unique_lock<std::mutex> lk(barrier_mu_);
+      cv_done_.wait(lk, [&] {
+        return units_done_.load(std::memory_order_acquire) == units_target_;
+      });
+    }
+  }
+
+  merge_round(entries, ran);
+}
+
+void ParallelScheduler::exec_entries(std::deque<Entry>& entries,
+                                     const std::vector<std::uint32_t>& idxs, std::uint64_t lane,
+                                     ExecContext& ctx) {
+  if (idxs.empty()) return;
+  ctx.info.window = window_id_;
+  ctx.info.round = stats_.rounds;  // set by main before the round is published
+  ctx.info.lane = lane;
+  tls_ctx_ = &ctx;
+  for (std::uint32_t i : idxs) exec_entry(entries[i], ctx);
+  tls_ctx_ = nullptr;
+}
+
+void ParallelScheduler::exec_entry(Entry& e, ExecContext& ctx) {
+  std::uint8_t expected = 0;
+  if (!e.state.compare_exchange_strong(expected, 1, std::memory_order_acq_rel)) {
+    return;  // cancelled in this window before its turn came up
+  }
+  ctx.now = e.ev.at;
+  ctx.src_seq = e.ev.seq;
+  ctx.next_call_idx = 0;
+  e.ev.action();
+  e.ev.action.reset();
+  ++ctx.executed;
+}
+
+void ParallelScheduler::merge_round(std::deque<Entry>& entries, std::uint64_t& ran) {
+  // Commit every deferred schedule() call in the order the serial oracle
+  // would have made it: (source event time, source seq, call index). commit()
+  // assigns heap sequence numbers in call order, so the FIFO tie-break — and
+  // with it every same-instant execution order — is bit-identical.
+  merge_scratch_.clear();
+  std::uint64_t executed = 0;
+  for (auto& cp : ctxs_) {
+    ExecContext& c = *cp;
+    executed += c.executed;
+    c.executed = 0;
+    for (auto& d : c.spawns) merge_scratch_.push_back(std::move(d));
+    c.spawns.clear();
+  }
+  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+            [](const Deferred& a, const Deferred& b) {
+              if (a.src_at_ns != b.src_at_ns) return a.src_at_ns < b.src_at_ns;
+              if (a.src_seq != b.src_seq) return a.src_seq < b.src_seq;
+              return a.call_idx < b.call_idx;
+            });
+  for (auto& d : merge_scratch_) {
+    queue_.commit(d.id, d.at, std::move(d.action));
+  }
+  merge_scratch_.clear();
+  queue_.note_fired(executed);
+  ran += executed;
+
+  for (const auto& e : entries) {
+    if (e.state.load(std::memory_order_relaxed) != 1) continue;
+    const std::int64_t at_ns = e.ev.at.count_ns();
+    window_any_exec_ns_ = std::max(window_any_exec_ns_, at_ns);
+    if (e.ev.tag.universal()) {
+      window_universal_exec_ns_ = std::max(window_universal_exec_ns_, at_ns);
+    } else {
+      for (std::size_t k = 0; k < e.ev.tag.size(); ++k) {
+        auto [it, inserted] = window_node_exec_.try_emplace(e.ev.tag.node(k), at_ns);
+        if (!inserted) it->second = std::max(it->second, at_ns);
+      }
+    }
+    last_exec_ = max(last_exec_, e.ev.at);
+    if (e.lane == round_serial_lane_) {
+      ++stats_.serial_events;
+    } else {
+      ++stats_.parallel_events;
+    }
+  }
+  queue_.sweep();
+}
+
+void ParallelScheduler::check_causality(const std::deque<Entry>& entries) {
+  for (const auto& e : entries) {
+    const std::int64_t at_ns = e.ev.at.count_ns();
+    std::int64_t limit = window_universal_exec_ns_;
+    if (e.ev.tag.universal()) {
+      limit = std::max(limit, window_any_exec_ns_);
+    } else {
+      for (std::size_t k = 0; k < e.ev.tag.size(); ++k) {
+        const auto it = window_node_exec_.find(e.ev.tag.node(k));
+        if (it != window_node_exec_.end()) limit = std::max(limit, it->second);
+      }
+    }
+    // Equality is fine: a same-timestamp spawn orders after its source by
+    // sequence number, exactly as in the oracle.
+    if (at_ns < limit) {
+      ++stats_.causality_violations;
+      if (std::getenv("MGAP_DEBUG_VIOLATION") != nullptr) {
+        std::fprintf(stderr, "VIOLATION at=%lld limit=%lld delta=%lld tag_size=%zu nodes=",
+                     (long long)at_ns, (long long)limit, (long long)(limit - at_ns),
+                     e.ev.tag.size());
+        for (std::size_t k = 0; k < e.ev.tag.size(); ++k)
+          std::fprintf(stderr, "%u,", (unsigned)e.ev.tag.node(k));
+        std::fprintf(stderr, " universal=%d serial_only=%d\n",
+                     (int)e.ev.tag.universal(), (int)e.ev.tag.serial_only());
+      }
+      if (cfg_.paranoid) {
+        violation("spawn landed behind an executed event with intersecting radio set", e);
+      }
+    }
+  }
+}
+
+void ParallelScheduler::audit_disjoint(const std::deque<Entry>& entries) {
+  const std::size_t n = entries.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (entries[i].lane != entries[j].lane &&
+          entries[i].ev.tag.intersects(entries[j].ev.tag)) {
+        ++stats_.footprint_violations;
+        violation("intersecting radio sets assigned to different lanes", entries[j]);
+      }
+    }
+  }
+}
+
+EventId ParallelScheduler::defer_schedule(TimePoint at, RadioSet tag, EventQueue::Action action) {
+  assert(tls_ctx_ != nullptr && tls_ctx_->owner == this);
+  ExecContext& ctx = *tls_ctx_;
+  EventId id;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    id = queue_.reserve(tag);
+    ++stats_.deferred_spawns;
+  }
+  ctx.spawns.push_back(
+      Deferred{ctx.now.count_ns(), ctx.src_seq, ctx.next_call_idx++, at, id, std::move(action)});
+  return id;
+}
+
+bool ParallelScheduler::cancel_in_round(EventId id) {
+  assert(tls_ctx_ != nullptr && tls_ctx_->owner == this);
+  std::lock_guard<std::mutex> lk(mu_);
+  // Still in the slot table (pending in the heap, or reserved this round):
+  // plain O(1) cancel minus the tombstone sweep (the heap is frozen).
+  if (queue_.cancel_deferred(id)) return true;
+  // Popped into the current window? Claim it before its executor does.
+  const auto it = window_map_.find(id_key(id));
+  if (it == window_map_.end()) return false;  // stale handle: fired or cancelled earlier
+  Entry& e = *it->second;
+  std::uint8_t expected = 0;
+  if (!e.state.compare_exchange_strong(expected, 2, std::memory_order_acq_rel)) {
+    return false;  // already executed this window — deterministic no-op, as in the oracle
+  }
+  queue_.note_cancelled();
+  ++stats_.window_cancels;
+  if (e.lane != tls_ctx_->info.lane) {
+    // Cancelling across lanes means the canceller's footprint reaches the
+    // target's but grouping separated them — an annotation bug. The cancel
+    // won the CAS so it is honored, but the race was real: count it.
+    ++stats_.footprint_violations;
+    if (cfg_.paranoid) violation("cross-lane in-window cancel (footprint annotation bug)", e);
+  }
+  return true;
+}
+
+void ParallelScheduler::worker_loop(unsigned index) {
+  ExecContext& ctx = *ctxs_[index + 1];
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(barrier_mu_);
+      cv_work_.wait(lk, [&] { return shutdown_ || round_seq_ != seen; });
+      if (shutdown_) return;
+      seen = round_seq_;
+    }
+    for (const std::uint32_t g : shares_[index]) {
+      exec_entries(*round_entries_, round_group_idxs_[g], round_group_lanes_[g], ctx);
+    }
+    if (units_done_.fetch_add(1, std::memory_order_acq_rel) + 1 == units_target_) {
+      std::lock_guard<std::mutex> lk(barrier_mu_);
+      cv_done_.notify_one();
+    }
+  }
+}
+
+void ParallelScheduler::violation(const char* what, const Entry& e) {
+  throw std::logic_error(std::string{"MGAP_PARANOID: "} + what + " (event at t=" + e.ev.at.str() +
+                         ", seq=" + std::to_string(e.ev.seq) +
+                         ", window=" + std::to_string(window_id_) + ")");
+}
+
+}  // namespace mgap::sim

@@ -1,0 +1,223 @@
+#pragma once
+// Conservatively parallel DES execution inside one simulation (`sim.threads`).
+//
+// The kernel exploits the lookahead that BLE connection scheduling guarantees:
+// anything a connection event schedules lands at least one pair-exchange time
+// (pair_time(0,0) = 460 us at 1M PHY) after its anchor, and consecutive events
+// of one connection are a full connection interval (tens of ms) apart. Events
+// within a window of width W <= that lookahead therefore cannot observe each
+// other's spawns out of order, and events whose RadioSets are disjoint commute
+// outright. Execution proceeds in windows:
+//
+//   1. Batch-pop every event with at <= horizon (= first event time + W).
+//   2. Union-find the batch by shared RadioSet nodes into conflict groups.
+//      Any universal (un-annotated) event collapses the whole batch into the
+//      serial lane; groups containing a serial-only event run on the serial
+//      lane too, in global (time, seq) order. The remaining groups run on
+//      worker threads, each group sequentially in (time, seq) order.
+//   3. Every schedule() call made during the round — worker or serial lane —
+//      is deferred: the slot is reserved immediately (so the returned EventId
+//      is live and cancellable) but the (time, seq) heap key is committed at
+//      the barrier, sorted by (source event time, source seq, call index).
+//      That is exactly the order the single-threaded oracle would have made
+//      the same calls in, so sequence numbers — the FIFO tie-break — are
+//      bit-identical. cancel() during a round touches only the slot table
+//      (cancel_deferred) or the window-local map of batched events.
+//   4. Spawns that land back inside the window are picked up by a catch-up
+//      round. A per-node last-executed-time check detects any would-be
+//      causality violation (a spawn earlier than an already-executed event on
+//      an intersecting radio set); MGAP_PARANOID promotes the counter to a
+//      throw, and also enables an O(n^2) cross-group disjointness audit.
+//
+// The contract — enforced by tests/test_parallel_sim — is that every
+// observable output (summary counters, campaign JSON, .mgt traces) is
+// byte-identical to the single-threaded oracle. Trace recording serializes
+// the stream anyway, so an active Recorder forces the serial lane
+// (force_serial): windows and deferred merging still run, execution order is
+// globally sequential.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/radio_set.hpp"
+#include "sim/time.hpp"
+
+namespace mgap::sim {
+
+class Simulator;
+
+struct ParallelConfig {
+  /// Total execution lanes including the main thread; N-1 workers are spawned.
+  unsigned threads{1};
+  /// Window width. Must not exceed the backend lookahead (the minimum delay
+  /// between a parallel-tagged event and anything it schedules).
+  Duration window{Duration::us(250)};
+  /// Backend lookahead guarantee. <= 0 means the link layer gives none
+  /// (flooding/CSMA backends): everything runs on the serial lane.
+  Duration lookahead{};
+  /// Run every group on the serial lane (active Recorder/Tracer): the window
+  /// machinery and deferred merge still execute, order is globally serial.
+  bool force_serial{false};
+  /// Throw on causality/disjointness violations instead of counting them.
+  /// Also enabled by the MGAP_PARANOID environment variable.
+  bool paranoid{false};
+};
+
+struct ParallelStats {
+  std::uint64_t windows{0};
+  std::uint64_t rounds{0};
+  std::uint64_t parallel_events{0};  // executed in a parallel conflict group
+  std::uint64_t serial_events{0};    // executed on the round's serial lane
+  std::uint64_t parallel_groups{0};
+  std::uint64_t deferred_spawns{0};
+  std::uint64_t window_cancels{0};        // cancels resolved in the window map
+  std::uint64_t causality_violations{0};  // spawn behind an executed conflict
+  std::uint64_t footprint_violations{0};  // cross-group cancel / overlap audit
+};
+
+class ParallelScheduler {
+ public:
+  ParallelScheduler(Simulator& sim, ParallelConfig cfg);
+  ~ParallelScheduler();
+
+  ParallelScheduler(const ParallelScheduler&) = delete;
+  ParallelScheduler& operator=(const ParallelScheduler&) = delete;
+
+  /// Window-parallel equivalent of Simulator::run_until (the Simulator
+  /// delegates here while attached). Returns the number of events executed.
+  std::uint64_t run_until(TimePoint until);
+
+  [[nodiscard]] const ParallelStats& stats() const { return stats_; }
+  [[nodiscard]] const ParallelConfig& config() const { return cfg_; }
+  [[nodiscard]] unsigned workers() const { return static_cast<unsigned>(workers_.size()); }
+
+  // --- Simulator hooks -------------------------------------------------------
+
+  /// True when the calling thread is inside an event of a round of `self`.
+  [[nodiscard]] static bool tls_in_round(const ParallelScheduler* self);
+  /// Timestamp of the event the calling thread is executing, or nullptr.
+  [[nodiscard]] static const TimePoint* tls_now();
+  /// True when the calling thread is a worker (not the main thread) inside a
+  /// round of `self` — layers defer order-sensitive global mutations on it.
+  [[nodiscard]] static bool tls_on_worker(const ParallelScheduler* self);
+
+  EventId defer_schedule(TimePoint at, RadioSet tag, EventQueue::Action action);
+  bool cancel_in_round(EventId id);
+
+  // --- test instrumentation --------------------------------------------------
+
+  /// Where the calling thread's current event is executing. `lane` values are
+  /// globally unique per (round, conflict group): two events report the same
+  /// lane iff they ran sequentially on the same executor. Valid only inside a
+  /// running event; nullptr otherwise.
+  struct ExecInfo {
+    std::uint64_t window{0};
+    /// Global round counter. Two events in the same round but on different
+    /// lanes ran concurrently — the disjointness invariant applies to exactly
+    /// this pair; different rounds are always sequential.
+    std::uint64_t round{0};
+    std::uint64_t lane{0};
+    bool worker{false};
+  };
+  [[nodiscard]] static const ExecInfo* tls_exec_info();
+
+ private:
+  struct Entry {
+    EventQueue::Popped ev;
+    std::uint64_t lane{0};
+    // 0 = pending, 1 = executed (claimed), 2 = cancelled in-window.
+    std::atomic<std::uint8_t> state{0};
+    explicit Entry(EventQueue::Popped p) : ev(std::move(p)) {}
+  };
+
+  struct Deferred {
+    std::int64_t src_at_ns{0};  // oracle order: (source time, source seq,
+    std::uint64_t src_seq{0};   //               call index within the source)
+    std::uint32_t call_idx{0};
+    TimePoint at;
+    EventId id;
+    EventQueue::Action action;
+  };
+
+  struct ExecContext {
+    ParallelScheduler* owner{nullptr};
+    TimePoint now;
+    std::uint64_t src_seq{0};
+    std::uint32_t next_call_idx{0};
+    ExecInfo info;
+    std::vector<Deferred> spawns;
+    std::uint64_t executed{0};
+  };
+
+  void run_round(TimePoint horizon, std::uint64_t& ran);
+  void exec_entries(std::deque<Entry>& entries, const std::vector<std::uint32_t>& idxs,
+                    std::uint64_t lane, ExecContext& ctx);
+  void exec_entry(Entry& e, ExecContext& ctx);
+  void merge_round(std::deque<Entry>& entries, std::uint64_t& ran);
+  void check_causality(const std::deque<Entry>& entries);
+  void audit_disjoint(const std::deque<Entry>& entries);
+  void worker_loop(unsigned index);
+  [[noreturn]] void violation(const char* what, const Entry& e);
+
+  static std::uint64_t id_key(EventId id);
+
+  /// Execution context of the round the calling thread is in, or nullptr.
+  static thread_local ExecContext* tls_ctx_;
+
+  Simulator& sim_;
+  EventQueue& queue_;
+  ParallelConfig cfg_;
+  ParallelStats stats_;
+
+  // Round/window state (main thread between barriers).
+  std::uint64_t window_id_{0};
+  std::uint64_t next_lane_{1};
+  std::deque<std::deque<Entry>> window_rounds_;
+  std::unordered_map<std::uint64_t, Entry*> window_map_;  // guarded by mu_
+  std::unordered_map<std::uint32_t, std::int64_t> window_node_exec_;
+  std::int64_t window_universal_exec_ns_;  // max exec time of universal events
+  std::int64_t window_any_exec_ns_;        // max exec time of any event
+  TimePoint last_exec_;
+
+  // Per-round scratch, reused across rounds to avoid allocation churn.
+  std::vector<std::uint32_t> uf_parent_;
+  std::vector<std::uint8_t> uf_taint_;  // root has a serial-only/universal event
+  std::unordered_map<std::uint32_t, std::uint32_t> node_owner_;
+  std::unordered_map<std::uint32_t, std::uint32_t> root_group_;
+  std::vector<EventQueue::Popped> pop_scratch_;
+  std::vector<std::uint32_t> serial_idxs_;  // serial-lane entries, batch order
+  std::vector<std::uint32_t> main_share_;
+  std::vector<Deferred> merge_scratch_;
+  std::uint64_t round_serial_lane_{0};  // lane id of the round's serial lane
+
+  // Reserve/cancel lock: every slot-table mutation during a round goes
+  // through it (defer_schedule's reserve, cancel_in_round).
+  std::mutex mu_;
+
+  // Worker pool and round barrier.
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<ExecContext>> ctxs_;  // [0] = main thread
+  std::mutex barrier_mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t round_seq_{0};
+  bool shutdown_{false};
+  // Per-round work assignment: shares_[w] lists group indices for worker w;
+  // groups index round_group_idxs_ whose entries live in *round_entries_.
+  std::deque<Entry>* round_entries_{nullptr};
+  std::vector<std::vector<std::uint32_t>> round_group_idxs_;
+  std::vector<std::uint64_t> round_group_lanes_;
+  std::vector<std::vector<std::uint32_t>> shares_;
+  std::uint32_t units_target_{0};
+  std::atomic<std::uint32_t> units_done_{0};
+};
+
+}  // namespace mgap::sim

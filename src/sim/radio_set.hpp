@@ -1,0 +1,97 @@
+#pragma once
+// Per-event radio-set annotation for the lookahead-parallel kernel.
+//
+// A RadioSet names the nodes whose radio/link/host state an event may touch.
+// The parallel scheduler only ever runs two events concurrently when their
+// radio sets are disjoint (events on disjoint radio sets commute); everything
+// else shares a conflict group or falls back to the serial lane. Three tiers:
+//
+//   RadioSet::parallel({a, b})  — footprint is exactly {a, b} and the action
+//                                 is thread-safe w.r.t. disjoint events: it
+//                                 may run on a worker thread (BLE connection
+//                                 events are the one hot annotation).
+//   RadioSet::serial({a})       — footprint is {a} but the action mutates
+//                                 order-sensitive global state (Metrics, the
+//                                 IP delivery path): it conflicts like a
+//                                 normal footprint but always executes on the
+//                                 main thread, in global (time, seq) order
+//                                 relative to every other serial event.
+//   RadioSet::exclusive()       — the default for un-annotated events:
+//                                 conservatively touches everything (fault
+//                                 injection, advertising/connect machinery,
+//                                 mesh flooding on the shared bearer). Its
+//                                 whole window executes serially.
+//
+// A set that would overflow the inline capacity degrades to exclusive() —
+// conservative, never wrong.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+
+namespace mgap::sim {
+
+class RadioSet {
+ public:
+  static constexpr std::size_t kMaxNodes = 4;
+
+  /// Default = exclusive: conflicts with everything, serial lane only.
+  constexpr RadioSet() = default;
+
+  [[nodiscard]] static constexpr RadioSet exclusive() { return RadioSet{}; }
+
+  /// Worker-eligible event with footprint exactly `nodes`.
+  [[nodiscard]] static constexpr RadioSet parallel(std::initializer_list<std::uint32_t> nodes) {
+    return make(nodes, /*serial=*/false);
+  }
+
+  /// Main-thread-only event with footprint exactly `nodes` (conflicts by
+  /// footprint, executes in global order on the serial lane).
+  [[nodiscard]] static constexpr RadioSet serial(std::initializer_list<std::uint32_t> nodes) {
+    return make(nodes, /*serial=*/true);
+  }
+
+  [[nodiscard]] constexpr bool universal() const { return universal_; }
+  [[nodiscard]] constexpr bool serial_only() const { return serial_; }
+  [[nodiscard]] constexpr std::size_t size() const { return count_; }
+  [[nodiscard]] constexpr std::uint32_t node(std::size_t i) const { return nodes_[i]; }
+
+  [[nodiscard]] constexpr bool contains(std::uint32_t id) const {
+    if (universal_) return true;
+    for (std::size_t i = 0; i < count_; ++i) {
+      if (nodes_[i] == id) return true;
+    }
+    return false;
+  }
+
+  /// Whether two events may NOT run concurrently. Universal sets intersect
+  /// everything (including other universal sets).
+  [[nodiscard]] constexpr bool intersects(const RadioSet& o) const {
+    if (universal_ || o.universal_) return true;
+    for (std::size_t i = 0; i < count_; ++i) {
+      if (o.contains(nodes_[i])) return true;
+    }
+    return false;
+  }
+
+ private:
+  [[nodiscard]] static constexpr RadioSet make(std::initializer_list<std::uint32_t> nodes,
+                                               bool serial) {
+    RadioSet s;
+    if (nodes.size() > kMaxNodes) return s;  // overflow -> exclusive
+    s.universal_ = false;
+    s.serial_ = serial;
+    for (std::uint32_t id : nodes) {
+      if (!s.contains(id)) s.nodes_[s.count_++] = id;
+    }
+    return s;
+  }
+
+  std::array<std::uint32_t, kMaxNodes> nodes_{};
+  std::uint8_t count_{0};
+  bool universal_{true};
+  bool serial_{true};
+};
+
+}  // namespace mgap::sim

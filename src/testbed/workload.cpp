@@ -28,7 +28,10 @@ Producer::Producer(sim::Simulator& sim, net::IpStack& stack, Config config, Metr
 void Producer::start() {
   if (running_) return;
   running_ = true;
-  sim_.schedule_in(config_.start_delay + next_delay(), [this] { tick(); });
+  // serial: ticks feed Metrics and the node's send path, both of which must
+  // see global (time, seq) order under the parallel scheduler.
+  sim_.schedule_in(config_.start_delay + next_delay(),
+                   sim::RadioSet::serial({stack_.node()}), [this] { tick(); });
 }
 
 sim::Duration Producer::next_delay() {
@@ -57,7 +60,8 @@ void Producer::tick() {
   // Bound the pending-token table on long runs.
   if (++ticks_ % 64 == 0) client_.expire_pending(sim::Duration::sec(120));
 
-  sim_.schedule_in(next_delay(), [this] { tick(); });
+  sim_.schedule_in(next_delay(), sim::RadioSet::serial({stack_.node()}),
+                   [this] { tick(); });
 }
 
 }  // namespace mgap::testbed

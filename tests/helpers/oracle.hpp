@@ -1,0 +1,267 @@
+#pragma once
+// Differential oracle for the lookahead-parallel scheduler.
+//
+// The contract under test: for any ExperimentConfig, running with
+// sim.threads = N must be *bit-identical* to the single-threaded oracle —
+// every summary field, the full observability counter map, the campaign JSON
+// a single-cell sweep would emit, and the raw bytes of a .mgt trace stream.
+//
+// run_differential() executes the config twice (serial oracle first, then
+// parallel) and reports the first divergence as text, so the same fixture
+// serves GTest (expect_bit_identical → EXPECT with the message) and the
+// choice-tape property engine (PROP_ASSERT(r.ok, r.divergence) lets the
+// shrinker reduce any divergence to a minimal config).
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/writers.hpp"
+#include "sim/parallel.hpp"
+#include "testbed/experiment.hpp"
+
+namespace mgap::testhelpers {
+
+struct OracleOptions {
+  /// Parallel thread count (the serial oracle always runs at 1).
+  unsigned threads{4};
+  /// Also run a single-cell campaign under both schedulers and compare the
+  /// rendered JSON byte-for-byte (two extra experiment runs).
+  bool compare_campaign_json{false};
+  /// Also run both schedulers with a .mgt trace attached and compare the
+  /// trace files byte-for-byte (two extra experiment runs; the parallel one
+  /// exercises the force-serial path, which still runs the window/deferred
+  /// machinery).
+  bool compare_mgt_trace{false};
+};
+
+struct OracleResult {
+  bool ok{true};
+  /// Human-readable description of every field that diverged (empty when ok).
+  std::string divergence;
+  testbed::ExperimentSummary serial;
+  testbed::ExperimentSummary parallel;
+  /// Error text when a run threw (random topo specs can fail construction
+  /// deterministically — e.g. disconnected worlds). Both schedulers must
+  /// throw the identical error; only one throwing is a divergence.
+  std::string serial_error;
+  std::string parallel_error;
+  /// Stats of the parallel run (vacuousness checks: did workers actually
+  /// execute anything in parallel?).
+  sim::ParallelStats stats;
+};
+
+namespace detail {
+
+inline void diverge(std::string& out, const std::string& line) {
+  if (!out.empty()) out += '\n';
+  out += line;
+}
+
+inline std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+inline std::string num(std::uint64_t v) { return std::to_string(v); }
+inline std::string num(sim::Duration v) { return std::to_string(v.count_ns()) + "ns"; }
+inline std::string num(const std::string& v) { return '"' + v + '"'; }
+
+template <class T>
+void cmp(std::string& out, const char* name, const T& a, const T& b) {
+  if (a == b) return;
+  diverge(out, std::string{name} + ": serial=" + num(a) + " parallel=" + num(b));
+}
+
+inline void cmp_counters(std::string& out, const std::map<std::string, double>& a,
+                         const std::map<std::string, double>& b) {
+  for (const auto& [k, v] : a) {
+    auto it = b.find(k);
+    if (it == b.end()) {
+      diverge(out, "counters[" + k + "]: serial=" + num(v) + " parallel=<absent>");
+    } else if (it->second != v) {
+      diverge(out, "counters[" + k + "]: serial=" + num(v) +
+                       " parallel=" + num(it->second));
+    }
+  }
+  for (const auto& [k, v] : b) {
+    if (a.find(k) == a.end()) {
+      diverge(out, "counters[" + k + "]: serial=<absent> parallel=" + num(v));
+    }
+  }
+}
+
+/// Compares every observable field of the two summaries.
+inline void cmp_summaries(std::string& out, const testbed::ExperimentSummary& s,
+                          const testbed::ExperimentSummary& p) {
+#define MGAP_ORACLE_FIELD(f) cmp(out, #f, s.f, p.f)
+  cmp(out, "topo_generator", s.topo_generator, p.topo_generator);
+  MGAP_ORACLE_FIELD(topo_seed);
+  MGAP_ORACLE_FIELD(topo_nodes);
+  MGAP_ORACLE_FIELD(topo_mean_hops);
+  MGAP_ORACLE_FIELD(topo_max_hops);
+  MGAP_ORACLE_FIELD(sent);
+  MGAP_ORACLE_FIELD(acked);
+  MGAP_ORACLE_FIELD(coap_pdr);
+  MGAP_ORACLE_FIELD(ll_pdr);
+  MGAP_ORACLE_FIELD(conn_losses);
+  MGAP_ORACLE_FIELD(reconnects);
+  MGAP_ORACLE_FIELD(pktbuf_drops);
+  MGAP_ORACLE_FIELD(link_down_drops);
+  MGAP_ORACLE_FIELD(backpressure_drops);
+  MGAP_ORACLE_FIELD(breaker_drops);
+  MGAP_ORACLE_FIELD(coap_retransmissions);
+  MGAP_ORACLE_FIELD(coap_timeouts);
+  MGAP_ORACLE_FIELD(rtt_p50);
+  MGAP_ORACLE_FIELD(rtt_p99);
+  MGAP_ORACLE_FIELD(rtt_max);
+  MGAP_ORACLE_FIELD(faults_injected);
+  MGAP_ORACLE_FIELD(losses_injected);
+  MGAP_ORACLE_FIELD(losses_emergent);
+  MGAP_ORACLE_FIELD(link_downs);
+  MGAP_ORACLE_FIELD(link_ups);
+  MGAP_ORACLE_FIELD(reconnect_p50);
+  MGAP_ORACLE_FIELD(reconnect_max);
+  MGAP_ORACLE_FIELD(repair_to_delivery_p50);
+  MGAP_ORACLE_FIELD(pdr_pre_fault);
+  MGAP_ORACLE_FIELD(pdr_during_fault);
+  MGAP_ORACLE_FIELD(pdr_post_fault);
+#undef MGAP_ORACLE_FIELD
+  cmp_counters(out, s.counters, p.counters);
+}
+
+inline std::string cmp_text(const char* what, const std::string& a,
+                            const std::string& b) {
+  if (a == b) return {};
+  std::size_t i = 0;
+  while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
+  std::ostringstream os;
+  os << what << ": diverges at byte " << i << " (serial " << a.size()
+     << " bytes, parallel " << b.size() << " bytes)";
+  if (i < a.size() || i < b.size()) {
+    os << "; serial[..]=\"" << a.substr(i, 40) << "\" parallel[..]=\""
+       << b.substr(i, 40) << '"';
+  }
+  return os.str();
+}
+
+/// Unique scratch path under the system temp dir (deleted by the caller).
+inline std::string scratch_path(const char* stem) {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto n = counter.fetch_add(1, std::memory_order_relaxed);
+  auto p = std::filesystem::temp_directory_path() /
+           ("mgap_oracle_" + std::to_string(::getpid()) + "_" + stem + "_" +
+            std::to_string(n) + ".mgt");
+  return p.string();
+}
+
+inline std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+inline testbed::ExperimentSummary run_one(testbed::ExperimentConfig cfg,
+                                          unsigned threads,
+                                          sim::ParallelStats* stats_out) {
+  cfg.sim_threads = threads;
+  testbed::Experiment e{std::move(cfg)};
+  e.run();
+  if (stats_out != nullptr) {
+    if (auto* par = e.parallel_scheduler(); par != nullptr) *stats_out = par->stats();
+  }
+  return e.summary();
+}
+
+inline std::string campaign_json(const testbed::ExperimentConfig& cfg,
+                                 unsigned threads) {
+  campaign::CampaignSpec spec;
+  spec.name = "oracle";
+  spec.base = cfg;
+  spec.base.sim_threads = threads;
+  campaign::RunnerOptions opts;
+  opts.threads = 1;  // campaign-level parallelism is not under test here
+  opts.progress = false;
+  campaign::CampaignRunner runner{opts};
+  // Fingerprint-stable form: no code-version metadata, like the benches.
+  return campaign::to_json(runner.run(spec), /*include_code_version=*/false);
+}
+
+}  // namespace detail
+
+/// Runs `cfg` under the serial oracle and under the parallel scheduler and
+/// compares every observable output. Never asserts itself — callers decide
+/// (EXPECT_TRUE(r.ok) << r.divergence, or PROP_ASSERT(r.ok, r.divergence)).
+inline OracleResult run_differential(const testbed::ExperimentConfig& cfg,
+                                     const OracleOptions& opt = {}) {
+  OracleResult r;
+  try {
+    r.serial = detail::run_one(cfg, 1, nullptr);
+  } catch (const std::exception& e) {
+    r.serial_error = e.what();
+  }
+  try {
+    r.parallel = detail::run_one(cfg, opt.threads, &r.stats);
+  } catch (const std::exception& e) {
+    r.parallel_error = e.what();
+  }
+  if (r.serial_error != r.parallel_error) {
+    detail::diverge(r.divergence,
+                    "error: serial=\"" + r.serial_error + "\" parallel=\"" +
+                        r.parallel_error + '"');
+  }
+  if (!r.serial_error.empty()) {
+    // Both sides failed identically: a valid (deterministic) outcome, and
+    // there are no summaries/files to compare.
+    r.ok = r.divergence.empty();
+    return r;
+  }
+  detail::cmp_summaries(r.divergence, r.serial, r.parallel);
+
+  if (opt.compare_campaign_json) {
+    const std::string js = detail::campaign_json(cfg, 1);
+    const std::string jp = detail::campaign_json(cfg, opt.threads);
+    if (auto d = detail::cmp_text("campaign JSON", js, jp); !d.empty()) {
+      detail::diverge(r.divergence, d);
+    }
+  }
+
+  if (opt.compare_mgt_trace) {
+    const std::string ps = detail::scratch_path("serial");
+    const std::string pp = detail::scratch_path("parallel");
+    testbed::ExperimentConfig ts = cfg;
+    ts.trace_file = ps;
+    (void)detail::run_one(ts, 1, nullptr);
+    testbed::ExperimentConfig tp = cfg;
+    tp.trace_file = pp;
+    (void)detail::run_one(tp, opt.threads, nullptr);
+    const std::string bs = detail::slurp(ps);
+    const std::string bp = detail::slurp(pp);
+    if (bs.empty()) {
+      detail::diverge(r.divergence, ".mgt trace: serial trace file is empty");
+    }
+    if (auto d = detail::cmp_text(".mgt trace", bs, bp); !d.empty()) {
+      detail::diverge(r.divergence, d);
+    }
+    std::error_code ec;
+    std::filesystem::remove(ps, ec);
+    std::filesystem::remove(pp, ec);
+  }
+
+  r.ok = r.divergence.empty();
+  return r;
+}
+
+}  // namespace mgap::testhelpers

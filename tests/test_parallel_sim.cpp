@@ -1,0 +1,345 @@
+// Serial-vs-parallel differential suite for the lookahead-parallel scheduler.
+//
+// Matrix: all four link backends × three reference configurations —
+//   fig08:           the paper's 15-node tree under the section 4.3 workload,
+//   overload:        the three-layer overload-survival stack under a fast
+//                    producer (CON mode, CoCoA, bounded queues, breaker),
+//   knee-sweep-1000: a procedurally generated RGG world (the density-knee
+//                    bench cell, sized for test wall-clock),
+// each asserted bit-identical between sim.threads = 1 and sim.threads = N
+// via tests/helpers/oracle.hpp. On top of the matrix: campaign-JSON and .mgt
+// byte-identity, kernel-level cancel regressions, and an engineered
+// causality violation that must be detected (counter) and fatal under
+// paranoid mode.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/link_backend.hpp"
+#include "helpers/oracle.hpp"
+#include "sim/parallel.hpp"
+#include "sim/radio_set.hpp"
+#include "sim/simulator.hpp"
+#include "testbed/experiment.hpp"
+#include "topo/spec.hpp"
+
+namespace mgap {
+namespace {
+
+using testbed::ExperimentConfig;
+using testhelpers::OracleOptions;
+using testhelpers::run_differential;
+
+ExperimentConfig with_backend(ExperimentConfig cfg, ExperimentConfig::Radio radio) {
+  cfg.radio = radio;
+  if (radio == ExperimentConfig::Radio::kMesh ||
+      radio == ExperimentConfig::Radio::kAdv) {
+    // Tuned flooding operating point (backend_compare campaign).
+    cfg.mesh.ttl = 9;
+    cfg.mesh.relay_density = 0.25;
+    cfg.mesh.transmit_count = 2;
+  }
+  return cfg;
+}
+
+/// The paper's figure-8 shape: 15-node tree, 1 s CoAP traffic, channel-22
+/// interferer. Short duration — the differential runs it many times.
+ExperimentConfig fig08_config(ExperimentConfig::Radio radio) {
+  ExperimentConfig cfg;
+  cfg.topology = testbed::Topology::tree15();
+  cfg.duration = sim::Duration::sec(30);
+  cfg.seed = 42;
+  return with_backend(cfg, radio);
+}
+
+/// Overload: fast producer into the full three-layer survival stack. The
+/// interesting differential surface is the timer-heavy control plane —
+/// backpressure releases, flow backoff, breaker half-open probes, CoAP
+/// retransmissions.
+ExperimentConfig overload_config(ExperimentConfig::Radio radio) {
+  ExperimentConfig cfg;
+  cfg.topology = testbed::Topology::tree15();
+  cfg.duration = sim::Duration::sec(20);
+  cfg.producer_interval = sim::Duration::ms(200);
+  cfg.confirmable_coap = true;
+  cfg.l2cap_deferred_credits = true;
+  cfg.flow.txq_frames = 16;
+  cfg.flow.backoff = true;
+  cfg.flow.breaker = true;
+  cfg.cc.mode = app::CoapCcConfig::Mode::kCocoa;
+  cfg.cc.nstart = 16;
+  cfg.seed = 7;
+  return with_backend(cfg, radio);
+}
+
+/// One cell of the density-knee sweep (bench run_scale shape: RGG at density
+/// 8). Node count is scaled per backend to keep test wall-clock sane — the
+/// flooding backends pay O(relays) per SDU and run on the serial lane anyway
+/// (no lookahead guarantee), so a smaller world loses no coverage there.
+ExperimentConfig knee_config(ExperimentConfig::Radio radio) {
+  ExperimentConfig cfg;
+  cfg.topo.generator = topo::Generator::kRgg;
+  cfg.topo.density = 8.0;
+  cfg.topo.range = 10.0;
+  cfg.policy = core::IntervalPolicy::randomized(sim::Duration::ms(65),
+                                                sim::Duration::ms(85));
+  cfg.seed = 7;
+  switch (radio) {
+    case ExperimentConfig::Radio::kBle:
+    case ExperimentConfig::Radio::kIeee802154:
+      // First producer tick lands ~one interval in; duration must cover it.
+      cfg.topo.nodes = 1000;
+      cfg.duration = sim::Duration::sec(6);
+      cfg.producer_interval = sim::Duration::sec(3);
+      cfg.producer_jitter = sim::Duration::sec(1);
+      break;
+    case ExperimentConfig::Radio::kAdv:
+      cfg.topo.nodes = 200;
+      cfg.duration = sim::Duration::sec(5);
+      cfg.producer_interval = sim::Duration::sec(2);
+      cfg.producer_jitter = sim::Duration::sec(1);
+      break;
+    case ExperimentConfig::Radio::kMesh:
+      cfg.topo.nodes = 120;
+      cfg.duration = sim::Duration::sec(5);
+      cfg.producer_interval = sim::Duration::sec(3);
+      cfg.producer_jitter = sim::Duration::sec(1);
+      break;
+  }
+  return with_backend(cfg, radio);
+}
+
+void expect_identical(const ExperimentConfig& cfg, unsigned threads,
+                      const char* what) {
+  SCOPED_TRACE(std::string{what} + " threads=" + std::to_string(threads));
+  OracleOptions opt;
+  opt.threads = threads;
+  const auto r = run_differential(cfg, opt);
+  EXPECT_TRUE(r.ok) << r.divergence;
+  EXPECT_GT(r.serial.sent, 0u) << "vacuous differential: no traffic";
+}
+
+// --- the backend × config matrix -------------------------------------------
+
+TEST(ParallelDifferential, BleFig08) {
+  expect_identical(fig08_config(ExperimentConfig::Radio::kBle), 2, "ble/fig08");
+  expect_identical(fig08_config(ExperimentConfig::Radio::kBle), 4, "ble/fig08");
+}
+
+TEST(ParallelDifferential, BleOverload) {
+  expect_identical(overload_config(ExperimentConfig::Radio::kBle), 4, "ble/overload");
+}
+
+TEST(ParallelDifferential, BleKneeSweep1000) {
+  const auto cfg = knee_config(ExperimentConfig::Radio::kBle);
+  OracleOptions opt;
+  opt.threads = 4;
+  const auto r = run_differential(cfg, opt);
+  EXPECT_TRUE(r.ok) << r.divergence;
+  EXPECT_GT(r.serial.sent, 0u);
+  // Non-vacuous: at 1000 BLE nodes the workers must actually run conflict
+  // groups in parallel, and the detectors must stay silent.
+  EXPECT_GT(r.stats.parallel_events, 0u);
+  EXPECT_GT(r.stats.parallel_groups, 0u);
+  EXPECT_EQ(r.stats.causality_violations, 0u);
+  EXPECT_EQ(r.stats.footprint_violations, 0u);
+}
+
+TEST(ParallelDifferential, Ieee802154AllConfigs) {
+  const auto radio = ExperimentConfig::Radio::kIeee802154;
+  expect_identical(fig08_config(radio), 4, "802154/fig08");
+  expect_identical(overload_config(radio), 4, "802154/overload");
+  expect_identical(knee_config(radio), 4, "802154/knee");
+}
+
+TEST(ParallelDifferential, MeshAllConfigs) {
+  const auto radio = ExperimentConfig::Radio::kMesh;
+  expect_identical(fig08_config(radio), 4, "mesh/fig08");
+  expect_identical(overload_config(radio), 4, "mesh/overload");
+  expect_identical(knee_config(radio), 4, "mesh/knee");
+}
+
+TEST(ParallelDifferential, AdvAllConfigs) {
+  const auto radio = ExperimentConfig::Radio::kAdv;
+  expect_identical(fig08_config(radio), 4, "adv/fig08");
+  expect_identical(overload_config(radio), 4, "adv/overload");
+  expect_identical(knee_config(radio), 4, "adv/knee");
+}
+
+// --- file-level byte identity ----------------------------------------------
+
+TEST(ParallelDifferential, CampaignJsonAndMgtTraceAreByteIdentical) {
+  auto cfg = fig08_config(ExperimentConfig::Radio::kBle);
+  cfg.duration = sim::Duration::sec(20);
+  OracleOptions opt;
+  opt.threads = 4;
+  opt.compare_campaign_json = true;
+  opt.compare_mgt_trace = true;
+  const auto r = run_differential(cfg, opt);
+  EXPECT_TRUE(r.ok) << r.divergence;
+}
+
+TEST(ParallelDifferential, FloodingBackendsDegradeToSerialLane) {
+  // Mesh gives no lookahead guarantee: the scheduler must keep every event on
+  // the serial lane (zero worker-side execution) while staying bit-identical.
+  auto cfg = fig08_config(ExperimentConfig::Radio::kMesh);
+  cfg.duration = sim::Duration::sec(10);
+  OracleOptions opt;
+  opt.threads = 4;
+  const auto r = run_differential(cfg, opt);
+  EXPECT_TRUE(r.ok) << r.divergence;
+  EXPECT_EQ(r.stats.parallel_events, 0u);
+}
+
+// --- kernel-level regressions ----------------------------------------------
+
+sim::ParallelConfig kernel_config(unsigned threads) {
+  sim::ParallelConfig pc;
+  pc.threads = threads;
+  pc.lookahead = sim::Duration::us(1000);
+  pc.window = sim::Duration::us(250);
+  return pc;
+}
+
+TEST(ParallelKernel, CancelOfPoppedEventIsDeterministicNoOpInBothModes) {
+  // Oracle semantics, pinned: a cancel that arrives after the event was
+  // popped — it already ran, or it is the currently-running event — returns
+  // false and changes nothing. A cancel of a same-tick not-yet-run event
+  // succeeds. Both schedulers must agree on all three outcomes and on the
+  // resulting execution order.
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    sim::Simulator s;
+    std::unique_ptr<sim::ParallelScheduler> par;
+    if (threads > 1) {
+      par = std::make_unique<sim::ParallelScheduler>(s, kernel_config(threads));
+    }
+
+    std::vector<int> fired;
+    bool cancel_b = false, cancel_a_late = false, cancel_self = false;
+    const auto t0 = sim::TimePoint::origin();
+    const auto tag = sim::RadioSet::parallel({1});
+
+    sim::EventId id_a, id_b, id_self;
+    id_a = s.schedule_at(t0 + sim::Duration::us(10), tag, [&] {
+      fired.push_back(1);
+      cancel_b = s.cancel(id_b);          // not yet popped-for-run: succeeds
+      cancel_self = s.cancel(id_a);       // currently running: no-op
+    });
+    id_b = s.schedule_at(t0 + sim::Duration::us(10), tag, [&] { fired.push_back(2); });
+    id_self = s.schedule_at(t0 + sim::Duration::us(20), tag, [&] {
+      fired.push_back(3);
+      cancel_a_late = s.cancel(id_a);     // already fired: no-op
+    });
+    (void)id_self;
+
+    s.run_until(t0 + sim::Duration::ms(1));
+
+    EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+    EXPECT_TRUE(cancel_b);
+    EXPECT_FALSE(cancel_self);
+    EXPECT_FALSE(cancel_a_late);
+    if (par) {
+      EXPECT_EQ(par->stats().window_cancels, 1u);
+      EXPECT_EQ(par->stats().footprint_violations, 0u);
+    }
+  }
+}
+
+TEST(ParallelKernel, CancelOfDeferredSpawnInSameRound) {
+  // A spawn scheduled from inside a round has a live, cancellable id even
+  // though its heap key is only committed at the barrier.
+  for (const unsigned threads : {1u, 2u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    sim::Simulator s;
+    std::unique_ptr<sim::ParallelScheduler> par;
+    if (threads > 1) {
+      par = std::make_unique<sim::ParallelScheduler>(s, kernel_config(threads));
+    }
+
+    bool spawned_ran = false;
+    bool cancelled = false;
+    const auto tag = sim::RadioSet::parallel({1});
+    s.schedule_at(sim::TimePoint::origin(), tag, [&] {
+      const auto id = s.schedule_in(sim::Duration::ms(2), tag,
+                                    [&] { spawned_ran = true; });
+      cancelled = s.cancel(id);
+    });
+    s.run_until(sim::TimePoint::origin() + sim::Duration::ms(10));
+
+    EXPECT_TRUE(cancelled);
+    EXPECT_FALSE(spawned_ran);
+  }
+}
+
+TEST(ParallelKernel, EngineeredCausalityViolationIsDetected) {
+  // Break the lookahead contract on purpose: a parallel-tagged event on
+  // {3,4} spawns an event on {1,2} *inside* the window, behind an already
+  // executed {1,2} event. The catch-up round must count the violation.
+  const auto build = [](sim::Simulator& s) {
+    const auto t0 = sim::TimePoint::origin();
+    s.schedule_at(t0, sim::RadioSet::parallel({1, 2}), [] {});
+    s.schedule_at(t0 + sim::Duration::us(130), sim::RadioSet::parallel({1, 2}), [] {});
+    auto* sp = &s;
+    s.schedule_at(t0 + sim::Duration::us(100), sim::RadioSet::parallel({3, 4}), [sp, t0] {
+      // Contract-violating spawn: 20 us ahead, on a foreign radio set.
+      sp->schedule_at(t0 + sim::Duration::us(120), sim::RadioSet::parallel({1, 2}),
+                      [] {});
+    });
+  };
+
+  {
+    // The counting half needs paranoid OFF even when the environment (the
+    // TSan CI job) exports MGAP_PARANOID for the differential runs.
+    const char* env = std::getenv("MGAP_PARANOID");
+    const std::string saved = env != nullptr ? env : "";
+    ::unsetenv("MGAP_PARANOID");
+    sim::Simulator s;
+    sim::ParallelScheduler par{s, kernel_config(2)};
+    build(s);
+    s.run_until(sim::TimePoint::origin() + sim::Duration::ms(1));
+    EXPECT_EQ(par.stats().causality_violations, 1u);
+    if (env != nullptr) ::setenv("MGAP_PARANOID", saved.c_str(), 1);
+  }
+  {
+    sim::Simulator s;
+    auto pc = kernel_config(2);
+    pc.paranoid = true;
+    sim::ParallelScheduler par{s, pc};
+    build(s);
+    EXPECT_THROW(s.run_until(sim::TimePoint::origin() + sim::Duration::ms(1)),
+                 std::logic_error);
+  }
+}
+
+TEST(ParallelKernel, UniversalEventsActAsBatchBarriers) {
+  // An untagged (exclusive) event between two parallel-taggable events in one
+  // window must observe every earlier event's effects and precede every later
+  // one — i.e. execution order equals oracle order even inside a window.
+  for (const unsigned threads : {1u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    sim::Simulator s;
+    std::unique_ptr<sim::ParallelScheduler> par;
+    if (threads > 1) {
+      par = std::make_unique<sim::ParallelScheduler>(s, kernel_config(threads));
+    }
+    std::vector<int> order;
+    const auto t0 = sim::TimePoint::origin();
+    s.schedule_at(t0 + sim::Duration::us(10), sim::RadioSet::parallel({1}),
+                  [&] { order.push_back(1); });
+    s.schedule_at(t0 + sim::Duration::us(20), [&] { order.push_back(2); });
+    s.schedule_at(t0 + sim::Duration::us(30), sim::RadioSet::parallel({2}),
+                  [&] { order.push_back(3); });
+    s.run_until(t0 + sim::Duration::ms(1));
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  }
+}
+
+}  // namespace
+}  // namespace mgap

@@ -1,0 +1,200 @@
+// Property suites for the lookahead-parallel scheduler, on the choice-tape
+// engine so every counterexample shrinks to a minimal reproduction:
+//
+//  * differential: a random procedurally generated world run under serial and
+//    parallel schedulers is bit-identical (or fails construction with the
+//    identical error) — the oracle fixture turned into a shrinking property,
+//  * lookahead safety: over random event schedules with random radio-set
+//    tags, no two events with intersecting radio sets ever execute
+//    concurrently — same round implies same lane — and each lane executes
+//    its events in oracle (time, seq) order.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "check/property.hpp"
+#include "helpers/oracle.hpp"
+#include "sim/parallel.hpp"
+#include "sim/radio_set.hpp"
+#include "sim/simulator.hpp"
+#include "testbed/experiment.hpp"
+#include "topo/spec.hpp"
+
+namespace mgap {
+namespace {
+
+using check::check_property;
+
+/// A random small-but-interesting world (the test_property_topo generator,
+/// bounded tighter: every round runs two full experiments).
+topo::TopoSpec gen_spec(check::Gen& g) {
+  topo::TopoSpec spec;
+  spec.generator = g.pick(std::vector<topo::Generator>{
+      topo::Generator::kGrid, topo::Generator::kJitterGrid, topo::Generator::kRgg,
+      topo::Generator::kFloorplan});
+  spec.nodes = static_cast<unsigned>(g.u64(2, 30));
+  if (g.boolean(0.3)) {
+    spec.area = 15.0 + 30.0 * g.real01();
+  } else {
+    spec.density = 3.0 + 10.0 * g.real01();
+  }
+  spec.range = 6.0 + 8.0 * g.real01();
+  spec.max_degree = static_cast<unsigned>(g.pick(std::vector<std::uint64_t>{0, 3, 8}));
+  spec.grid_jitter = g.real01();
+  spec.wall_loss_db = 12.0 * g.real01();
+  spec.validate();
+  return spec;
+}
+
+TEST(ParallelProperty, RandomWorldsAreBitIdenticalAcrossSchedulers) {
+  check::PropertyConfig pc;
+  pc.rounds = 4;  // two full experiments per round
+  const auto result = check_property(
+      "parallel-differential",
+      [](check::Gen& g) {
+        testbed::ExperimentConfig cfg;
+        cfg.topo = gen_spec(g);
+        cfg.duration = sim::Duration::sec(10);
+        cfg.producer_interval = sim::Duration::sec(2);
+        cfg.seed = g.u64(1, 1000);
+        testhelpers::OracleOptions opt;
+        opt.threads = static_cast<unsigned>(g.u64(2, 4));
+        const auto r = testhelpers::run_differential(cfg, opt);
+        PROP_ASSERT(r.ok, r.divergence);
+      },
+      pc);
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+// --- lookahead safety over random schedules --------------------------------
+
+struct ExecRecord {
+  std::uint64_t round{0};
+  std::uint64_t lane{0};
+  std::int64_t at_ns{0};
+  sim::RadioSet tag;
+  bool tagged{false};  // false: universal / exclusive
+};
+
+/// Random schedule: parallel-tagged, serial-tagged, and universal events over
+/// a handful of simulated windows, including contract-honoring spawns
+/// (>= lookahead for tagged events, arbitrary for universal ones). Every
+/// event records (round, lane) from the scheduler's own instrumentation.
+TEST(ParallelProperty, IntersectingRadioSetsNeverShareAParallelWindowSlot) {
+  check::PropertyConfig pc;
+  pc.rounds = 40;
+  const auto result = check_property(
+      "lookahead-safety",
+      [](check::Gen& g) {
+        const auto lookahead = sim::Duration::us(300);
+        sim::Simulator s;
+        sim::ParallelConfig cfg;
+        cfg.threads = static_cast<unsigned>(g.u64(2, 4));
+        cfg.window = sim::Duration::us(250);
+        cfg.lookahead = lookahead;
+        sim::ParallelScheduler par{s, cfg};
+
+        std::mutex mu;
+        std::vector<ExecRecord> recs;
+        bool missing_tls = false;  // asserted after the run: actions execute
+                                   // on worker threads, where a throwing
+                                   // PROP_ASSERT cannot unwind to the engine
+        auto record = [&mu, &recs, &missing_tls](sim::RadioSet tag, bool tagged) {
+          const auto* info = sim::ParallelScheduler::tls_exec_info();
+          const auto* now = sim::ParallelScheduler::tls_now();
+          std::lock_guard lk{mu};
+          if (info == nullptr || now == nullptr) {
+            missing_tls = true;
+            return;
+          }
+          recs.push_back(
+              {info->round, info->lane, now->count_ns(), tag, tagged});
+        };
+
+        const std::size_t n = 5 + g.size(35);
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto at =
+              sim::TimePoint::origin() + sim::Duration::us(static_cast<std::int64_t>(g.u64(0, 2000)));
+          const auto kind = g.u64(0, 9);
+          if (kind < 6) {
+            // Parallel-tagged, possibly with a contract-honoring spawn.
+            const std::uint32_t a = static_cast<std::uint32_t>(g.u64(1, 8));
+            const std::uint32_t b = static_cast<std::uint32_t>(g.u64(1, 8));
+            const auto tag = sim::RadioSet::parallel({a, b});
+            const bool spawn = g.boolean(0.3);
+            const auto delay =
+                lookahead + sim::Duration::us(static_cast<std::int64_t>(g.u64(0, 500)));
+            s.schedule_at(at, tag, [&s, &record, tag, spawn, delay] {
+              record(tag, true);
+              if (spawn) {
+                s.schedule_in(delay, tag,
+                              [&record, tag] { record(tag, true); });
+              }
+            });
+          } else if (kind < 8) {
+            const std::uint32_t a = static_cast<std::uint32_t>(g.u64(1, 8));
+            const auto tag = sim::RadioSet::serial({a});
+            s.schedule_at(at, tag, [&record, tag] { record(tag, true); });
+          } else {
+            // Universal: may spawn at any sub-window delay (the batch-barrier
+            // rule, not the lookahead, covers it).
+            const auto delay = sim::Duration::us(static_cast<std::int64_t>(g.u64(0, 100)));
+            const bool spawn = g.boolean(0.5);
+            s.schedule_at(at, [&s, &record, spawn, delay] {
+              record(sim::RadioSet::exclusive(), false);
+              if (spawn) {
+                s.schedule_in(delay, [&record] {
+                  record(sim::RadioSet::exclusive(), false);
+                });
+              }
+            });
+          }
+        }
+
+        s.run_until(sim::TimePoint::origin() + sim::Duration::ms(10));
+
+        PROP_ASSERT(!missing_tls, "no exec info / tls time inside a running event");
+        PROP_ASSERT(par.stats().causality_violations == 0,
+                    "causality violation on a contract-honoring schedule");
+        PROP_ASSERT(par.stats().footprint_violations == 0,
+                    "footprint violation on a contract-honoring schedule");
+
+        // Same round + different lane means concurrent execution: radio sets
+        // must be disjoint (universal events intersect everything).
+        for (std::size_t i = 0; i < recs.size(); ++i) {
+          for (std::size_t j = i + 1; j < recs.size(); ++j) {
+            const auto& a = recs[i];
+            const auto& b = recs[j];
+            if (a.round != b.round || a.lane == b.lane) continue;
+            PROP_ASSERT(a.tagged && b.tagged,
+                        "universal event ran concurrently with another event");
+            PROP_ASSERT(!a.tag.intersects(b.tag),
+                        "intersecting radio sets ran concurrently");
+          }
+        }
+
+        // Within one lane execution is sequential and must follow the oracle
+        // time order (records were appended in execution order per lane).
+        std::vector<std::uint64_t> lanes;
+        for (const auto& r : recs) lanes.push_back(r.lane);
+        std::sort(lanes.begin(), lanes.end());
+        lanes.erase(std::unique(lanes.begin(), lanes.end()), lanes.end());
+        for (const std::uint64_t lane : lanes) {
+          std::int64_t prev = -1;
+          for (const auto& r : recs) {
+            if (r.lane != lane) continue;
+            PROP_ASSERT(r.at_ns >= prev, "lane executed events out of time order");
+            prev = r.at_ns;
+          }
+        }
+      },
+      pc);
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+}  // namespace
+}  // namespace mgap
